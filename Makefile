@@ -1,0 +1,44 @@
+# Convenience targets for the skandium reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench figures examples vet fmt cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate every figure of the paper (summaries + the Fig. 1/2 dump).
+figures:
+	$(GO) run ./cmd/adgdump
+	$(GO) run ./cmd/figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline -lines 3
+	$(GO) run ./examples/mergesort -n 200000
+	$(GO) run ./examples/montecarlo -samples 1000000
+	$(GO) run ./examples/wordcount -tweets 10000
+	$(GO) run ./examples/stream -jobs 4
+	$(GO) run ./examples/distributed
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -5
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,620 @@
+// Benchmarks regenerating the paper's evaluation (one per figure, plus the
+// ablations called out in DESIGN.md §5) and micro-benchmarks of the
+// engine's hot paths. Figure benches run on the deterministic simulator —
+// their custom metrics (makespan_s, peakLP, firstAdapt_s) are the numbers
+// EXPERIMENTS.md compares against the paper; ns/op for those is just
+// harness cost.
+//
+//	go test -bench=. -benchmem
+package skandium
+
+import (
+	"testing"
+	"time"
+
+	"skandium/internal/adg"
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/estimate"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/paperexp"
+	"skandium/internal/sim"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+// --- Fig. 1 / Fig. 2: the ADG worked example -----------------------------------
+
+type fig1 struct {
+	outer, inner *skel.Node
+	est          *estimate.Registry
+	tr           *statemachine.Tracker
+}
+
+func newFig1() *fig1 {
+	fs := muscle.NewSplit("fs", func(any) ([]any, error) { return nil, nil })
+	fe := muscle.NewExecute("fe", func(p any) (any, error) { return p, nil })
+	fm := muscle.NewMerge("fm", func([]any) (any, error) { return nil, nil })
+	inner := skel.NewMap(fs, skel.NewSeq(fe), fm)
+	outer := skel.NewMap(fs, inner, fm)
+	est := estimate.NewRegistry(nil)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	est.InitDuration(fs.ID(), ms(10))
+	est.InitDuration(fe.ID(), ms(15))
+	est.InitDuration(fm.ID(), ms(5))
+	est.InitCard(fs.ID(), 3)
+	f := &fig1{outer: outer, inner: inner, est: est, tr: statemachine.NewTracker(est)}
+	f.replay()
+	return f
+}
+
+// replay feeds the paper's exact history at WCT 70 (LP=2 execution).
+func (f *fig1) replay() {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	emit := func(nd *skel.Node, idx, parent int64, when event.When, where event.Where, at, worker, card int) {
+		f.tr.Listener().Handler(&event.Event{
+			Node: nd, Trace: []*skel.Node{nd}, Index: idx, Parent: parent,
+			When: when, Where: where, Time: clock.Epoch.Add(ms(at)), Worker: worker, Card: card,
+		})
+	}
+	emit(f.outer, 0, event.NoParent, event.Before, event.Skeleton, 0, 0, 0)
+	emit(f.outer, 0, event.NoParent, event.Before, event.Split, 0, 0, 0)
+	emit(f.outer, 0, event.NoParent, event.After, event.Split, 10, 0, 3)
+	for b, idx := range []int64{1, 2} {
+		emit(f.inner, idx, 0, event.Before, event.Skeleton, 10, b, 0)
+		emit(f.inner, idx, 0, event.Before, event.Split, 10, b, 0)
+		emit(f.inner, idx, 0, event.After, event.Split, 20, b, 3)
+	}
+	seq := f.inner.Children()[0]
+	idx := int64(3)
+	for round := 0; round < 3; round++ {
+		for b, parent := range []int64{1, 2} {
+			start := 20 + 15*round
+			emit(seq, idx, parent, event.Before, event.Skeleton, start, b, 0)
+			emit(seq, idx, parent, event.After, event.Skeleton, start+15, b, 0)
+			idx++
+		}
+	}
+	emit(f.inner, 1, 0, event.Before, event.Merge, 65, 0, 0)
+	emit(f.inner, 1, 0, event.After, event.Merge, 70, 0, 0)
+	emit(f.inner, 1, 0, event.After, event.Skeleton, 70, 0, 0)
+	emit(f.inner, 9, 0, event.Before, event.Skeleton, 65, 1, 0)
+	emit(f.inner, 9, 0, event.Before, event.Split, 65, 1, 0)
+}
+
+// BenchmarkFig1ADG builds the live ADG of the paper's Fig. 1 snapshot and
+// evaluates both strategies, asserting the paper's numbers (best-effort WCT
+// 100, limited-LP(2) WCT 115).
+func BenchmarkFig1ADG(b *testing.B) {
+	f := newFig1()
+	builder := adg.Builder{Est: f.est}
+	now := clock.Epoch.Add(70 * time.Millisecond)
+	var best, limited time.Duration
+	for i := 0; i < b.N; i++ {
+		g, err := builder.BuildLive(f.tr.Root(), clock.Epoch, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.ScheduleBestEffort()
+		best = g.WCT()
+		g.ScheduleLimited(2)
+		limited = g.WCT()
+	}
+	if best != 100*time.Millisecond || limited != 115*time.Millisecond {
+		b.Fatalf("fig1 mismatch: best=%v limited=%v", best, limited)
+	}
+	b.ReportMetric(best.Seconds()*1000, "bestEffortWCT_ms")
+	b.ReportMetric(limited.Seconds()*1000, "limitedLP2WCT_ms")
+}
+
+// BenchmarkFig2Timeline computes the Fig. 2 timeline and the optimal LP
+// (paper: 3, peaking during [75,90)).
+func BenchmarkFig2Timeline(b *testing.B) {
+	f := newFig1()
+	builder := adg.Builder{Est: f.est}
+	now := clock.Epoch.Add(70 * time.Millisecond)
+	g, err := builder.BuildLive(f.tr.Root(), clock.Epoch, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := 0
+	for i := 0; i < b.N; i++ {
+		opt = g.OptimalLP()
+	}
+	if opt != 3 {
+		b.Fatalf("optimal LP = %d, want 3", opt)
+	}
+	b.ReportMetric(float64(opt), "optimalLP")
+}
+
+// --- Figs. 5-7: the evaluation scenarios ----------------------------------------
+
+func benchScenario(b *testing.B, spec paperexp.Spec, minS, maxS float64) {
+	var r *paperexp.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = paperexp.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	got := r.Makespan.Seconds()
+	if got < minS || got > maxS {
+		b.Fatalf("makespan %.3fs outside expected [%.2f, %.2f]", got, minS, maxS)
+	}
+	b.ReportMetric(got, "makespan_s")
+	b.ReportMetric(r.FirstAdapt.Seconds(), "firstAdapt_s")
+	b.ReportMetric(float64(r.PeakLP), "peakLP")
+	b.ReportMetric(float64(r.PeakActive), "peakActive")
+	b.ReportMetric(float64(len(r.Decisions)), "decisions")
+}
+
+// BenchmarkSeqBaseline is the paper's stated sequential work: 12.5 s (we
+// measure 12.61 s on the calibrated profile).
+func BenchmarkSeqBaseline(b *testing.B) {
+	var r *paperexp.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = paperexp.RunFixedLP(paperexp.Spec{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+}
+
+// BenchmarkFig5GoalNoInit: paper finish 9.3 s within [8.63, 9.54].
+func BenchmarkFig5GoalNoInit(b *testing.B) {
+	benchScenario(b, paperexp.Scenario1(), 8.6, 9.55)
+}
+
+// BenchmarkFig6GoalWithInit: paper adapts at 6.4 s and finishes at 8.4 s,
+// earlier than Fig. 5.
+func BenchmarkFig6GoalWithInit(b *testing.B) {
+	benchScenario(b, paperexp.Scenario2(), 7.0, 9.5)
+}
+
+// BenchmarkFig7RelaxedGoal: paper peak LP 10 (< Fig. 5's 17), finish 10.6 s.
+func BenchmarkFig7RelaxedGoal(b *testing.B) {
+	benchScenario(b, paperexp.Scenario3(), 9.0, 10.5)
+}
+
+// BenchmarkDaCScenario is the second benchmark (paper §6: "more experiments
+// are conducted on other benchmarks"): an autonomic divide-and-conquer
+// mergesort whose structure the ADG must predict from |fc|/|fs| estimates.
+// Sequential work 1.536 s; the 400 ms goal forces mid-run scaling.
+func BenchmarkDaCScenario(b *testing.B) {
+	var r *paperexp.DaCResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = paperexp.RunDaC(paperexp.DaCSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !r.Sorted {
+		b.Fatal("not sorted")
+	}
+	b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+	b.ReportMetric(r.FirstAdapt.Seconds(), "firstAdapt_s")
+	b.ReportMetric(float64(r.PeakLP), "peakLP")
+}
+
+// BenchmarkFarmThroughput sweeps LP over a simulated farm stream (32 jobs
+// of 10 virtual ms): the classic skeleton throughput curve. makespan_ms
+// must halve with each LP doubling until saturation.
+func BenchmarkFarmThroughput(b *testing.B) {
+	fe := muscle.NewExecute("job", func(p any) (any, error) { return p, nil })
+	nd := skel.NewFarm(skel.NewSeq(fe))
+	costs := simCostTable{fe.ID(): 10 * time.Millisecond}
+	for _, lp := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmtInt("lp", lp), func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(sim.Config{Costs: costs, LP: lp})
+				injs := make([]sim.Injection, 32)
+				for j := range injs {
+					injs[j] = sim.Injection{Param: j}
+				}
+				start := eng.Now()
+				rs, err := eng.RunStream(nd, injs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rs {
+					if r.End.Sub(start) > makespan {
+						makespan = r.End.Sub(start)
+					}
+				}
+			}
+			b.ReportMetric(float64(makespan)/float64(time.Millisecond), "makespan_ms")
+			b.ReportMetric(32.0/makespan.Seconds(), "jobs_per_s_virtual")
+		})
+	}
+}
+
+// simCostTable prices muscles by identity for benches.
+type simCostTable map[muscle.ID]time.Duration
+
+func (ct simCostTable) Cost(m *muscle.Muscle, _ any) time.Duration { return ct[m.ID()] }
+
+// BenchmarkDaCBaseline is its fixed-LP(1) reference (1.536 s).
+func BenchmarkDaCBaseline(b *testing.B) {
+	var r *paperexp.DaCResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = paperexp.RunDaC(paperexp.DaCSpec{Goal: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------------------
+
+// BenchmarkAblationRho sweeps the estimator weight ρ under 15% duration
+// noise: low ρ follows the stable tendency, high ρ chases the last sample
+// (paper §4's discussion).
+func BenchmarkAblationRho(b *testing.B) {
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		b.Run(fmtFloat("rho", rho), func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.Rho = rho
+			spec.Jitter = 0.15
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(float64(len(r.Decisions)), "decisions")
+			b.ReportMetric(float64(r.PeakLP), "peakLP")
+		})
+	}
+}
+
+// BenchmarkAblationDecrease compares the paper's halving decrease against
+// never decreasing and exact-minimum decrease.
+func BenchmarkAblationDecrease(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		pol  core.DecreasePolicy
+	}{{"halve", core.DecreaseHalve}, {"none", core.DecreaseNone}, {"exact", core.DecreaseExact}} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.Decrease = tc.pol
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(float64(r.PeakLP), "peakLP")
+			b.ReportMetric(lpTimeIntegral(r), "lpSeconds") // resource cost
+		})
+	}
+}
+
+// BenchmarkAblationIncrease compares jump-to-optimal (paper §4) against
+// minimal-sufficient increase.
+func BenchmarkAblationIncrease(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		pol  core.IncreasePolicy
+	}{{"optimal", core.IncreaseOptimal}, {"minimal", core.IncreaseMinimal}} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.Increase = tc.pol
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(float64(r.PeakLP), "peakLP")
+			b.ReportMetric(lpTimeIntegral(r), "lpSeconds")
+		})
+	}
+}
+
+// BenchmarkAblationMuscleSharing is the negative ablation behind the
+// paper's Listing 1: cloned per-level muscles leave the completeness gate
+// shut until the run ends (no adaptation, sequential finish), while shared
+// muscles enable the 7.6 s analysis.
+func BenchmarkAblationMuscleSharing(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		separate bool
+	}{{"shared", false}, {"separate", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.SeparateMuscles = tc.separate
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(float64(len(r.Decisions)), "decisions")
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares the paper's ADG estimation against
+// the cheap analytic work/span model (the paper's §6 "different WCT
+// estimation algorithms comparing its overhead costs"): same scenario, the
+// metrics show prediction-quality differences (goal adherence, peak LP)
+// while ns/op shows the end-to-end cost difference.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		p    core.Predictor
+	}{{"adg", core.ADGPredictor{}}, {"workspan", core.WorkSpanPredictor{}}} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.Predictor = tc.p
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(float64(r.PeakLP), "peakLP")
+			missed := 0.0
+			if r.Makespan > spec.Goal {
+				missed = 1
+			}
+			b.ReportMetric(missed, "goalMissed")
+		})
+	}
+}
+
+// BenchmarkPredictorCost isolates the per-analysis cost of each predictor
+// on the Fig. 1 snapshot.
+func BenchmarkPredictorCost(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		p    core.Predictor
+	}{{"adg", core.ADGPredictor{}}, {"workspan", core.WorkSpanPredictor{}}} {
+		b.Run(tc.name, func(b *testing.B) {
+			f := newFig1()
+			in := core.PredictorInput{
+				Node:    f.outer,
+				Tracker: f.tr,
+				Est:     f.est,
+				Start:   clock.Epoch,
+				Now:     clock.Epoch.Add(70 * time.Millisecond),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pred, err := tc.p.Predict(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pred.LimitedEnd(2)
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisOverhead sweeps the analysis throttle: more frequent
+// analyses react faster but cost controller time (paper §6 lists analyzing
+// estimation overhead as future work).
+func BenchmarkAnalysisOverhead(b *testing.B) {
+	for _, iv := range []time.Duration{0, 50 * time.Millisecond, 200 * time.Millisecond, time.Second} {
+		b.Run(iv.String(), func(b *testing.B) {
+			spec := paperexp.Scenario1()
+			spec.AnalysisInterval = iv
+			var r *paperexp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = paperexp.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.Analyses), "analyses")
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+		})
+	}
+}
+
+// lpTimeIntegral approximates ∫ LP dt in LP-seconds — the resource the
+// decrease policy is supposed to save.
+func lpTimeIntegral(r *paperexp.Result) float64 {
+	samples := r.Recorder.Samples()
+	total := 0.0
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T.Sub(samples[i-1].T).Seconds()
+		total += float64(samples[i-1].LP) * dt
+	}
+	return total
+}
+
+// --- engine micro-benchmarks ------------------------------------------------------
+
+// BenchmarkEventOverhead measures the real engine's per-input cost of the
+// event layer: no listeners vs a generic listener vs a filtered-out
+// listener (ablation C).
+func BenchmarkEventOverhead(b *testing.B) {
+	mkStream := func(opts ...Option) *Stream[int, int] {
+		id := NewExec("id", func(n int) (int, error) { return n, nil })
+		fs := NewSplit("fs", func(n int) ([]int, error) {
+			out := make([]int, 8)
+			for i := range out {
+				out[i] = i
+			}
+			return out, nil
+		})
+		fm := NewMerge("fm", func(ps []int) (int, error) { return len(ps), nil })
+		return NewStream[int, int](Map(fs, Seq(id), fm), append(opts, WithLP(2))...)
+	}
+	b.Run("no-listener", func(b *testing.B) {
+		st := mkStream()
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Do(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("generic-listener", func(b *testing.B) {
+		st := mkStream(WithListener(ListenerFunc(func(e *Event) any { return e.Param })))
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Do(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("filtered-listener", func(b *testing.B) {
+		st := mkStream(WithListener(ListenerFunc(func(e *Event) any { return e.Param }),
+			Filter{Where: AtMerge, HasWhere: true}))
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Do(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineFanout measures raw task fan-out throughput of the pool
+// (tasks created, scheduled and merged per op).
+func BenchmarkEngineFanout(b *testing.B) {
+	for _, width := range []int{1, 16, 256} {
+		b.Run(fmtInt("width", width), func(b *testing.B) {
+			fs := NewSplit("fs", func(n int) ([]int, error) {
+				out := make([]int, n)
+				for i := range out {
+					out[i] = i
+				}
+				return out, nil
+			})
+			id := NewExec("id", func(n int) (int, error) { return n, nil })
+			fm := NewMerge("fm", func(ps []int) (int, error) { return len(ps), nil })
+			st := NewStream[int, int](Map(fs, Seq(id), fm), WithLP(4))
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res, err := st.Do(width); err != nil || res != width {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+			b.ReportMetric(float64(width), "tasks/op")
+		})
+	}
+}
+
+// BenchmarkADGBuildSchedule measures analysis cost vs problem size: the
+// controller runs this on the worker's critical path.
+func BenchmarkADGBuildSchedule(b *testing.B) {
+	for _, card := range []int{10, 100, 1000} {
+		b.Run(fmtInt("card", card), func(b *testing.B) {
+			fs := muscle.NewSplit("fs", func(any) ([]any, error) { return nil, nil })
+			fe := muscle.NewExecute("fe", func(p any) (any, error) { return p, nil })
+			fm := muscle.NewMerge("fm", func([]any) (any, error) { return nil, nil })
+			node := skel.NewMap(fs, skel.NewSeq(fe), fm)
+			est := estimate.NewRegistry(nil)
+			est.InitDuration(fs.ID(), time.Millisecond)
+			est.InitDuration(fe.ID(), time.Millisecond)
+			est.InitDuration(fm.ID(), time.Millisecond)
+			est.InitCard(fs.ID(), float64(card))
+			builder := adg.Builder{Est: est}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := builder.BuildVirtual(node, clock.Epoch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g.ScheduleBestEffort()
+				g.ScheduleLimited(8)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimators compares the per-observation cost of the estimator
+// variants (ablation of the paper's future-work "different WCT estimation
+// algorithms comparing overhead costs").
+func BenchmarkEstimators(b *testing.B) {
+	factories := []struct {
+		name string
+		f    estimate.Factory
+	}{
+		{"ewma", estimate.EWMAFactory(0.5)},
+		{"mean", estimate.MeanFactory},
+		{"window8", estimate.WindowFactory(8)},
+		{"median8", estimate.MedianFactory(8)},
+		{"last", estimate.LastFactory},
+	}
+	for _, tc := range factories {
+		b.Run(tc.name, func(b *testing.B) {
+			e := tc.f()
+			for i := 0; i < b.N; i++ {
+				e.Observe(float64(i % 100))
+				if _, ok := e.Value(); !ok {
+					b.Fatal("no value")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimThroughput measures virtual events processed per second by
+// the discrete-event substrate.
+func BenchmarkSimThroughput(b *testing.B) {
+	spec := paperexp.Scenario1()
+	for i := 0; i < b.N; i++ {
+		if _, err := paperexp.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fmtInt(k string, v int) string { return k + "=" + itoa(v) }
+func fmtFloat(k string, v float64) string {
+	return k + "=" + itoa(int(v*100)) + "pct"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

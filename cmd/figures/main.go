@@ -1,0 +1,119 @@
+// figures regenerates every figure of the paper's evaluation:
+//
+//	Fig. 1/2 — the ADG worked example (see also cmd/adgdump)
+//	Fig. 5   — "Goal without initialization" (9.5 s, cold estimators)
+//	Fig. 6   — "Goal with initialization"    (9.5 s, seeded estimators)
+//	Fig. 7   — "WCT goal of 10.5 s"
+//
+// Scenario runs execute on the deterministic simulator substrate with the
+// paper-calibrated duration profile (see internal/paperexp); the output is
+// the "active threads vs wall-clock time" series as CSV plus a summary.
+//
+//	go run ./cmd/figures             # all figures, summaries only
+//	go run ./cmd/figures -fig 5 -csv # one figure with its CSV series
+//	go run ./cmd/figures -jitter 0.1 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/paperexp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (5, 6 or 7; 0 = all)")
+	csv := flag.Bool("csv", false, "print the full active-threads series as CSV")
+	jitter := flag.Float64("jitter", 0, "relative duration noise (paper runs were real, hence noisy)")
+	seed := flag.Int64("seed", 42, "noise / corpus seed")
+	extra := flag.Bool("extra", false, "also run the extension experiments (d&c mergesort, farm stream sweep)")
+	out := flag.String("out", "", "directory to write figN.csv series files into")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	scenarios := []struct {
+		fig   int
+		name  string
+		spec  paperexp.Spec
+		paper string
+	}{
+		{5, "Goal without initialization", paperexp.Scenario1(),
+			"paper: first analysis 7.6s, peak 17 active, finish 9.3s (window 8.63-9.54s)"},
+		{6, "Goal with initialization", paperexp.Scenario2(),
+			"paper: adapts at 6.4s (before first merge), peak 19 active, finish 8.4s"},
+		{7, "WCT goal of 10.5 secs", paperexp.Scenario3(),
+			"paper: adapts at 8.7s, peak 10 active, finish 10.6s"},
+	}
+
+	seq, err := paperexp.RunFixedLP(paperexp.Spec{Seed: *seed}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline sequential work (LP=1): %v  (paper: 12.5s)\n\n", seq.Makespan.Round(time.Millisecond))
+
+	for _, sc := range scenarios {
+		if *fig != 0 && *fig != sc.fig {
+			continue
+		}
+		spec := sc.spec
+		spec.Jitter = *jitter
+		spec.Seed = *seed
+		r, err := paperexp.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== Fig. %d — %s ===\n", sc.fig, sc.name)
+		fmt.Printf("%s\n", sc.paper)
+		fmt.Printf("repro: first adaptation %v, peak LP %d, peak active %d, finish %v (goal %v)\n",
+			r.FirstAdapt.Round(time.Millisecond), r.PeakLP, r.PeakActive,
+			r.Makespan.Round(time.Millisecond), spec.Goal)
+		for _, d := range r.Decisions {
+			fmt.Printf("  decision t=%-8v LP %2d -> %2d  %s\n",
+				d.Time.Sub(clock.Epoch).Round(time.Millisecond), d.OldLP, d.NewLP, d.Reason)
+		}
+		if *csv {
+			fmt.Println("t_ms,active,lp")
+			fmt.Print(r.Recorder.CSV(time.Millisecond))
+		}
+		if *out != "" {
+			path := filepath.Join(*out, fmt.Sprintf("fig%d.csv", sc.fig))
+			if err := os.WriteFile(path, []byte(r.Recorder.CSV(time.Millisecond)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("series written to %s\n", path)
+		}
+		fmt.Println()
+	}
+
+	if *extra {
+		fmt.Println("=== Extension — autonomic d&c mergesort (paper §6 'other benchmarks') ===")
+		base, err := paperexp.RunDaC(paperexp.DaCSpec{Goal: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dac, err := paperexp.RunDaC(paperexp.DaCSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sequential %v; autonomic %v under a %v goal (peak LP %d, first adaptation %v)\n\n",
+			base.Makespan.Round(time.Millisecond), dac.Makespan.Round(time.Millisecond),
+			dac.Spec.Goal, dac.PeakLP, dac.FirstAdapt.Round(time.Millisecond))
+
+		fmt.Println("=== Extension — farm stream throughput/latency sweep ===")
+		points, err := paperexp.RunFarmSweep(paperexp.FarmSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(paperexp.FormatFarmTable(points))
+	}
+}

@@ -1,0 +1,108 @@
+// skelrun runs the paper's word-count workload on the deterministic
+// simulator with a fully configurable autonomic setup — the exploration
+// tool behind EXPERIMENTS.md. It prints a run summary, the decision log,
+// and optionally the active-threads series.
+//
+//	go run ./cmd/skelrun -goal 9.5s
+//	go run ./cmd/skelrun -goal 9.5s -init            # paper scenario 2
+//	go run ./cmd/skelrun -goal 10.5s -decrease none  # ablation
+//	go run ./cmd/skelrun -lp 1 -goal 0               # sequential baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/paperexp"
+)
+
+func main() {
+	goal := flag.Duration("goal", 9500*time.Millisecond, "WCT QoS goal (0 = no autonomics)")
+	initEst := flag.Bool("init", false, "initialize estimators from a profiling run (scenario 2)")
+	lp := flag.Int("lp", 1, "initial level of parallelism")
+	maxLP := flag.Int("maxlp", 24, "hardware threads of the simulated machine")
+	k := flag.Int("k", 5, "first-level split cardinality")
+	m := flag.Int("m", 7, "second-level split cardinality")
+	rho := flag.Float64("rho", 0.5, "estimator weight ρ")
+	jitter := flag.Float64("jitter", 0, "relative duration noise")
+	seed := flag.Int64("seed", 42, "seed")
+	interval := flag.Duration("interval", 100*time.Millisecond, "analysis throttle")
+	increase := flag.String("increase", "minimal", "increase policy: optimal|minimal")
+	decrease := flag.String("decrease", "halve", "decrease policy: halve|none|exact")
+	csv := flag.Bool("csv", false, "print the active-threads series as CSV")
+	flag.Parse()
+
+	spec := paperexp.Spec{
+		K: *k, M: *m,
+		Goal:             *goal,
+		MaxLP:            *maxLP,
+		InitialLP:        *lp,
+		Init:             *initEst,
+		Jitter:           *jitter,
+		Seed:             *seed,
+		Rho:              *rho,
+		AnalysisInterval: *interval,
+	}
+	switch *increase {
+	case "optimal":
+		spec.Increase = core.IncreaseOptimal
+	case "minimal":
+		spec.Increase = core.IncreaseMinimal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -increase %q\n", *increase)
+		os.Exit(2)
+	}
+	switch *decrease {
+	case "halve":
+		spec.Decrease = core.DecreaseHalve
+	case "none":
+		spec.Decrease = core.DecreaseNone
+	case "exact":
+		spec.Decrease = core.DecreaseExact
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -decrease %q\n", *decrease)
+		os.Exit(2)
+	}
+
+	var r *paperexp.Result
+	var err error
+	if *goal == 0 {
+		r, err = paperexp.RunFixedLP(spec, *lp)
+	} else {
+		r, err = paperexp.Run(spec)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: two-level map word count, K=%d M=%d, %d tweets, %d distinct tags\n",
+		r.Spec.K, r.Spec.M, r.Spec.Tweets, len(r.Counts))
+	fmt.Printf("machine:  %d simulated hardware threads, initial LP %d\n", r.Spec.MaxLP, *lp)
+	if *goal > 0 {
+		fmt.Printf("QoS:      WCT goal %v, policies increase=%s decrease=%s, ρ=%.2f, init=%v\n",
+			*goal, *increase, *decrease, *rho, *initEst)
+	}
+	fmt.Printf("result:   finished in %v  (peak LP %d, peak active %d, %d analyses)\n",
+		r.Makespan.Round(time.Millisecond), r.PeakLP, r.PeakActive, r.Analyses)
+	if *goal > 0 {
+		verdict := "MET"
+		if r.Makespan > *goal {
+			verdict = "MISSED"
+		}
+		fmt.Printf("goal:     %s (%v vs %v)\n", verdict, r.Makespan.Round(time.Millisecond), *goal)
+	}
+	for _, d := range r.Decisions {
+		fmt.Printf("  t=%-8v LP %2d -> %2d  pred=%v best=%v opt=%d  %s\n",
+			d.Time.Sub(clock.Epoch).Round(time.Millisecond), d.OldLP, d.NewLP,
+			d.PredictedWCT.Round(time.Millisecond), d.BestWCT.Round(time.Millisecond),
+			d.OptimalLP, d.Reason)
+	}
+	if *csv {
+		fmt.Print(r.Recorder.CSV(time.Millisecond))
+	}
+}

@@ -1,0 +1,59 @@
+// Package skandium is a Go algorithmic-skeleton library with
+// self-configuring and self-optimizing autonomic execution, reproducing
+// Pabón & Henrio, "Self-Configuration and Self-Optimization Autonomic
+// Skeletons using Events" (PMAM 2014), which extended the Java Skandium
+// library.
+//
+// # Skeletons and muscles
+//
+// Parallel programs are composed from nestable patterns
+//
+//	∆ ::= seq(fe) | farm(∆) | pipe(∆1,∆2) | while(fc,∆) | if(fc,∆t,∆f)
+//	    | for(n,∆) | map(fs,∆,fm) | fork(fs,{∆},fm) | d&c(fc,fs,∆,fm)
+//
+// parameterized by sequential "muscles": Execute (fe: P→R), Split
+// (fs: P→[]R), Merge (fm: []P→R) and Condition (fc: P→bool). The library
+// schedules the muscles onto a task pool of goroutine workers; all
+// communication and synchronization is implicit in the pattern.
+//
+//	fs := skandium.NewSplit("chunks", func(j Job) ([]Part, error) { ... })
+//	fe := skandium.NewExec("count", func(p Part) (Counts, error) { ... })
+//	fm := skandium.NewMerge("fold", func(cs []Counts) (Counts, error) { ... })
+//	program := skandium.Map(fs, skandium.Seq(fe), fm)
+//
+//	stream := skandium.NewStream[Job, Counts](program)
+//	defer stream.Close()
+//	result, err := stream.Input(job).Get()
+//
+// # Events
+//
+// Every muscle invocation and skeleton activation is bracketed by events
+// carrying the partial solution, the skeleton trace and an activation index
+// — the separation-of-concerns layer that lets non-functional code (logging,
+// monitoring, adaptation) observe and even transform the computation without
+// touching the muscles:
+//
+//	stream.AddListener(skandium.ListenerFunc(func(e *skandium.Event) any {
+//	    log.Printf("%v %v/%v i=%d", e.Node.Kind(), e.When, e.Where, e.Index)
+//	    return e.Param
+//	}))
+//
+// # Autonomic execution
+//
+// Given a wall-clock-time goal, the runtime estimates every muscle's
+// duration t(m) and cardinality |m| online (EWMA, parameter ρ), maintains an
+// Activity Dependency Graph of the running execution, predicts the WCT under
+// the current level of parallelism, and adapts the worker pool: raising LP
+// when the goal would be missed, halving it when the goal survives with half
+// the threads:
+//
+//	stream := skandium.NewStream[Job, Counts](program,
+//	    skandium.WithWCTGoal(9500*time.Millisecond),
+//	    skandium.WithMaxLP(24))
+//	ex := stream.Input(job)
+//	result, err := ex.Get()
+//	for _, d := range ex.Decisions() { fmt.Println(d) }
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction.
+package skandium

@@ -1,0 +1,45 @@
+package skandium
+
+import (
+	"skandium/internal/event"
+)
+
+// Event is the information delivered to listeners: the skeleton node and
+// trace, the activation index i correlating Before/After pairs, the partial
+// solution, and position metadata (When/Where, split cardinality, branch,
+// iteration, condition verdict).
+type Event = event.Event
+
+// Listener receives events; Handler returns the (possibly replaced)
+// partial solution. Handlers run synchronously on the worker executing the
+// adjacent muscle, as in the paper.
+type Listener = event.Listener
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc = event.Func
+
+// Filter narrows which events reach a listener (zero value matches all —
+// the paper's "generic listener").
+type Filter = event.Filter
+
+// When distinguishes Before/After events.
+type When = event.When
+
+// Where locates an event around an activation: the whole skeleton, or its
+// split/merge/condition muscle, or one nested-skeleton evaluation.
+type Where = event.Where
+
+// Re-exported event positions.
+const (
+	Before = event.Before
+	After  = event.After
+
+	AtSkeleton   = event.Skeleton
+	AtSplit      = event.Split
+	AtMerge      = event.Merge
+	AtCondition  = event.Condition
+	AtNestedSkel = event.NestedSkel
+)
+
+// NoParent marks events raised by a root-level activation.
+const NoParent = event.NoParent

@@ -1,0 +1,140 @@
+package skandium_test
+
+import (
+	"fmt"
+	"time"
+
+	"skandium"
+)
+
+// The canonical map skeleton: split, process in parallel, merge.
+func ExampleMap() {
+	split := skandium.NewSplit("range", func(n int) ([]int, error) {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out, nil
+	})
+	square := skandium.NewExec("square", func(x int) (int, error) { return x * x, nil })
+	sum := skandium.NewMerge("sum", func(ps []int) (int, error) {
+		t := 0
+		for _, p := range ps {
+			t += p
+		}
+		return t, nil
+	})
+	program := skandium.Map(split, skandium.Seq(square), sum)
+	stream := skandium.NewStream[int, int](program, skandium.WithLP(4))
+	defer stream.Close()
+	res, _ := stream.Do(10)
+	fmt.Println(program, "=", res)
+	// Output: map(range, seq(square), sum) = 385
+}
+
+// Pipelines change types between stages.
+func ExamplePipe() {
+	stretch := skandium.NewExec("stretch", func(n int) (string, error) {
+		out := ""
+		for i := 0; i < n; i++ {
+			out += "ab"
+		}
+		return out, nil
+	})
+	length := skandium.NewExec("length", func(s string) (int, error) { return len(s), nil })
+	program := skandium.Pipe(skandium.Seq(stretch), skandium.Seq(length))
+	stream := skandium.NewStream[int, int](program)
+	defer stream.Close()
+	res, _ := stream.Do(3)
+	fmt.Println(res)
+	// Output: 6
+}
+
+// While iterates a body as long as the condition holds.
+func ExampleWhile() {
+	below := skandium.NewCond("below1000", func(n int) (bool, error) { return n < 1000, nil })
+	triple := skandium.NewExec("triple", func(n int) (int, error) { return 3 * n, nil })
+	stream := skandium.NewStream[int, int](skandium.While(below, skandium.Seq(triple)))
+	defer stream.Close()
+	res, _ := stream.Do(1)
+	fmt.Println(res)
+	// Output: 2187
+}
+
+// Divide & conquer recurses while the condition holds and merges upward.
+func ExampleDaC() {
+	big := skandium.NewCond("big", func(s []int) (bool, error) { return len(s) > 2, nil })
+	halve := skandium.NewSplit("halve", func(s []int) ([][]int, error) {
+		mid := len(s) / 2
+		return [][]int{s[:mid:mid], s[mid:]}, nil
+	})
+	sumLeaf := skandium.NewExec("sumLeaf", func(s []int) (int, error) {
+		t := 0
+		for _, v := range s {
+			t += v
+		}
+		return t, nil
+	})
+	add := skandium.NewMerge("add", func(ps []int) (int, error) {
+		t := 0
+		for _, v := range ps {
+			t += v
+		}
+		return t, nil
+	})
+	program := skandium.DaC(big, halve, skandium.Seq(sumLeaf), add)
+	stream := skandium.NewStream[[]int, int](program, skandium.WithLP(2))
+	defer stream.Close()
+	res, _ := stream.Do([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	fmt.Println(res)
+	// Output: 36
+}
+
+// Listeners observe every event without touching business code (the
+// paper's separation of concerns).
+func ExampleStream_listener() {
+	inc := skandium.NewExec("inc", func(n int) (int, error) { return n + 1, nil })
+	events := 0
+	stream := skandium.NewStream[int, int](skandium.Seq(inc),
+		skandium.WithListener(skandium.ListenerFunc(func(e *skandium.Event) any {
+			events++
+			return e.Param
+		})))
+	defer stream.Close()
+	res, _ := stream.Do(41)
+	fmt.Println(res, events)
+	// Output: 42 2
+}
+
+// An autonomic stream adapts its level of parallelism toward a WCT goal.
+func ExampleStream_autonomic() {
+	fs := skandium.NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, 4)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	work := skandium.NewExec("work", func(n int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return 1, nil
+	})
+	fm := skandium.NewMerge("fm", func(ps []int) (int, error) {
+		t := 0
+		for _, p := range ps {
+			t += p
+		}
+		return t, nil
+	})
+	inner := skandium.Map(fs, skandium.Seq(work), fm)
+	program := skandium.Map(fs, inner, fm)
+	stream := skandium.NewStream[int, int](program,
+		skandium.WithLP(1),
+		skandium.WithMaxLP(8),
+		skandium.WithWCTGoal(20*time.Millisecond))
+	defer stream.Close()
+	ex := stream.Input(0)
+	res, _ := ex.Get()
+	fmt.Println(res, len(ex.Decisions()) > 0)
+	// Output: 16 true
+}

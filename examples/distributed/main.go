@@ -1,0 +1,89 @@
+// Distributed demonstrates the paper's §6 outlook: the same autonomic
+// controller scaling a (simulated) cluster instead of a thread pool. A
+// centralized coordinator ships skeleton tasks to worker nodes over links
+// with configurable latency; when the WCT goal would be missed, the
+// controller provisions more nodes mid-run, and decommissions them when the
+// goal is safe.
+//
+//	go run ./examples/distributed -goal 80ms -maxnodes 8 -ship 200us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"skandium/internal/core"
+	"skandium/internal/dist"
+	"skandium/internal/estimate"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+func main() {
+	goal := flag.Duration("goal", 80*time.Millisecond, "WCT QoS goal")
+	maxNodes := flag.Int("maxnodes", 8, "maximum cluster size")
+	ship := flag.Duration("ship", 200*time.Microsecond, "one-way task shipping latency")
+	work := flag.Duration("work", 6*time.Millisecond, "per-item compute time")
+	flag.Parse()
+
+	// The paper's two-level map shape with shared muscles.
+	fs := muscle.NewSplit("fs", func(p any) ([]any, error) {
+		out := make([]any, 4)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := muscle.NewExecute("fe", func(p any) (any, error) {
+		time.Sleep(*work)
+		return 1, nil
+	})
+	fm := muscle.NewMerge("fm", func(ps []any) (any, error) {
+		s := 0
+		for _, p := range ps {
+			s += p.(int)
+		}
+		return s, nil
+	})
+	inner := skel.NewMap(fs, skel.NewSeq(fe), fm)
+	program := skel.NewMap(fs, inner, fm)
+	fmt.Println("program:", program)
+	fmt.Printf("cluster: 1 node initially, up to %d, ship latency %v each way\n", *maxNodes, *ship)
+
+	cluster := dist.New(dist.Config{Nodes: 1, MaxNodes: *maxNodes, ShipLatency: *ship})
+	defer cluster.Close()
+
+	reg := event.NewRegistry()
+	est := estimate.NewRegistry(nil)
+	tracker := statemachine.NewTracker(est)
+	ctl := core.NewController(core.Config{
+		WCTGoal:          *goal,
+		MaxLP:            *maxNodes,
+		Increase:         core.IncreaseMinimal,
+		AnalysisInterval: 10 * time.Millisecond,
+		DecreaseHold:     15 * time.Millisecond,
+	}, program, cluster, est, tracker, nil)
+	core.Attach(reg, tracker, ctl)
+
+	start := time.Now()
+	res, err := cluster.NewExecution(reg).Start(program, 0).Get()
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("result %v in %v (goal %v, 16 work items × %v sequential ≈ %v)\n",
+		res, elapsed.Round(time.Millisecond), *goal, *work, 16**work)
+	for _, d := range ctl.Decisions() {
+		fmt.Printf("  t=%-10v nodes %d -> %d  (%s)\n",
+			d.Time.Sub(start).Round(time.Millisecond), d.OldLP, d.NewLP, d.Reason)
+	}
+	fmt.Println("per-node accounting:")
+	for _, st := range cluster.Stats() {
+		fmt.Printf("  node %d: %3d tasks, busy %v\n", st.Node, st.Tasks, st.BusyTime.Round(time.Millisecond))
+	}
+}

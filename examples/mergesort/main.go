@@ -1,0 +1,94 @@
+// Mergesort demonstrates the divide & conquer skeleton: sort a large slice
+// by recursively halving it in parallel and merging sorted runs, with the
+// event layer reporting the recursion live.
+//
+//	go run ./examples/mergesort -n 2000000 -lp 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"skandium"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "elements to sort")
+	lp := flag.Int("lp", 4, "level of parallelism")
+	leaf := flag.Int("leaf", 64_000, "leaf size sorted sequentially")
+	flag.Parse()
+
+	deep := skandium.NewCond("deep", func(s []int) (bool, error) {
+		return len(s) > *leaf, nil
+	})
+	halve := skandium.NewSplit("halve", func(s []int) ([][]int, error) {
+		mid := len(s) / 2
+		return [][]int{s[:mid:mid], s[mid:]}, nil
+	})
+	sortLeaf := skandium.NewExec("sortLeaf", func(s []int) ([]int, error) {
+		out := append([]int(nil), s...)
+		sort.Ints(out)
+		return out, nil
+	})
+	mergeRuns := skandium.NewMerge("mergeRuns", func(runs [][]int) ([]int, error) {
+		a, b := runs[0], runs[1]
+		out := make([]int, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i] <= b[j] {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		return append(out, b[j:]...), nil
+	})
+
+	program := skandium.DaC(deep, halve, skandium.Seq(sortLeaf), mergeRuns)
+	fmt.Println("program:", program)
+
+	// Count leaf sorts and maximum recursion depth through events.
+	var leaves, maxDepth atomic.Int64
+	stream := skandium.NewStream[[]int, []int](program,
+		skandium.WithLP(*lp),
+		skandium.WithListener(skandium.ListenerFunc(func(e *skandium.Event) any {
+			if e.When == skandium.After && e.Where == skandium.AtCondition {
+				if d := int64(e.Iter); d > maxDepth.Load() {
+					maxDepth.Store(d)
+				}
+				if !e.Cond {
+					leaves.Add(1)
+				}
+			}
+			return e.Param
+		})),
+	)
+	defer stream.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int, *n)
+	for i := range data {
+		data[i] = rng.Int()
+	}
+
+	start := time.Now()
+	sorted, err := stream.Do(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !sort.IntsAreSorted(sorted) || len(sorted) != *n {
+		log.Fatal("result is not a sorted permutation")
+	}
+	fmt.Printf("sorted %d ints in %v with LP=%d\n", *n, elapsed, *lp)
+	fmt.Printf("recursion: %d leaf sorts, max depth %d\n", leaves.Load(), maxDepth.Load())
+}

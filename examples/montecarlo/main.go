@@ -1,0 +1,106 @@
+// Montecarlo estimates π by map-parallel sampling under a wall-clock-time
+// QoS: the autonomic controller raises the level of parallelism only as far
+// as needed to meet the goal, and the gauge hook records the active-worker
+// timeline (the same series as the paper's Figs. 5-7).
+//
+//	go run ./examples/montecarlo -samples 8000000 -goal 150ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"skandium"
+)
+
+type batch struct {
+	Seed int64
+	N    int
+}
+
+func main() {
+	samples := flag.Int("samples", 8_000_000, "total samples")
+	batches := flag.Int("batches", 32, "number of parallel batches")
+	goal := flag.Duration("goal", 150*time.Millisecond, "WCT QoS goal")
+	maxLP := flag.Int("maxlp", 8, "maximum level of parallelism")
+	flag.Parse()
+
+	split := skandium.NewSplit("batches", func(total int) ([]batch, error) {
+		out := make([]batch, *batches)
+		for i := range out {
+			out[i] = batch{Seed: int64(i + 1), N: total / *batches}
+		}
+		return out, nil
+	})
+	sample := skandium.NewExec("sample", func(b batch) (int, error) {
+		rng := rand.New(rand.NewSource(b.Seed))
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			x, y := rng.Float64(), rng.Float64()
+			if x*x+y*y <= 1 {
+				hits++
+			}
+		}
+		return hits, nil
+	})
+	fold := skandium.NewMerge("fold", func(hits []int) (int, error) {
+		total := 0
+		for _, h := range hits {
+			total += h
+		}
+		return total, nil
+	})
+	program := skandium.Map(split, skandium.Seq(sample), fold)
+	fmt.Println("program:", program)
+
+	// Record the active-worker/LP timeline through the gauge hook.
+	type sampleT struct {
+		t          time.Duration
+		active, lp int
+	}
+	var mu sync.Mutex
+	var series []sampleT
+	start := time.Now()
+	stream := skandium.NewStream[int, int](program,
+		skandium.WithLP(1),
+		skandium.WithMaxLP(*maxLP),
+		skandium.WithWCTGoal(*goal),
+		skandium.WithGauge(func(now time.Time, active, lp int) {
+			mu.Lock()
+			series = append(series, sampleT{now.Sub(start), active, lp})
+			mu.Unlock()
+		}),
+	)
+	defer stream.Close()
+
+	ex := stream.Input(*samples)
+	hits, err := ex.Get()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	n := (*samples / *batches) * *batches
+	pi := 4 * float64(hits) / float64(n)
+	fmt.Printf("π ≈ %.6f (error %.6f) from %d samples in %v\n",
+		pi, math.Abs(pi-math.Pi), n, elapsed)
+
+	for _, d := range ex.Decisions() {
+		fmt.Printf("decision t=%-12v LP %2d -> %2d (%s)\n",
+			d.Time.Sub(start).Round(time.Millisecond), d.OldLP, d.NewLP, d.Reason)
+	}
+	mu.Lock()
+	peak := 0
+	for _, s := range series {
+		if s.active > peak {
+			peak = s.active
+		}
+	}
+	mu.Unlock()
+	fmt.Printf("peak active workers: %d (max LP %d)\n", peak, *maxLP)
+}

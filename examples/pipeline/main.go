@@ -1,0 +1,90 @@
+// Pipeline demonstrates staged computation with a farm stage and the
+// paper's Listing 2: a generic event listener implementing a logger as a
+// non-functional concern, without touching the business muscles.
+//
+// The pipeline parses raw log lines, enriches them inside a farm (the farm
+// replicates across the stream's inputs), and formats a report.
+//
+//	go run ./examples/pipeline -lines 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"skandium"
+)
+
+// record is the value flowing through the pipeline.
+type record struct {
+	Raw      string
+	Level    string
+	Msg      string
+	Severity int
+}
+
+func main() {
+	lines := flag.Int("lines", 6, "log lines to process")
+	verbose := flag.Bool("v", false, "log every skeleton event (paper Listing 2)")
+	flag.Parse()
+
+	parse := skandium.NewExec("parse", func(raw string) (record, error) {
+		level, msg, ok := strings.Cut(raw, ": ")
+		if !ok {
+			return record{}, fmt.Errorf("malformed line %q", raw)
+		}
+		return record{Raw: raw, Level: level, Msg: msg}, nil
+	})
+	enrich := skandium.NewExec("enrich", func(r record) (record, error) {
+		switch r.Level {
+		case "ERROR":
+			r.Severity = 3
+		case "WARN":
+			r.Severity = 2
+		default:
+			r.Severity = 1
+		}
+		return r, nil
+	})
+	format := skandium.NewExec("format", func(r record) (string, error) {
+		return fmt.Sprintf("[sev=%d] %-5s %s", r.Severity, r.Level, r.Msg), nil
+	})
+
+	// pipe(parse, farm(enrich), format)
+	program := skandium.Pipe3(
+		skandium.Seq(parse),
+		skandium.Farm(skandium.Seq(enrich)),
+		skandium.Seq(format),
+	)
+	fmt.Println("program:", program)
+
+	opts := []skandium.Option{skandium.WithLP(3)}
+	if *verbose {
+		// The paper's Listing 2: a generic listener logging every event
+		// with its trace, when/where position and activation index.
+		opts = append(opts, skandium.WithListener(skandium.ListenerFunc(func(e *skandium.Event) any {
+			cur := e.Trace[len(e.Trace)-1]
+			log.Printf("CURRSKEL: %v | WHEN/WHERE: %v/%v | INDEX: %d | PARTIAL SOL: %v",
+				cur.Kind(), e.When, e.Where, e.Index, e.Param)
+			return e.Param
+		})))
+	}
+	stream := skandium.NewStream[string, string](program, opts...)
+	defer stream.Close()
+
+	levels := []string{"INFO", "WARN", "ERROR"}
+	futures := make([]*skandium.Execution[string], 0, *lines)
+	for i := 0; i < *lines; i++ {
+		raw := fmt.Sprintf("%s: event %d happened", levels[i%len(levels)], i)
+		futures = append(futures, stream.Input(raw))
+	}
+	for _, ex := range futures {
+		out, err := ex.Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

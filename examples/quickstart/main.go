@@ -1,0 +1,53 @@
+// Quickstart: a map skeleton squaring numbers in parallel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skandium"
+)
+
+func main() {
+	// Muscles: split a range into work items, square each, sum the squares.
+	split := skandium.NewSplit("range", func(n int) ([]int, error) {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out, nil
+	})
+	square := skandium.NewExec("square", func(x int) (int, error) {
+		return x * x, nil
+	})
+	sum := skandium.NewMerge("sum", func(parts []int) (int, error) {
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		return total, nil
+	})
+
+	// The program: map(range, seq(square), sum).
+	program := skandium.Map(split, skandium.Seq(square), sum)
+	fmt.Println("program:", program)
+
+	stream := skandium.NewStream[int, int](program, skandium.WithLP(4))
+	defer stream.Close()
+
+	// Inject inputs; each returns an asynchronous execution handle.
+	futures := make([]*skandium.Execution[int], 0, 5)
+	for n := 1; n <= 5; n++ {
+		futures = append(futures, stream.Input(n*10))
+	}
+	for i, ex := range futures {
+		res, err := ex.Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := (i + 1) * 10
+		fmt.Printf("sum of squares 1..%d = %d\n", n, res)
+	}
+}

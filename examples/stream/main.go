@@ -1,0 +1,68 @@
+// Stream demonstrates task replication with farm over a stream of inputs:
+// many independent jobs share one worker pool and one estimator history, so
+// knowledge learned from early jobs ("the best predictor of the future
+// behaviour is past behaviour") is already available when later jobs start.
+//
+//	go run ./examples/stream -jobs 12 -lp 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"skandium"
+)
+
+type job struct {
+	ID     int
+	Rounds int
+}
+
+func main() {
+	jobs := flag.Int("jobs", 12, "jobs to stream")
+	lp := flag.Int("lp", 3, "level of parallelism")
+	flag.Parse()
+
+	// farm(pipe(prepare, crunch)): the farm replicates the pipeline across
+	// the stream's inputs.
+	prepare := skandium.NewExec("prepare", func(j job) (job, error) {
+		time.Sleep(time.Duration(500+rand.Intn(500)) * time.Microsecond)
+		return j, nil
+	})
+	crunch := skandium.NewExec("crunch", func(j job) (string, error) {
+		h := uint64(14695981039346656037)
+		for r := 0; r < j.Rounds; r++ {
+			h = (h ^ uint64(j.ID+r)) * 1099511628211
+		}
+		return fmt.Sprintf("job %02d -> %x", j.ID, h), nil
+	})
+	program := skandium.Farm(skandium.Pipe(skandium.Seq(prepare), skandium.Seq(crunch)))
+	fmt.Println("program:", program)
+
+	stream := skandium.NewStream[job, string](program, skandium.WithLP(*lp))
+	defer stream.Close()
+
+	start := time.Now()
+	futs := make([]*skandium.Execution[string], *jobs)
+	for i := range futs {
+		futs[i] = stream.Input(job{ID: i, Rounds: 1 << 18})
+	}
+	for _, f := range futs {
+		line, err := f.Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("%d jobs with LP=%d in %v\n", *jobs, *lp, time.Since(start).Round(time.Millisecond))
+
+	// The estimator accumulated history across every job of the stream.
+	prof := stream.Profile()
+	if d, ok := stream.Estimates().Duration(prepare.Muscle().ID()); ok {
+		fmt.Printf("learned t(prepare) ≈ %v across the stream (%d muscles profiled)\n",
+			d.Round(10*time.Microsecond), len(prof))
+	}
+}

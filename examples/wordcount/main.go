@@ -1,0 +1,98 @@
+// Wordcount is the paper's §5 evaluation workload on the real goroutine
+// engine: a hashtag and commented-user count over a (synthetic) tweet
+// corpus, structured as two nested map skeletons sharing their muscles,
+// executed under a wall-clock-time QoS goal so the autonomic controller
+// adapts the number of workers mid-run.
+//
+//	go run ./examples/wordcount -tweets 40000 -goal 300ms -maxlp 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"skandium"
+	"skandium/internal/workload"
+)
+
+func main() {
+	tweets := flag.Int("tweets", 40000, "corpus size")
+	goal := flag.Duration("goal", 300*time.Millisecond, "WCT QoS goal (0 disables autonomics)")
+	maxLP := flag.Int("maxlp", 8, "maximum level of parallelism (LP QoS)")
+	k := flag.Int("k", 5, "first-level split cardinality")
+	m := flag.Int("m", 7, "second-level split cardinality")
+	file := flag.String("file", "", "corpus file; when set the corpus is written there and re-read from disk, making the first split I/O-bound like the paper's")
+	flag.Parse()
+
+	corpus := workload.Generate(workload.GenConfig{Tweets: *tweets, Seed: 20130725})
+	if *file != "" {
+		// Round-trip through the filesystem: the paper's first split spent
+		// 6.4 of 12.5 s streaming the input file, which is why no degree of
+		// parallelism helped before it finished.
+		if err := workload.SaveCorpus(*file, corpus); err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := workload.LoadCorpus(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus = loaded
+		fmt.Printf("corpus written to and re-read from %s\n", *file)
+	}
+	total := len(corpus.Tweets)
+
+	// Shared muscles, as in the paper's Listing 1: the same fs and fm serve
+	// both map levels, so their estimates are learned from the very first
+	// inner merge on.
+	fs := skandium.NewSplit("fs", func(c workload.Chunk) ([]workload.Chunk, error) {
+		parts := *k
+		if c.Len() < total {
+			parts = *m
+		}
+		return workload.SplitChunk(c, parts), nil
+	})
+	fe := skandium.NewExec("fe", func(c workload.Chunk) (workload.Counts, error) {
+		return workload.CountChunk(c), nil
+	})
+	fm := skandium.NewMerge("fm", func(parts []workload.Counts) (workload.Counts, error) {
+		return workload.MergeCounts(parts), nil
+	})
+
+	inner := skandium.Map(fs, skandium.Seq(fe), fm)
+	program := skandium.Map(fs, inner, fm)
+	fmt.Println("program:", program)
+
+	stream := skandium.NewStream[workload.Chunk, workload.Counts](program,
+		skandium.WithLP(1),
+		skandium.WithMaxLP(*maxLP),
+		skandium.WithWCTGoal(*goal),
+		skandium.WithAnalysisInterval(5*time.Millisecond),
+	)
+	defer stream.Close()
+
+	start := time.Now()
+	ex := stream.Input(workload.Chunk{Corpus: corpus, Lo: 0, Hi: total})
+	counts, err := ex.Get()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("counted %d distinct tags (%d occurrences) in %v\n",
+		len(counts), counts.Total(), elapsed)
+	fmt.Println("top tags:")
+	for _, tag := range counts.Top(10) {
+		fmt.Printf("  %-16s %6d\n", tag, counts[tag])
+	}
+	if ds := ex.Decisions(); len(ds) > 0 {
+		fmt.Println("autonomic decisions:")
+		for _, d := range ds {
+			fmt.Printf("  t=%-14v LP %2d -> %2d  (%s)\n",
+				d.Time.Sub(start).Round(time.Millisecond), d.OldLP, d.NewLP, d.Reason)
+		}
+	} else {
+		fmt.Println("no autonomic adaptation was needed")
+	}
+}

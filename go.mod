@@ -1,0 +1,3 @@
+module skandium
+
+go 1.22

@@ -1,0 +1,460 @@
+// Package adg implements the Activity Dependency Graph of the paper's §4:
+// the model that turns "where the execution is right now" plus the t(m) and
+// |m| estimates into predictions of the remaining wall-clock time.
+//
+// An Activity is one muscle execution — past (actual start and end), running
+// (actual start, estimated end), or future (both estimated). Dependencies
+// follow the data flow of the skeleton program: a split precedes its
+// sub-problems, every sub-problem precedes the merge, pipeline stages and
+// loop iterations chain, and so on.
+//
+// Two scheduling strategies evaluate the graph, exactly as in Fig. 1/Fig. 2:
+//
+//   - best effort assumes an infinite level of parallelism: an activity
+//     starts as soon as its predecessors finish (clamped to "now" if that is
+//     in the past). Its makespan is the best achievable WCT, and the peak of
+//     its active-thread timeline is the optimal LP.
+//   - limited LP list-schedules pending activities onto lp slots (greedy,
+//     ready-time order): its makespan predicts the WCT if the current LP is
+//     kept.
+package adg
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skandium/internal/muscle"
+)
+
+// State classifies an activity at analysis time.
+type State int
+
+// Activity states.
+const (
+	// Done: both start and end are actual history.
+	Done State = iota
+	// Running: started, not finished; end is estimated.
+	Running
+	// Pending: not started; both times come from scheduling.
+	Pending
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Done:
+		return "done"
+	case Running:
+		return "running"
+	case Pending:
+		return "pending"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Activity is one node of the ADG.
+type Activity struct {
+	ID     int
+	Muscle *muscle.Muscle
+	// Label names the activity in dumps, e.g. "fs", "fe[2]", "~collapsed".
+	Label string
+	// Dur is the estimated duration, used when the end is not actual.
+	Dur time.Duration
+	// ActualStart/ActualEnd are history; valid per HasStart/HasEnd.
+	ActualStart time.Time
+	ActualEnd   time.Time
+	HasStart    bool
+	HasEnd      bool
+	// Preds are the activities that must finish before this one starts.
+	Preds []*Activity
+
+	// TI and TF are the scheduled start and end times, filled by
+	// ScheduleBestEffort / ScheduleLimited. For Done activities they equal
+	// the actual times.
+	TI time.Time
+	TF time.Time
+}
+
+// State returns the activity's classification.
+func (a *Activity) State() State {
+	switch {
+	case a.HasEnd:
+		return Done
+	case a.HasStart:
+		return Running
+	default:
+		return Pending
+	}
+}
+
+// Graph is an ADG snapshot taken at time Now for an execution that started
+// at Start. Activities are topologically ordered (every activity appears
+// after all of its predecessors).
+type Graph struct {
+	Acts  []*Activity
+	Start time.Time
+	Now   time.Time
+}
+
+// Len returns the number of activities.
+func (g *Graph) Len() int { return len(g.Acts) }
+
+// ScheduleBestEffort fills TI/TF assuming infinite parallelism (the paper's
+// "best effort" strategy): ti = max over predecessors of tf, clamped to Now
+// if in the past; tf = ti + t(m), clamped to Now for running activities
+// whose estimate has already elapsed.
+func (g *Graph) ScheduleBestEffort() {
+	for _, a := range g.Acts {
+		g.scheduleFixed(a)
+		if a.State() != Pending {
+			continue
+		}
+		ti := g.Now
+		for _, p := range a.Preds {
+			if p.TF.After(ti) {
+				ti = p.TF
+			}
+		}
+		a.TI = ti
+		a.TF = ti.Add(a.Dur)
+	}
+}
+
+// scheduleFixed sets TI/TF for Done and Running activities, which are the
+// same under every strategy.
+func (g *Graph) scheduleFixed(a *Activity) {
+	switch a.State() {
+	case Done:
+		a.TI, a.TF = a.ActualStart, a.ActualEnd
+	case Running:
+		a.TI = a.ActualStart
+		a.TF = a.ActualStart.Add(a.Dur)
+		if a.TF.Before(g.Now) {
+			// The paper: "if ti + t(m) is in the past, tf = currentTime".
+			a.TF = g.Now
+		}
+	}
+}
+
+// ScheduleLimited fills TI/TF under a level-of-parallelism cap: pending
+// activities are greedily list-scheduled onto lp slots in ready-time order
+// (ties by creation order), starting from Now. Running activities occupy
+// slots until their estimated end. lp < 1 is treated as 1.
+func (g *Graph) ScheduleLimited(lp int) {
+	if lp < 1 {
+		lp = 1
+	}
+	// indegree counts unfinished predecessors per pending activity;
+	// finished means TF <= the event cursor as the simulation advances.
+	indeg := make(map[*Activity]int, len(g.Acts))
+	succs := make(map[*Activity][]*Activity, len(g.Acts))
+	var completions eventHeap
+	busy := 0
+	for _, a := range g.Acts {
+		g.scheduleFixed(a)
+		switch a.State() {
+		case Running:
+			busy++
+			completions.push(evt{t: a.TF, act: a})
+		case Pending:
+			a.TI, a.TF = time.Time{}, time.Time{}
+		}
+	}
+	for _, a := range g.Acts {
+		if a.State() != Pending {
+			continue
+		}
+		n := 0
+		for _, p := range a.Preds {
+			switch p.State() {
+			case Done:
+				if p.TF.After(g.Now) {
+					n++ // cannot happen (done is history), defensive
+				}
+			case Running:
+				n++
+			case Pending:
+				n++
+			}
+		}
+		indeg[a] = n
+		for _, p := range a.Preds {
+			if p.State() != Done {
+				succs[p] = append(succs[p], a)
+			}
+		}
+	}
+	// ready holds pending activities whose predecessors have all completed
+	// by the cursor, in (ready time, ID) order.
+	var ready actQueue
+	for _, a := range g.Acts {
+		if a.State() == Pending && indeg[a] == 0 {
+			ready.push(a)
+		}
+	}
+	cursor := g.Now
+	free := lp - busy
+	if free < 0 {
+		free = 0
+	}
+	for {
+		for free > 0 && ready.len() > 0 {
+			a := ready.pop()
+			a.TI = cursor
+			a.TF = cursor.Add(a.Dur)
+			free--
+			completions.push(evt{t: a.TF, act: a})
+		}
+		if completions.len() == 0 {
+			return // everything scheduled (or nothing left)
+		}
+		// Advance to the next completion; release its slot and unlock
+		// successors. Process all completions at the same instant.
+		cursor = completions.peek().t
+		for completions.len() > 0 && !completions.peek().t.After(cursor) {
+			e := completions.pop()
+			free++
+			for _, s := range succs[e.act] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					ready.push(s)
+				}
+			}
+		}
+	}
+}
+
+// WCT returns the makespan of the last computed schedule as a duration
+// since the execution start.
+func (g *Graph) WCT() time.Duration {
+	var end time.Time
+	for _, a := range g.Acts {
+		if a.TF.After(end) {
+			end = a.TF
+		}
+	}
+	if end.IsZero() {
+		return 0
+	}
+	return end.Sub(g.Start)
+}
+
+// EndTime returns the absolute completion time of the last computed
+// schedule.
+func (g *Graph) EndTime() time.Time {
+	var end time.Time
+	for _, a := range g.Acts {
+		if a.TF.After(end) {
+			end = a.TF
+		}
+	}
+	return end
+}
+
+// Step is one level of the active-thread timeline: Active threads are in
+// use from T until the next step's T.
+type Step struct {
+	T      time.Time
+	Active int
+}
+
+// Timeline sweeps the scheduled activities into the step function of
+// Fig. 2: how many activities are in flight at every instant. Zero-length
+// activities do not contribute.
+func (g *Graph) Timeline() []Step {
+	type edge struct {
+		t     time.Time
+		delta int
+	}
+	var edges []edge
+	for _, a := range g.Acts {
+		if !a.TF.After(a.TI) {
+			continue
+		}
+		edges = append(edges, edge{a.TI, +1}, edge{a.TF, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if !edges[i].t.Equal(edges[j].t) {
+			return edges[i].t.Before(edges[j].t)
+		}
+		return edges[i].delta < edges[j].delta // ends before starts at same t
+	})
+	var steps []Step
+	active := 0
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		for i < len(edges) && edges[i].t.Equal(t) {
+			active += edges[i].delta
+			i++
+		}
+		if len(steps) > 0 && steps[len(steps)-1].Active == active {
+			continue
+		}
+		steps = append(steps, Step{T: t, Active: active})
+	}
+	return steps
+}
+
+// Peak returns the maximum Active level of the timeline at or after from.
+// It is the paper's optimal LP when applied to a best-effort schedule from
+// Now.
+func Peak(steps []Step, from time.Time) int {
+	peak := 0
+	cur := 0
+	for i, s := range steps {
+		// Determine the level in effect during [s.T, next.T).
+		cur = s.Active
+		endsBefore := i+1 < len(steps) && !steps[i+1].T.After(from)
+		if endsBefore {
+			continue
+		}
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// OptimalLP computes the paper's optimal level of parallelism: the peak of
+// the best-effort timeline from Now on. It (re)schedules the graph
+// best-effort.
+func (g *Graph) OptimalLP() int {
+	g.ScheduleBestEffort()
+	p := Peak(g.Timeline(), g.Now)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// MinLPForGoal returns the smallest lp in [1, ceil] whose limited-LP
+// schedule completes by deadline, and whether such an lp exists. The graph
+// is left scheduled at the returned lp. The paper notes the exact problem
+// is NP-complete; like the paper this relies on the greedy list schedule,
+// plus the (stated) assumption that more threads never hurt, which makes
+// the predicate monotone and binary-searchable.
+func (g *Graph) MinLPForGoal(deadline time.Time, ceil int) (int, bool) {
+	if ceil < 1 {
+		ceil = 1
+	}
+	g.ScheduleLimited(ceil)
+	if g.EndTime().After(deadline) {
+		return ceil, false
+	}
+	lo, hi := 1, ceil // invariant: hi works
+	for lo < hi {
+		mid := (lo + hi) / 2
+		g.ScheduleLimited(mid)
+		if g.EndTime().After(deadline) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	g.ScheduleLimited(lo)
+	return lo, true
+}
+
+// --- small helpers ------------------------------------------------------------
+
+type evt struct {
+	t   time.Time
+	act *Activity
+}
+
+// eventHeap is a min-heap of completion events ordered by time then ID.
+type eventHeap struct{ es []evt }
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if !h.es[i].t.Equal(h.es[j].t) {
+		return h.es[i].t.Before(h.es[j].t)
+	}
+	return h.es[i].act.ID < h.es[j].act.ID
+}
+
+func (h *eventHeap) push(e evt) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) peek() evt { return h.es[0] }
+
+func (h *eventHeap) pop() evt {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.es) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.es) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+	return top
+}
+
+// actQueue orders ready activities by ID (creation order), which the
+// builder assigns in program order — the greedy tie-break of the paper's
+// list scheduler.
+type actQueue struct{ as []*Activity }
+
+func (q *actQueue) len() int { return len(q.as) }
+
+func (q *actQueue) push(a *Activity) {
+	q.as = append(q.as, a)
+	i := len(q.as) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.as[p].ID < q.as[i].ID {
+			break
+		}
+		q.as[p], q.as[i] = q.as[i], q.as[p]
+		i = p
+	}
+}
+
+func (q *actQueue) pop() *Activity {
+	top := q.as[0]
+	last := len(q.as) - 1
+	q.as[0] = q.as[last]
+	q.as = q.as[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.as) && q.as[l].ID < q.as[small].ID {
+			small = l
+		}
+		if r < len(q.as) && q.as[r].ID < q.as[small].ID {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.as[i], q.as[small] = q.as[small], q.as[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,541 @@
+package adg
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skandium/internal/estimate"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+// DefaultBudget caps the number of activities a single ADG may contain.
+// Structure beyond the budget is collapsed into single activities whose
+// duration is the analytic sequential estimate, so analysis cost stays
+// bounded on explosive programs (deep d&c, huge maps).
+const DefaultBudget = 50000
+
+// IncompleteError reports that the ADG could not be built because a muscle
+// has no estimate yet. The paper: "the system has to wait until all muscles
+// have been executed at least once"; the controller treats this error as
+// "analysis not possible yet".
+type IncompleteError struct {
+	Muscle *muscle.Muscle
+	// Card is true when the missing piece is the cardinality |m| rather
+	// than the duration t(m).
+	Card bool
+}
+
+// Error implements error.
+func (e *IncompleteError) Error() string {
+	what := "t(m)"
+	if e.Card {
+		what = "|m|"
+	}
+	return fmt.Sprintf("adg: no %s estimate for muscle %s yet", what, e.Muscle)
+}
+
+// Builder constructs ADGs from a live activation tree (or from bare
+// structure, for pre-execution planning) and an estimate registry.
+type Builder struct {
+	// Est supplies t(m) and |m|.
+	Est *estimate.Registry
+	// Budget caps the activity count (0 = DefaultBudget).
+	Budget int
+}
+
+type build struct {
+	est    *estimate.Registry
+	now    time.Time
+	budget int
+	acts   []*Activity
+	err    error
+}
+
+// BuildLive snapshots the ADG of a running execution: root is the tracker's
+// root instance, start the execution start time, now the analysis instant.
+func (b Builder) BuildLive(root *statemachine.Instance, start, now time.Time) (*Graph, error) {
+	if root == nil {
+		return nil, fmt.Errorf("adg: no root activation yet")
+	}
+	bd := b.newBuild(now)
+	bd.liveInst(root, nil)
+	if bd.err != nil {
+		return nil, bd.err
+	}
+	return &Graph{Acts: bd.acts, Start: start, Now: now}, nil
+}
+
+// BuildVirtual constructs the a-priori ADG of a program that has not
+// started: every activity is pending, anchored at start. It requires every
+// muscle to have (initialized) estimates.
+func (b Builder) BuildVirtual(node *skel.Node, start time.Time) (*Graph, error) {
+	bd := b.newBuild(start)
+	bd.virtual(node, nil)
+	if bd.err != nil {
+		return nil, bd.err
+	}
+	return &Graph{Acts: bd.acts, Start: start, Now: start}, nil
+}
+
+func (b Builder) newBuild(now time.Time) *build {
+	budget := b.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &build{est: b.Est, now: now, budget: budget}
+}
+
+// --- activity constructors ----------------------------------------------------
+
+func (bd *build) fail(err error) {
+	if bd.err == nil {
+		bd.err = err
+	}
+}
+
+func (bd *build) dur(m *muscle.Muscle) time.Duration {
+	d, ok := bd.est.Duration(m.ID())
+	if !ok {
+		bd.fail(&IncompleteError{Muscle: m})
+		return 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (bd *build) card(m *muscle.Muscle) int {
+	c, ok := bd.est.Card(m.ID())
+	if !ok {
+		bd.fail(&IncompleteError{Muscle: m, Card: true})
+		return 0
+	}
+	k := int(math.Round(c))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// act appends a new activity. rec carries the actual times when the muscle
+// has started/finished.
+func (bd *build) act(m *muscle.Muscle, label string, rec statemachine.ActivityRec, preds []*Activity) *Activity {
+	a := &Activity{
+		ID:     len(bd.acts),
+		Muscle: m,
+		Label:  label,
+		Dur:    bd.dur(m),
+		Preds:  preds,
+	}
+	if rec.Started {
+		a.ActualStart, a.HasStart = rec.Start, true
+	}
+	if rec.Ended {
+		a.ActualEnd, a.HasEnd = rec.End, true
+	}
+	bd.acts = append(bd.acts, a)
+	bd.budget--
+	return a
+}
+
+// collapsed replaces a whole subtree with one pending activity whose
+// duration is the analytic sequential estimate — the budget fallback.
+func (bd *build) collapsed(node *skel.Node, preds []*Activity) []*Activity {
+	return bd.lump(node, 1, preds)
+}
+
+// lump replaces count repetitions of a subtree with one pending activity of
+// count times the analytic sequential estimate. It keeps over-budget graphs
+// bounded: the remaining work is modelled pessimistically (sequential) but
+// the analysis stays cheap.
+func (bd *build) lump(node *skel.Node, count int, preds []*Activity) []*Activity {
+	if count <= 0 {
+		return preds
+	}
+	d, err := SeqEstimate(bd.est, node)
+	if err != nil {
+		bd.fail(err)
+		return nil
+	}
+	a := &Activity{
+		ID:    len(bd.acts),
+		Label: "~" + node.Kind().String(),
+		Dur:   time.Duration(count) * d,
+		Preds: preds,
+	}
+	bd.acts = append(bd.acts, a)
+	bd.budget--
+	return []*Activity{a}
+}
+
+// --- virtual expansion (structure that has not started) ------------------------
+
+// virtual expands node into pending activities and returns the exit set.
+func (bd *build) virtual(node *skel.Node, preds []*Activity) []*Activity {
+	if bd.err != nil {
+		return nil
+	}
+	if bd.budget <= 0 {
+		return bd.collapsed(node, preds)
+	}
+	none := statemachine.ActivityRec{}
+	switch node.Kind() {
+	case skel.Seq:
+		return []*Activity{bd.act(node.Exec(), node.Exec().Name(), none, preds)}
+	case skel.Farm:
+		return bd.virtual(node.Children()[0], preds)
+	case skel.Pipe:
+		for _, stage := range node.Children() {
+			preds = bd.virtual(stage, preds)
+		}
+		return preds
+	case skel.For:
+		for i := 0; i < node.N(); i++ {
+			if bd.budget <= 0 {
+				return bd.lump(node.Children()[0], node.N()-i, preds)
+			}
+			preds = bd.virtual(node.Children()[0], preds)
+		}
+		return preds
+	case skel.While:
+		k := bd.card(node.Cond())
+		for i := 0; i < k; i++ {
+			if bd.budget <= 0 {
+				return bd.lump(node, 1, preds) // remaining loop as one lump
+			}
+			cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+			preds = bd.virtual(node.Children()[0], []*Activity{cond})
+		}
+		final := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+		return []*Activity{final}
+	case skel.If:
+		cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+		// Extension (paper leaves If unsupported): plan for the worst-case
+		// branch by analytic sequential estimate.
+		t, errT := SeqEstimate(bd.est, node.Children()[0])
+		f, errF := SeqEstimate(bd.est, node.Children()[1])
+		branch := node.Children()[0]
+		if errT != nil || (errF == nil && f > t) {
+			branch = node.Children()[1]
+		}
+		return bd.virtual(branch, []*Activity{cond})
+	case skel.Map:
+		split := bd.act(node.Split(), node.Split().Name(), none, preds)
+		k := bd.card(node.Split())
+		exits := make([]*Activity, 0, k)
+		for i := 0; i < k; i++ {
+			if bd.budget <= 0 {
+				exits = append(exits, bd.lump(node.Children()[0], k-i, []*Activity{split})...)
+				break
+			}
+			exits = append(exits, bd.virtual(node.Children()[0], []*Activity{split})...)
+		}
+		merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+		return []*Activity{merge}
+	case skel.Fork:
+		split := bd.act(node.Split(), node.Split().Name(), none, preds)
+		var exits []*Activity
+		for _, sub := range node.Children() {
+			exits = append(exits, bd.virtual(sub, []*Activity{split})...)
+		}
+		merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+		return []*Activity{merge}
+	case skel.DaC:
+		depth := bd.card(node.Cond())
+		return bd.virtualDaC(node, preds, depth)
+	default:
+		bd.fail(fmt.Errorf("adg: unknown kind %v", node.Kind()))
+		return nil
+	}
+}
+
+// virtualDaC expands a divide-and-conquer with `remaining` estimated levels
+// of recursion left before the leaf.
+func (bd *build) virtualDaC(node *skel.Node, preds []*Activity, remaining int) []*Activity {
+	if bd.err != nil {
+		return nil
+	}
+	if bd.budget <= 0 {
+		return bd.collapsed(node, preds)
+	}
+	none := statemachine.ActivityRec{}
+	cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+	if remaining <= 0 {
+		return bd.virtual(node.Children()[0], []*Activity{cond})
+	}
+	split := bd.act(node.Split(), node.Split().Name(), none, []*Activity{cond})
+	k := bd.card(node.Split())
+	if k < 1 {
+		k = 1
+	}
+	var exits []*Activity
+	for i := 0; i < k; i++ {
+		if bd.budget <= 0 {
+			exits = append(exits, bd.lump(node, k-i, []*Activity{split})...)
+			break
+		}
+		exits = append(exits, bd.virtualDaC(node, []*Activity{split}, remaining-1)...)
+	}
+	merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+	return []*Activity{merge}
+}
+
+// --- live expansion (activations that exist) -----------------------------------
+
+// liveInst expands a live activation, mixing actual history with estimated
+// futures, and returns the exit set.
+func (bd *build) liveInst(in *statemachine.Instance, preds []*Activity) []*Activity {
+	if bd.err != nil {
+		return nil
+	}
+	if bd.budget <= 0 {
+		return bd.collapsed(in.Node, preds)
+	}
+	switch in.Kind {
+	case skel.Seq:
+		rec := in.Exec
+		if !rec.Started {
+			// Fig. 3: the seq activation brackets exactly the fe muscle.
+			rec = statemachine.ActivityRec{Start: in.StartTime, Started: in.Started}
+		}
+		return []*Activity{bd.act(in.Node.Exec(), in.Node.Exec().Name(), rec, preds)}
+	case skel.Farm:
+		return bd.singleBody(in, preds)
+	case skel.Pipe:
+		byBranch := childrenByBranch(in)
+		for i := range in.Node.Children() {
+			if c, ok := byBranch[i]; ok {
+				preds = bd.liveInst(c, preds)
+			} else {
+				preds = bd.virtual(in.Node.Children()[i], preds)
+			}
+		}
+		return preds
+	case skel.For:
+		byIter := childrenByIter(in)
+		for i := 0; i < in.Node.N(); i++ {
+			if c, ok := byIter[i]; ok {
+				preds = bd.liveInst(c, preds)
+			} else {
+				preds = bd.virtual(in.Node.Children()[0], preds)
+			}
+		}
+		return preds
+	case skel.While:
+		return bd.liveWhile(in, preds)
+	case skel.If:
+		return bd.liveIf(in, preds)
+	case skel.Map, skel.Fork:
+		return bd.liveSplitMerge(in, preds, nil)
+	case skel.DaC:
+		return bd.liveDaC(in, preds)
+	default:
+		bd.fail(fmt.Errorf("adg: unknown kind %v", in.Kind))
+		return nil
+	}
+}
+
+// singleBody handles wrappers with exactly one nested evaluation (farm).
+func (bd *build) singleBody(in *statemachine.Instance, preds []*Activity) []*Activity {
+	if len(in.Children) > 0 {
+		return bd.liveInst(in.Children[0], preds)
+	}
+	return bd.virtual(in.Node.Children()[0], preds)
+}
+
+func (bd *build) liveWhile(in *statemachine.Instance, preds []*Activity) []*Activity {
+	fc := in.Node.Cond()
+	body := in.Node.Children()[0]
+	byIter := childrenByIter(in)
+	// Recorded condition checks alternate with body iterations. A check
+	// still running is assumed true when the |fc| estimate predicts more
+	// iterations, false otherwise.
+	assumed := 0
+	for i, rec := range in.Conds {
+		cond := bd.act(fc, fc.Name(), rec, preds)
+		preds = []*Activity{cond}
+		last := i == len(in.Conds)-1
+		if in.CondClosed && last {
+			return preds // final false verdict: the while is structurally over
+		}
+		if !rec.Ended {
+			if bd.card(fc) <= in.TrueIters {
+				return preds // estimate says the running check will end the loop
+			}
+			assumed = 1
+		}
+		if c, ok := byIter[i]; ok {
+			preds = bd.liveInst(c, preds)
+		} else {
+			preds = bd.virtual(body, preds)
+		}
+	}
+	// Future iterations: the |fc| estimate minus the true verdicts already
+	// seen (and the one assumed above).
+	k := bd.card(fc) - in.TrueIters - assumed
+	for i := 0; i < k; i++ {
+		cond := bd.act(fc, fc.Name(), statemachine.ActivityRec{}, preds)
+		preds = bd.virtual(body, []*Activity{cond})
+	}
+	final := bd.act(fc, fc.Name(), statemachine.ActivityRec{}, preds)
+	return []*Activity{final}
+}
+
+func (bd *build) liveIf(in *statemachine.Instance, preds []*Activity) []*Activity {
+	fc := in.Node.Cond()
+	var cond *Activity
+	if len(in.Conds) > 0 {
+		cond = bd.act(fc, fc.Name(), in.Conds[0], preds)
+	} else {
+		cond = bd.act(fc, fc.Name(), statemachine.ActivityRec{}, preds)
+	}
+	if len(in.Children) > 0 {
+		return bd.liveInst(in.Children[0], []*Activity{cond})
+	}
+	// Branch not chosen yet: worst case, as in the virtual expansion.
+	t, errT := SeqEstimate(bd.est, in.Node.Children()[0])
+	f, errF := SeqEstimate(bd.est, in.Node.Children()[1])
+	branch := in.Node.Children()[0]
+	if errT != nil || (errF == nil && f > t) {
+		branch = in.Node.Children()[1]
+	}
+	return bd.virtual(branch, []*Activity{cond})
+}
+
+// liveSplitMerge handles map and fork (and the split arm of d&c when extra
+// entry predecessors are supplied).
+func (bd *build) liveSplitMerge(in *statemachine.Instance, preds []*Activity, entry []*Activity) []*Activity {
+	node := in.Node
+	splitPreds := preds
+	if entry != nil {
+		splitPreds = entry
+	}
+	split := bd.act(node.Split(), node.Split().Name(), in.Split, splitPreds)
+	k := in.ActualCard
+	var subFor func(branch int) *skel.Node
+	if in.Kind == skel.Fork {
+		if k < 0 {
+			k = len(node.Children())
+		}
+		subFor = func(b int) *skel.Node {
+			if b < len(node.Children()) {
+				return node.Children()[b]
+			}
+			return node.Children()[len(node.Children())-1]
+		}
+	} else {
+		if k < 0 {
+			k = bd.card(node.Split())
+		}
+		subFor = func(int) *skel.Node { return node.Children()[0] }
+	}
+	byBranch := childrenByBranch(in)
+	var exits []*Activity
+	for b := 0; b < k; b++ {
+		if bd.budget <= 0 {
+			exits = append(exits, bd.lump(subFor(b), k-b, []*Activity{split})...)
+			break
+		}
+		if c, ok := byBranch[b]; ok {
+			exits = append(exits, bd.liveInst(c, []*Activity{split})...)
+		} else {
+			exits = append(exits, bd.virtual(subFor(b), []*Activity{split})...)
+		}
+	}
+	merge := bd.act(node.Merge(), node.Merge().Name(), in.Merge, exits)
+	return []*Activity{merge}
+}
+
+func (bd *build) liveDaC(in *statemachine.Instance, preds []*Activity) []*Activity {
+	fc := in.Node.Cond()
+	var cond *Activity
+	if len(in.Conds) > 0 {
+		cond = bd.act(fc, fc.Name(), in.Conds[0], preds)
+	} else {
+		cond = bd.act(fc, fc.Name(), statemachine.ActivityRec{}, preds)
+	}
+	entry := []*Activity{cond}
+	switch {
+	case in.Split.Started || in.ActualCard >= 0:
+		// Condition held: recursive arm. Children are dacs one level deeper.
+		return bd.liveSplitMergeDaC(in, entry)
+	case in.CondClosed:
+		// Leaf: the nested skeleton solves it.
+		if len(in.Children) > 0 {
+			return bd.liveInst(in.Children[0], entry)
+		}
+		return bd.virtual(in.Node.Children()[0], entry)
+	default:
+		// Condition still running/unknown: expand virtually from the
+		// estimated remaining depth.
+		est := bd.card(fc)
+		remaining := est - in.Depth
+		if remaining <= 0 {
+			return bd.virtual(in.Node.Children()[0], entry)
+		}
+		split := bd.act(in.Node.Split(), in.Node.Split().Name(), statemachine.ActivityRec{}, entry)
+		k := bd.card(in.Node.Split())
+		if k < 1 {
+			k = 1
+		}
+		var exits []*Activity
+		for i := 0; i < k; i++ {
+			exits = append(exits, bd.virtualDaC(in.Node, []*Activity{split}, remaining-1)...)
+		}
+		merge := bd.act(in.Node.Merge(), in.Node.Merge().Name(), statemachine.ActivityRec{}, exits)
+		return []*Activity{merge}
+	}
+}
+
+func (bd *build) liveSplitMergeDaC(in *statemachine.Instance, entry []*Activity) []*Activity {
+	node := in.Node
+	split := bd.act(node.Split(), node.Split().Name(), in.Split, entry)
+	k := in.ActualCard
+	if k < 0 {
+		k = bd.card(node.Split())
+		if k < 1 {
+			k = 1
+		}
+	}
+	byBranch := childrenByBranch(in)
+	est := bd.card(node.Cond())
+	var exits []*Activity
+	for b := 0; b < k; b++ {
+		if c, ok := byBranch[b]; ok {
+			exits = append(exits, bd.liveInst(c, []*Activity{split})...)
+		} else {
+			remaining := est - (in.Depth + 1)
+			exits = append(exits, bd.virtualDaC(node, []*Activity{split}, remaining)...)
+		}
+	}
+	merge := bd.act(node.Merge(), node.Merge().Name(), in.Merge, exits)
+	return []*Activity{merge}
+}
+
+func childrenByBranch(in *statemachine.Instance) map[int]*statemachine.Instance {
+	m := make(map[int]*statemachine.Instance, len(in.Children))
+	for i, c := range in.Children {
+		b := c.Branch
+		if _, dup := m[b]; dup {
+			b = i // fall back to arrival order on branch collisions
+		}
+		m[b] = c
+	}
+	return m
+}
+
+func childrenByIter(in *statemachine.Instance) map[int]*statemachine.Instance {
+	m := make(map[int]*statemachine.Instance, len(in.Children))
+	for i, c := range in.Children {
+		it := c.Iter
+		if _, dup := m[it]; dup {
+			it = i
+		}
+		m[it] = c
+	}
+	return m
+}

@@ -1,0 +1,43 @@
+package adg
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DOT renders the graph in Graphviz dot syntax, one node per activity
+// colored by state (done = gray, running = orange, pending = white), with
+// the scheduled interval in the label. Feed it to `dot -Tsvg` to obtain a
+// diagram in the spirit of the paper's Fig. 1.
+func (g *Graph) DOT(unit time.Duration) string {
+	var b strings.Builder
+	b.WriteString("digraph adg {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=record, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  label=\"ADG @ now=%s (unit %v)\";\n", fmtT(g.Now, g.Start, unit), unit)
+	for _, a := range g.Acts {
+		fill := "white"
+		switch a.State() {
+		case Done:
+			fill = "gray85"
+		case Running:
+			fill = "orange"
+		}
+		fmt.Fprintf(&b, "  a%d [style=filled, fillcolor=%s, label=\"{%s|%s .. %s}\"];\n",
+			a.ID, fill, escapeDot(a.Label),
+			fmtT(a.TI, g.Start, unit), fmtT(a.TF, g.Start, unit))
+	}
+	for _, a := range g.Acts {
+		for _, p := range a.Preds {
+			fmt.Fprintf(&b, "  a%d -> a%d;\n", p.ID, a.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	r := strings.NewReplacer(`"`, `\"`, `{`, `\{`, `}`, `\}`, `|`, `\|`, `<`, `\<`, `>`, `\>`)
+	return r.Replace(s)
+}

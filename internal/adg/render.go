@@ -1,0 +1,184 @@
+package adg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// RequiredEstimates lists the muscles whose t(m) (first return) and |m|
+// (second return) estimates are needed before an ADG of node can be built.
+// The controller gates its first analysis on estimate.Registry.Complete of
+// these lists — the paper's "wait until all muscles have been executed at
+// least once".
+func RequiredEstimates(node *skel.Node) (dur []muscle.ID, card []muscle.ID) {
+	seenDur := map[muscle.ID]bool{}
+	seenCard := map[muscle.ID]bool{}
+	node.Walk(func(nd *skel.Node, _ int) bool {
+		for _, m := range nd.Muscles() {
+			if !seenDur[m.ID()] {
+				seenDur[m.ID()] = true
+				dur = append(dur, m.ID())
+			}
+		}
+		switch nd.Kind() {
+		case skel.Map:
+			addCard(nd.Split(), seenCard, &card)
+		case skel.While:
+			addCard(nd.Cond(), seenCard, &card)
+		case skel.DaC:
+			addCard(nd.Cond(), seenCard, &card)
+			addCard(nd.Split(), seenCard, &card)
+		}
+		return true
+	})
+	return dur, card
+}
+
+func addCard(m *muscle.Muscle, seen map[muscle.ID]bool, out *[]muscle.ID) {
+	if !seen[m.ID()] {
+		seen[m.ID()] = true
+		*out = append(*out, m.ID())
+	}
+}
+
+// Render prints the graph as a table resembling the paper's Fig. 1: one row
+// per activity with its scheduled interval, state and predecessors. unit
+// scales timestamps (e.g. time.Millisecond prints virtual ms). The graph
+// must have been scheduled.
+func (g *Graph) Render(unit time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ADG @ now=%s (start=0, unit=%v, %d activities)\n",
+		fmtT(g.Now, g.Start, unit), unit, len(g.Acts))
+	for _, a := range g.Acts {
+		preds := make([]string, 0, len(a.Preds))
+		for _, p := range a.Preds {
+			preds = append(preds, fmt.Sprintf("#%d", p.ID))
+		}
+		fmt.Fprintf(&b, "  #%-4d %-12s [%7s %7s) %-7s <- %s\n",
+			a.ID, a.Label,
+			fmtT(a.TI, g.Start, unit), fmtT(a.TF, g.Start, unit),
+			a.State(), strings.Join(preds, ","))
+	}
+	return b.String()
+}
+
+// RenderTimeline prints the Fig. 2 style step function "active threads vs
+// time" of the last schedule.
+func (g *Graph) RenderTimeline(unit time.Duration) string {
+	steps := g.Timeline()
+	var b strings.Builder
+	b.WriteString("t      active\n")
+	for _, s := range steps {
+		fmt.Fprintf(&b, "%-7s %d %s\n", fmtT(s.T, g.Start, unit), s.Active,
+			strings.Repeat("█", min(s.Active, 80)))
+	}
+	return b.String()
+}
+
+func fmtT(t, start time.Time, unit time.Duration) string {
+	if t.IsZero() {
+		return "-"
+	}
+	v := float64(t.Sub(start)) / float64(unit)
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Series converts the timeline into (t, active) pairs in the given unit,
+// for CSV export by cmd/figures.
+func (g *Graph) Series(unit time.Duration) [][2]float64 {
+	steps := g.Timeline()
+	out := make([][2]float64, 0, len(steps))
+	for _, s := range steps {
+		out = append(out, [2]float64{float64(s.T.Sub(g.Start)) / float64(unit), float64(s.Active)})
+	}
+	return out
+}
+
+// Validate checks internal graph invariants (DAG order, pred scheduling
+// consistency after a schedule). Intended for tests and debugging.
+func (g *Graph) Validate() error {
+	pos := make(map[*Activity]int, len(g.Acts))
+	for i, a := range g.Acts {
+		if a.ID != i {
+			return fmt.Errorf("adg: activity %d carries ID %d", i, a.ID)
+		}
+		pos[a] = i
+	}
+	for i, a := range g.Acts {
+		for _, p := range a.Preds {
+			j, ok := pos[p]
+			if !ok {
+				return fmt.Errorf("adg: activity #%d has foreign predecessor", i)
+			}
+			if j >= i {
+				return fmt.Errorf("adg: activity #%d precedes its predecessor #%d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSchedule verifies that the last computed schedule respects
+// dependencies and, when lp > 0, never uses more than lp slots for
+// non-historical work. Done activities are exempt from the lp check (they
+// are history). Returns the first violation.
+func (g *Graph) CheckSchedule(lp int) error {
+	for _, a := range g.Acts {
+		if a.TF.Before(a.TI) {
+			return fmt.Errorf("adg: #%d ends before it starts", a.ID)
+		}
+		for _, p := range a.Preds {
+			if a.State() == Pending && a.TI.Before(p.TF) {
+				return fmt.Errorf("adg: #%d starts at %v before pred #%d ends at %v",
+					a.ID, a.TI, p.ID, p.TF)
+			}
+		}
+	}
+	if lp <= 0 {
+		return nil
+	}
+	type edge struct {
+		t     time.Time
+		delta int
+	}
+	var edges []edge
+	for _, a := range g.Acts {
+		if a.State() == Done || !a.TF.After(a.TI) {
+			continue
+		}
+		ti := a.TI
+		if ti.Before(g.Now) {
+			ti = g.Now // running activities only count from the snapshot on
+		}
+		if !a.TF.After(ti) {
+			continue
+		}
+		edges = append(edges, edge{ti, +1}, edge{a.TF, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if !edges[i].t.Equal(edges[j].t) {
+			return edges[i].t.Before(edges[j].t)
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	active := 0
+	for _, e := range edges {
+		active += e.delta
+		if active > lp {
+			return fmt.Errorf("adg: schedule uses %d > lp=%d slots at %v", active, lp, e.t)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

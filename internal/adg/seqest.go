@@ -1,0 +1,186 @@
+package adg
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skandium/internal/estimate"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// maxAnalyticDepth bounds d&c recursion in the analytic estimator; deeper
+// estimates are clamped (the result would overflow anyway).
+const maxAnalyticDepth = 64
+
+// SeqEstimate computes the estimated sequential work of a program: the WCT
+// of executing node with one thread, under the current t(m)/|m| estimates.
+// It is the closed-form counterpart of a limited-LP(1) schedule of the
+// virtual ADG and is also used to collapse over-budget subtrees and to rank
+// if-branches. It fails with IncompleteError when an estimate is missing.
+func SeqEstimate(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
+	return seqEst(est, node)
+}
+
+func seqEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
+	switch node.Kind() {
+	case skel.Seq:
+		return mDur(est, node.Exec())
+	case skel.Farm:
+		return seqEst(est, node.Children()[0])
+	case skel.Pipe:
+		var total time.Duration
+		for _, s := range node.Children() {
+			d, err := seqEst(est, s)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	case skel.For:
+		d, err := seqEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(node.N()) * d, nil
+	case skel.While:
+		tc, err := mDur(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		k, err := mCard(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		body, err := seqEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(k+1)*tc + time.Duration(k)*body, nil
+	case skel.If:
+		tc, err := mDur(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		t, err := seqEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		f, err := seqEst(est, node.Children()[1])
+		if err != nil {
+			return 0, err
+		}
+		if f > t {
+			t = f
+		}
+		return tc + t, nil
+	case skel.Map:
+		ts, err := mDur(est, node.Split())
+		if err != nil {
+			return 0, err
+		}
+		k, err := mCard(est, node.Split())
+		if err != nil {
+			return 0, err
+		}
+		body, err := seqEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		tm, err := mDur(est, node.Merge())
+		if err != nil {
+			return 0, err
+		}
+		return ts + time.Duration(k)*body + tm, nil
+	case skel.Fork:
+		ts, err := mDur(est, node.Split())
+		if err != nil {
+			return 0, err
+		}
+		var bodies time.Duration
+		for _, sub := range node.Children() {
+			d, err := seqEst(est, sub)
+			if err != nil {
+				return 0, err
+			}
+			bodies += d
+		}
+		tm, err := mDur(est, node.Merge())
+		if err != nil {
+			return 0, err
+		}
+		return ts + bodies + tm, nil
+	case skel.DaC:
+		depth, err := mCard(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		if depth > maxAnalyticDepth {
+			depth = maxAnalyticDepth
+		}
+		return dacEst(est, node, depth)
+	default:
+		return 0, fmt.Errorf("adg: unknown kind %v", node.Kind())
+	}
+}
+
+func dacEst(est *estimate.Registry, node *skel.Node, remaining int) (time.Duration, error) {
+	tc, err := mDur(est, node.Cond())
+	if err != nil {
+		return 0, err
+	}
+	if remaining <= 0 {
+		leaf, err := seqEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return tc + leaf, nil
+	}
+	ts, err := mDur(est, node.Split())
+	if err != nil {
+		return 0, err
+	}
+	k, err := mCard(est, node.Split())
+	if err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	tm, err := mDur(est, node.Merge())
+	if err != nil {
+		return 0, err
+	}
+	sub, err := dacEst(est, node, remaining-1)
+	if err != nil {
+		return 0, err
+	}
+	return tc + ts + time.Duration(k)*sub + tm, nil
+}
+
+// mDur reads t(m), failing with IncompleteError when unknown.
+func mDur(est *estimate.Registry, m *muscle.Muscle) (time.Duration, error) {
+	d, ok := est.Duration(m.ID())
+	if !ok {
+		return 0, &IncompleteError{Muscle: m}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// mCard reads |m| rounded to an int >= 0, failing when unknown.
+func mCard(est *estimate.Registry, m *muscle.Muscle) (int, error) {
+	c, ok := est.Card(m.ID())
+	if !ok {
+		return 0, &IncompleteError{Muscle: m, Card: true}
+	}
+	k := int(math.Round(c))
+	if k < 0 {
+		k = 0
+	}
+	return k, nil
+}

@@ -1,0 +1,150 @@
+package adg
+
+import (
+	"fmt"
+	"time"
+
+	"skandium/internal/estimate"
+	"skandium/internal/skel"
+)
+
+// SpanEstimate computes the estimated span of a program: the WCT under
+// infinite parallelism (the critical path of the virtual ADG), from the
+// current t(m)/|m| estimates, in closed form. Together with SeqEstimate
+// (the work) it powers the cheap work/span WCT predictor
+// (core.WorkSpanPredictor) used to ablate estimation overhead, in the
+// spirit of Lobachev et al.'s sequential-work + parallel-penalty model
+// that the paper contrasts with its ADG approach.
+func SpanEstimate(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
+	return spanEst(est, node)
+}
+
+func spanEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
+	switch node.Kind() {
+	case skel.Seq:
+		return mDur(est, node.Exec())
+	case skel.Farm:
+		return spanEst(est, node.Children()[0])
+	case skel.Pipe:
+		var total time.Duration
+		for _, s := range node.Children() {
+			d, err := spanEst(est, s)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	case skel.For:
+		d, err := spanEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(node.N()) * d, nil
+	case skel.While:
+		tc, err := mDur(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		k, err := mCard(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		body, err := spanEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(k+1)*tc + time.Duration(k)*body, nil
+	case skel.If:
+		tc, err := mDur(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		a, err := spanEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := spanEst(est, node.Children()[1])
+		if err != nil {
+			return 0, err
+		}
+		if b > a {
+			a = b
+		}
+		return tc + a, nil
+	case skel.Map:
+		// All sub-problems run in parallel: span = split + one body + merge.
+		ts, err := mDur(est, node.Split())
+		if err != nil {
+			return 0, err
+		}
+		body, err := spanEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		tm, err := mDur(est, node.Merge())
+		if err != nil {
+			return 0, err
+		}
+		return ts + body + tm, nil
+	case skel.Fork:
+		ts, err := mDur(est, node.Split())
+		if err != nil {
+			return 0, err
+		}
+		var widest time.Duration
+		for _, sub := range node.Children() {
+			d, err := spanEst(est, sub)
+			if err != nil {
+				return 0, err
+			}
+			if d > widest {
+				widest = d
+			}
+		}
+		tm, err := mDur(est, node.Merge())
+		if err != nil {
+			return 0, err
+		}
+		return ts + widest + tm, nil
+	case skel.DaC:
+		depth, err := mCard(est, node.Cond())
+		if err != nil {
+			return 0, err
+		}
+		if depth > maxAnalyticDepth {
+			depth = maxAnalyticDepth
+		}
+		return dacSpan(est, node, depth)
+	default:
+		return 0, fmt.Errorf("adg: unknown kind %v", node.Kind())
+	}
+}
+
+func dacSpan(est *estimate.Registry, node *skel.Node, remaining int) (time.Duration, error) {
+	tc, err := mDur(est, node.Cond())
+	if err != nil {
+		return 0, err
+	}
+	if remaining <= 0 {
+		leaf, err := spanEst(est, node.Children()[0])
+		if err != nil {
+			return 0, err
+		}
+		return tc + leaf, nil
+	}
+	ts, err := mDur(est, node.Split())
+	if err != nil {
+		return 0, err
+	}
+	tm, err := mDur(est, node.Merge())
+	if err != nil {
+		return 0, err
+	}
+	sub, err := dacSpan(est, node, remaining-1)
+	if err != nil {
+		return 0, err
+	}
+	// Recursive children run in parallel: one child on the critical path.
+	return tc + ts + sub + tm, nil
+}

@@ -1,0 +1,58 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	a := System.Now()
+	b := System.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	if !v.Now().Equal(Epoch) {
+		t.Fatal("wrong origin")
+	}
+	v.Advance(70 * time.Millisecond)
+	if got := v.Now().Sub(Epoch); got != 70*time.Millisecond {
+		t.Fatalf("advanced to %v", got)
+	}
+	v.Advance(-time.Hour) // ignored
+	if got := v.Now().Sub(Epoch); got != 70*time.Millisecond {
+		t.Fatalf("negative advance moved clock to %v", got)
+	}
+}
+
+func TestVirtualSetMonotonic(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Set(Epoch.Add(time.Second))
+	v.Set(Epoch.Add(500 * time.Millisecond)) // earlier: ignored
+	if got := v.Now().Sub(Epoch); got != time.Second {
+		t.Fatalf("clock at %v, want 1s", got)
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(Epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Nanosecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(Epoch); got != 8000*time.Nanosecond {
+		t.Fatalf("lost advances: %v", got)
+	}
+}

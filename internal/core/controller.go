@@ -1,0 +1,410 @@
+// Package core implements the paper's autonomic controller: the component
+// that watches a skeleton execution through its events, estimates the
+// remaining wall-clock time with the ADG, and adapts the level of
+// parallelism (LP) so a WCT quality-of-service goal is met — increasing LP
+// eagerly to the optimal level when the goal would be missed, decreasing it
+// conservatively (by halving) when the goal survives with fewer threads.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skandium/internal/adg"
+	"skandium/internal/clock"
+	"skandium/internal/estimate"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+// LPControl abstracts the resource lever: the real engine's pool and the
+// simulator's scheduler both implement it.
+type LPControl interface {
+	// LP returns the current level-of-parallelism target.
+	LP() int
+	// SetLP requests a new target (implementations clamp to their caps).
+	SetLP(n int)
+}
+
+// IncreasePolicy selects how a missed goal raises LP.
+type IncreasePolicy int
+
+// Increase policies.
+const (
+	// IncreaseOptimal is the paper's behaviour: jump to the optimal LP,
+	// i.e. the peak of the best-effort timeline ("Skandium will
+	// autonomically increase LP to 3").
+	IncreaseOptimal IncreasePolicy = iota
+	// IncreaseMinimal raises LP only to the smallest value whose
+	// limited-LP schedule meets the goal (ablation variant; the paper
+	// notes the exact problem is NP-complete).
+	IncreaseMinimal
+)
+
+// DecreasePolicy selects how a comfortably met goal lowers LP.
+type DecreasePolicy int
+
+// Decrease policies.
+const (
+	// DecreaseHalve is the paper's behaviour: "first checks if the goal
+	// could be targeted using half of threads; if it can, it decreases the
+	// number of threads to the half". Deliberately slower than increase.
+	DecreaseHalve DecreasePolicy = iota
+	// DecreaseNone never lowers LP (ablation variant).
+	DecreaseNone
+	// DecreaseExact lowers LP directly to the minimal value that still
+	// meets the goal (ablation variant).
+	DecreaseExact
+)
+
+// Config tunes a Controller.
+type Config struct {
+	// WCTGoal is the wall-clock-time QoS measured from execution start.
+	// Zero disables WCT-driven adaptation (the controller still records
+	// analyses).
+	WCTGoal time.Duration
+	// MaxLP is the level-of-parallelism QoS cap; 0 means uncapped.
+	MaxLP int
+	// AnalysisInterval throttles how often event-triggered analyses may
+	// run. Zero analyses on every qualifying event (the paper's "react as
+	// soon as we detect" behaviour; fine for coarse muscles).
+	AnalysisInterval time.Duration
+	// Increase / Decrease select the adaptation policies (paper defaults).
+	Increase IncreasePolicy
+	Decrease DecreasePolicy
+	// ADGBudget caps ADG size (0 = adg.DefaultBudget).
+	ADGBudget int
+	// Predictor selects the WCT estimation algorithm (nil = the paper's
+	// ADGPredictor; WorkSpanPredictor is the cheap analytic variant).
+	Predictor Predictor
+	// DecreaseHold suppresses decreases for this long after an increase,
+	// damping the raise/halve oscillation that per-event analyses can
+	// produce when estimates are still settling. Zero keeps the paper's
+	// undamped behaviour.
+	DecreaseHold time.Duration
+}
+
+// unreachableSlack is the tolerated overshoot (relative to the remaining
+// best-effort time) when a goal cannot be met at all: the controller then
+// settles for the cheapest LP landing within this margin of the best
+// achievable end instead of burning peak parallelism for microseconds.
+const unreachableSlack = 0.05
+
+// errNoRoot gates analyses before the outermost skeleton has activated.
+var errNoRoot = fmt.Errorf("core: no root activation yet")
+
+// Decision records one adaptation (or explicit non-adaptation) for
+// experiment harnesses and debugging.
+type Decision struct {
+	Time         time.Time
+	OldLP        int
+	NewLP        int
+	PredictedWCT time.Duration // limited-LP(OldLP) estimate at analysis time
+	BestWCT      time.Duration // best-effort estimate
+	OptimalLP    int
+	Reason       string
+}
+
+// String renders the decision compactly.
+func (d Decision) String() string {
+	return fmt.Sprintf("[%v] lp %d->%d (pred=%v best=%v opt=%d): %s",
+		d.Time, d.OldLP, d.NewLP, d.PredictedWCT, d.BestWCT, d.OptimalLP, d.Reason)
+}
+
+// Controller is the autonomic manager of one execution. Wire it after the
+// tracker on the same event registry (Attach does both in order), so state
+// machines observe an event before the controller analyses it.
+type Controller struct {
+	cfg     Config
+	node    *skel.Node
+	lever   LPControl
+	est     *estimate.Registry
+	tracker *statemachine.Tracker
+	clk     clock.Clock
+
+	reqDur  []muscle.ID
+	reqCard []muscle.ID
+
+	mu           sync.Mutex
+	start        time.Time
+	started      bool
+	finished     bool
+	last         time.Time
+	hasLast      bool
+	lastIncrease time.Time
+	hasIncrease  bool
+	decisions    []Decision
+	analyses     int
+}
+
+// NewController builds a controller for an execution of node. est and
+// tracker must be the pair also registered on the execution's events; clk
+// must be the execution's clock.
+func NewController(cfg Config, node *skel.Node, lever LPControl, est *estimate.Registry, tracker *statemachine.Tracker, clk clock.Clock) *Controller {
+	if node == nil || lever == nil || est == nil || tracker == nil {
+		panic("core: NewController with nil dependency")
+	}
+	if clk == nil {
+		clk = clock.System
+	}
+	dur, card := adg.RequiredEstimates(node)
+	return &Controller{
+		cfg:     cfg,
+		node:    node,
+		lever:   lever,
+		est:     est,
+		tracker: tracker,
+		clk:     clk,
+		reqDur:  dur,
+		reqCard: card,
+	}
+}
+
+// Attach registers tracker then controller on reg, preserving the required
+// order, and marks the execution start time.
+func Attach(reg *event.Registry, tracker *statemachine.Tracker, c *Controller) {
+	reg.Add(tracker.Listener())
+	reg.Add(c.Listener())
+}
+
+// SetStart fixes the execution start the WCT goal is measured from. When
+// not called, the first observed event's timestamp is used.
+func (c *Controller) SetStart(t time.Time) {
+	c.mu.Lock()
+	c.start, c.started = t, true
+	c.mu.Unlock()
+}
+
+// Listener returns the event hook that triggers analyses. Only After events
+// qualify: they are the moments knowledge changes (a muscle finished, a
+// split cardinality became known).
+func (c *Controller) Listener() event.Listener {
+	return event.Func(func(e *event.Event) any {
+		if e.Err != nil {
+			return e.Param
+		}
+		c.noteStart(e.Time)
+		if e.When == event.After {
+			c.maybeAnalyze(e.Time)
+			c.noteRootDone(e)
+		}
+		return e.Param
+	})
+}
+
+func (c *Controller) noteStart(t time.Time) {
+	c.mu.Lock()
+	if !c.started {
+		c.start, c.started = t, true
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) noteRootDone(e *event.Event) {
+	if e.Where == event.Skeleton && e.Parent == event.NoParent {
+		c.mu.Lock()
+		c.finished = true
+		c.mu.Unlock()
+	}
+}
+
+func (c *Controller) maybeAnalyze(now time.Time) {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	if c.hasLast && c.cfg.AnalysisInterval > 0 && now.Sub(c.last) < c.cfg.AnalysisInterval {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if c.Analyze(now) {
+		// Only completed analyses consume the interval: attempts gated on
+		// incomplete estimates must not delay the first real analysis.
+		c.mu.Lock()
+		c.last, c.hasLast = now, true
+		c.mu.Unlock()
+	}
+}
+
+// StartTicker launches a background goroutine that re-analyzes every d,
+// independent of events. Event-driven analysis reacts when knowledge
+// changes; the ticker additionally reacts when *time* changes — e.g. a
+// muscle overrunning its estimate produces no events, but the ADG's
+// "tf = max(ti + t(m), now)" rule pushes the prediction out as the clock
+// advances, which a periodic analysis can catch mid-muscle. Returns a stop
+// function; the ticker also stops itself once the execution finishes.
+// Only meaningful on real-time clocks (the simulator drives analyses from
+// virtual-time events instead).
+func (c *Controller) StartTicker(d time.Duration) (stop func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.mu.Lock()
+				finished := c.finished
+				c.mu.Unlock()
+				if finished {
+					return
+				}
+				c.Analyze(c.clk.Now())
+			}
+		}
+	}()
+	return stop
+}
+
+// Analyses returns how many full analyses have run.
+func (c *Controller) Analyses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyses
+}
+
+// Decisions returns a copy of the adaptation log.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.decisions...)
+}
+
+// Analyze runs one full estimation/adaptation cycle at time now and
+// reports whether the analysis actually ran (false while gated on missing
+// estimates). It is normally invoked from the event listener but is
+// exported for tests, the simulator and external schedulers.
+func (c *Controller) Analyze(now time.Time) bool {
+	if c.cfg.WCTGoal <= 0 {
+		return false
+	}
+	// Gate: all muscles observed or initialized (the paper's "wait until
+	// all muscles have been executed at least once").
+	if !c.est.Complete(c.reqDur, c.reqCard) {
+		return false
+	}
+	c.mu.Lock()
+	start := c.start
+	c.mu.Unlock()
+
+	predictor := c.cfg.Predictor
+	if predictor == nil {
+		predictor = ADGPredictor{}
+	}
+	pred, err := predictor.Predict(PredictorInput{
+		Node:    c.node,
+		Tracker: c.tracker,
+		Est:     c.est,
+		Start:   start,
+		Now:     now,
+		Budget:  c.cfg.ADGBudget,
+	})
+	if err != nil {
+		return false // not started yet, or estimates raced away; retry later
+	}
+	cur := c.lever.LP()
+	deadline := start.Add(c.cfg.WCTGoal)
+
+	predictedEnd := pred.LimitedEnd(cur)
+	predicted := predictedEnd.Sub(start)
+	best := pred.BestEnd.Sub(start)
+	optimal := pred.OptimalLP
+
+	c.mu.Lock()
+	c.analyses++
+	c.mu.Unlock()
+
+	ceil := c.cfg.MaxLP
+	if ceil <= 0 {
+		ceil = optimal
+	}
+
+	if predictedEnd.After(deadline) {
+		// The goal will be missed at the current LP: self-optimize up.
+		target := cur
+		reason := ""
+		switch c.cfg.Increase {
+		case IncreaseOptimal:
+			target = optimal
+			reason = "goal missed: raise to optimal LP"
+		case IncreaseMinimal:
+			if lp, ok := pred.MinLP(deadline, ceil); ok {
+				target = lp
+				reason = "goal missed: raise to minimal sufficient LP"
+			} else {
+				// Even infinite parallelism misses the goal: fall back to
+				// the smallest LP that gets within a few percent of the
+				// best possible end time (frugal version of "raise to
+				// optimal" — hitting the best-effort end exactly would
+				// need peak parallelism for no real gain).
+				slack := time.Duration(float64(pred.BestEnd.Sub(now)) * unreachableSlack)
+				if lp, ok := pred.MinLP(pred.BestEnd.Add(slack), ceil); ok {
+					target = lp
+				} else {
+					target = optimal
+				}
+				reason = "goal unreachable: raise to minimal LP near best effort"
+			}
+		}
+		if c.cfg.MaxLP > 0 && target > c.cfg.MaxLP {
+			target = c.cfg.MaxLP
+		}
+		if target > cur {
+			c.apply(now, cur, target, predicted, best, optimal, reason)
+		}
+		return true
+	}
+
+	// On track: consider lowering LP (self-configuration toward economy).
+	if c.cfg.DecreaseHold > 0 {
+		c.mu.Lock()
+		held := c.hasIncrease && now.Sub(c.lastIncrease) < c.cfg.DecreaseHold
+		c.mu.Unlock()
+		if held {
+			return true
+		}
+	}
+	switch c.cfg.Decrease {
+	case DecreaseNone:
+		return true
+	case DecreaseHalve:
+		half := cur / 2
+		if half < 1 || half == cur {
+			return true
+		}
+		if !pred.LimitedEnd(half).After(deadline) {
+			c.apply(now, cur, half, predicted, best, optimal, "goal met with half the threads: halve LP")
+		}
+	case DecreaseExact:
+		if lp, ok := pred.MinLP(deadline, cur); ok && lp < cur {
+			c.apply(now, cur, lp, predicted, best, optimal, "goal met with fewer threads: drop to minimum")
+		}
+	}
+	return true
+}
+
+func (c *Controller) apply(now time.Time, from, to int, predicted, best time.Duration, optimal int, reason string) {
+	c.lever.SetLP(to)
+	c.mu.Lock()
+	if to > from {
+		c.lastIncrease, c.hasIncrease = now, true
+	}
+	c.decisions = append(c.decisions, Decision{
+		Time: now, OldLP: from, NewLP: to,
+		PredictedWCT: predicted, BestWCT: best, OptimalLP: optimal,
+		Reason: reason,
+	})
+	c.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+// Package dist simulates the distributed execution environment the paper
+// sketches in §4/§6: "a centralised distribution of tasks to a distributed
+// set of workers, adding or removing workers like adding or removing
+// threads in a centralised manner".
+//
+// A Cluster is a centralized coordinator handing skeleton tasks to worker
+// nodes. Each task dispatch pays a configurable shipping latency in both
+// directions (the substitution for a real network: the relevant behaviour —
+// tasks get slower per hop, parallelism still scales throughput — is
+// preserved; see DESIGN.md). The number of provisioned nodes is the
+// autonomic lever: the Cluster implements core.LPControl, so the unchanged
+// WCT controller scales a simulated cluster exactly like it scales a
+// thread pool.
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/event"
+	"skandium/internal/exec"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the initial number of worker nodes (default 1).
+	Nodes int
+	// MaxNodes caps provisioning (0 = unlimited).
+	MaxNodes int
+	// ShipLatency is the one-way task shipping delay paid before and after
+	// every task execution (RTT = 2×ShipLatency).
+	ShipLatency time.Duration
+	// Clock is the time source (default system clock).
+	Clock clock.Clock
+	// Gauge observes (now, busy nodes, provisioned nodes) transitions.
+	Gauge func(now time.Time, busy, nodes int)
+}
+
+// NodeStats is per-node accounting.
+type NodeStats struct {
+	Node     int
+	Tasks    int
+	BusyTime time.Duration
+}
+
+// Cluster is the centralized coordinator. It wraps the ordinary task pool:
+// every pool worker models one remote node.
+type Cluster struct {
+	pool *exec.Pool
+	clk  clock.Clock
+	ship time.Duration
+
+	mu    sync.Mutex
+	stats map[int]*NodeStats
+}
+
+// New provisions a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	pool := exec.NewPool(cfg.Clock, cfg.Nodes, cfg.MaxNodes)
+	c := &Cluster{
+		pool:  pool,
+		clk:   cfg.Clock,
+		ship:  cfg.ShipLatency,
+		stats: make(map[int]*NodeStats),
+	}
+	if cfg.Gauge != nil {
+		pool.SetGauge(exec.GaugeFunc(cfg.Gauge))
+	}
+	pool.SetRunWrapper(c.dispatch)
+	return c
+}
+
+// dispatch models one remote task execution: ship there, run, ship back.
+func (c *Cluster) dispatch(node int, run func()) {
+	if c.ship > 0 {
+		time.Sleep(c.ship)
+	}
+	start := c.clk.Now()
+	run()
+	busy := c.clk.Now().Sub(start)
+	if c.ship > 0 {
+		time.Sleep(c.ship)
+	}
+	c.mu.Lock()
+	st, ok := c.stats[node]
+	if !ok {
+		st = &NodeStats{Node: node}
+		c.stats[node] = st
+	}
+	st.Tasks++
+	st.BusyTime += busy
+	c.mu.Unlock()
+}
+
+// NewExecution opens an execution session on the cluster; events reports to
+// reg (nil = fresh).
+func (c *Cluster) NewExecution(reg *event.Registry) *exec.Root {
+	return exec.NewRoot(c.pool, reg, c.clk)
+}
+
+// Pool exposes the underlying coordinator queue.
+func (c *Cluster) Pool() *exec.Pool { return c.pool }
+
+// LP implements core.LPControl: the number of provisioned nodes.
+func (c *Cluster) LP() int { return c.pool.LP() }
+
+// SetLP implements core.LPControl: provision or decommission nodes.
+// Decommissioned nodes finish their current task first, exactly like the
+// paper's thread semantics.
+func (c *Cluster) SetLP(n int) { c.pool.SetLP(n) }
+
+// Nodes returns the provisioned node count.
+func (c *Cluster) Nodes() int { return c.pool.LP() }
+
+// SetNodes provisions or decommissions nodes (alias of SetLP in cluster
+// vocabulary).
+func (c *Cluster) SetNodes(n int) { c.pool.SetLP(n) }
+
+// Stats returns per-node accounting in node order.
+func (c *Cluster) Stats() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := -1
+	for id := range c.stats {
+		if id > max {
+			max = id
+		}
+	}
+	out := make([]NodeStats, 0, len(c.stats))
+	for id := 0; id <= max; id++ {
+		if st, ok := c.stats[id]; ok {
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+// Close decommissions the cluster; queued tasks are dropped.
+func (c *Cluster) Close() { c.pool.Close() }

@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"skandium/internal/core"
+	"skandium/internal/estimate"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+func wordcountish(sleep time.Duration, card int) (*skel.Node, *muscle.Muscle, *muscle.Muscle, *muscle.Muscle) {
+	fs := muscle.NewSplit("fs", func(p any) ([]any, error) {
+		out := make([]any, card)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := muscle.NewExecute("fe", func(p any) (any, error) {
+		time.Sleep(sleep)
+		return 1, nil
+	})
+	fm := muscle.NewMerge("fm", func(ps []any) (any, error) {
+		s := 0
+		for _, p := range ps {
+			s += p.(int)
+		}
+		return s, nil
+	})
+	return skel.NewMap(fs, skel.NewSeq(fe), fm), fs, fe, fm
+}
+
+func TestClusterExecutes(t *testing.T) {
+	nd, _, _, _ := wordcountish(time.Millisecond, 6)
+	c := New(Config{Nodes: 3, ShipLatency: 100 * time.Microsecond})
+	defer c.Close()
+	res, err := c.NewExecution(nil).Start(nd, 0).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 6 {
+		t.Fatalf("result %v, want 6", res)
+	}
+	stats := c.Stats()
+	if len(stats) == 0 {
+		t.Fatal("no node stats recorded")
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Tasks
+		if st.BusyTime <= 0 {
+			t.Fatalf("node %d has zero busy time over %d tasks", st.Node, st.Tasks)
+		}
+	}
+	if total < 6 {
+		t.Fatalf("only %d tasks accounted", total)
+	}
+}
+
+func TestShipLatencySlowsExecution(t *testing.T) {
+	nd, _, _, _ := wordcountish(0, 4)
+	fast := New(Config{Nodes: 1})
+	defer fast.Close()
+	start := time.Now()
+	if _, err := fast.NewExecution(nil).Start(nd, 0).Get(); err != nil {
+		t.Fatal(err)
+	}
+	local := time.Since(start)
+
+	slow := New(Config{Nodes: 1, ShipLatency: 3 * time.Millisecond})
+	defer slow.Close()
+	start = time.Now()
+	if _, err := slow.NewExecution(nil).Start(nd, 0).Get(); err != nil {
+		t.Fatal(err)
+	}
+	remote := time.Since(start)
+	if remote < local+10*time.Millisecond {
+		t.Fatalf("shipping latency not paid: local %v, remote %v", local, remote)
+	}
+}
+
+func TestNodesScaleThroughput(t *testing.T) {
+	nd, _, _, _ := wordcountish(4*time.Millisecond, 8)
+	run := func(nodes int) time.Duration {
+		c := New(Config{Nodes: nodes})
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.NewExecution(nil).Start(nd, 0).Get(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	one := run(1)  // ~32ms of sleeps
+	four := run(4) // ~8ms of sleeps
+	if four >= one {
+		t.Fatalf("4 nodes (%v) not faster than 1 node (%v)", four, one)
+	}
+}
+
+// TestAutonomicClusterScaling: the unchanged WCT controller provisions
+// extra nodes mid-run — the paper's distributed adaptation, centralised.
+func TestAutonomicClusterScaling(t *testing.T) {
+	fs := muscle.NewSplit("fs", func(p any) ([]any, error) {
+		out := make([]any, 4)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := muscle.NewExecute("fe", func(p any) (any, error) {
+		time.Sleep(6 * time.Millisecond)
+		return 1, nil
+	})
+	fm := muscle.NewMerge("fm", func(ps []any) (any, error) { return len(ps), nil })
+	inner := skel.NewMap(fs, skel.NewSeq(fe), fm)
+	outer := skel.NewMap(fs, inner, fm)
+	// Sequential: 16 × 6ms ≈ 96ms (+ instant splits). Goal: 60ms.
+
+	c := New(Config{Nodes: 1, MaxNodes: 8})
+	defer c.Close()
+	reg := event.NewRegistry()
+	est := estimate.NewRegistry(nil)
+	tracker := statemachine.NewTracker(est)
+	ctl := core.NewController(core.Config{WCTGoal: 60 * time.Millisecond, MaxLP: 8},
+		outer, c, est, tracker, nil)
+	core.Attach(reg, tracker, ctl)
+
+	start := time.Now()
+	res, err := c.NewExecution(reg).Start(outer, 0).Get()
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 4 {
+		t.Fatalf("result %v, want 4", res)
+	}
+	if len(ctl.Decisions()) == 0 {
+		t.Fatal("controller never provisioned nodes")
+	}
+	grew := false
+	for _, d := range ctl.Decisions() {
+		if d.NewLP > d.OldLP {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("no node increase: %v", ctl.Decisions())
+	}
+	if elapsed >= 95*time.Millisecond {
+		t.Fatalf("autonomic cluster no faster than sequential: %v", elapsed)
+	}
+}
+
+func TestConcurrentStatsAccess(t *testing.T) {
+	nd, _, _, _ := wordcountish(100*time.Microsecond, 16)
+	c := New(Config{Nodes: 4})
+	defer c.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.Stats()
+			c.Nodes()
+		}
+	}()
+	if _, err := c.NewExecution(nil).Start(nd, 0).Get(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,313 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skandium/internal/muscle"
+)
+
+func TestEWMAFirstObservation(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("fresh estimator reports a value")
+	}
+	e.Observe(10)
+	v, ok := e.Value()
+	if !ok || v != 10 {
+		t.Fatalf("after first observation: %v/%v", v, ok)
+	}
+}
+
+func TestEWMAPaperFormula(t *testing.T) {
+	// newEstimatedVal = ρ·lastActual + (1-ρ)·previousEstimated
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	e.Observe(20) // 0.5*20 + 0.5*10 = 15
+	if v, _ := e.Value(); v != 15 {
+		t.Fatalf("got %v, want 15", v)
+	}
+	e.Observe(5) // 0.5*5 + 0.5*15 = 10
+	if v, _ := e.Value(); v != 10 {
+		t.Fatalf("got %v, want 10", v)
+	}
+	if e.Observations() != 3 {
+		t.Fatalf("observations = %d, want 3", e.Observations())
+	}
+}
+
+func TestEWMARhoOneKeepsLast(t *testing.T) {
+	// "if ρ is set to 1, then only the last measure will be taken into
+	// account"
+	e := NewEWMA(1)
+	for _, v := range []float64{3, 9, 27} {
+		e.Observe(v)
+	}
+	if v, _ := e.Value(); v != 27 {
+		t.Fatalf("got %v, want 27", v)
+	}
+}
+
+func TestEWMARhoZeroKeepsFirst(t *testing.T) {
+	// "if ρ is set to 0, then only the first value will be taken into
+	// account"
+	e := NewEWMA(0)
+	for _, v := range []float64{3, 9, 27} {
+		e.Observe(v)
+	}
+	if v, _ := e.Value(); v != 3 {
+		t.Fatalf("got %v, want 3", v)
+	}
+}
+
+func TestEWMAInitSeedsWithoutObservation(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Init(40)
+	v, ok := e.Value()
+	if !ok || v != 40 {
+		t.Fatalf("init not visible: %v/%v", v, ok)
+	}
+	if e.Observations() != 0 {
+		t.Fatal("Init must not count as an observation")
+	}
+	e.Observe(20) // 0.5*20 + 0.5*40 = 30: init acts as previous estimate
+	if v, _ := e.Value(); v != 30 {
+		t.Fatalf("got %v, want 30", v)
+	}
+}
+
+func TestEWMABadRhoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for ρ=2")
+		}
+	}()
+	NewEWMA(2)
+}
+
+// Property: an EWMA estimate always stays within [min, max] of everything
+// it has seen (observations and init).
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(rhoRaw uint8, seed []float64) bool {
+		rho := float64(rhoRaw%101) / 100
+		e := NewEWMA(rho)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, raw := range seed {
+			v := normalize(raw)
+			e.Observe(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if math.IsInf(lo, 1) {
+			return true // nothing observed
+		}
+		got, ok := e.Value()
+		return ok && got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps an arbitrary generated float into [0, 1e6) so additive
+// epsilons in bound checks stay meaningful (at 1e308 scale the EWMA's
+// floating-point rounding legitimately exceeds any absolute epsilon).
+func normalize(raw float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(raw), 1e6)
+}
+
+func TestMean(t *testing.T) {
+	m := NewMean()
+	m.Init(100)
+	if v, ok := m.Value(); !ok || v != 100 {
+		t.Fatalf("init: %v/%v", v, ok)
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if v, _ := m.Value(); v != 3 {
+		t.Fatalf("mean = %v, want 3 (init ignored once observed)", v)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		w.Observe(v)
+	}
+	if v, _ := w.Value(); v != 4 { // (3+4+5)/3
+		t.Fatalf("window mean = %v, want 4", v)
+	}
+}
+
+func TestMedianWindowRobustToOutlier(t *testing.T) {
+	w := NewMedianWindow(5)
+	for _, v := range []float64{10, 11, 9, 1000, 10} {
+		w.Observe(v)
+	}
+	if v, _ := w.Value(); v != 10 {
+		t.Fatalf("median = %v, want 10", v)
+	}
+	// Even window: average of the middle two.
+	w2 := NewMedianWindow(4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		w2.Observe(v)
+	}
+	if v, _ := w2.Value(); v != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", v)
+	}
+}
+
+func TestLast(t *testing.T) {
+	l := NewLast()
+	l.Observe(1)
+	l.Observe(7)
+	if v, _ := l.Value(); v != 7 {
+		t.Fatalf("last = %v, want 7", v)
+	}
+}
+
+// Property: Window and Median values always lie within the min/max of the
+// last k observations.
+func TestWindowBoundedProperty(t *testing.T) {
+	f := func(vals []float64, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		w := NewWindow(k)
+		med := NewMedianWindow(k)
+		var clean []float64
+		for _, raw := range vals {
+			v := normalize(raw)
+			w.Observe(v)
+			med.Observe(v)
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		tail := clean
+		if len(tail) > k {
+			tail = tail[len(tail)-k:]
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range tail {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		wv, _ := w.Value()
+		mv, _ := med.Value()
+		const eps = 1e-9
+		return wv >= lo-eps && wv <= hi+eps && mv >= lo-eps && mv <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- registry -------------------------------------------------------------------
+
+func TestRegistryDurations(t *testing.T) {
+	r := NewRegistry(nil)
+	m := muscle.NewExecute("m", func(p any) (any, error) { return p, nil })
+	if _, ok := r.Duration(m.ID()); ok {
+		t.Fatal("unknown muscle reports a duration")
+	}
+	r.ObserveDuration(m.ID(), 100*time.Millisecond)
+	d, ok := r.Duration(m.ID())
+	if !ok || d != 100*time.Millisecond {
+		t.Fatalf("duration %v/%v", d, ok)
+	}
+	r.ObserveDuration(m.ID(), 200*time.Millisecond)
+	if d, _ := r.Duration(m.ID()); d != 150*time.Millisecond {
+		t.Fatalf("EWMA duration %v, want 150ms", d)
+	}
+	if n := r.DurationObservations(m.ID()); n != 2 {
+		t.Fatalf("observations %d, want 2", n)
+	}
+}
+
+func TestRegistryCards(t *testing.T) {
+	r := NewRegistry(nil)
+	m := muscle.NewSplit("s", func(p any) ([]any, error) { return nil, nil })
+	r.ObserveCard(m.ID(), 5)
+	r.ObserveCard(m.ID(), 7)
+	c, ok := r.Card(m.ID())
+	if !ok || c != 6 {
+		t.Fatalf("card %v/%v, want 6", c, ok)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	r := NewRegistry(nil)
+	a := muscle.NewExecute("a", func(p any) (any, error) { return p, nil })
+	s := muscle.NewSplit("s", func(p any) ([]any, error) { return nil, nil })
+	durIDs := []muscle.ID{a.ID(), s.ID()}
+	cardIDs := []muscle.ID{s.ID()}
+	if r.Complete(durIDs, cardIDs) {
+		t.Fatal("empty registry reported complete")
+	}
+	r.ObserveDuration(a.ID(), time.Millisecond)
+	r.ObserveDuration(s.ID(), time.Millisecond)
+	if r.Complete(durIDs, cardIDs) {
+		t.Fatal("missing card reported complete")
+	}
+	r.ObserveCard(s.ID(), 3)
+	if !r.Complete(durIDs, cardIDs) {
+		t.Fatal("complete registry reported incomplete")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry(nil)
+	a := muscle.NewExecute("a", func(p any) (any, error) { return p, nil })
+	s := muscle.NewSplit("s", func(p any) ([]any, error) { return nil, nil })
+	r.ObserveDuration(a.ID(), 80*time.Millisecond)
+	r.ObserveDuration(s.ID(), 10*time.Millisecond)
+	r.ObserveCard(s.ID(), 4)
+	prof := r.Snapshot()
+
+	r2 := NewRegistry(nil)
+	r2.Restore(prof)
+	if d, ok := r2.Duration(a.ID()); !ok || d != 80*time.Millisecond {
+		t.Fatalf("restored duration %v/%v", d, ok)
+	}
+	if c, ok := r2.Card(s.ID()); !ok || c != 4 {
+		t.Fatalf("restored card %v/%v", c, ok)
+	}
+	// Restored values arrive via Init: no observation counted.
+	if n := r2.DurationObservations(a.ID()); n != 0 {
+		t.Fatalf("restore counted %d observations", n)
+	}
+}
+
+func TestRegistryNegativeDurationClamped(t *testing.T) {
+	r := NewRegistry(nil)
+	a := muscle.NewExecute("a", func(p any) (any, error) { return p, nil })
+	r.InitDuration(a.ID(), -5*time.Millisecond)
+	d, ok := r.Duration(a.ID())
+	if !ok {
+		t.Fatal("no value")
+	}
+	if d > 0 {
+		t.Fatalf("negative init produced %v", d)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry(nil)
+	m := muscle.NewExecute("m", func(p any) (any, error) { return p, nil })
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			r.ObserveDuration(m.ID(), time.Duration(i))
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		r.Duration(m.ID())
+		r.Snapshot()
+	}
+	<-done
+}

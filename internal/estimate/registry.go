@@ -1,0 +1,188 @@
+package estimate
+
+import (
+	"sync"
+	"time"
+
+	"skandium/internal/muscle"
+)
+
+// Registry tracks, per muscle, the duration estimate t(m) and — for Split
+// and Condition muscles — the cardinality estimate |m|. It is the shared
+// knowledge base the state machines write to and the ADG builder reads
+// from. Safe for concurrent use.
+type Registry struct {
+	factory Factory
+
+	mu   sync.RWMutex
+	dur  map[muscle.ID]Estimator
+	card map[muscle.ID]Estimator
+}
+
+// NewRegistry builds a registry whose per-quantity estimators come from
+// factory; nil means the paper's default, EWMA with ρ=0.5.
+func NewRegistry(factory Factory) *Registry {
+	if factory == nil {
+		factory = EWMAFactory(DefaultRho)
+	}
+	return &Registry{
+		factory: factory,
+		dur:     make(map[muscle.ID]Estimator),
+		card:    make(map[muscle.ID]Estimator),
+	}
+}
+
+func (r *Registry) estimator(m map[muscle.ID]Estimator, id muscle.ID) Estimator {
+	if e, ok := m[id]; ok {
+		return e
+	}
+	e := r.factory()
+	m[id] = e
+	return e
+}
+
+// ObserveDuration records one actual execution time of muscle id.
+func (r *Registry) ObserveDuration(id muscle.ID, d time.Duration) {
+	r.mu.Lock()
+	r.estimator(r.dur, id).Observe(d.Seconds())
+	r.mu.Unlock()
+}
+
+// InitDuration seeds t(m) (paper scenario 2, "goal with initialization").
+func (r *Registry) InitDuration(id muscle.ID, d time.Duration) {
+	r.mu.Lock()
+	r.estimator(r.dur, id).Init(d.Seconds())
+	r.mu.Unlock()
+}
+
+// Duration returns the t(m) estimate; ok is false when the muscle has never
+// been observed nor initialized.
+func (r *Registry) Duration(id muscle.ID) (time.Duration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.dur[id]
+	if !ok {
+		return 0, false
+	}
+	v, ok := e.Value()
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(v * float64(time.Second)), true
+}
+
+// ObserveCard records one actual cardinality of a Split or Condition
+// muscle: the number of sub-problems, the number of true verdicts of a
+// while condition, or the d&c recursion depth.
+func (r *Registry) ObserveCard(id muscle.ID, n float64) {
+	r.mu.Lock()
+	r.estimator(r.card, id).Observe(n)
+	r.mu.Unlock()
+}
+
+// InitCard seeds |m|.
+func (r *Registry) InitCard(id muscle.ID, n float64) {
+	r.mu.Lock()
+	r.estimator(r.card, id).Init(n)
+	r.mu.Unlock()
+}
+
+// Card returns the |m| estimate.
+func (r *Registry) Card(id muscle.ID) (float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.card[id]
+	if !ok {
+		return 0, false
+	}
+	return e.Value()
+}
+
+// DurationObservations returns how many actual durations of id were
+// consumed (0 for unknown muscles).
+func (r *Registry) DurationObservations(id muscle.ID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.dur[id]; ok {
+		return e.Observations()
+	}
+	return 0
+}
+
+// Complete reports whether every muscle in ids has a duration estimate, and
+// every id in cardIDs a cardinality estimate. The paper's first analysis
+// can only run once "all muscles have been executed at least once" (or were
+// initialized); the controller uses Complete as that gate.
+func (r *Registry) Complete(ids []muscle.ID, cardIDs []muscle.ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, id := range ids {
+		e, ok := r.dur[id]
+		if !ok {
+			return false
+		}
+		if _, ok := e.Value(); !ok {
+			return false
+		}
+	}
+	for _, id := range cardIDs {
+		e, ok := r.card[id]
+		if !ok {
+			return false
+		}
+		if _, ok := e.Value(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ProfileEntry is one muscle's exported estimates.
+type ProfileEntry struct {
+	Duration    time.Duration
+	HasDuration bool
+	Card        float64
+	HasCard     bool
+}
+
+// Profile is a snapshot of every estimate in a registry, keyed by muscle.
+// It is what a run exports and a later run imports to start "with
+// initialization".
+type Profile map[muscle.ID]ProfileEntry
+
+// Snapshot exports the current estimates.
+func (r *Registry) Snapshot() Profile {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p := make(Profile)
+	for id, e := range r.dur {
+		if v, ok := e.Value(); ok {
+			en := p[id]
+			en.Duration = time.Duration(v * float64(time.Second))
+			en.HasDuration = true
+			p[id] = en
+		}
+	}
+	for id, e := range r.card {
+		if v, ok := e.Value(); ok {
+			en := p[id]
+			en.Card = v
+			en.HasCard = true
+			p[id] = en
+		}
+	}
+	return p
+}
+
+// Restore seeds the registry from a profile via Init (it does not count as
+// observations).
+func (r *Registry) Restore(p Profile) {
+	for id, en := range p {
+		if en.HasDuration {
+			r.InitDuration(id, en.Duration)
+		}
+		if en.HasCard {
+			r.InitCard(id, en.Card)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package event implements the event-driven separation of concerns the
+// paper builds on (Pabón & Leyton, "Tackling algorithmic skeleton's
+// inversion of control", PDP 2012). Events are statically defined hooks
+// woven into the skeleton interpreter: every muscle invocation and every
+// skeleton activation is bracketed by Before/After events that carry the
+// partial solution, the skeleton trace, and an activation index i used to
+// correlate Before with After.
+//
+// Listeners run synchronously on the worker goroutine that executes the
+// adjacent muscle, exactly as the paper guarantees ("the handler is executed
+// on the same thread as the related muscle"). A listener may replace the
+// partial solution by returning a different value, which enables
+// non-functional concerns such as encryption or compression of intermediate
+// data without touching business code.
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skandium/internal/skel"
+)
+
+// When says whether the event fires before or after its subject.
+type When int
+
+// When values.
+const (
+	Before When = iota
+	After
+)
+
+// String implements fmt.Stringer.
+func (w When) String() string {
+	switch w {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return fmt.Sprintf("When(%d)", int(w))
+	}
+}
+
+// Where says which part of a skeleton's evaluation the event brackets.
+type Where int
+
+// Where values. Skeleton brackets the whole pattern activation ("beginning
+// of the skeleton" / "end of the map" in the paper); the others bracket the
+// correspondingly named muscle; NestedSkel brackets one nested-skeleton
+// evaluation inside map/fork/d&c/pipe/while/for/farm.
+const (
+	Skeleton Where = iota
+	Split
+	Merge
+	Condition
+	NestedSkel
+)
+
+// String implements fmt.Stringer.
+func (w Where) String() string {
+	switch w {
+	case Skeleton:
+		return "skeleton"
+	case Split:
+		return "split"
+	case Merge:
+		return "merge"
+	case Condition:
+		return "condition"
+	case NestedSkel:
+		return "nested"
+	default:
+		return fmt.Sprintf("Where(%d)", int(w))
+	}
+}
+
+// NoParent is the Parent value of events raised by a root-level activation.
+const NoParent int64 = -1
+
+// Event is the information delivered to listeners. In the paper's notation
+// an event is ∆@when-where(i, extra...); for example map(fs,∆,fm)@as(i,
+// fsCard) becomes {Node: the map node, When: After, Where: Split, Index: i,
+// Card: fsCard}.
+type Event struct {
+	// Node is the skeleton whose evaluation raised the event.
+	Node *skel.Node
+	// Trace is the static nesting path from the root skeleton to Node,
+	// inclusive. Listeners must not modify it.
+	Trace []*skel.Node
+	// Index identifies the activation: the Before and After events of one
+	// muscle or skeleton activation share the same Index.
+	Index int64
+	// Parent is the activation index of the enclosing skeleton activation,
+	// or NoParent for the root. It lets listeners rebuild the dynamic
+	// activation tree (the state machines rely on it).
+	Parent int64
+	// When and Where locate the event around the activation.
+	When  When
+	Where Where
+	// Param is the partial solution flowing through the skeleton. For
+	// After/Merge-style events it is the produced value; for Before events
+	// it is the input. Listeners may substitute it via their return value.
+	Param any
+	// Card is the number of sub-problems produced by a split; it is only
+	// meaningful on After/Split events (the paper's fsCard).
+	Card int
+	// Branch is the child position for NestedSkel events of map/fork (which
+	// sub-problem), and the stage number for pipe.
+	Branch int
+	// Iter is the iteration counter for while/for NestedSkel and Condition
+	// events, and the recursion depth for d&c events.
+	Iter int
+	// Cond is the outcome of the condition muscle; only meaningful on
+	// After/Condition events.
+	Cond bool
+	// Time is the clock reading when the event fired.
+	Time time.Time
+	// Worker is the id of the pool worker that raised the event (-1 when
+	// raised outside a worker, e.g. by the simulator).
+	Worker int
+	// Err is the muscle error on After events of failed muscles. When Err
+	// is non-nil the execution is unwinding; Param holds the input that
+	// caused the failure.
+	Err error
+}
+
+// CurrentSkel returns the innermost skeleton of the trace (the node that
+// raised the event). It mirrors st[st.length-1] from the paper's listing 2.
+func (e *Event) CurrentSkel() *skel.Node { return e.Node }
+
+// String renders the event in the paper's ∆@notation for logs and tests.
+func (e *Event) String() string {
+	code := map[Where]string{
+		Skeleton: "", Split: "s", Merge: "m", Condition: "c", NestedSkel: "n",
+	}[e.Where]
+	wh := "b"
+	if e.When == After {
+		wh = "a"
+	}
+	return fmt.Sprintf("%s@%s%s(%d)", e.Node.Kind(), wh, code, e.Index)
+}
+
+// Listener receives events. Handler returns the (possibly replaced) partial
+// solution; returning e.Param unchanged is the common case. Handlers run on
+// the worker goroutine: they must be fast and must not block on the skeleton
+// execution they observe (deadlock).
+type Listener interface {
+	Handler(e *Event) any
+}
+
+// Func adapts a plain function to the Listener interface.
+type Func func(e *Event) any
+
+// Handler implements Listener.
+func (f Func) Handler(e *Event) any { return f(e) }
+
+// Filter restricts which events reach a listener. Zero-value fields do not
+// filter; combine fields to narrow. A Filter with all fields zero matches
+// every event (the paper's "generic listener").
+type Filter struct {
+	// Node, when non-nil, matches only events raised by that exact node.
+	Node *skel.Node
+	// Kind, when set (HasKind true), matches only events whose node has
+	// that pattern kind.
+	Kind    skel.Kind
+	HasKind bool
+	// When, when set (HasWhen true), matches only Before or only After.
+	When    When
+	HasWhen bool
+	// Where, when set (HasWhere true), matches only that position.
+	Where    Where
+	HasWhere bool
+}
+
+// Matches reports whether the filter admits e.
+func (f Filter) Matches(e *Event) bool {
+	if f.Node != nil && f.Node != e.Node {
+		return false
+	}
+	if f.HasKind && e.Node.Kind() != f.Kind {
+		return false
+	}
+	if f.HasWhen && e.When != f.When {
+		return false
+	}
+	if f.HasWhere && e.Where != f.Where {
+		return false
+	}
+	return true
+}
+
+type entry struct {
+	id     uint64
+	filter Filter
+	l      Listener
+}
+
+// Registry is an ordered set of listeners with filters. Emission walks the
+// listeners in registration order, threading the partial solution through
+// each matching handler. A Registry is safe for concurrent use; emission
+// takes a read-lock-free snapshot so listeners can (un)register from within
+// handlers without deadlock.
+type Registry struct {
+	mu      sync.Mutex
+	nextID  uint64
+	entries []entry
+	// snapshot is the copy-on-write view used by Emit.
+	snapshot []entry
+}
+
+// NewRegistry returns an empty listener registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Subscription identifies a registered listener for removal.
+type Subscription uint64
+
+// Add registers l for every event (generic listener) and returns its
+// subscription token.
+func (r *Registry) Add(l Listener) Subscription { return r.AddFiltered(l, Filter{}) }
+
+// AddFiltered registers l for events admitted by filter.
+func (r *Registry) AddFiltered(l Listener, filter Filter) Subscription {
+	if l == nil {
+		panic("event: nil listener")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := r.nextID
+	r.entries = append(r.entries, entry{id: id, filter: filter, l: l})
+	r.rebuildLocked()
+	return Subscription(id)
+}
+
+// Remove unregisters a previously added listener. Removing an unknown
+// subscription is a no-op.
+func (r *Registry) Remove(s Subscription) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, en := range r.entries {
+		if en.id == uint64(s) {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			r.rebuildLocked()
+			return
+		}
+	}
+}
+
+// Len returns the number of registered listeners.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+func (r *Registry) rebuildLocked() {
+	snap := make([]entry, len(r.entries))
+	copy(snap, r.entries)
+	r.snapshot = snap
+}
+
+// Emit delivers e to every matching listener in registration order and
+// returns the final partial solution (e.Param threaded through handlers).
+// Emit never blocks on listener registration.
+func (r *Registry) Emit(e *Event) any {
+	r.mu.Lock()
+	snap := r.snapshot
+	r.mu.Unlock()
+	for _, en := range snap {
+		if en.filter.Matches(e) {
+			e.Param = en.l.Handler(e)
+		}
+	}
+	return e.Param
+}

@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// --- event payload details ----------------------------------------------------
+
+// TestNestedEventBranches: map nested events carry the sub-problem index in
+// Branch, matched between Before and After.
+func TestNestedEventBranches(t *testing.T) {
+	nd := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	var mu sync.Mutex
+	opened := map[int]int{}
+	closed := map[int]int{}
+	reg.AddFiltered(event.Func(func(e *event.Event) any {
+		mu.Lock()
+		if e.When == event.Before {
+			opened[e.Branch]++
+		} else {
+			closed[e.Branch]++
+		}
+		mu.Unlock()
+		return e.Param
+	}), event.Filter{Where: event.NestedSkel, HasWhere: true})
+	root := NewRoot(pool, reg, nil)
+	if _, err := root.Start(nd, 4).Get(); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		if opened[b] != 1 || closed[b] != 1 {
+			t.Fatalf("branch %d: opened %d closed %d", b, opened[b], closed[b])
+		}
+	}
+}
+
+// TestWhileIterEvents: while condition and nested events carry iteration
+// numbers; the final check carries the iteration count.
+func TestWhileIterEvents(t *testing.T) {
+	fc := muscle.NewCondition("lt3", func(p any) (bool, error) { return p.(int) < 3, nil })
+	inc := muscle.NewExecute("inc", func(p any) (any, error) { return p.(int) + 1, nil })
+	nd := skel.NewWhile(fc, skel.NewSeq(inc))
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	var iters []int
+	var verdicts []bool
+	reg.AddFiltered(event.Func(func(e *event.Event) any {
+		iters = append(iters, e.Iter)
+		verdicts = append(verdicts, e.Cond)
+		return e.Param
+	}), event.Filter{Where: event.Condition, HasWhere: true, When: event.After, HasWhen: true})
+	root := NewRoot(pool, reg, nil)
+	res, err := root.Start(nd, 0).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 3 {
+		t.Fatalf("result %v", res)
+	}
+	wantIters := []int{0, 1, 2, 3}
+	wantVerdicts := []bool{true, true, true, false}
+	if len(iters) != 4 {
+		t.Fatalf("iters %v", iters)
+	}
+	for i := range wantIters {
+		if iters[i] != wantIters[i] || verdicts[i] != wantVerdicts[i] {
+			t.Fatalf("check %d: iter=%d cond=%v", i, iters[i], verdicts[i])
+		}
+	}
+}
+
+// TestDaCDepthInEvents: d&c condition events carry the recursion depth.
+func TestDaCDepthInEvents(t *testing.T) {
+	fc := muscle.NewCondition("big", func(p any) (bool, error) { return p.(int) > 2, nil })
+	fs := muscle.NewSplit("halve", func(p any) ([]any, error) {
+		n := p.(int)
+		return []any{n / 2, n - n/2}, nil
+	})
+	fe := muscle.NewExecute("one", func(p any) (any, error) { return 1, nil })
+	nd := skel.NewDaC(fc, fs, skel.NewSeq(fe), fmSum())
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	maxDepth := 0
+	var mu sync.Mutex
+	reg.AddFiltered(event.Func(func(e *event.Event) any {
+		mu.Lock()
+		if e.Iter > maxDepth {
+			maxDepth = e.Iter
+		}
+		mu.Unlock()
+		return e.Param
+	}), event.Filter{Where: event.Condition, HasWhere: true})
+	root := NewRoot(pool, reg, nil)
+	if _, err := root.Start(nd, 8).Get(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 -> 4,4 -> 2,2,2,2: depths 0,1,2.
+	if maxDepth != 2 {
+		t.Fatalf("max depth %d, want 2", maxDepth)
+	}
+}
+
+// TestTraceDepth: events expose the static nesting path.
+func TestTraceDepth(t *testing.T) {
+	inner := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	outer := skel.NewMap(fsRange(), inner, fmSum())
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	depths := map[skel.Kind]int{}
+	var mu sync.Mutex
+	reg.Add(event.Func(func(e *event.Event) any {
+		mu.Lock()
+		if len(e.Trace) > depths[e.Node.Kind()] {
+			depths[e.Node.Kind()] = len(e.Trace)
+		}
+		if e.Trace[len(e.Trace)-1] != e.Node {
+			t.Errorf("trace does not end at the emitting node")
+		}
+		mu.Unlock()
+		return e.Param
+	}))
+	root := NewRoot(pool, reg, nil)
+	if _, err := root.Start(outer, 2).Get(); err != nil {
+		t.Fatal(err)
+	}
+	if depths[skel.Map] != 2 || depths[skel.Seq] != 3 {
+		t.Fatalf("trace depths: %v", depths)
+	}
+}
+
+// --- pool dynamics -------------------------------------------------------------
+
+// TestLPDecreaseParksWorkers: after lowering LP, concurrency drops for the
+// remaining work (running muscles finish first).
+func TestLPDecreaseParksWorkers(t *testing.T) {
+	const items = 24
+	var cur, peakAfter atomic.Int64
+	var lowered atomic.Bool
+	fe := muscle.NewExecute("track", func(p any) (any, error) {
+		n := cur.Add(1)
+		if lowered.Load() && n > peakAfter.Load() {
+			peakAfter.Store(n)
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return p, nil
+	})
+	nd := skel.NewMap(fsRange(), skel.NewSeq(fe), fmSum())
+	pool := NewPool(clock.System, 6, 0)
+	defer pool.Close()
+	root := NewRoot(pool, nil, nil)
+	fut := root.Start(nd, items)
+	time.Sleep(4 * time.Millisecond) // let several run at LP 6
+	pool.SetLP(2)
+	time.Sleep(5 * time.Millisecond) // drain the in-flight muscles
+	lowered.Store(true)
+	if _, err := fut.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if got := peakAfter.Load(); got > 2 {
+		t.Fatalf("concurrency after decrease: %d > 2", got)
+	}
+}
+
+// TestDeepNesting: 30 levels of farms around a seq still work at LP 1.
+func TestDeepNesting(t *testing.T) {
+	nd := skel.NewSeq(feAdd(1))
+	for i := 0; i < 30; i++ {
+		nd = skel.NewFarm(nd)
+	}
+	res, err := run(t, nd, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 1 {
+		t.Fatalf("got %v", res)
+	}
+}
+
+// TestWideFanout: a 2000-way map on a small pool.
+func TestWideFanout(t *testing.T) {
+	nd := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	res, err := run(t, nd, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 2000*1999 { // sum(2i, i<2000)
+		t.Fatalf("got %v, want %d", res, 2000*1999)
+	}
+}
+
+// TestStressManyConcurrentInputs: many roots with mixed shapes racing on
+// one pool.
+func TestStressManyConcurrentInputs(t *testing.T) {
+	pool := NewPool(clock.System, 4, 0)
+	defer pool.Close()
+	mapNd := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	fc := muscle.NewCondition("lt64", func(p any) (bool, error) { return p.(int) < 64, nil })
+	whileNd := skel.NewWhile(fc, skel.NewSeq(feDouble()))
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r1 := NewRoot(pool, nil, nil)
+			if res, err := r1.Start(mapNd, 10).Get(); err != nil || res != 90 {
+				errs <- fmt.Errorf("map %d: %v/%v", i, res, err)
+			}
+			r2 := NewRoot(pool, nil, nil)
+			if res, err := r2.Start(whileNd, 1).Get(); err != nil || res != 64 {
+				errs <- fmt.Errorf("while %d: %v/%v", i, res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPanicInListenerAbortsExecution: a panicking listener fails the
+// execution instead of killing the worker or the process.
+func TestPanicInListenerAbortsExecution(t *testing.T) {
+	pool := NewPool(clock.System, 2, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	reg.Add(event.Func(func(e *event.Event) any {
+		if e.When == event.After && e.Where == event.Split {
+			panic("listener bug")
+		}
+		return e.Param
+	}))
+	nd := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	root := NewRoot(pool, reg, nil)
+	_, err := root.Start(nd, 3).Get()
+	if err == nil {
+		t.Fatal("listener panic swallowed")
+	}
+	// The pool must still be usable afterwards.
+	root2 := NewRoot(pool, nil, nil)
+	if res, err := root2.Start(nd, 3).Get(); err != nil || res != 6 {
+		t.Fatalf("pool broken after listener panic: %v/%v", res, err)
+	}
+}
+
+// TestSubmitAfterCloseDoesNotHang: closing the pool drops queued tasks; the
+// futures of in-flight roots simply never resolve, but Submit panics
+// loudly rather than deadlocking silently.
+func TestSubmitAfterClosePanics(t *testing.T) {
+	pool := NewPool(clock.System, 1, 0)
+	pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit on closed pool did not panic")
+		}
+	}()
+	root := NewRoot(pool, nil, nil)
+	root.Start(skel.NewSeq(feAdd(1)), 1)
+}
+
+// TestPoolCloseIdempotent: double close is safe.
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := NewPool(clock.System, 2, 0)
+	pool.Close()
+	pool.Close()
+	if got := pool.String(); got == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// TestQueueLenVisibility: queued work is observable.
+func TestQueueLenVisibility(t *testing.T) {
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	fe := muscle.NewExecute("block", func(p any) (any, error) {
+		once.Do(func() { close(started) })
+		<-block
+		return p, nil
+	})
+	nd := skel.NewMap(fsRange(), skel.NewSeq(fe), fmSum())
+	root := NewRoot(pool, nil, nil)
+	fut := root.Start(nd, 5)
+	<-started
+	if pool.QueueLen() == 0 {
+		t.Error("no queued tasks visible while worker blocked")
+	}
+	close(block)
+	if _, err := fut.Get(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeReplaceTypeError: a listener replacing the merge input with a
+// non-[]any value fails the execution with a descriptive error.
+func TestMergeReplaceTypeError(t *testing.T) {
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+	reg := event.NewRegistry()
+	reg.AddFiltered(event.Func(func(e *event.Event) any { return 42 }),
+		event.Filter{Where: event.Merge, HasWhere: true, When: event.Before, HasWhen: true})
+	nd := skel.NewMap(fsRange(), skel.NewSeq(feDouble()), fmSum())
+	root := NewRoot(pool, reg, nil)
+	_, err := root.Start(nd, 2).Get()
+	if err == nil || !strings.Contains(err.Error(), "replaced merge input") {
+		t.Fatalf("want merge replacement error, got %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+// Future is the handle returned when a parameter is injected into a skeleton
+// program. It resolves exactly once, either with the final result or with
+// the first error raised by a muscle.
+type Future struct {
+	once sync.Once
+	done chan struct{}
+
+	mu     sync.Mutex
+	result any
+	err    error
+}
+
+// NewFuture returns an unresolved future.
+func NewFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// resolve fulfils the future. Only the first call has any effect.
+func (f *Future) resolve(result any, err error) {
+	f.once.Do(func() {
+		f.mu.Lock()
+		f.result, f.err = result, err
+		f.mu.Unlock()
+		close(f.done)
+	})
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Get blocks until the future resolves and returns the outcome.
+func (f *Future) Get() (any, error) {
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.result, f.err
+}
+
+// GetContext is Get with cancellation: it returns ctx.Err() if the context
+// ends first. The underlying execution keeps running; use the root's cancel
+// to abort it.
+func (f *Future) GetContext(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.Get()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryGet returns the outcome without blocking; ok reports whether the
+// future has resolved.
+func (f *Future) TryGet() (result any, err error, ok bool) {
+	select {
+	case <-f.done:
+		r, e := f.Get()
+		return r, e, true
+	default:
+		return nil, nil, false
+	}
+}

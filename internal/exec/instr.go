@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"fmt"
+
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// Instr is one step of skeleton interpretation. interpret may mutate the
+// task (its param and instruction stack) and may return child tasks; when it
+// does, the worker submits the children and parks the task until they all
+// complete. Instructions are created at run time and are used exactly once.
+type Instr interface {
+	interpret(w *worker, t *Task) (children []*Task, err error)
+}
+
+// instrFor builds the entry instruction for one activation of nd. parent is
+// the activation index of the enclosing skeleton activation (event.NoParent
+// at the root); trace is the static path from the root up to and including
+// nd's parent.
+func instrFor(nd *skel.Node, parent int64, trace []*skel.Node) Instr {
+	tr := appendTrace(trace, nd)
+	switch nd.Kind() {
+	case skel.Seq:
+		return &seqInst{nd: nd, parent: parent, trace: tr}
+	case skel.Farm:
+		return &farmInst{nd: nd, parent: parent, trace: tr}
+	case skel.Pipe:
+		return &pipeInst{nd: nd, parent: parent, trace: tr}
+	case skel.While:
+		return &whileInst{nd: nd, parent: parent, trace: tr}
+	case skel.If:
+		return &ifInst{nd: nd, parent: parent, trace: tr}
+	case skel.For:
+		return &forInst{nd: nd, parent: parent, trace: tr}
+	case skel.Map:
+		return &mapInst{nd: nd, parent: parent, trace: tr}
+	case skel.Fork:
+		return &forkInst{nd: nd, parent: parent, trace: tr}
+	case skel.DaC:
+		return &dacInst{nd: nd, parent: parent, trace: tr, depth: 0}
+	default:
+		panic(fmt.Sprintf("exec: unknown skeleton kind %v", nd.Kind()))
+	}
+}
+
+// MuscleError wraps an error (or recovered panic) raised by a muscle, adding
+// the muscle identity and the skeleton trace for diagnosis.
+type MuscleError struct {
+	Muscle *muscle.Muscle
+	Trace  []*skel.Node
+	Err    error
+}
+
+// Error implements error.
+func (e *MuscleError) Error() string {
+	loc := "?"
+	if len(e.Trace) > 0 {
+		loc = e.Trace[len(e.Trace)-1].Kind().String()
+	}
+	return fmt.Sprintf("skandium: muscle %s in %s failed: %v", e.Muscle, loc, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *MuscleError) Unwrap() error { return e.Err }
+
+// call invokes fn with panic recovery, turning panics into MuscleError so a
+// buggy muscle aborts its execution instead of the process.
+func call[T any](m *muscle.Muscle, trace []*skel.Node, fn func() (T, error)) (res T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &MuscleError{Muscle: m, Trace: trace, Err: fmt.Errorf("panic: %v", rec)}
+		}
+	}()
+	res, err = fn()
+	if err != nil {
+		err = &MuscleError{Muscle: m, Trace: trace, Err: err}
+	}
+	return res, err
+}
+
+// emitter bundles the arguments common to every event of one activation.
+type emitter struct {
+	root   *Root
+	w      *worker
+	nd     *skel.Node
+	trace  []*skel.Node
+	idx    int64
+	parent int64
+}
+
+// emit raises one event and returns the (possibly listener-replaced)
+// partial solution. mod, when non-nil, sets the extra payload fields.
+func (em emitter) emit(when event.When, where event.Where, param any, mod func(*event.Event)) any {
+	e := &event.Event{
+		Node:   em.nd,
+		Trace:  em.trace,
+		Index:  em.idx,
+		Parent: em.parent,
+		When:   when,
+		Where:  where,
+		Param:  param,
+		Time:   em.root.clk.Now(),
+		Worker: workerID(em.w),
+	}
+	if mod != nil {
+		mod(e)
+	}
+	return em.root.events.Emit(e)
+}
+
+func workerID(w *worker) int {
+	if w == nil {
+		return -1
+	}
+	return w.id
+}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"skandium/internal/event"
+	"skandium/internal/skel"
+)
+
+// farmInst evaluates farm(∆). Farm expresses task replication: every input
+// injected into the stream may be processed concurrently by the nested
+// skeleton. For a single parameter it is a transparent wrapper, so the
+// instruction simply brackets one nested evaluation with events; the
+// replication itself comes from the task pool running many farm activations
+// at once.
+type farmInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *farmInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	t.push(
+		&skelEndInst{a: a},
+		&nestedEndInst{a: a},
+		instrFor(in.nd.Children()[0], a.idx, in.trace),
+		&nestedBeginInst{a: a},
+	)
+	return nil, nil
+}
+
+// pipeInst evaluates pipe(∆1,...,∆k): the stages run in order on this
+// task's value, each bracketed by nested-skeleton events carrying the stage
+// number in Branch. Pipeline parallelism across *different* inputs emerges
+// from the pool executing several pipe activations concurrently.
+type pipeInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *pipeInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	stages := in.nd.Children()
+	t.push(&skelEndInst{a: a})
+	for i := len(stages) - 1; i >= 0; i-- {
+		t.push(
+			&nestedEndInst{a: a, branch: i},
+			instrFor(stages[i], a.idx, in.trace),
+			&nestedBeginInst{a: a, branch: i},
+		)
+	}
+	return nil, nil
+}
+
+// forInst evaluates for(n,∆): n sequential nested evaluations, iteration
+// numbers carried in Iter.
+type forInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *forInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	n := in.nd.N()
+	t.push(&skelEndInst{a: a})
+	for i := n - 1; i >= 0; i-- {
+		t.push(
+			&nestedEndInst{a: a, iter: i},
+			instrFor(in.nd.Children()[0], a.idx, in.trace),
+			&nestedBeginInst{a: a, iter: i},
+		)
+	}
+	return nil, nil
+}
+
+// whileInst opens a while(fc,∆) activation and schedules the first
+// condition check.
+type whileInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *whileInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	t.push(&whileCondInst{a: a, iter: 0})
+	return nil, nil
+}
+
+// whileCondInst checks the condition for iteration iter; when true it
+// schedules one nested evaluation followed by the next check, when false it
+// closes the activation.
+type whileCondInst struct {
+	a    actx
+	iter int
+}
+
+func (in *whileCondInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	c, err := runCondition(in.a, w, t, in.iter)
+	if err != nil {
+		return nil, err
+	}
+	if !c {
+		t.param = in.a.em(t.root, w).emit(event.After, event.Skeleton, t.param, nil)
+		return nil, nil
+	}
+	t.push(
+		&whileCondInst{a: in.a, iter: in.iter + 1},
+		&nestedEndInst{a: in.a, iter: in.iter},
+		instrFor(in.a.nd.Children()[0], in.a.idx, in.a.trace),
+		&nestedBeginInst{a: in.a, iter: in.iter},
+	)
+	return nil, nil
+}
+
+// runCondition raises before/after condition events around fc and returns
+// its verdict.
+func runCondition(a actx, w *worker, t *Task, iter int) (bool, error) {
+	em := a.em(t.root, w)
+	p := em.emit(event.Before, event.Condition, t.param, func(e *event.Event) { e.Iter = iter })
+	fc := a.nd.Cond()
+	c, err := call(fc, a.trace, func() (bool, error) { return fc.CallCondition(p) })
+	if err != nil {
+		return false, err
+	}
+	t.param = em.emit(event.After, event.Condition, p, func(e *event.Event) {
+		e.Cond, e.Iter = c, iter
+	})
+	return c, nil
+}
+
+// ifInst evaluates if(fc,∆true,∆false): condition events, then one nested
+// evaluation of the chosen branch (Branch 0 = true, 1 = false). The paper's
+// autonomic layer leaves If unsupported; the engine runs it and the ADG
+// layer handles it as a documented extension.
+type ifInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *ifInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	c, err := runCondition(a, w, t, 0)
+	if err != nil {
+		return nil, err
+	}
+	branch := 0
+	if !c {
+		branch = 1
+	}
+	t.push(
+		&skelEndInst{a: a},
+		&nestedEndInst{a: a, branch: branch},
+		instrFor(in.nd.Children()[branch], a.idx, in.trace),
+		&nestedBeginInst{a: a, branch: branch},
+	)
+	return nil, nil
+}

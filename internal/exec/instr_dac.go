@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"skandium/internal/skel"
+)
+
+// dacInst evaluates one level of d&c(fc,fs,∆,fm). Each recursion level is
+// its own activation: the condition decides between splitting (recursive
+// children in parallel, then merge) and solving the leaf with ∆. The
+// recursion depth travels in the events' Iter field — it is what the
+// estimator's |fc| cardinality tracks for d&c (estimated depth of the
+// recursion tree, per the paper §4).
+type dacInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+	depth  int
+}
+
+func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	c, err := runCondition(a, w, t, in.depth)
+	if err != nil {
+		return nil, err
+	}
+	if !c {
+		// Leaf: solve with the nested skeleton, then close the activation.
+		t.push(
+			&skelEndInst{a: a},
+			&nestedEndInst{a: a, iter: in.depth},
+			instrFor(in.nd.Children()[0], a.idx, in.trace),
+			&nestedBeginInst{a: a, iter: in.depth},
+		)
+		return nil, nil
+	}
+	parts, err := runSplit(a, w, t)
+	if err != nil {
+		return nil, err
+	}
+	t.push(&mapMergeInst{a: a})
+	return forkChildren(a, t, parts, func(branch int) Instr {
+		return &dacInst{
+			nd:     in.nd,
+			parent: a.idx,
+			trace:  appendTrace(in.trace, in.nd),
+			depth:  in.depth + 1,
+		}
+	}), nil
+}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"fmt"
+
+	"skandium/internal/event"
+	"skandium/internal/skel"
+)
+
+// mapInst evaluates map(fs,∆,fm). It raises the paper's eight map events:
+// skeleton begin, before/after split, before/after each nested skeleton,
+// before/after merge, skeleton end. The split's sub-problems become child
+// tasks executed in parallel; the merge runs as a continuation when the last
+// child completes.
+type mapInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *mapInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	parts, err := runSplit(a, w, t)
+	if err != nil {
+		return nil, err
+	}
+	t.push(&mapMergeInst{a: a})
+	return forkChildren(a, t, parts, func(branch int) Instr {
+		return instrFor(in.nd.Children()[0], a.idx, in.trace)
+	}), nil
+}
+
+// runSplit raises the before/after split events around the split muscle and
+// returns the sub-problems.
+func runSplit(a actx, w *worker, t *Task) ([]any, error) {
+	em := a.em(t.root, w)
+	p := em.emit(event.Before, event.Split, t.param, nil)
+	fs := a.nd.Split()
+	parts, err := call(fs, a.trace, func() ([]any, error) { return fs.CallSplit(p) })
+	if err != nil {
+		return nil, err
+	}
+	after := em.emit(event.After, event.Split, any(parts), func(e *event.Event) {
+		e.Card = len(parts)
+	})
+	if repl, ok := after.([]any); ok {
+		parts = repl
+	}
+	return parts, nil
+}
+
+// forkChildren parks t behind len(parts) children, each running the program
+// produced by prog for its branch, bracketed by the nested-skeleton events
+// of activation a. With zero parts no children are created and the
+// continuation already pushed on t runs immediately with empty results.
+func forkChildren(a actx, t *Task, parts []any, prog func(branch int) Instr) []*Task {
+	t.fork(len(parts))
+	if len(parts) == 0 {
+		return nil
+	}
+	children := make([]*Task, len(parts))
+	for b, p := range parts {
+		children[b] = newTask(t.root, t, b, p,
+			&nestedEndInst{a: a, branch: b},
+			prog(b),
+			&nestedBeginInst{a: a, branch: b},
+		)
+	}
+	return children
+}
+
+// mapMergeInst is the continuation of a map activation: it merges the
+// children results and closes the activation.
+type mapMergeInst struct{ a actx }
+
+func (in *mapMergeInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	merged, err := runMerge(in.a, w, t)
+	if err != nil {
+		return nil, err
+	}
+	t.param = in.a.em(t.root, w).emit(event.After, event.Skeleton, merged, nil)
+	return nil, nil
+}
+
+// runMerge raises the before/after merge events around the merge muscle and
+// returns the merged value.
+func runMerge(a actx, w *worker, t *Task) (any, error) {
+	results := t.takeResults()
+	em := a.em(t.root, w)
+	p := em.emit(event.Before, event.Merge, any(results), nil)
+	rs, ok := p.([]any)
+	if !ok {
+		return nil, fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
+			a.nd.Kind(), p)
+	}
+	fm := a.nd.Merge()
+	merged, err := call(fm, a.trace, func() (any, error) { return fm.CallMerge(rs) })
+	if err != nil {
+		return nil, err
+	}
+	return em.emit(event.After, event.Merge, merged, nil), nil
+}
+
+// forkInst evaluates fork(fs,{∆},fm): like map, but branch b is processed by
+// nested skeleton ∆b. The split must produce exactly one sub-problem per
+// nested skeleton.
+type forkInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *forkInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	parts, err := runSplit(a, w, t)
+	if err != nil {
+		return nil, err
+	}
+	subs := in.nd.Children()
+	if len(parts) != len(subs) {
+		return nil, fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
+			len(parts), len(subs))
+	}
+	t.push(&mapMergeInst{a: a})
+	return forkChildren(a, t, parts, func(branch int) Instr {
+		return instrFor(subs[branch], a.idx, in.trace)
+	}), nil
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"skandium/internal/event"
+	"skandium/internal/skel"
+)
+
+// actx is the context of one skeleton activation, shared by the several
+// instructions an activation schedules (e.g. a map's split instruction and
+// its merge continuation).
+type actx struct {
+	nd     *skel.Node
+	trace  []*skel.Node
+	idx    int64
+	parent int64
+}
+
+// em builds an emitter for the current worker.
+func (a actx) em(r *Root, w *worker) emitter {
+	return emitter{root: r, w: w, nd: a.nd, trace: a.trace, idx: a.idx, parent: a.parent}
+}
+
+// begin allocates the activation index and raises the Skeleton/Before event.
+func begin(nd *skel.Node, parent int64, trace []*skel.Node, w *worker, t *Task) actx {
+	a := actx{nd: nd, trace: trace, idx: t.root.nextIndex(), parent: parent}
+	t.param = a.em(t.root, w).emit(event.Before, event.Skeleton, t.param, nil)
+	return a
+}
+
+// seqInst evaluates seq(fe): the two events of the paper's Fig. 3,
+// seq(fe)@b(i) and seq(fe)@a(i), bracket the execute muscle.
+type seqInst struct {
+	nd     *skel.Node
+	parent int64
+	trace  []*skel.Node
+}
+
+func (in *seqInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	a := begin(in.nd, in.parent, in.trace, w, t)
+	fe := in.nd.Exec()
+	res, err := call(fe, in.trace, func() (any, error) { return fe.CallExecute(t.param) })
+	if err != nil {
+		return nil, err
+	}
+	t.param = a.em(t.root, w).emit(event.After, event.Skeleton, res, nil)
+	return nil, nil
+}
+
+// nestedBeginInst raises the "before nested skeleton" event of the enclosing
+// activation; it is the first instruction of every child/stage program.
+type nestedBeginInst struct {
+	a      actx
+	branch int
+	iter   int
+}
+
+func (in *nestedBeginInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	t.param = in.a.em(t.root, w).emit(event.Before, event.NestedSkel, t.param, func(e *event.Event) {
+		e.Branch, e.Iter = in.branch, in.iter
+	})
+	return nil, nil
+}
+
+// nestedEndInst raises the matching "after nested skeleton" event.
+type nestedEndInst struct {
+	a      actx
+	branch int
+	iter   int
+}
+
+func (in *nestedEndInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	t.param = in.a.em(t.root, w).emit(event.After, event.NestedSkel, t.param, func(e *event.Event) {
+		e.Branch, e.Iter = in.branch, in.iter
+	})
+	return nil, nil
+}
+
+// skelEndInst raises the Skeleton/After event that closes an activation
+// whose body was scheduled as separate stack entries (farm, pipe, for,
+// if, while, and the leaf arm of d&c).
+type skelEndInst struct{ a actx }
+
+func (in *skelEndInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	t.param = in.a.em(t.root, w).emit(event.After, event.Skeleton, t.param, nil)
+	return nil, nil
+}

@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// GaugeFunc observes pool state transitions: now is the clock reading,
+// active the number of workers currently executing a task, lp the current
+// level-of-parallelism target. It is invoked with the pool lock held, so it
+// must be fast and must not call back into the pool. The metrics recorder
+// uses it to build the "number of active threads vs wall-clock time" series
+// of the paper's Figs. 5-7.
+type GaugeFunc func(now time.Time, active, lp int)
+
+// Pool is a task pool with a dynamically resizable level of parallelism
+// (LP). It is the autonomic lever of the paper: raising LP admits more
+// workers to execute tasks concurrently; lowering it parks surplus workers
+// after their current task (running muscles are never interrupted, matching
+// Skandium's behaviour).
+//
+// Workers are goroutines spawned lazily up to the historical maximum LP and
+// gated by the current LP: at most lp workers execute tasks at any moment.
+type Pool struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Task // LIFO: depth-first keeps the working set small
+	lp      int
+	maxLP   int // hard cap (QoS "maximum LP"); 0 = unlimited
+	spawned int
+	active  int
+	closed  bool
+	gauge   GaugeFunc
+	// wrap, when set, surrounds every task execution (the distributed
+	// substrate injects shipping latency and per-node accounting here).
+	wrap func(workerID int, run func())
+
+	// statistics (guarded by mu)
+	tasksRun  uint64
+	busyTotal time.Duration
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	// TasksRun counts task executions (a task that parks and resumes
+	// counts once per execution slice).
+	TasksRun uint64
+	// BusyTime is the cumulative wall time workers spent executing tasks.
+	BusyTime time.Duration
+	// Spawned is the number of worker goroutines ever created.
+	Spawned int
+}
+
+// NewPool creates a pool with the given initial LP and hard cap. maxLP <= 0
+// means no cap. The clock is used only for gauge timestamps.
+func NewPool(clk clock.Clock, initialLP, maxLP int) *Pool {
+	if clk == nil {
+		clk = clock.System
+	}
+	if initialLP < 1 {
+		initialLP = 1
+	}
+	if maxLP > 0 && initialLP > maxLP {
+		initialLP = maxLP
+	}
+	p := &Pool{clk: clk, lp: initialLP, maxLP: maxLP}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// SetGauge installs the state observer. Pass nil to remove it.
+func (p *Pool) SetGauge(g GaugeFunc) {
+	p.mu.Lock()
+	p.gauge = g
+	p.mu.Unlock()
+}
+
+// SetRunWrapper surrounds every task execution with w (nil = direct). The
+// wrapper must call run exactly once. Install before submitting work.
+func (p *Pool) SetRunWrapper(w func(workerID int, run func())) {
+	p.mu.Lock()
+	p.wrap = w
+	p.mu.Unlock()
+}
+
+// LP returns the current level-of-parallelism target.
+func (p *Pool) LP() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lp
+}
+
+// MaxLP returns the hard cap (0 = unlimited).
+func (p *Pool) MaxLP() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxLP
+}
+
+// Active returns the number of workers currently executing a task.
+func (p *Pool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// QueueLen returns the number of tasks waiting for a worker.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// SetLP changes the level-of-parallelism target, clamped to [1, maxLP].
+// Raising it spawns or wakes workers immediately; lowering it takes effect
+// as running workers finish their current task.
+func (p *Pool) SetLP(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	if p.maxLP > 0 && n > p.maxLP {
+		n = p.maxLP
+	}
+	if n == p.lp {
+		return
+	}
+	p.lp = n
+	p.ensureWorkersLocked()
+	p.sampleLocked()
+	p.cond.Broadcast()
+}
+
+// Submit enqueues a task for execution.
+func (p *Pool) Submit(t *Task) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("exec: Submit on closed pool")
+	}
+	p.queue = append(p.queue, t)
+	p.ensureWorkersLocked()
+	p.cond.Broadcast()
+}
+
+// Close shuts the pool down. Queued tasks are dropped; workers exit after
+// their current task. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.queue = nil
+	p.cond.Broadcast()
+}
+
+func (p *Pool) ensureWorkersLocked() {
+	for p.spawned < p.lp {
+		w := &worker{id: p.spawned}
+		p.spawned++
+		go p.workerLoop(w)
+	}
+}
+
+func (p *Pool) sampleLocked() {
+	if p.gauge != nil {
+		p.gauge(p.clk.Now(), p.active, p.lp)
+	}
+}
+
+// worker identifies one pool goroutine in events and metrics.
+type worker struct {
+	id int
+}
+
+func (p *Pool) workerLoop(w *worker) {
+	for {
+		p.mu.Lock()
+		for !p.closed && (len(p.queue) == 0 || p.active >= p.lp) {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[len(p.queue)-1]
+		p.queue[len(p.queue)-1] = nil
+		p.queue = p.queue[:len(p.queue)-1]
+		p.active++
+		p.sampleLocked()
+		wrap := p.wrap
+		p.mu.Unlock()
+
+		runStart := p.clk.Now()
+		if wrap != nil {
+			wrap(w.id, func() { p.run(w, t) })
+		} else {
+			p.run(w, t)
+		}
+		busy := p.clk.Now().Sub(runStart)
+
+		p.mu.Lock()
+		p.active--
+		p.tasksRun++
+		p.busyTotal += busy
+		p.sampleLocked()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// run interprets t's instruction stack until the task completes, parks
+// behind children, or its root fails. A panic escaping an instruction —
+// which muscle wrappers already convert, so in practice a panicking event
+// listener — aborts the execution instead of killing the worker.
+func (p *Pool) run(w *worker, t *Task) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.root.fail(fmt.Errorf("skandium: panic during skeleton interpretation (listener?): %v", rec))
+		}
+	}()
+	for {
+		if t.root.Canceled() {
+			return
+		}
+		if len(t.stack) == 0 {
+			t.complete()
+			return
+		}
+		in := t.pop()
+		children, err := in.interpret(w, t)
+		if err != nil {
+			t.root.fail(err)
+			return
+		}
+		if children != nil {
+			for _, c := range children {
+				p.Submit(c)
+			}
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the pool's execution counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{TasksRun: p.tasksRun, BusyTime: p.busyTotal, Spawned: p.spawned}
+}
+
+// String describes the pool state for debugging.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("pool{lp=%d max=%d active=%d queued=%d spawned=%d closed=%v}",
+		p.lp, p.maxLP, p.active, len(p.queue), p.spawned, p.closed)
+}

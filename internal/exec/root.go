@@ -1,0 +1,101 @@
+// Package exec is the skeleton interpreter: a task pool with a resizable
+// level of parallelism executing instruction stacks compiled on the fly from
+// skeleton trees, raising the event hooks the autonomic layer observes.
+package exec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/event"
+	"skandium/internal/skel"
+)
+
+// Root is one end-to-end execution of a skeleton program for one input
+// parameter. It owns the activation-index counter, the listener registry
+// the execution reports to, and the future the caller waits on. Several
+// roots may share one pool.
+type Root struct {
+	pool   *Pool
+	events *event.Registry
+	clk    clock.Clock
+
+	idx      atomic.Int64
+	canceled atomic.Bool
+	future   *Future
+	start    time.Time
+}
+
+// NewRoot creates an execution session on pool reporting to events. A nil
+// registry gets a fresh empty one; a nil clock means the system clock.
+func NewRoot(pool *Pool, events *event.Registry, clk clock.Clock) *Root {
+	if pool == nil {
+		panic("exec: NewRoot with nil pool")
+	}
+	if events == nil {
+		events = event.NewRegistry()
+	}
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Root{pool: pool, events: events, clk: clk, future: NewFuture()}
+}
+
+// Events returns the registry this execution emits to.
+func (r *Root) Events() *event.Registry { return r.events }
+
+// Pool returns the pool executing this root.
+func (r *Root) Pool() *Pool { return r.pool }
+
+// Clock returns the root's time source.
+func (r *Root) Clock() clock.Clock { return r.clk }
+
+// Future returns the handle resolved with the final result.
+func (r *Root) Future() *Future { return r.future }
+
+// StartTime returns the clock reading at Start (zero before Start).
+func (r *Root) StartTime() time.Time { return r.start }
+
+// Start injects param into the skeleton program rooted at node and returns
+// the future of the result. Start must be called exactly once per Root.
+func (r *Root) Start(node *skel.Node, param any) *Future {
+	if err := node.Validate(); err != nil {
+		r.finish(nil, err)
+		return r.future
+	}
+	r.start = r.clk.Now()
+	t := newTask(r, nil, 0, param, instrFor(node, event.NoParent, nil))
+	r.pool.Submit(t)
+	return r.future
+}
+
+// nextIndex allocates an activation index; the Before and After events of
+// one activation share it.
+func (r *Root) nextIndex() int64 { return r.idx.Add(1) - 1 }
+
+// LastIndex returns the number of activation indices allocated so far.
+func (r *Root) LastIndex() int64 { return r.idx.Load() }
+
+// Canceled reports whether the execution has been aborted (muscle error or
+// explicit Cancel). Workers drop tasks of canceled roots between
+// instructions.
+func (r *Root) Canceled() bool { return r.canceled.Load() }
+
+// Cancel aborts the execution: the future resolves with err and remaining
+// tasks are discarded as workers encounter them. Running muscles are not
+// interrupted.
+func (r *Root) Cancel(err error) { r.fail(err) }
+
+func (r *Root) fail(err error) {
+	r.canceled.Store(true)
+	r.future.resolve(nil, err)
+}
+
+func (r *Root) finish(result any, err error) {
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.future.resolve(result, nil)
+}

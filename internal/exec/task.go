@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"skandium/internal/skel"
+)
+
+// Task is one schedulable unit of skeleton interpretation. A task carries
+// the current partial solution (param) and a LIFO stack of instructions to
+// run on it. Data-parallel instructions fork child tasks; the parent task is
+// parked (it holds no worker) until its last child completes, at which point
+// the child's worker re-enqueues the parent. This continuation design is
+// what makes the level of parallelism a pure resource knob: a map with LP=1
+// still terminates, it just runs its branches sequentially.
+type Task struct {
+	id     uint64
+	root   *Root
+	parent *Task
+	// branch is this task's slot in parent.results.
+	branch int
+
+	param any
+	stack []Instr
+
+	// results and pending are set by fork before children are submitted.
+	// Each child writes only its own slot, so no lock is needed; pending is
+	// decremented atomically as children complete.
+	results []any
+	pending atomic.Int32
+}
+
+var lastTaskID atomic.Uint64
+
+func newTask(root *Root, parent *Task, branch int, param any, program ...Instr) *Task {
+	return &Task{
+		id:     lastTaskID.Add(1),
+		root:   root,
+		parent: parent,
+		branch: branch,
+		param:  param,
+		stack:  program,
+	}
+}
+
+// push adds instructions to the stack; the last pushed runs first.
+func (t *Task) push(in ...Instr) { t.stack = append(t.stack, in...) }
+
+// pop removes and returns the top instruction. The caller guarantees the
+// stack is non-empty.
+func (t *Task) pop() Instr {
+	in := t.stack[len(t.stack)-1]
+	t.stack[len(t.stack)-1] = nil
+	t.stack = t.stack[:len(t.stack)-1]
+	return in
+}
+
+// fork prepares the bookkeeping for n children and returns the slice the
+// caller fills with newTask values (one per branch, in order). The children
+// must then be returned from the instruction's interpret so the worker
+// submits them after parking this task.
+func (t *Task) fork(n int) {
+	t.results = make([]any, n)
+	t.pending.Store(int32(n))
+}
+
+// takeResults consumes the children results gathered by fork.
+func (t *Task) takeResults() []any {
+	rs := t.results
+	t.results = nil
+	return rs
+}
+
+// childDone records a child's result; the last child re-enqueues the parent
+// on the pool.
+func (t *Task) childDone(branch int, result any) {
+	t.results[branch] = result
+	if t.pending.Add(-1) == 0 {
+		t.root.pool.Submit(t)
+	}
+}
+
+// complete is called when the stack is empty: the task's value is final.
+func (t *Task) complete() {
+	if t.parent != nil {
+		t.parent.childDone(t.branch, t.param)
+		return
+	}
+	t.root.finish(t.param, nil)
+}
+
+// appendTrace returns a fresh trace slice extending base with nd. Traces are
+// immutable once handed to events, so each extension copies.
+func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
+	tr := make([]*skel.Node, len(base)+1)
+	copy(tr, base)
+	tr[len(base)] = nd
+	return tr
+}

@@ -1,0 +1,162 @@
+// Package muscle defines the sequential building blocks of skeleton
+// programs. Following the paper's terminology, "muscles" are the black-box
+// pieces of business logic that a skeleton pattern orchestrates:
+//
+//	Execute   fe : P -> R          (seq)
+//	Split     fs : P -> {R}        (map, fork, d&c)
+//	Merge     fm : {P} -> R        (map, fork, d&c)
+//	Condition fc : P -> bool       (while, if, d&c)
+//
+// The engine is type-erased internally (parameters travel as `any`); the
+// public API at the module root wraps typed functions into these erased
+// muscles. Every muscle carries a process-unique ID and a human-readable
+// name: the ID is the key under which the estimator tracks t(m) and |m|, and
+// the name appears in traces, ADG dumps and error messages.
+package muscle
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind discriminates the four muscle flavours.
+type Kind int
+
+// Muscle kinds, in the order the paper introduces them.
+const (
+	Execute Kind = iota
+	Split
+	Merge
+	Condition
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Execute:
+		return "execute"
+	case Split:
+		return "split"
+	case Merge:
+		return "merge"
+	case Condition:
+		return "condition"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+var lastID atomic.Uint64
+
+// ID uniquely identifies a muscle within the process. IDs are never reused.
+type ID uint64
+
+// Muscle is a type-erased sequential function with identity. Exactly one of
+// the four function fields is non-nil, matching Kind.
+type Muscle struct {
+	id   ID
+	name string
+	kind Kind
+
+	exec  func(any) (any, error)
+	split func(any) ([]any, error)
+	merge func([]any) (any, error)
+	cond  func(any) (bool, error)
+}
+
+// NewExecute wraps an Execution muscle fe : P -> R.
+func NewExecute(name string, fn func(any) (any, error)) *Muscle {
+	if fn == nil {
+		panic("muscle: NewExecute with nil function")
+	}
+	return &Muscle{id: ID(lastID.Add(1)), name: name, kind: Execute, exec: fn}
+}
+
+// NewSplit wraps a Split muscle fs : P -> {R}.
+func NewSplit(name string, fn func(any) ([]any, error)) *Muscle {
+	if fn == nil {
+		panic("muscle: NewSplit with nil function")
+	}
+	return &Muscle{id: ID(lastID.Add(1)), name: name, kind: Split, split: fn}
+}
+
+// NewMerge wraps a Merge muscle fm : {P} -> R.
+func NewMerge(name string, fn func([]any) (any, error)) *Muscle {
+	if fn == nil {
+		panic("muscle: NewMerge with nil function")
+	}
+	return &Muscle{id: ID(lastID.Add(1)), name: name, kind: Merge, merge: fn}
+}
+
+// NewCondition wraps a Condition muscle fc : P -> bool.
+func NewCondition(name string, fn func(any) (bool, error)) *Muscle {
+	if fn == nil {
+		panic("muscle: NewCondition with nil function")
+	}
+	return &Muscle{id: ID(lastID.Add(1)), name: name, kind: Condition, cond: fn}
+}
+
+// Clone returns a muscle with the same function but a fresh identity (and
+// optionally a new name; "" keeps the old one). Because estimates are keyed
+// by muscle identity, cloning is how a caller gives the same code distinct
+// t(m)/|m| histories — e.g. one split function used at two nesting levels
+// with very different costs. The paper's Listing 1 reuses one object at
+// both levels (blended estimates); cloning is the opt-out.
+func (m *Muscle) Clone(name string) *Muscle {
+	c := *m
+	c.id = ID(lastID.Add(1))
+	if name != "" {
+		c.name = name
+	}
+	return &c
+}
+
+// ID returns the process-unique identity of the muscle.
+func (m *Muscle) ID() ID { return m.id }
+
+// Name returns the human-readable name given at construction.
+func (m *Muscle) Name() string { return m.name }
+
+// Kind returns the muscle flavour.
+func (m *Muscle) Kind() Kind { return m.kind }
+
+// String renders "name#id(kind)".
+func (m *Muscle) String() string {
+	if m == nil {
+		return "<nil muscle>"
+	}
+	return fmt.Sprintf("%s#%d(%s)", m.name, m.id, m.kind)
+}
+
+// CallExecute invokes an Execute muscle. It panics if the muscle is of a
+// different kind: that is a programming error in the engine, not user input.
+func (m *Muscle) CallExecute(p any) (any, error) {
+	if m.kind != Execute {
+		panic(fmt.Sprintf("muscle: CallExecute on %s", m))
+	}
+	return m.exec(p)
+}
+
+// CallSplit invokes a Split muscle.
+func (m *Muscle) CallSplit(p any) ([]any, error) {
+	if m.kind != Split {
+		panic(fmt.Sprintf("muscle: CallSplit on %s", m))
+	}
+	return m.split(p)
+}
+
+// CallMerge invokes a Merge muscle.
+func (m *Muscle) CallMerge(ps []any) (any, error) {
+	if m.kind != Merge {
+		panic(fmt.Sprintf("muscle: CallMerge on %s", m))
+	}
+	return m.merge(ps)
+}
+
+// CallCondition invokes a Condition muscle.
+func (m *Muscle) CallCondition(p any) (bool, error) {
+	if m.kind != Condition {
+		panic(fmt.Sprintf("muscle: CallCondition on %s", m))
+	}
+	return m.cond(p)
+}

@@ -1,0 +1,102 @@
+package muscle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindsAndCalls(t *testing.T) {
+	e := NewExecute("e", func(p any) (any, error) { return p.(int) * 2, nil })
+	if e.Kind() != Execute || e.Name() != "e" {
+		t.Fatal("execute metadata")
+	}
+	if v, err := e.CallExecute(21); err != nil || v != 42 {
+		t.Fatalf("call: %v/%v", v, err)
+	}
+
+	s := NewSplit("s", func(p any) ([]any, error) { return []any{1, 2}, nil })
+	parts, err := s.CallSplit(nil)
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("split: %v/%v", parts, err)
+	}
+
+	m := NewMerge("m", func(ps []any) (any, error) { return len(ps), nil })
+	if v, err := m.CallMerge([]any{1, 2, 3}); err != nil || v != 3 {
+		t.Fatalf("merge: %v/%v", v, err)
+	}
+
+	c := NewCondition("c", func(p any) (bool, error) { return p.(int) > 0, nil })
+	if v, err := c.CallCondition(1); err != nil || !v {
+		t.Fatalf("cond: %v/%v", v, err)
+	}
+}
+
+func TestIDsUniqueAndStable(t *testing.T) {
+	a := NewExecute("a", func(p any) (any, error) { return p, nil })
+	b := NewExecute("b", func(p any) (any, error) { return p, nil })
+	if a.ID() == b.ID() {
+		t.Fatal("IDs collide")
+	}
+	if a.ID() != a.ID() {
+		t.Fatal("ID not stable")
+	}
+}
+
+func TestErrorsPassThrough(t *testing.T) {
+	boom := errors.New("boom")
+	e := NewExecute("e", func(p any) (any, error) { return nil, boom })
+	if _, err := e.CallExecute(nil); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWrongKindCallPanics(t *testing.T) {
+	e := NewExecute("e", func(p any) (any, error) { return p, nil })
+	defer func() {
+		if rec := recover(); rec == nil || !strings.Contains(rec.(string), "CallSplit") {
+			t.Fatalf("want CallSplit panic, got %v", rec)
+		}
+	}()
+	e.CallSplit(nil)
+}
+
+func TestNilFunctionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"execute":   func() { NewExecute("x", nil) },
+		"split":     func() { NewSplit("x", nil) },
+		"merge":     func() { NewMerge("x", nil) },
+		"condition": func() { NewCondition("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	e := NewExecute("count", func(p any) (any, error) { return p, nil })
+	s := e.String()
+	if !strings.HasPrefix(s, "count#") || !strings.HasSuffix(s, "(execute)") {
+		t.Fatalf("String() = %q", s)
+	}
+	var nilM *Muscle
+	if nilM.String() != "<nil muscle>" {
+		t.Fatalf("nil String() = %q", nilM.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Execute: "execute", Split: "split", Merge: "merge", Condition: "condition",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q != %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package paperexp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/sim"
+	"skandium/internal/skel"
+)
+
+// FarmSpec parameterizes the farm streaming experiment: a stream of
+// word-count jobs (each a small map) arriving at a fixed rate into a farm,
+// measured at several fixed LPs. It produces the classic skeleton
+// throughput/latency table — the paper's farm pattern evaluated under its
+// "task replication" semantics.
+type FarmSpec struct {
+	// Jobs is the stream length; Interarrival the virtual gap between
+	// arrivals.
+	Jobs         int
+	Interarrival time.Duration
+	// JobSplit/JobExec/JobMerge are per-job muscle durations; JobFanout the
+	// per-job map cardinality.
+	JobSplit, JobExec, JobMerge time.Duration
+	JobFanout                   int
+	// LPs is the sweep (default 1,2,4,8,16).
+	LPs []int
+}
+
+// Defaults fills zero fields: 24 jobs every 20 ms, each a 4-way map of
+// 15 ms work items (~72 ms of work per job).
+func (s FarmSpec) Defaults() FarmSpec {
+	if s.Jobs == 0 {
+		s.Jobs = 24
+	}
+	if s.Interarrival == 0 {
+		s.Interarrival = 20 * time.Millisecond
+	}
+	if s.JobSplit == 0 {
+		s.JobSplit = 4 * time.Millisecond
+	}
+	if s.JobExec == 0 {
+		s.JobExec = 15 * time.Millisecond
+	}
+	if s.JobMerge == 0 {
+		s.JobMerge = 4 * time.Millisecond
+	}
+	if s.JobFanout == 0 {
+		s.JobFanout = 4
+	}
+	if len(s.LPs) == 0 {
+		s.LPs = []int{1, 2, 4, 8, 16}
+	}
+	return s
+}
+
+// FarmPoint is one row of the sweep.
+type FarmPoint struct {
+	LP int
+	// Makespan is stream start to last completion.
+	Makespan time.Duration
+	// MeanLatency / MaxLatency are per-job sojourn times.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	// Throughput is jobs per virtual second.
+	Throughput float64
+}
+
+// RunFarmSweep executes the sweep on the simulator.
+func RunFarmSweep(spec FarmSpec) ([]FarmPoint, error) {
+	spec = spec.Defaults()
+	fs := muscle.NewSplit("jfs", func(p any) ([]any, error) {
+		out := make([]any, spec.JobFanout)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := muscle.NewExecute("jfe", func(p any) (any, error) { return 1, nil })
+	fm := muscle.NewMerge("jfm", func(ps []any) (any, error) { return len(ps), nil })
+	program := skel.NewFarm(skel.NewMap(fs, skel.NewSeq(fe), fm))
+	costs := sim.CostFunc(func(m *muscle.Muscle, _ any) time.Duration {
+		switch m.ID() {
+		case fs.ID():
+			return spec.JobSplit
+		case fe.ID():
+			return spec.JobExec
+		case fm.ID():
+			return spec.JobMerge
+		default:
+			return 0
+		}
+	})
+
+	injections := make([]sim.Injection, spec.Jobs)
+	for i := range injections {
+		injections[i] = sim.Injection{At: time.Duration(i) * spec.Interarrival, Param: i}
+	}
+
+	out := make([]FarmPoint, 0, len(spec.LPs))
+	for _, lp := range spec.LPs {
+		eng := sim.NewEngine(sim.Config{Costs: costs, LP: lp})
+		start := eng.Now()
+		rs, err := eng.RunStream(program, injections)
+		if err != nil {
+			return nil, fmt.Errorf("farm sweep lp=%d: %w", lp, err)
+		}
+		var last time.Time
+		var sum, max time.Duration
+		for i, r := range rs {
+			if r.Result != spec.JobFanout {
+				return nil, fmt.Errorf("farm sweep lp=%d: job %d result %v", lp, i, r.Result)
+			}
+			if r.End.After(last) {
+				last = r.End
+			}
+			l := r.Latency()
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		makespan := last.Sub(start)
+		out = append(out, FarmPoint{
+			LP:          lp,
+			Makespan:    makespan,
+			MeanLatency: sum / time.Duration(spec.Jobs),
+			MaxLatency:  max,
+			Throughput:  float64(spec.Jobs) / makespan.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// FormatFarmTable renders the sweep as an aligned text table.
+func FormatFarmTable(points []FarmPoint) string {
+	var b strings.Builder
+	b.WriteString("LP   makespan   mean-latency  max-latency  throughput(jobs/s)\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-4d %-10v %-13v %-12v %.1f\n",
+			p.LP, p.Makespan.Round(time.Millisecond),
+			p.MeanLatency.Round(time.Millisecond),
+			p.MaxLatency.Round(time.Millisecond),
+			p.Throughput)
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package paperexp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFarmSweepShape(t *testing.T) {
+	points, err := RunFarmSweep(FarmSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Makespan > points[i-1].Makespan {
+			t.Fatalf("makespan grew from LP %d to %d: %v -> %v",
+				points[i-1].LP, points[i].LP, points[i-1].Makespan, points[i].Makespan)
+		}
+		if points[i].MeanLatency > points[i-1].MeanLatency {
+			t.Fatalf("mean latency grew with more LP: %v -> %v",
+				points[i-1].MeanLatency, points[i].MeanLatency)
+		}
+		if points[i].Throughput < points[i-1].Throughput {
+			t.Fatalf("throughput dropped with more LP")
+		}
+	}
+	// At LP 1 the stream is backlogged: per-job work (~72ms of busy time
+	// plus queueing) far exceeds the 20ms interarrival, so the worst
+	// latency must reflect deep queueing.
+	if points[0].MaxLatency < 200*time.Millisecond {
+		t.Fatalf("LP 1 max latency %v suspiciously low", points[0].MaxLatency)
+	}
+	// At LP 16 the system is overprovisioned: latency approaches the
+	// job's intrinsic critical path (split+exec+merge = 23ms).
+	last := points[len(points)-1]
+	if last.MeanLatency > 50*time.Millisecond {
+		t.Fatalf("LP 16 mean latency %v too high", last.MeanLatency)
+	}
+}
+
+func TestFarmSweepDeterministic(t *testing.T) {
+	a, err := RunFarmSweep(FarmSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFarmSweep(FarmSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFormatFarmTable(t *testing.T) {
+	points, err := RunFarmSweep(FarmSpec{LPs: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatFarmTable(points)
+	if !strings.Contains(table, "throughput") || !strings.Contains(table, "\n") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+	if len(strings.Split(strings.TrimSpace(table), "\n")) != 3 {
+		t.Fatalf("table rows wrong:\n%s", table)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package paperexp
+
+// raceEnabled relaxes wall-clock assertions under the race detector.
+const raceEnabled = false

@@ -1,0 +1,135 @@
+// Package refeval is a reference evaluator for skeleton programs: a direct
+// recursive interpreter with no tasks, no pool, no events and no
+// parallelism. It defines the functional semantics of the algebra in ~100
+// lines and serves as the oracle for differential testing — the task-pool
+// engine (internal/exec) and the simulator (internal/sim) must compute
+// exactly what this evaluator computes, for every program and input.
+package refeval
+
+import (
+	"fmt"
+
+	"skandium/internal/skel"
+)
+
+// MaxWhileIterations bounds while/d&c loops so buggy conditions surface as
+// errors instead of hangs in tests.
+const MaxWhileIterations = 1_000_000
+
+// Eval computes the result of a skeleton program sequentially.
+func Eval(node *skel.Node, param any) (any, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	return eval(node, param, 0)
+}
+
+func eval(node *skel.Node, param any, depth int) (any, error) {
+	switch node.Kind() {
+	case skel.Seq:
+		return node.Exec().CallExecute(param)
+	case skel.Farm:
+		return eval(node.Children()[0], param, 0)
+	case skel.Pipe:
+		var err error
+		for _, stage := range node.Children() {
+			param, err = eval(stage, param, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return param, nil
+	case skel.For:
+		var err error
+		for i := 0; i < node.N(); i++ {
+			param, err = eval(node.Children()[0], param, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return param, nil
+	case skel.While:
+		for i := 0; ; i++ {
+			if i > MaxWhileIterations {
+				return nil, fmt.Errorf("refeval: while exceeded %d iterations", MaxWhileIterations)
+			}
+			c, err := node.Cond().CallCondition(param)
+			if err != nil {
+				return nil, err
+			}
+			if !c {
+				return param, nil
+			}
+			param, err = eval(node.Children()[0], param, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case skel.If:
+		c, err := node.Cond().CallCondition(param)
+		if err != nil {
+			return nil, err
+		}
+		branch := 0
+		if !c {
+			branch = 1
+		}
+		return eval(node.Children()[branch], param, 0)
+	case skel.Map:
+		parts, err := node.Split().CallSplit(param)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]any, len(parts))
+		for i, p := range parts {
+			results[i], err = eval(node.Children()[0], p, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node.Merge().CallMerge(results)
+	case skel.Fork:
+		parts, err := node.Split().CallSplit(param)
+		if err != nil {
+			return nil, err
+		}
+		subs := node.Children()
+		if len(parts) != len(subs) {
+			return nil, fmt.Errorf("refeval: fork split produced %d sub-problems for %d nested skeletons",
+				len(parts), len(subs))
+		}
+		results := make([]any, len(parts))
+		for i, p := range parts {
+			results[i], err = eval(subs[i], p, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node.Merge().CallMerge(results)
+	case skel.DaC:
+		if depth > MaxWhileIterations {
+			return nil, fmt.Errorf("refeval: d&c recursion exceeded %d levels", MaxWhileIterations)
+		}
+		c, err := node.Cond().CallCondition(param)
+		if err != nil {
+			return nil, err
+		}
+		if !c {
+			return eval(node.Children()[0], param, 0)
+		}
+		parts, err := node.Split().CallSplit(param)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]any, len(parts))
+		for i, p := range parts {
+			results[i], err = eval(node, p, depth+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node.Merge().CallMerge(results)
+	default:
+		return nil, fmt.Errorf("refeval: unknown kind %v", node.Kind())
+	}
+}

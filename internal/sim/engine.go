@@ -1,0 +1,480 @@
+// Package sim is a deterministic discrete-event simulator substrate for
+// skeleton programs. It executes the same skeleton trees and emits the same
+// event protocol as the real task-pool engine (internal/exec), but time is
+// virtual: each muscle invocation costs a declared duration and the engine
+// advances a virtual clock from completion to completion.
+//
+// The simulator exists because the paper's evaluation ran on a 12-core/24-
+// thread Xeon; reproducing the figures requires parallel wall-clock
+// behaviour that a small CI box cannot exhibit. Since the object of study
+// is the autonomic controller (estimators, ADG, LP decisions) — which only
+// observes events and timestamps — running the identical controller against
+// the simulator preserves exactly the behaviour under test, deterministically.
+// Differential tests (sim vs the real engine) keep the two substrates
+// semantically aligned.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// CostModel declares the virtual duration of one muscle invocation on a
+// given parameter. Called at invocation start; implementations may be
+// stateful (e.g. seeded jitter) but must not depend on wall time.
+type CostModel interface {
+	Cost(m *muscle.Muscle, param any) time.Duration
+}
+
+// CostFunc adapts a function to CostModel.
+type CostFunc func(m *muscle.Muscle, param any) time.Duration
+
+// Cost implements CostModel.
+func (f CostFunc) Cost(m *muscle.Muscle, param any) time.Duration { return f(m, param) }
+
+// Config configures an Engine.
+type Config struct {
+	// Events receives the execution's events (nil = fresh registry).
+	Events *event.Registry
+	// Costs declares muscle durations. Required.
+	Costs CostModel
+	// LP is the initial level of parallelism (default 1). MaxLP caps
+	// SetLP; 0 = uncapped. MaxLP models the hardware thread count of the
+	// simulated machine (24 in the paper).
+	LP    int
+	MaxLP int
+	// Gauge, when set, observes (virtual now, active, lp) on transitions.
+	Gauge func(now time.Time, active, lp int)
+	// Start anchors virtual time (default clock.Epoch).
+	Start time.Time
+}
+
+// Engine runs one simulated execution at a time. It implements the
+// controller's LPControl lever.
+type Engine struct {
+	clk    *clock.Virtual
+	events *event.Registry
+	costs  CostModel
+	gauge  func(time.Time, int, int)
+
+	lp    int
+	maxLP int
+
+	queue   []*task
+	running runHeap
+	seq     uint64
+
+	freeSlots []int
+	nextSlot  int
+
+	idx   int64
+	start time.Time
+	err   error
+
+	arrivals  []arrival
+	nextArr   int
+	results   []StreamResult
+	completed int
+}
+
+// arrival is a pending stream injection.
+type arrival struct {
+	at    time.Time
+	param any
+	idx   int
+}
+
+// StreamResult is the outcome of one injected parameter of a stream run.
+type StreamResult struct {
+	Param  any
+	Result any
+	// Start is the virtual arrival instant, End the completion instant.
+	Start time.Time
+	End   time.Time
+}
+
+// Latency returns the virtual sojourn time of the job.
+func (r StreamResult) Latency() time.Duration { return r.End.Sub(r.Start) }
+
+// NewEngine builds a simulator.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Costs == nil {
+		panic("sim: Config.Costs is required")
+	}
+	if cfg.Events == nil {
+		cfg.Events = event.NewRegistry()
+	}
+	if cfg.LP < 1 {
+		cfg.LP = 1
+	}
+	if cfg.MaxLP > 0 && cfg.LP > cfg.MaxLP {
+		cfg.LP = cfg.MaxLP
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = clock.Epoch
+	}
+	return &Engine{
+		clk:    clock.NewVirtual(cfg.Start),
+		events: cfg.Events,
+		costs:  cfg.Costs,
+		gauge:  cfg.Gauge,
+		lp:     cfg.LP,
+		maxLP:  cfg.MaxLP,
+		start:  cfg.Start,
+	}
+}
+
+// Events returns the engine's registry.
+func (e *Engine) Events() *event.Registry { return e.events }
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() clock.Clock { return e.clk }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.clk.Now() }
+
+// Start returns the virtual time origin of the run.
+func (e *Engine) StartTime() time.Time { return e.start }
+
+// LP implements core.LPControl.
+func (e *Engine) LP() int { return e.lp }
+
+// SetLP implements core.LPControl; takes effect at the next scheduling
+// point (running muscles are never interrupted, like the real pool).
+func (e *Engine) SetLP(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if e.maxLP > 0 && n > e.maxLP {
+		n = e.maxLP
+	}
+	if n == e.lp {
+		return
+	}
+	e.lp = n
+	e.sample()
+}
+
+func (e *Engine) sample() {
+	if e.gauge != nil {
+		e.gauge(e.clk.Now(), e.running.len(), e.lp)
+	}
+}
+
+// Run executes node on param to completion and returns the result and the
+// virtual makespan. An Engine is single-use per Run call; Run may be called
+// again afterwards (state resets, the clock keeps advancing monotonically
+// from the previous run unless the engine is rebuilt).
+func (e *Engine) Run(node *skel.Node, param any) (any, time.Duration, error) {
+	start := e.clk.Now()
+	rs, err := e.RunStream(node, []Injection{{Param: param}})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rs[0].Result, e.clk.Now().Sub(start), nil
+}
+
+// Injection is one parameter of a stream run: Param arrives At after the
+// stream starts (zero = immediately).
+type Injection struct {
+	At    time.Duration
+	Param any
+}
+
+// RunStream simulates a stream of inputs processed by node — the farm
+// use-case: injections share the engine's capacity, later jobs benefit from
+// whatever LP the controller (or caller) set earlier. Results are returned
+// in injection order with per-job arrival/completion times.
+func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []StreamResult, err error) {
+	defer func() {
+		// Muscle panics are converted by scall; a panic reaching here comes
+		// from an event listener and aborts the run instead of the process.
+		if rec := recover(); rec != nil {
+			results = nil
+			err = fmt.Errorf("sim: panic during simulated execution (listener?): %v", rec)
+		}
+	}()
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if len(injections) == 0 {
+		return nil, nil
+	}
+	e.queue = e.queue[:0]
+	e.running = runHeap{}
+	e.err = nil
+	e.completed = 0
+	runStart := e.clk.Now()
+
+	e.results = make([]StreamResult, len(injections))
+	e.arrivals = e.arrivals[:0]
+	for i, inj := range injections {
+		at := runStart.Add(inj.At)
+		e.results[i] = StreamResult{Param: inj.Param, Start: at}
+		e.arrivals = append(e.arrivals, arrival{at: at, param: inj.Param, idx: i})
+	}
+	sortArrivals(e.arrivals)
+	e.nextArr = 0
+	e.admitArrivals(node)
+
+	for e.completed < len(e.results) && e.err == nil {
+		// Admit ready tasks while capacity remains.
+		for e.running.len() < e.lp && len(e.queue) > 0 {
+			t := e.queue[len(e.queue)-1]
+			e.queue = e.queue[:len(e.queue)-1]
+			e.step(t, e.takeSlot())
+			if e.err != nil {
+				break
+			}
+		}
+		if e.completed == len(e.results) || e.err != nil {
+			break
+		}
+		if e.running.len() == 0 {
+			if len(e.queue) > 0 {
+				return nil, fmt.Errorf("sim: stalled with %d queued tasks and no capacity", len(e.queue))
+			}
+			// Idle: jump to the next arrival.
+			if e.nextArr < len(e.arrivals) {
+				e.clk.Set(e.arrivals[e.nextArr].at)
+				e.admitArrivals(node)
+				continue
+			}
+			return nil, fmt.Errorf("sim: deadlock — nothing running, nothing queued, not done")
+		}
+		// If an arrival precedes the next completion, process it first.
+		if e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(e.running.peek().until) {
+			e.clk.Set(e.arrivals[e.nextArr].at)
+			e.admitArrivals(node)
+			continue
+		}
+		r := e.running.pop()
+		e.clk.Set(r.until)
+		e.sample()
+		r.done()
+		if e.err != nil {
+			break
+		}
+		// The same virtual worker continues interpreting its task.
+		e.step(r.task, r.slot)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.results, nil
+}
+
+// admitArrivals submits every injection whose arrival time has come.
+func (e *Engine) admitArrivals(node *skel.Node) {
+	now := e.clk.Now()
+	for e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(now) {
+		a := e.arrivals[e.nextArr]
+		e.nextArr++
+		root := &task{param: a.param, rootIdx: a.idx}
+		root.push(progFor(e, node, event.NoParent, nil)...)
+		e.submit(root)
+	}
+}
+
+func sortArrivals(as []arrival) {
+	// insertion sort: streams are small and usually already ordered.
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].at.Before(as[j-1].at); j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+func (e *Engine) submit(t *task) { e.queue = append(e.queue, t) }
+
+func (e *Engine) takeSlot() int {
+	if n := len(e.freeSlots); n > 0 {
+		s := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		return s
+	}
+	s := e.nextSlot
+	e.nextSlot++
+	return s
+}
+
+func (e *Engine) releaseSlot(s int) { e.freeSlots = append(e.freeSlots, s) }
+
+// step interprets t until it blocks on a muscle, parks behind children, or
+// completes. slot is the virtual worker identity used in events.
+func (e *Engine) step(t *task, slot int) {
+	for e.err == nil {
+		if len(t.stack) == 0 {
+			e.completeTask(t)
+			e.releaseSlot(slot)
+			return
+		}
+		in := t.pop()
+		switch in := in.(type) {
+		case *instant:
+			in.fn(t, slot)
+		case *busy:
+			d := in.dur
+			if d < 0 {
+				d = 0
+			}
+			e.seq++
+			e.running.push(run{
+				until: e.clk.Now().Add(d),
+				seq:   e.seq,
+				task:  t,
+				slot:  slot,
+				done:  func() { in.fn(t, slot) },
+			})
+			e.sample()
+			return
+		case *spawn:
+			if len(in.children) == 0 {
+				continue // zero-cardinality split: continuation runs now
+			}
+			for _, c := range in.children {
+				e.submit(c)
+			}
+			e.releaseSlot(slot)
+			return
+		default:
+			e.err = fmt.Errorf("sim: unknown instruction %T", in)
+			return
+		}
+	}
+}
+
+func (e *Engine) completeTask(t *task) {
+	if t.parent == nil {
+		e.results[t.rootIdx].Result = t.param
+		e.results[t.rootIdx].End = e.clk.Now()
+		e.completed++
+		return
+	}
+	p := t.parent
+	p.results[t.branch] = t.param
+	p.pending--
+	if p.pending == 0 {
+		e.submit(p)
+	}
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// nextIndex allocates an activation index (shared protocol with exec).
+func (e *Engine) nextIndex() int64 {
+	i := e.idx
+	e.idx++
+	return i
+}
+
+// --- task & instruction plumbing ----------------------------------------------
+
+type task struct {
+	param   any
+	stack   []sinstr
+	parent  *task
+	branch  int
+	results []any
+	pending int
+	// rootIdx is the injection slot for parentless tasks.
+	rootIdx int
+}
+
+func (t *task) push(in ...sinstr) { t.stack = append(t.stack, in...) }
+
+func (t *task) pop() sinstr {
+	in := t.stack[len(t.stack)-1]
+	t.stack[len(t.stack)-1] = nil
+	t.stack = t.stack[:len(t.stack)-1]
+	return in
+}
+
+// sinstr is a simulated instruction: instant bookkeeping, a busy period, or
+// a fork into children.
+type sinstr interface{ simInstr() }
+
+// instant runs immediately (events, stack manipulation).
+type instant struct{ fn func(t *task, slot int) }
+
+// busy occupies the virtual worker for dur, then runs fn.
+type busy struct {
+	dur time.Duration
+	fn  func(t *task, slot int)
+}
+
+// spawn parks the task behind children.
+type spawn struct{ children []*task }
+
+func (*instant) simInstr() {}
+func (*busy) simInstr()    {}
+func (*spawn) simInstr()   {}
+
+type run struct {
+	until time.Time
+	seq   uint64
+	task  *task
+	slot  int
+	done  func()
+}
+
+// runHeap orders running muscles by completion time, FIFO within equal
+// times (deterministic).
+type runHeap struct{ rs []run }
+
+func (h *runHeap) len() int { return len(h.rs) }
+
+func (h *runHeap) peek() run { return h.rs[0] }
+
+func (h *runHeap) less(i, j int) bool {
+	if !h.rs[i].until.Equal(h.rs[j].until) {
+		return h.rs[i].until.Before(h.rs[j].until)
+	}
+	return h.rs[i].seq < h.rs[j].seq
+}
+
+func (h *runHeap) push(r run) {
+	h.rs = append(h.rs, r)
+	i := len(h.rs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) {
+			break
+		}
+		h.rs[p], h.rs[i] = h.rs[i], h.rs[p]
+		i = p
+	}
+}
+
+func (h *runHeap) pop() run {
+	top := h.rs[0]
+	last := len(h.rs) - 1
+	h.rs[0] = h.rs[last]
+	h.rs = h.rs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.rs) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.rs) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.rs[i], h.rs[small] = h.rs[small], h.rs[i]
+		i = small
+	}
+	return top
+}

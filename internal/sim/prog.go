@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+
+	"skandium/internal/event"
+	"skandium/internal/exec"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// This file mirrors internal/exec's instruction semantics on the simulated
+// substrate, emitting the identical event protocol so the tracker and the
+// controller cannot tell the substrates apart. Differential tests in
+// sim_test.go enforce the equivalence.
+
+// sctx is one activation's event context (exec's actx counterpart).
+type sctx struct {
+	e      *Engine
+	nd     *skel.Node
+	trace  []*skel.Node
+	idx    int64
+	parent int64
+}
+
+func (a sctx) emit(slot int, when event.When, where event.Where, param any, mod func(*event.Event)) any {
+	ev := &event.Event{
+		Node:   a.nd,
+		Trace:  a.trace,
+		Index:  a.idx,
+		Parent: a.parent,
+		When:   when,
+		Where:  where,
+		Param:  param,
+		Time:   a.e.clk.Now(),
+		Worker: slot,
+	}
+	if mod != nil {
+		mod(ev)
+	}
+	return a.e.events.Emit(ev)
+}
+
+// scall invokes a muscle with panic recovery, mirroring exec.call.
+func scall[T any](m *muscle.Muscle, trace []*skel.Node, fn func() (T, error)) (res T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &exec.MuscleError{Muscle: m, Trace: trace, Err: fmt.Errorf("panic: %v", rec)}
+		}
+	}()
+	res, err = fn()
+	if err != nil {
+		err = &exec.MuscleError{Muscle: m, Trace: trace, Err: err}
+	}
+	return res, err
+}
+
+func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
+	tr := make([]*skel.Node, len(base)+1)
+	copy(tr, base)
+	tr[len(base)] = nd
+	return tr
+}
+
+// progFor returns the entry program of one activation of nd: a single
+// instant instruction that raises the begin event and unfolds the rest.
+func progFor(e *Engine, nd *skel.Node, parent int64, trace []*skel.Node) []sinstr {
+	return []sinstr{entryFor(e, nd, parent, trace)}
+}
+
+func entryFor(e *Engine, nd *skel.Node, parent int64, trace []*skel.Node) sinstr {
+	tr := appendTrace(trace, nd)
+	switch nd.Kind() {
+	case skel.Seq:
+		return seqEntry(e, nd, parent, tr)
+	case skel.Farm:
+		return wrapperEntry(e, nd, parent, tr, nd.Children()[0], 0, 0)
+	case skel.Pipe:
+		return pipeEntry(e, nd, parent, tr)
+	case skel.While:
+		return whileEntry(e, nd, parent, tr)
+	case skel.If:
+		return ifEntry(e, nd, parent, tr)
+	case skel.For:
+		return forEntry(e, nd, parent, tr)
+	case skel.Map:
+		return mapEntry(e, nd, parent, tr)
+	case skel.Fork:
+		return forkEntry(e, nd, parent, tr)
+	case skel.DaC:
+		return dacEntry(e, nd, parent, tr, 0)
+	default:
+		panic(fmt.Sprintf("sim: unknown skeleton kind %v", nd.Kind()))
+	}
+}
+
+// begin opens the activation: allocates the index and emits Skeleton/Before.
+func begin(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, t *task, slot int) sctx {
+	a := sctx{e: e, nd: nd, trace: tr, idx: e.nextIndex(), parent: parent}
+	t.param = a.emit(slot, event.Before, event.Skeleton, t.param, nil)
+	return a
+}
+
+func skelEnd(a sctx) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		t.param = a.emit(slot, event.After, event.Skeleton, t.param, nil)
+	}}
+}
+
+func nestedBegin(a sctx, branch, iter int) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		t.param = a.emit(slot, event.Before, event.NestedSkel, t.param, func(ev *event.Event) {
+			ev.Branch, ev.Iter = branch, iter
+		})
+	}}
+}
+
+func nestedEnd(a sctx, branch, iter int) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		t.param = a.emit(slot, event.After, event.NestedSkel, t.param, func(ev *event.Event) {
+			ev.Branch, ev.Iter = branch, iter
+		})
+	}}
+}
+
+// --- seq ------------------------------------------------------------------------
+
+func seqEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		fe := nd.Exec()
+		t.push(&busy{dur: e.costs.Cost(fe, t.param), fn: func(t *task, slot int) {
+			res, err := scall(fe, tr, func() (any, error) { return fe.CallExecute(t.param) })
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			t.param = a.emit(slot, event.After, event.Skeleton, res, nil)
+		}})
+	}}
+}
+
+// --- wrappers: farm and the shared single-body bracket ---------------------------
+
+// wrapperEntry brackets one nested evaluation with skeleton + nested events
+// (farm, and the chosen branch of if via ifEntry).
+func wrapperEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, sub *skel.Node, branch, iter int) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		t.push(
+			skelEnd(a),
+			nestedEnd(a, branch, iter),
+			entryFor(e, sub, a.idx, tr),
+			nestedBegin(a, branch, iter),
+		)
+	}}
+}
+
+// --- pipe / for -------------------------------------------------------------------
+
+func pipeEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		stages := nd.Children()
+		t.push(skelEnd(a))
+		for i := len(stages) - 1; i >= 0; i-- {
+			t.push(
+				nestedEnd(a, i, 0),
+				entryFor(e, stages[i], a.idx, tr),
+				nestedBegin(a, i, 0),
+			)
+		}
+	}}
+}
+
+func forEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		t.push(skelEnd(a))
+		for i := nd.N() - 1; i >= 0; i-- {
+			t.push(
+				nestedEnd(a, 0, i),
+				entryFor(e, nd.Children()[0], a.idx, tr),
+				nestedBegin(a, 0, i),
+			)
+		}
+	}}
+}
+
+// --- condition-bearing skeletons ---------------------------------------------------
+
+// pushCond schedules one condition evaluation, then hands the verdict to
+// andThen (still on the simulated worker).
+func pushCond(a sctx, iter int, t *task, slot int, andThen func(t *task, slot int, c bool)) {
+	fc := a.nd.Cond()
+	p := a.emit(slot, event.Before, event.Condition, t.param, func(ev *event.Event) { ev.Iter = iter })
+	t.param = p
+	t.push(&busy{dur: a.e.costs.Cost(fc, p), fn: func(t *task, slot int) {
+		c, err := scall(fc, a.trace, func() (bool, error) { return fc.CallCondition(t.param) })
+		if err != nil {
+			a.e.fail(err)
+			return
+		}
+		t.param = a.emit(slot, event.After, event.Condition, t.param, func(ev *event.Event) {
+			ev.Cond, ev.Iter = c, iter
+		})
+		andThen(t, slot, c)
+	}})
+}
+
+func whileEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		t.push(whileCheck(a, 0))
+	}}
+}
+
+func whileCheck(a sctx, iter int) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		pushCond(a, iter, t, slot, func(t *task, slot int, c bool) {
+			if !c {
+				t.param = a.emit(slot, event.After, event.Skeleton, t.param, nil)
+				return
+			}
+			t.push(
+				whileCheck(a, iter+1),
+				nestedEnd(a, 0, iter),
+				entryFor(a.e, a.nd.Children()[0], a.idx, a.trace),
+				nestedBegin(a, 0, iter),
+			)
+		})
+	}}
+}
+
+func ifEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		pushCond(a, 0, t, slot, func(t *task, slot int, c bool) {
+			branch := 0
+			if !c {
+				branch = 1
+			}
+			t.push(
+				skelEnd(a),
+				nestedEnd(a, branch, 0),
+				entryFor(e, nd.Children()[branch], a.idx, tr),
+				nestedBegin(a, branch, 0),
+			)
+		})
+	}}
+}
+
+// --- split/merge skeletons ----------------------------------------------------------
+
+// pushSplit schedules the split muscle and hands the sub-problems to andThen.
+func pushSplit(a sctx, t *task, slot int, andThen func(t *task, slot int, parts []any)) {
+	fs := a.nd.Split()
+	p := a.emit(slot, event.Before, event.Split, t.param, nil)
+	t.param = p
+	t.push(&busy{dur: a.e.costs.Cost(fs, p), fn: func(t *task, slot int) {
+		parts, err := scall(fs, a.trace, func() ([]any, error) { return fs.CallSplit(t.param) })
+		if err != nil {
+			a.e.fail(err)
+			return
+		}
+		after := a.emit(slot, event.After, event.Split, any(parts), func(ev *event.Event) {
+			ev.Card = len(parts)
+		})
+		if repl, ok := after.([]any); ok {
+			parts = repl
+		}
+		andThen(t, slot, parts)
+	}})
+}
+
+// mergeCont is the continuation run when all children completed: the merge
+// muscle bracketed by its events, then the skeleton end.
+func mergeCont(a sctx) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		results := t.results
+		t.results = nil
+		p := a.emit(slot, event.Before, event.Merge, any(results), nil)
+		rs, ok := p.([]any)
+		if !ok {
+			a.e.fail(fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
+				a.nd.Kind(), p))
+			return
+		}
+		fm := a.nd.Merge()
+		t.push(&busy{dur: a.e.costs.Cost(fm, rs), fn: func(t *task, slot int) {
+			merged, err := scall(fm, a.trace, func() (any, error) { return fm.CallMerge(rs) })
+			if err != nil {
+				a.e.fail(err)
+				return
+			}
+			t.param = a.emit(slot, event.After, event.Merge, merged, nil)
+			t.param = a.emit(slot, event.After, event.Skeleton, t.param, nil)
+		}})
+	}}
+}
+
+// forkOut parks t behind children running prog(branch) on parts[branch].
+func forkOut(a sctx, t *task, parts []any, prog func(branch int) sinstr) {
+	t.results = make([]any, len(parts))
+	t.pending = len(parts)
+	children := make([]*task, len(parts))
+	for b, p := range parts {
+		children[b] = &task{
+			param:  p,
+			parent: t,
+			branch: b,
+			stack: []sinstr{
+				nestedEnd(a, b, 0),
+				prog(b),
+				nestedBegin(a, b, 0),
+			},
+		}
+	}
+	t.push(&spawn{children: children})
+}
+
+func mapEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
+			t.push(mergeCont(a))
+			forkOut(a, t, parts, func(int) sinstr {
+				return entryFor(e, nd.Children()[0], a.idx, tr)
+			})
+		})
+	}}
+}
+
+func forkEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
+			subs := nd.Children()
+			if len(parts) != len(subs) {
+				e.fail(fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
+					len(parts), len(subs)))
+				return
+			}
+			t.push(mergeCont(a))
+			forkOut(a, t, parts, func(b int) sinstr {
+				return entryFor(e, subs[b], a.idx, tr)
+			})
+		})
+	}}
+}
+
+func dacEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, depth int) sinstr {
+	return &instant{fn: func(t *task, slot int) {
+		a := begin(e, nd, parent, tr, t, slot)
+		pushCond(a, depth, t, slot, func(t *task, slot int, c bool) {
+			if !c {
+				t.push(
+					skelEnd(a),
+					nestedEnd(a, 0, depth),
+					entryFor(e, nd.Children()[0], a.idx, tr),
+					nestedBegin(a, 0, depth),
+				)
+				return
+			}
+			pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
+				t.push(mergeCont(a))
+				forkOut(a, t, parts, func(int) sinstr {
+					return dacEntry(e, nd, a.idx, appendTrace(tr, nd), depth+1)
+				})
+			})
+		})
+	}}
+}

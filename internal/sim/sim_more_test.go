@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/event"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// jitterCosts draws per-invocation durations from a seeded source.
+type jitterCosts struct {
+	base time.Duration
+	rng  *rand.Rand
+}
+
+func (j *jitterCosts) Cost(m *muscle.Muscle, _ any) time.Duration {
+	f := 0.5 + j.rng.Float64()
+	return time.Duration(float64(j.base) * f)
+}
+
+// TestSimDeterministicWithSeededJitter: identical seeds give identical
+// makespans; different seeds differ.
+func TestSimDeterministicWithSeededJitter(t *testing.T) {
+	nd, _, _, _ := buildMapProgram()
+	run := func(seed int64) time.Duration {
+		eng := NewEngine(Config{Costs: &jitterCosts{base: ms(10), rng: rand.New(rand.NewSource(seed))}, LP: 2})
+		_, makespan, err := eng.Run(nd, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Fatalf("same seed diverged: %v vs %v", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("different seeds identical: %v", a1)
+	}
+}
+
+// TestSimSetLPMidRunViaListener: raising LP from an event listener takes
+// effect immediately at the next scheduling point.
+func TestSimSetLPMidRunViaListener(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(10), fe.ID(): ms(20), fm.ID(): ms(5)}
+	reg := event.NewRegistry()
+	eng := NewEngine(Config{Costs: costs, LP: 1, Events: reg, MaxLP: 8})
+	reg.AddFiltered(event.Func(func(e *event.Event) any {
+		eng.SetLP(4) // right after the split completes
+		return e.Param
+	}), event.Filter{Where: event.Split, HasWhere: true, When: event.After, HasWhen: true})
+	_, makespan, err := eng.Run(nd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With LP 4 from the split on: 10 + 20 + 5.
+	if makespan != ms(35) {
+		t.Fatalf("makespan %v, want 35ms", makespan)
+	}
+}
+
+// TestSimLoweringLPMidRun: decreasing LP mid-run serializes the remainder.
+func TestSimLoweringLPMidRun(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(10), fe.ID(): ms(20), fm.ID(): ms(5)}
+	reg := event.NewRegistry()
+	eng := NewEngine(Config{Costs: costs, LP: 4, Events: reg})
+	reg.AddFiltered(event.Func(func(e *event.Event) any {
+		eng.SetLP(1)
+		return e.Param
+	}), event.Filter{Where: event.Split, HasWhere: true, When: event.After, HasWhen: true})
+	_, makespan, err := eng.Run(nd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split 10, then 4 fe sequential (LP dropped before any fe started),
+	// then merge: 10 + 80 + 5.
+	if makespan != ms(95) {
+		t.Fatalf("makespan %v, want 95ms", makespan)
+	}
+}
+
+// TestSimWorkerIDsConsecutive: nested Before then child Skeleton Before
+// arrive on the same virtual worker slot (the tracker's branch-recovery
+// protocol relies on it).
+func TestSimWorkerSlotProtocol(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(1), fe.ID(): ms(1), fm.ID(): ms(1)}
+	reg := event.NewRegistry()
+	var pendingSlot = -1
+	var pendingBranch int
+	violations := 0
+	reg.Add(event.Func(func(e *event.Event) any {
+		if e.Where == event.NestedSkel && e.When == event.Before {
+			pendingSlot, pendingBranch = e.Worker, e.Branch
+		} else if e.Where == event.Skeleton && e.When == event.Before && pendingSlot >= 0 {
+			if e.Worker != pendingSlot {
+				violations++
+			}
+			_ = pendingBranch
+			pendingSlot = -1
+		}
+		return e.Param
+	}))
+	eng := NewEngine(Config{Costs: costs, LP: 3, Events: reg})
+	if _, _, err := eng.Run(nd, 6); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Fatalf("%d slot-protocol violations", violations)
+	}
+}
+
+// TestSimListenerPanicSurfacesAsError: a panicking listener aborts the
+// simulated run with an error.
+func TestSimListenerPanic(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(1), fe.ID(): ms(1), fm.ID(): ms(1)}
+	reg := event.NewRegistry()
+	reg.Add(event.Func(func(e *event.Event) any {
+		if e.Where == event.Merge {
+			panic("boom")
+		}
+		return e.Param
+	}))
+	eng := NewEngine(Config{Costs: costs, LP: 1, Events: reg})
+	if _, _, err := eng.Run(nd, 2); err == nil {
+		t.Fatal("listener panic swallowed")
+	}
+}
+
+// TestSimSequentialRuns: an engine can run several executions back to back
+// (virtual clock keeps advancing).
+func TestSimSequentialRuns(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(1), fe.ID(): ms(1), fm.ID(): ms(1)}
+	eng := NewEngine(Config{Costs: costs, LP: 2})
+	before := eng.Now()
+	for i := 0; i < 3; i++ {
+		res, _, err := eng.Run(nd, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != 6 {
+			t.Fatalf("run %d: %v", i, res)
+		}
+	}
+	if !eng.Now().After(before) {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+// TestSimZeroCostMuscles: all-zero costs still execute correctly in zero
+// virtual time.
+func TestSimZeroCost(t *testing.T) {
+	nd, _, _, _ := buildMapProgram()
+	eng := NewEngine(Config{Costs: CostFunc(func(*muscle.Muscle, any) time.Duration { return 0 }), LP: 1})
+	res, makespan, err := eng.Run(nd, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 20 || makespan != 0 {
+		t.Fatalf("res %v makespan %v", res, makespan)
+	}
+}
+
+// TestSimStartTimeAnchor: the engine anchors at clock.Epoch by default.
+func TestSimStartTimeAnchor(t *testing.T) {
+	eng := NewEngine(Config{Costs: CostFunc(func(*muscle.Muscle, any) time.Duration { return 0 })})
+	if !eng.StartTime().Equal(clock.Epoch) || !eng.Now().Equal(clock.Epoch) {
+		t.Fatalf("anchor %v / %v", eng.StartTime(), eng.Now())
+	}
+}
+
+// TestSimNestedWhileInsideMap: composite control flow on the simulator.
+func TestSimNestedWhileInsideMap(t *testing.T) {
+	fc := muscle.NewCondition("lt10", func(p any) (bool, error) { return p.(int) < 10, nil })
+	inc := muscle.NewExecute("inc", func(p any) (any, error) { return p.(int) + 3, nil })
+	body := skel.NewWhile(fc, skel.NewSeq(inc))
+	fs := muscle.NewSplit("three", func(p any) ([]any, error) { return []any{0, 5, 9}, nil })
+	fm := muscle.NewMerge("sum", func(ps []any) (any, error) {
+		s := 0
+		for _, p := range ps {
+			s += p.(int)
+		}
+		return s, nil
+	})
+	nd := skel.NewMap(fs, body, fm)
+	eng := NewEngine(Config{Costs: CostFunc(func(*muscle.Muscle, any) time.Duration { return ms(1) }), LP: 2})
+	res, _, err := eng.Run(nd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0->12, 5->11, 9->12
+	if res != 35 {
+		t.Fatalf("res %v, want 35", res)
+	}
+}
+
+// TestSimMergeReplaceTypeError: a listener replacing the merge input with a
+// non-[]any value fails the run with a descriptive error.
+func TestSimMergeReplaceTypeError(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(1), fe.ID(): ms(1), fm.ID(): ms(1)}
+	reg := event.NewRegistry()
+	reg.AddFiltered(event.Func(func(e *event.Event) any { return "corrupted" }),
+		event.Filter{Where: event.Merge, HasWhere: true, When: event.Before, HasWhen: true})
+	eng := NewEngine(Config{Costs: costs, LP: 1, Events: reg})
+	_, _, err := eng.Run(nd, 2)
+	if err == nil || !strings.Contains(err.Error(), "replaced merge input") {
+		t.Fatalf("want merge replacement error, got %v", err)
+	}
+}

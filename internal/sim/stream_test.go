@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+func farmProgram() (*skel.Node, *muscle.Muscle) {
+	fe := muscle.NewExecute("job", func(p any) (any, error) { return p.(int) * 2, nil })
+	return skel.NewFarm(skel.NewSeq(fe)), fe
+}
+
+// TestRunStreamBatchThroughput: 8 jobs of 10ms each arriving together.
+func TestRunStreamBatchThroughput(t *testing.T) {
+	nd, fe := farmProgram()
+	costs := costTable{fe.ID(): ms(10)}
+	cases := []struct {
+		lp       int
+		makespan time.Duration
+	}{
+		{1, ms(80)},
+		{2, ms(40)},
+		{4, ms(20)},
+		{8, ms(10)},
+	}
+	for _, tc := range cases {
+		eng := NewEngine(Config{Costs: costs, LP: tc.lp})
+		injs := make([]Injection, 8)
+		for i := range injs {
+			injs[i] = Injection{Param: i}
+		}
+		start := eng.Now()
+		rs, err := eng.RunStream(nd, injs)
+		if err != nil {
+			t.Fatalf("lp=%d: %v", tc.lp, err)
+		}
+		var last time.Time
+		for i, r := range rs {
+			if r.Result != i*2 {
+				t.Fatalf("lp=%d job %d: result %v", tc.lp, i, r.Result)
+			}
+			if r.End.After(last) {
+				last = r.End
+			}
+		}
+		if got := last.Sub(start); got != tc.makespan {
+			t.Fatalf("lp=%d: makespan %v, want %v", tc.lp, got, tc.makespan)
+		}
+	}
+}
+
+// TestRunStreamArrivals: spaced arrivals on an idle engine start on time;
+// latency is the job's own 10ms when capacity is free.
+func TestRunStreamArrivals(t *testing.T) {
+	nd, fe := farmProgram()
+	costs := costTable{fe.ID(): ms(10)}
+	eng := NewEngine(Config{Costs: costs, LP: 2})
+	injs := []Injection{
+		{At: 0, Param: 0},
+		{At: ms(50), Param: 1},
+		{At: ms(100), Param: 2},
+	}
+	rs, err := eng.RunStream(nd, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Latency() != ms(10) {
+			t.Fatalf("job %d latency %v, want 10ms", i, r.Latency())
+		}
+		if got := r.Start.Sub(eng.StartTime()); got != injs[i].At {
+			t.Fatalf("job %d started at %v, want %v", i, got, injs[i].At)
+		}
+	}
+}
+
+// TestRunStreamQueueing: at LP 1, back-to-back arrivals queue and latency
+// grows linearly — the farm bottleneck.
+func TestRunStreamQueueing(t *testing.T) {
+	nd, fe := farmProgram()
+	costs := costTable{fe.ID(): ms(10)}
+	eng := NewEngine(Config{Costs: costs, LP: 1})
+	injs := []Injection{{Param: 0}, {Param: 1}, {Param: 2}}
+	rs, err := eng.RunStream(nd, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO service order: total occupancy is 30ms; the slowest job waits
+	// 20ms behind the other two.
+	var worst time.Duration
+	var sum time.Duration
+	for _, r := range rs {
+		if r.Latency() > worst {
+			worst = r.Latency()
+		}
+		sum += r.Latency()
+	}
+	if worst != ms(30) {
+		t.Fatalf("worst latency %v, want 30ms", worst)
+	}
+	if sum != ms(10+20+30) {
+		t.Fatalf("total latency %v, want 60ms", sum)
+	}
+}
+
+// TestRunStreamUnorderedArrivals are sorted by time.
+func TestRunStreamUnorderedArrivals(t *testing.T) {
+	nd, fe := farmProgram()
+	costs := costTable{fe.ID(): ms(10)}
+	eng := NewEngine(Config{Costs: costs, LP: 1})
+	rs, err := eng.RunStream(nd, []Injection{
+		{At: ms(40), Param: 40},
+		{At: 0, Param: 0},
+		{At: ms(20), Param: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results stay in injection order; each starts at its own arrival.
+	for i, wantAt := range []time.Duration{ms(40), 0, ms(20)} {
+		if got := rs[i].Start.Sub(eng.StartTime()); got != wantAt {
+			t.Fatalf("job %d start %v, want %v", i, got, wantAt)
+		}
+	}
+	if rs[1].Result != 0 || rs[0].Result != 80 {
+		t.Fatalf("results scrambled: %+v", rs)
+	}
+}
+
+// TestRunStreamEmpty: no injections, no work.
+func TestRunStreamEmpty(t *testing.T) {
+	nd, fe := farmProgram()
+	eng := NewEngine(Config{Costs: costTable{fe.ID(): ms(1)}})
+	rs, err := eng.RunStream(nd, nil)
+	if err != nil || rs != nil {
+		t.Fatalf("got %v/%v", rs, err)
+	}
+}
+
+// TestRunStreamWithNestedMap: each stream element fans out internally.
+func TestRunStreamWithNestedMap(t *testing.T) {
+	nd, fs, fe, fm := buildMapProgram()
+	costs := costTable{fs.ID(): ms(2), fe.ID(): ms(10), fm.ID(): ms(1)}
+	eng := NewEngine(Config{Costs: costs, LP: 4})
+	rs, err := eng.RunStream(nd, []Injection{{Param: 4}, {At: ms(5), Param: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Result != 12 {
+			t.Fatalf("job %d result %v", i, r.Result)
+		}
+	}
+}

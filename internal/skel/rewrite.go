@@ -1,0 +1,145 @@
+package skel
+
+import (
+	"skandium/internal/muscle"
+)
+
+// OptimizeOptions selects which rewrites Optimize applies.
+type OptimizeOptions struct {
+	// FuseSeqPipes replaces pipe stages of adjacent seq skeletons with a
+	// single seq of the composed muscle (g∘f). Fusion preserves functional
+	// semantics and removes per-stage scheduling and event overhead, but
+	// coarsens the event stream and gives the fused muscle a fresh
+	// identity (its estimates start cold).
+	FuseSeqPipes bool
+}
+
+// Optimize returns a semantically equivalent, normalized copy of the tree:
+//
+//	farm(farm(∆))        → farm(∆)
+//	pipe(..,pipe(a,b),..) → pipe(..,a,b,..)   (flattening)
+//	for(1,∆)             → ∆
+//	for(n,for(m,∆))      → for(n·m,∆)
+//	pipe(seq f, seq g)   → seq(g∘f)           (with FuseSeqPipes)
+//
+// Unchanged subtrees are shared with the input; the input itself is never
+// mutated. Muscles keep their identity except for fused sequences.
+func Optimize(n *Node, opts OptimizeOptions) *Node {
+	return rewrite(n, opts)
+}
+
+func rewrite(n *Node, opts OptimizeOptions) *Node {
+	// Rewrite children first (bottom-up).
+	kids := make([]*Node, len(n.children))
+	changed := false
+	for i, c := range n.children {
+		kids[i] = rewrite(c, opts)
+		if kids[i] != c {
+			changed = true
+		}
+	}
+	cur := n
+	if changed {
+		cur = n.withChildren(kids)
+	}
+
+	switch cur.kind {
+	case Farm:
+		// farm(farm(∆)) → farm(∆)
+		if cur.children[0].kind == Farm {
+			return cur.children[0]
+		}
+	case For:
+		sub := cur.children[0]
+		if cur.n == 1 {
+			return sub
+		}
+		// for(n, for(m, ∆)) → for(n·m, ∆)
+		if sub.kind == For {
+			return NewFor(cur.n*sub.n, sub.children[0])
+		}
+	case Pipe:
+		// Flatten nested pipes.
+		flat := make([]*Node, 0, len(cur.children))
+		flattened := false
+		for _, c := range cur.children {
+			if c.kind == Pipe {
+				flat = append(flat, c.children...)
+				flattened = true
+			} else {
+				flat = append(flat, c)
+			}
+		}
+		if opts.FuseSeqPipes {
+			fused := fuseSeqRun(flat)
+			if len(fused) != len(flat) {
+				flat, flattened = fused, true
+			}
+		}
+		if len(flat) == 1 {
+			return flat[0]
+		}
+		if flattened {
+			return NewPipe(flat...)
+		}
+	}
+	return cur
+}
+
+// fuseSeqRun merges maximal runs of adjacent seq stages into single seqs
+// of composed muscles.
+func fuseSeqRun(stages []*Node) []*Node {
+	out := make([]*Node, 0, len(stages))
+	i := 0
+	for i < len(stages) {
+		if stages[i].kind != Seq {
+			out = append(out, stages[i])
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(stages) && stages[j+1].kind == Seq {
+			j++
+		}
+		if j == i {
+			out = append(out, stages[i])
+		} else {
+			out = append(out, NewSeq(composeExecs(stages[i:j+1])))
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// composeExecs builds one Execute muscle applying the given seq stages'
+// muscles left to right.
+func composeExecs(seqs []*Node) *muscle.Muscle {
+	ms := make([]*muscle.Muscle, len(seqs))
+	name := ""
+	for i, s := range seqs {
+		ms[i] = s.exec
+		if i > 0 {
+			name += "∘"
+		}
+		name += s.exec.Name()
+	}
+	return muscle.NewExecute(name, func(p any) (any, error) {
+		var err error
+		for _, m := range ms {
+			p, err = m.CallExecute(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	})
+}
+
+// withChildren clones the node with new children (muscles and n shared).
+func (n *Node) withChildren(kids []*Node) *Node {
+	c := newNode(n.kind)
+	c.exec, c.split, c.merge, c.cond = n.exec, n.split, n.merge, n.cond
+	c.n = n.n
+	c.children = kids
+	return c
+}

@@ -1,0 +1,83 @@
+package skel
+
+import (
+	"testing"
+)
+
+func TestOptimizeFarmFarm(t *testing.T) {
+	leaf := NewSeq(fe())
+	nd := NewFarm(NewFarm(NewFarm(leaf)))
+	got := Optimize(nd, OptimizeOptions{})
+	if got.String() != "farm(seq(fe))" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestOptimizeForCollapse(t *testing.T) {
+	leaf := NewSeq(fe())
+	if got := Optimize(NewFor(1, leaf), OptimizeOptions{}); got != leaf {
+		t.Fatalf("for(1,∆) not collapsed: %s", got)
+	}
+	nested := NewFor(3, NewFor(4, leaf))
+	got := Optimize(nested, OptimizeOptions{})
+	if got.Kind() != For || got.N() != 12 {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestOptimizePipeFlatten(t *testing.T) {
+	a, b, c := NewSeq(fe()), NewSeq(fe()), NewSeq(fe())
+	nd := NewPipe(a, NewPipe(b, c))
+	got := Optimize(nd, OptimizeOptions{})
+	if got.Kind() != Pipe || len(got.Children()) != 3 {
+		t.Fatalf("got %s", got)
+	}
+	// Without fusion the stages are preserved as-is.
+	if got.Children()[0] != a || got.Children()[1] != b || got.Children()[2] != c {
+		t.Fatal("stages not shared")
+	}
+}
+
+func TestOptimizeFusion(t *testing.T) {
+	a, b := NewSeq(fe()), NewSeq(fe())
+	m := NewMap(fs(), NewSeq(fe()), fm())
+	nd := NewPipe(a, b, m, NewPipe(a, b))
+	got := Optimize(nd, OptimizeOptions{FuseSeqPipes: true})
+	if got.Kind() != Pipe || len(got.Children()) != 3 {
+		t.Fatalf("got %s", got)
+	}
+	if got.Children()[0].Kind() != Seq || got.Children()[2].Kind() != Seq {
+		t.Fatalf("runs not fused: %s", got)
+	}
+	if got.Children()[1] != m {
+		t.Fatal("map stage not preserved")
+	}
+	if got.Children()[0].Exec().Name() != "fe∘fe" {
+		t.Fatalf("fused name %q", got.Children()[0].Exec().Name())
+	}
+}
+
+func TestOptimizeFusionCollapsesWholePipe(t *testing.T) {
+	nd := NewPipe(NewSeq(fe()), NewSeq(fe()))
+	got := Optimize(nd, OptimizeOptions{FuseSeqPipes: true})
+	if got.Kind() != Seq {
+		t.Fatalf("pipe of seqs should fuse to one seq: %s", got)
+	}
+}
+
+func TestOptimizeSharesUnchangedSubtrees(t *testing.T) {
+	leaf := NewSeq(fe())
+	m := NewMap(fs(), leaf, fm())
+	got := Optimize(m, OptimizeOptions{})
+	if got != m {
+		t.Fatal("already-normal tree was copied")
+	}
+}
+
+func TestOptimizeValidates(t *testing.T) {
+	nd := NewPipe(NewFor(1, NewSeq(fe())), NewFarm(NewFarm(NewSeq(fe()))))
+	got := Optimize(nd, OptimizeOptions{FuseSeqPipes: true})
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package statemachine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Dump renders the live activation tree as indented text — the debugging
+// view of what the state machines currently know. Times are printed
+// relative to start in the given unit.
+func (tr *Tracker) Dump(start time.Time, unit time.Duration) string {
+	var b strings.Builder
+	tr.WithTree(func(roots []*Instance) {
+		for _, r := range roots {
+			dumpInst(&b, r, start, unit, 0)
+		}
+	})
+	if b.Len() == 0 {
+		return "(no activations)\n"
+	}
+	return b.String()
+}
+
+func dumpInst(b *strings.Builder, in *Instance, start time.Time, unit time.Duration, depth int) {
+	indent := strings.Repeat("  ", depth)
+	state := "running"
+	if in.Done {
+		state = "done"
+	}
+	fmt.Fprintf(b, "%s%s#%d [%s", indent, in.Kind, in.Index, state)
+	fmt.Fprintf(b, " t=%s", rel(in.StartTime, start, unit))
+	if in.Done {
+		fmt.Fprintf(b, "..%s", rel(in.EndTime, start, unit))
+	}
+	if in.ActualCard >= 0 {
+		fmt.Fprintf(b, " card=%d", in.ActualCard)
+	}
+	if len(in.Conds) > 0 {
+		fmt.Fprintf(b, " conds=%d", len(in.Conds))
+	}
+	if in.Split.Started {
+		fmt.Fprintf(b, " split=%s", recStr(in.Split, start, unit))
+	}
+	if in.Merge.Started {
+		fmt.Fprintf(b, " merge=%s", recStr(in.Merge, start, unit))
+	}
+	b.WriteString("]\n")
+	for _, c := range in.Children {
+		dumpInst(b, c, start, unit, depth+1)
+	}
+}
+
+func recStr(r ActivityRec, start time.Time, unit time.Duration) string {
+	if !r.Ended {
+		return rel(r.Start, start, unit) + "..?"
+	}
+	return rel(r.Start, start, unit) + ".." + rel(r.End, start, unit)
+}
+
+func rel(t, start time.Time, unit time.Duration) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", float64(t.Sub(start))/float64(unit))
+}

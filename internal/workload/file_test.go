@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadCorpusRoundTrip(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 300, Seed: 5})
+	path := filepath.Join(t.TempDir(), "tweets.txt")
+	if err := SaveCorpus(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tweets) != len(c.Tweets) {
+		t.Fatalf("loaded %d tweets, want %d", len(got.Tweets), len(c.Tweets))
+	}
+	for i := range c.Tweets {
+		if got.Tweets[i] != c.Tweets[i] {
+			t.Fatalf("tweet %d differs", i)
+		}
+	}
+}
+
+func TestLoadCorpusMissingFile(t *testing.T) {
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveCorpusRejectsNewlines(t *testing.T) {
+	c := &Corpus{Tweets: []string{"ok", "bad\ntweet"}}
+	if err := SaveCorpus(filepath.Join(t.TempDir(), "x.txt"), c); err == nil {
+		t.Fatal("embedded newline accepted")
+	}
+}
+
+func TestCountReaderMatchesCountChunk(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 200, Seed: 9})
+	whole := CountChunk(Chunk{Corpus: c, Lo: 0, Hi: len(c.Tweets)})
+	streamed, err := CountReader(strings.NewReader(strings.Join(c.Tweets, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(whole) || streamed.Total() != whole.Total() {
+		t.Fatalf("streamed %d/%d vs chunked %d/%d",
+			len(streamed), streamed.Total(), len(whole), whole.Total())
+	}
+	for k, v := range whole {
+		if streamed[k] != v {
+			t.Fatalf("%s: %d vs %d", k, streamed[k], v)
+		}
+	}
+}
+
+func TestReadCorpusEmpty(t *testing.T) {
+	c, err := ReadCorpus(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tweets) != 0 {
+		t.Fatalf("got %d tweets", len(c.Tweets))
+	}
+}

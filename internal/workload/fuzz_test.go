@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCountReader: arbitrary input never panics, and counting a stream
+// equals counting the same lines as a chunk.
+func FuzzCountReader(f *testing.F) {
+	f.Add("hola #gol @ana\n#gol fin")
+	f.Add("")
+	f.Add("# @ ##double @@x\n\n\n#y")
+	f.Fuzz(func(t *testing.T, input string) {
+		streamed, err := CountReader(strings.NewReader(input))
+		if err != nil {
+			t.Skip() // scanner limits on pathological input
+		}
+		c := &Corpus{Tweets: strings.Split(input, "\n")}
+		chunked := CountChunk(Chunk{Corpus: c, Lo: 0, Hi: len(c.Tweets)})
+		if len(streamed) != len(chunked) || streamed.Total() != chunked.Total() {
+			t.Fatalf("streamed %d/%d vs chunked %d/%d",
+				len(streamed), streamed.Total(), len(chunked), chunked.Total())
+		}
+	})
+}
+
+// FuzzSplitChunk: any split covers the chunk exactly, in order, gap-free.
+func FuzzSplitChunk(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(0, 1)
+	f.Add(1, 100)
+	f.Fuzz(func(t *testing.T, n, k int) {
+		if n < 0 || n > 10000 {
+			t.Skip()
+		}
+		c := &Corpus{Tweets: make([]string, n)}
+		parts := SplitChunk(Chunk{Corpus: c, Lo: 0, Hi: n}, k)
+		covered := 0
+		prev := 0
+		for _, p := range parts {
+			if p.Lo != prev || p.Hi < p.Lo {
+				t.Fatalf("bad partition at %d: %+v", prev, p)
+			}
+			prev = p.Hi
+			covered += p.Len()
+		}
+		if n > 0 && k > 0 {
+			if covered != n || prev != n {
+				t.Fatalf("covered %d of %d", covered, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package workload provides the evaluation workload of the paper's §5: a
+// hashtag and commented-user (@mention) count over a tweet corpus,
+// modelled as two nested map skeletons map(fs, map(fs, seq(fe), fm), fm).
+//
+// The paper used 1.2M Colombian tweets (July 25 - August 5, 2013) whose
+// download link is dead; this package substitutes a seeded synthetic corpus
+// with the same relevant structure — lines of text containing #hashtags and
+// @mentions drawn from a skewed vocabulary — and word-count muscles
+// operating on it. For simulator runs, PaperCosts reproduces the duration
+// profile stated in the paper (first split 6.4 s dominated by I/O,
+// second-level splits ~7x faster, ~40 ms execute and merge muscles,
+// sequential total ~12.5 s).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Corpus is a generated tweet collection.
+type Corpus struct {
+	Tweets []string
+}
+
+// GenConfig controls corpus generation.
+type GenConfig struct {
+	// Tweets is the number of tweets (paper: 1.2M; tests use far fewer).
+	Tweets int
+	// Hashtags / Users are vocabulary sizes.
+	Hashtags int
+	Users    int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultGen is a laptop-sized corpus with the paper's flavour.
+var DefaultGen = GenConfig{Tweets: 50000, Hashtags: 400, Users: 1200, Seed: 20130725}
+
+// Generate builds a synthetic corpus. Tag frequencies are Zipf-like so
+// counts have a realistic skew.
+func Generate(cfg GenConfig) *Corpus {
+	if cfg.Tweets <= 0 {
+		cfg.Tweets = DefaultGen.Tweets
+	}
+	if cfg.Hashtags <= 0 {
+		cfg.Hashtags = DefaultGen.Hashtags
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = DefaultGen.Users
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hz := rand.NewZipf(rng, 1.2, 1.0, uint64(cfg.Hashtags-1))
+	uz := rand.NewZipf(rng, 1.2, 1.0, uint64(cfg.Users-1))
+	words := []string{"hola", "que", "rico", "vamos", "gol", "hoy", "siempre",
+		"nunca", "bien", "gracias", "feliz", "noche", "dia", "vida", "pues"}
+	tweets := make([]string, cfg.Tweets)
+	var b strings.Builder
+	for i := range tweets {
+		b.Reset()
+		n := 4 + rng.Intn(8)
+		for w := 0; w < n; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			switch rng.Intn(6) {
+			case 0:
+				fmt.Fprintf(&b, "#tag%d", hz.Uint64())
+			case 1:
+				fmt.Fprintf(&b, "@user%d", uz.Uint64())
+			default:
+				b.WriteString(words[rng.Intn(len(words))])
+			}
+		}
+		tweets[i] = b.String()
+	}
+	return &Corpus{Tweets: tweets}
+}
+
+// Chunk is a slice of the corpus processed by one muscle invocation.
+type Chunk struct {
+	Corpus *Corpus
+	Lo, Hi int // tweet index range [Lo, Hi)
+}
+
+// Len returns the number of tweets in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// SplitChunk partitions a chunk into k near-equal sub-chunks (the paper's
+// fs). Fewer than k tweets yield one chunk per tweet.
+func SplitChunk(c Chunk, k int) []Chunk {
+	n := c.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Chunk, 0, k)
+	for i := 0; i < k; i++ {
+		lo := c.Lo + i*n/k
+		hi := c.Lo + (i+1)*n/k
+		out = append(out, Chunk{Corpus: c.Corpus, Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Counts maps a tag ("#x" or "@y") to its number of occurrences — the
+// paper's partial solution (a Java HashMap there).
+type Counts map[string]int
+
+// CountChunk tallies hashtags and commented users in a chunk (the paper's
+// fe).
+func CountChunk(c Chunk) Counts {
+	counts := make(Counts)
+	for _, tw := range c.Corpus.Tweets[c.Lo:c.Hi] {
+		for _, tok := range strings.Fields(tw) {
+			if len(tok) > 1 && (tok[0] == '#' || tok[0] == '@') {
+				counts[tok]++
+			}
+		}
+	}
+	return counts
+}
+
+// MergeCounts folds partial counts into a global count (the paper's fm).
+func MergeCounts(parts []Counts) Counts {
+	total := make(Counts)
+	for _, p := range parts {
+		for k, v := range p {
+			total[k] += v
+		}
+	}
+	return total
+}
+
+// Top returns the n most frequent tags, ties broken lexicographically.
+func (c Counts) Top(n int) []string {
+	type kv struct {
+		k string
+		v int
+	}
+	all := make([]kv, 0, len(c))
+	for k, v := range c {
+		all = append(all, kv{k, v})
+	}
+	// insertion-sort by (count desc, key asc); corpora are small enough.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.v > a.v || (b.v == a.v && b.k < a.k) {
+				all[j-1], all[j] = all[j], all[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// Total returns the sum of all counts.
+func (c Counts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}

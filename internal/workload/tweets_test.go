@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Tweets: 100, Seed: 7})
+	b := Generate(GenConfig{Tweets: 100, Seed: 7})
+	if len(a.Tweets) != 100 || len(b.Tweets) != 100 {
+		t.Fatalf("sizes: %d/%d", len(a.Tweets), len(b.Tweets))
+	}
+	for i := range a.Tweets {
+		if a.Tweets[i] != b.Tweets[i] {
+			t.Fatalf("tweet %d differs for equal seeds", i)
+		}
+	}
+	c := Generate(GenConfig{Tweets: 100, Seed: 8})
+	same := true
+	for i := range a.Tweets {
+		if a.Tweets[i] != c.Tweets[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateContainsTagsAndMentions(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 500, Seed: 1})
+	hasTag, hasUser := false, false
+	for _, tw := range c.Tweets {
+		if strings.Contains(tw, "#tag") {
+			hasTag = true
+		}
+		if strings.Contains(tw, "@user") {
+			hasUser = true
+		}
+	}
+	if !hasTag || !hasUser {
+		t.Fatalf("corpus lacks tags (%v) or mentions (%v)", hasTag, hasUser)
+	}
+}
+
+func TestSplitChunkPartition(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 103, Seed: 1})
+	full := Chunk{Corpus: c, Lo: 0, Hi: 103}
+	parts := SplitChunk(full, 5)
+	if len(parts) != 5 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	covered := 0
+	prevHi := 0
+	for _, p := range parts {
+		if p.Lo != prevHi {
+			t.Fatalf("gap or overlap at %d", p.Lo)
+		}
+		prevHi = p.Hi
+		covered += p.Len()
+	}
+	if covered != 103 || prevHi != 103 {
+		t.Fatalf("partition covers %d", covered)
+	}
+}
+
+func TestSplitChunkSmallerThanK(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 3, Seed: 1})
+	parts := SplitChunk(Chunk{Corpus: c, Lo: 0, Hi: 3}, 10)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	if got := SplitChunk(Chunk{Corpus: c, Lo: 1, Hi: 1}, 4); got != nil {
+		t.Fatalf("empty chunk split: %v", got)
+	}
+}
+
+// Property: splitting then counting then merging equals counting the whole
+// chunk, for any split fan-out — the map/merge semantics the paper's
+// program relies on.
+func TestSplitCountMergeEquivalence(t *testing.T) {
+	c := Generate(GenConfig{Tweets: 200, Seed: 3})
+	full := Chunk{Corpus: c, Lo: 0, Hi: 200}
+	whole := CountChunk(full)
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		parts := SplitChunk(full, k)
+		counts := make([]Counts, len(parts))
+		for i, p := range parts {
+			counts[i] = CountChunk(p)
+		}
+		merged := MergeCounts(counts)
+		if len(merged) != len(whole) {
+			return false
+		}
+		for tag, n := range whole {
+			if merged[tag] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountChunkParsesTokens(t *testing.T) {
+	c := &Corpus{Tweets: []string{"hola #gol @ana #gol", "# @ solo texto", "#gol fin"}}
+	counts := CountChunk(Chunk{Corpus: c, Lo: 0, Hi: 3})
+	if counts["#gol"] != 3 {
+		t.Fatalf("#gol = %d, want 3", counts["#gol"])
+	}
+	if counts["@ana"] != 1 {
+		t.Fatalf("@ana = %d", counts["@ana"])
+	}
+	if _, ok := counts["#"]; ok {
+		t.Fatal("bare # counted")
+	}
+	if counts.Total() != 4 {
+		t.Fatalf("total = %d, want 4", counts.Total())
+	}
+}
+
+func TestTop(t *testing.T) {
+	counts := Counts{"#a": 3, "#b": 5, "#c": 3, "#d": 1}
+	top := counts.Top(3)
+	if len(top) != 3 || top[0] != "#b" || top[1] != "#a" || top[2] != "#c" {
+		t.Fatalf("top = %v", top)
+	}
+	if got := counts.Top(10); len(got) != 4 {
+		t.Fatalf("top(10) = %v", got)
+	}
+}
+
+func TestMergeCountsEmpty(t *testing.T) {
+	if got := MergeCounts(nil); len(got) != 0 {
+		t.Fatalf("merge(nil) = %v", got)
+	}
+}

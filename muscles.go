@@ -1,0 +1,119 @@
+package skandium
+
+import (
+	"fmt"
+
+	"skandium/internal/muscle"
+)
+
+// Exec is a typed handle to an Execution muscle fe: P → R. Handles carry
+// identity: reusing one handle in several places of a program (or across
+// programs on one Stream) shares its duration estimate t(m), exactly like
+// reusing a muscle object in the paper's Listing 1.
+type Exec[P, R any] struct{ m *muscle.Muscle }
+
+// NewExec wraps a sequential function as an Execution muscle.
+func NewExec[P, R any](name string, fn func(P) (R, error)) Exec[P, R] {
+	if fn == nil {
+		panic("skandium: NewExec with nil function")
+	}
+	m := muscle.NewExecute(name, func(p any) (any, error) {
+		tp, err := cast[P](name, p)
+		if err != nil {
+			return nil, err
+		}
+		return fn(tp)
+	})
+	return Exec[P, R]{m: m}
+}
+
+// Muscle returns the underlying erased muscle (for estimator seeding and
+// advanced uses).
+func (e Exec[P, R]) Muscle() *muscle.Muscle { return e.m }
+
+// Split is a typed handle to a Split muscle fs: P → []R.
+type Split[P, R any] struct{ m *muscle.Muscle }
+
+// NewSplit wraps a partitioning function as a Split muscle.
+func NewSplit[P, R any](name string, fn func(P) ([]R, error)) Split[P, R] {
+	if fn == nil {
+		panic("skandium: NewSplit with nil function")
+	}
+	m := muscle.NewSplit(name, func(p any) ([]any, error) {
+		tp, err := cast[P](name, p)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := fn(tp)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(parts))
+		for i, x := range parts {
+			out[i] = x
+		}
+		return out, nil
+	})
+	return Split[P, R]{m: m}
+}
+
+// Muscle returns the underlying erased muscle.
+func (s Split[P, R]) Muscle() *muscle.Muscle { return s.m }
+
+// Merge is a typed handle to a Merge muscle fm: []P → R.
+type Merge[P, R any] struct{ m *muscle.Muscle }
+
+// NewMerge wraps a folding function as a Merge muscle.
+func NewMerge[P, R any](name string, fn func([]P) (R, error)) Merge[P, R] {
+	if fn == nil {
+		panic("skandium: NewMerge with nil function")
+	}
+	m := muscle.NewMerge(name, func(ps []any) (any, error) {
+		ts := make([]P, len(ps))
+		for i, p := range ps {
+			tp, err := cast[P](name, p)
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = tp
+		}
+		return fn(ts)
+	})
+	return Merge[P, R]{m: m}
+}
+
+// Muscle returns the underlying erased muscle.
+func (m Merge[P, R]) Muscle() *muscle.Muscle { return m.m }
+
+// Cond is a typed handle to a Condition muscle fc: P → bool.
+type Cond[P any] struct{ m *muscle.Muscle }
+
+// NewCond wraps a predicate as a Condition muscle.
+func NewCond[P any](name string, fn func(P) (bool, error)) Cond[P] {
+	if fn == nil {
+		panic("skandium: NewCond with nil function")
+	}
+	m := muscle.NewCondition(name, func(p any) (bool, error) {
+		tp, err := cast[P](name, p)
+		if err != nil {
+			return false, err
+		}
+		return fn(tp)
+	})
+	return Cond[P]{m: m}
+}
+
+// Muscle returns the underlying erased muscle.
+func (c Cond[P]) Muscle() *muscle.Muscle { return c.m }
+
+// cast converts an erased parameter back to its static type. It fails with
+// a descriptive error (instead of panicking) when an event listener
+// replaced a partial solution with a value of the wrong type.
+func cast[P any](name string, p any) (P, error) {
+	tp, ok := p.(P)
+	if !ok && p != nil {
+		var zero P
+		return zero, fmt.Errorf("skandium: muscle %q received %T, want %T", name, p, zero)
+	}
+	return tp, nil
+}

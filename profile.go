@@ -1,0 +1,117 @@
+package skandium
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// NamedProfile is a serializable estimator snapshot keyed by muscle *name*.
+// In-memory profiles (Stream.Profile / WithProfile) are keyed by muscle
+// identity, which is process-local; a NamedProfile survives across
+// processes, so a profiling run can initialize a later production run —
+// the paper's "goal with initialization" without keeping the process
+// alive. Muscle names must be unique within the program for this to be
+// well-defined; SaveProfile enforces that.
+type NamedProfile map[string]NamedEstimate
+
+// NamedEstimate is one muscle's persisted estimates.
+type NamedEstimate struct {
+	// DurationNS is t(m) in nanoseconds (omitted when unknown).
+	DurationNS int64 `json:"duration_ns,omitempty"`
+	HasDur     bool  `json:"has_dur,omitempty"`
+	// Card is |m| (split cardinality, while iterations, d&c depth).
+	Card    float64 `json:"card,omitempty"`
+	HasCard bool    `json:"has_card,omitempty"`
+}
+
+// musclesByName indexes a program's muscles, rejecting duplicate names
+// bound to distinct muscle objects.
+func musclesByName(node *skel.Node) (map[string]*muscle.Muscle, error) {
+	byName := make(map[string]*muscle.Muscle)
+	var err error
+	node.Walk(func(nd *skel.Node, _ int) bool {
+		for _, m := range nd.Muscles() {
+			if prev, ok := byName[m.Name()]; ok && prev != m {
+				err = fmt.Errorf("skandium: two distinct muscles named %q; named profiles need unique names (use Clone with a new name)", m.Name())
+				return false
+			}
+			byName[m.Name()] = m
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return byName, nil
+}
+
+// NamedProfile exports the stream's current estimates keyed by muscle name.
+func (st *Stream[P, R]) NamedProfile() (NamedProfile, error) {
+	byName, err := musclesByName(st.node)
+	if err != nil {
+		return nil, err
+	}
+	prof := st.est.Snapshot()
+	out := make(NamedProfile, len(byName))
+	for name, m := range byName {
+		en, ok := prof[m.ID()]
+		if !ok {
+			continue
+		}
+		out[name] = NamedEstimate{
+			DurationNS: en.Duration.Nanoseconds(),
+			HasDur:     en.HasDuration,
+			Card:       en.Card,
+			HasCard:    en.HasCard,
+		}
+	}
+	return out, nil
+}
+
+// SaveProfile writes the stream's estimates as JSON.
+func (st *Stream[P, R]) SaveProfile(w io.Writer) error {
+	np, err := st.NamedProfile()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(np)
+}
+
+// LoadProfile reads a JSON profile written by SaveProfile.
+func LoadProfile(r io.Reader) (NamedProfile, error) {
+	var np NamedProfile
+	if err := json.NewDecoder(r).Decode(&np); err != nil {
+		return nil, fmt.Errorf("skandium: decoding profile: %w", err)
+	}
+	return np, nil
+}
+
+// RestoreProfile seeds the stream's estimators from a named profile
+// (entries for unknown muscle names are ignored; the estimates count as
+// initialization, not observations). Call before the first Input.
+func (st *Stream[P, R]) RestoreProfile(np NamedProfile) error {
+	byName, err := musclesByName(st.node)
+	if err != nil {
+		return err
+	}
+	for name, en := range np {
+		m, ok := byName[name]
+		if !ok {
+			continue
+		}
+		if en.HasDur {
+			st.est.InitDuration(m.ID(), time.Duration(en.DurationNS))
+		}
+		if en.HasCard {
+			st.est.InitCard(m.ID(), en.Card)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package skandium
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func profileProgram() (Skeleton[int, int], Exec[int, int]) {
+	fs := NewSplit("chunks", func(n int) ([]int, error) {
+		out := make([]int, 3)
+		for i := range out {
+			out[i] = n
+		}
+		return out, nil
+	})
+	fe := NewExec("work", func(n int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 1, nil
+	})
+	fm := NewMerge("fold", func(ps []int) (int, error) {
+		s := 0
+		for _, p := range ps {
+			s += p
+		}
+		return s, nil
+	})
+	return Map(fs, Seq(fe), fm), fe
+}
+
+func TestSaveLoadRestoreProfile(t *testing.T) {
+	prog, fe := profileProgram()
+	st := NewStream[int, int](prog, WithLP(2))
+	defer st.Close()
+	if _, err := st.Do(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.SaveProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"work"`) || !strings.Contains(buf.String(), "duration_ns") {
+		t.Fatalf("unexpected profile JSON: %s", buf.String())
+	}
+
+	np, err := LoadProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !np["chunks"].HasCard || np["chunks"].Card != 3 {
+		t.Fatalf("chunks card not persisted: %+v", np["chunks"])
+	}
+	if !np["work"].HasDur || np["work"].DurationNS < int64(500*time.Microsecond) {
+		t.Fatalf("work duration implausible: %+v", np["work"])
+	}
+
+	// A brand-new stream over a *rebuilt* program (fresh muscle IDs, same
+	// names) restores the knowledge.
+	prog2, fe2 := profileProgram()
+	if fe2.Muscle().ID() == fe.Muscle().ID() {
+		t.Fatal("test setup: expected fresh muscle IDs")
+	}
+	st2 := NewStream[int, int](prog2, WithLP(2))
+	defer st2.Close()
+	if err := st2.RestoreProfile(np); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := st2.Estimates().Duration(fe2.Muscle().ID())
+	if !ok {
+		t.Fatal("restored stream has no duration for work")
+	}
+	if d != time.Duration(np["work"].DurationNS) {
+		t.Fatalf("restored %v, want %v", d, time.Duration(np["work"].DurationNS))
+	}
+}
+
+func TestNamedProfileRejectsDuplicateNames(t *testing.T) {
+	a := NewExec("same", func(n int) (int, error) { return n, nil })
+	b := NewExec("same", func(n int) (int, error) { return n + 1, nil })
+	prog := Pipe(Seq(a), Seq(b))
+	st := NewStream[int, int](prog)
+	defer st.Close()
+	if _, err := st.NamedProfile(); err == nil || !strings.Contains(err.Error(), `"same"`) {
+		t.Fatalf("duplicate names accepted: %v", err)
+	}
+	if err := st.RestoreProfile(NamedProfile{}); err == nil {
+		t.Fatal("restore accepted duplicate names")
+	}
+}
+
+func TestNamedProfileSharedMuscleOnce(t *testing.T) {
+	// The same muscle object reused at two levels (the paper's Listing 1)
+	// is fine: one name, one entry.
+	fs := NewSplit("fs", func(n int) ([]int, error) { return []int{n, n}, nil })
+	fe := NewExec("fe", func(n int) (int, error) { return n, nil })
+	fm := NewMerge("fm", func(ps []int) (int, error) { return len(ps), nil })
+	inner := Map(fs, Seq(fe), fm)
+	outer := Map(fs, inner, fm)
+	st := NewStream[int, int](outer)
+	defer st.Close()
+	if _, err := st.Do(1); err != nil {
+		t.Fatal(err)
+	}
+	np, err := st.NamedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np) != 3 {
+		t.Fatalf("profile has %d entries, want 3 (fs, fe, fm)", len(np))
+	}
+}
+
+func TestLoadProfileBadJSON(t *testing.T) {
+	if _, err := LoadProfile(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestRestoreProfileIgnoresUnknownNames(t *testing.T) {
+	prog, _ := profileProgram()
+	st := NewStream[int, int](prog)
+	defer st.Close()
+	err := st.RestoreProfile(NamedProfile{
+		"nonexistent": {DurationNS: 42, HasDur: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

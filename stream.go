@@ -1,0 +1,350 @@
+package skandium
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/estimate"
+	"skandium/internal/event"
+	"skandium/internal/exec"
+	"skandium/internal/skel"
+	"skandium/internal/statemachine"
+)
+
+// Decision is one autonomic adaptation record (see Execution.Decisions).
+type Decision = core.Decision
+
+// Increase/decrease policy re-exports for WithPolicies.
+const (
+	// IncreaseOptimal jumps to the optimal LP (peak of the best-effort
+	// timeline) when the goal would be missed — the paper's §4 behaviour.
+	IncreaseOptimal = core.IncreaseOptimal
+	// IncreaseMinimal raises LP to the smallest sufficient value.
+	IncreaseMinimal = core.IncreaseMinimal
+	// DecreaseHalve halves LP when the goal is met with half the threads —
+	// the paper's behaviour.
+	DecreaseHalve = core.DecreaseHalve
+	// DecreaseNone never lowers LP.
+	DecreaseNone = core.DecreaseNone
+	// DecreaseExact lowers LP to the smallest sufficient value.
+	DecreaseExact = core.DecreaseExact
+)
+
+type config struct {
+	lp               int
+	maxLP            int
+	goal             time.Duration
+	estimator        estimate.Factory
+	analysisInterval time.Duration
+	analysisTicker   time.Duration
+	decreaseHold     time.Duration
+	increase         core.IncreasePolicy
+	decrease         core.DecreasePolicy
+	predictor        core.Predictor
+	adgBudget        int
+	clk              clock.Clock
+	gauge            exec.GaugeFunc
+	profile          estimate.Profile
+	listeners        []listenerEntry
+}
+
+type listenerEntry struct {
+	l      event.Listener
+	filter event.Filter
+}
+
+// Option configures a Stream.
+type Option func(*config)
+
+// WithLP sets the initial level of parallelism (default: number of CPUs).
+func WithLP(n int) Option { return func(c *config) { c.lp = n } }
+
+// WithMaxLP caps the level of parallelism — the paper's LP QoS. 0 means
+// uncapped.
+func WithMaxLP(n int) Option { return func(c *config) { c.maxLP = n } }
+
+// WithWCTGoal sets the wall-clock-time QoS per input: the autonomic
+// controller adapts the pool so each execution finishes within d of its
+// injection. Zero disables autonomic adaptation.
+func WithWCTGoal(d time.Duration) Option { return func(c *config) { c.goal = d } }
+
+// WithRho sets the estimator weight ρ of the paper's EWMA formula
+// (default 0.5).
+func WithRho(rho float64) Option {
+	return func(c *config) { c.estimator = estimate.EWMAFactory(rho) }
+}
+
+// WithEstimator replaces the estimator factory entirely (ablation variants:
+// estimate.MeanFactory, estimate.WindowFactory, ...).
+func WithEstimator(f estimate.Factory) Option {
+	return func(c *config) { c.estimator = f }
+}
+
+// WithAnalysisInterval throttles controller analyses (default: analyze on
+// every qualifying event).
+func WithAnalysisInterval(d time.Duration) Option {
+	return func(c *config) { c.analysisInterval = d }
+}
+
+// WithAnalysisTicker adds periodic re-analysis every d, in addition to
+// event-triggered analyses. Events fire when knowledge changes; the ticker
+// reacts when time alone invalidates the prediction — e.g. a muscle
+// overrunning its estimate emits no events, but the passing clock pushes
+// the projected completion out, which a periodic analysis catches
+// mid-muscle.
+func WithAnalysisTicker(d time.Duration) Option {
+	return func(c *config) { c.analysisTicker = d }
+}
+
+// WithDecreaseHold suppresses LP decreases for d after any increase,
+// damping raise/halve oscillation while estimates settle.
+func WithDecreaseHold(d time.Duration) Option {
+	return func(c *config) { c.decreaseHold = d }
+}
+
+// WithPolicies selects the controller's increase/decrease policies
+// (defaults: IncreaseOptimal, DecreaseHalve — the paper's).
+func WithPolicies(inc core.IncreasePolicy, dec core.DecreasePolicy) Option {
+	return func(c *config) { c.increase = inc; c.decrease = dec }
+}
+
+// WithADGBudget caps the size of analysis graphs (0 = default).
+func WithADGBudget(n int) Option { return func(c *config) { c.adgBudget = n } }
+
+// WithPredictor selects the controller's WCT estimation algorithm: the
+// paper's Activity Dependency Graph (ADGPredictor, the default) or the
+// cheap analytic work/span model (WorkSpanPredictor).
+func WithPredictor(p core.Predictor) Option { return func(c *config) { c.predictor = p } }
+
+// Predictor variants, re-exported for WithPredictor.
+var (
+	PredictADG      core.Predictor = core.ADGPredictor{}
+	PredictWorkSpan core.Predictor = core.WorkSpanPredictor{}
+)
+
+// WithClock substitutes the time source (virtual clocks in tests).
+func WithClock(clk clock.Clock) Option { return func(c *config) { c.clk = clk } }
+
+// WithGauge installs an observer of (now, active workers, LP) transitions —
+// the hook that records the paper's Figs. 5-7 series.
+func WithGauge(g func(now time.Time, active, lp int)) Option {
+	return func(c *config) { c.gauge = exec.GaugeFunc(g) }
+}
+
+// WithProfile seeds the muscle estimates from a previous run's snapshot —
+// the paper's "goal with initialization" scenario. Profiles are keyed by
+// muscle identity, so the seeding run must share the muscle handles.
+func WithProfile(p estimate.Profile) Option { return func(c *config) { c.profile = p } }
+
+// WithListener registers an event listener for all subsequent inputs. The
+// optional filter narrows delivery.
+func WithListener(l event.Listener, filter ...event.Filter) Option {
+	return func(c *config) {
+		f := event.Filter{}
+		if len(filter) > 0 {
+			f = filter[0]
+		}
+		c.listeners = append(c.listeners, listenerEntry{l: l, filter: f})
+	}
+}
+
+// Stream executes a skeleton program: each Input(p) injects one parameter
+// and yields an Execution handle. Inputs share the worker pool (so a Farm
+// really replicates across inputs) and the muscle estimate registry (so
+// history transfers between executions, the paper's "the best predictor of
+// the future behaviour is past behaviour").
+type Stream[P, R any] struct {
+	node *skel.Node
+	cfg  config
+	pool *exec.Pool
+	est  *estimate.Registry
+
+	mu       sync.Mutex
+	closed   bool
+	inFlight []<-chan struct{}
+}
+
+// NewStream builds an execution stream for a skeleton program.
+func NewStream[P, R any](s Skeleton[P, R], opts ...Option) *Stream[P, R] {
+	cfg := config{
+		lp:  runtime.GOMAXPROCS(0),
+		clk: clock.System,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.lp < 1 {
+		cfg.lp = 1
+	}
+	pool := exec.NewPool(cfg.clk, cfg.lp, cfg.maxLP)
+	if cfg.gauge != nil {
+		pool.SetGauge(cfg.gauge)
+	}
+	est := estimate.NewRegistry(cfg.estimator)
+	if cfg.profile != nil {
+		est.Restore(cfg.profile)
+	}
+	return &Stream[P, R]{node: s.n, cfg: cfg, pool: pool, est: est}
+}
+
+// Input injects one parameter and returns the handle to its (asynchronous)
+// execution. It panics if the stream is closed.
+func (st *Stream[P, R]) Input(p P) *Execution[R] {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		panic("skandium: Input on closed Stream")
+	}
+	st.mu.Unlock()
+
+	reg := event.NewRegistry()
+	for _, le := range st.cfg.listeners {
+		reg.AddFiltered(le.l, le.filter)
+	}
+	tracker := statemachine.NewTracker(st.est)
+	var ctl *core.Controller
+	if st.cfg.goal > 0 {
+		ctl = core.NewController(core.Config{
+			WCTGoal:          st.cfg.goal,
+			MaxLP:            st.cfg.maxLP,
+			AnalysisInterval: st.cfg.analysisInterval,
+			DecreaseHold:     st.cfg.decreaseHold,
+			Increase:         st.cfg.increase,
+			Decrease:         st.cfg.decrease,
+			Predictor:        st.cfg.predictor,
+			ADGBudget:        st.cfg.adgBudget,
+		}, st.node, st.pool, st.est, tracker, st.cfg.clk)
+		ctl.SetStart(st.cfg.clk.Now())
+		core.Attach(reg, tracker, ctl)
+	} else {
+		reg.Add(tracker.Listener())
+	}
+	root := exec.NewRoot(st.pool, reg, st.cfg.clk)
+	fut := root.Start(st.node, p)
+	if ctl != nil && st.cfg.analysisTicker > 0 {
+		stop := ctl.StartTicker(st.cfg.analysisTicker)
+		go func() {
+			<-fut.Done()
+			stop()
+		}()
+	}
+	ex := &Execution[R]{fut: fut, ctl: ctl, root: root}
+	st.mu.Lock()
+	st.inFlight = append(st.inFlight, fut.Done())
+	st.mu.Unlock()
+	return ex
+}
+
+// Drain blocks until every execution injected so far has resolved, or ctx
+// ends. It does not close the stream; new inputs remain possible (and are
+// not waited for).
+func (st *Stream[P, R]) Drain(ctx context.Context) error {
+	st.mu.Lock()
+	waiting := append([]<-chan struct{}(nil), st.inFlight...)
+	st.inFlight = st.inFlight[:0]
+	st.mu.Unlock()
+	for _, done := range waiting {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Do is a convenience for one-shot synchronous execution.
+func (st *Stream[P, R]) Do(p P) (R, error) { return st.Input(p).Get() }
+
+// LP returns the pool's current level of parallelism.
+func (st *Stream[P, R]) LP() int { return st.pool.LP() }
+
+// SetLP manually adjusts the level of parallelism (the autonomic controller
+// may override it on its next analysis when a WCT goal is configured).
+func (st *Stream[P, R]) SetLP(n int) { st.pool.SetLP(n) }
+
+// Stats returns the pool's execution counters (tasks run, cumulative busy
+// time, workers spawned).
+func (st *Stream[P, R]) Stats() exec.Stats { return st.pool.Stats() }
+
+// Profile snapshots the current muscle estimates, suitable for WithProfile
+// of a later stream over the same muscle handles.
+func (st *Stream[P, R]) Profile() estimate.Profile { return st.est.Snapshot() }
+
+// Estimates exposes the estimate registry (for inspection and seeding
+// individual muscles).
+func (st *Stream[P, R]) Estimates() *estimate.Registry { return st.est }
+
+// Close shuts down the stream's pool. Pending executions are dropped;
+// Close is idempotent.
+func (st *Stream[P, R]) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.pool.Close()
+}
+
+// Execution is the handle to one injected parameter's asynchronous
+// execution.
+type Execution[R any] struct {
+	fut  *exec.Future
+	ctl  *core.Controller
+	root *exec.Root
+}
+
+// Get blocks until the execution finishes and returns the typed result.
+func (e *Execution[R]) Get() (R, error) {
+	res, err := e.fut.Get()
+	return castResult[R](res, err)
+}
+
+// GetContext is Get with cancellation of the wait (the execution keeps
+// running; use Cancel to abort it).
+func (e *Execution[R]) GetContext(ctx context.Context) (R, error) {
+	res, err := e.fut.GetContext(ctx)
+	return castResult[R](res, err)
+}
+
+// Done returns a channel closed when the execution resolves.
+func (e *Execution[R]) Done() <-chan struct{} { return e.fut.Done() }
+
+// Cancel aborts the execution; its Get returns err. Running muscles are
+// not interrupted, but no further ones start.
+func (e *Execution[R]) Cancel(err error) { e.root.Cancel(err) }
+
+// Decisions returns the autonomic adaptation log of this execution (nil
+// without a WCT goal).
+func (e *Execution[R]) Decisions() []Decision {
+	if e.ctl == nil {
+		return nil
+	}
+	return e.ctl.Decisions()
+}
+
+// Analyses returns how many controller analyses ran for this execution.
+func (e *Execution[R]) Analyses() int {
+	if e.ctl == nil {
+		return 0
+	}
+	return e.ctl.Analyses()
+}
+
+func castResult[R any](res any, err error) (R, error) {
+	var zero R
+	if err != nil {
+		return zero, err
+	}
+	r, ok := res.(R)
+	if !ok && res != nil {
+		return zero, fmt.Errorf("skandium: execution produced %T, want %T", res, zero)
+	}
+	return r, nil
+}

@@ -1,0 +1,348 @@
+package skandium
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skandium/internal/estimate"
+)
+
+// nestedSleepProgram is the two-level shared-muscle shape with sleep
+// muscles (parallelizable even on one CPU).
+func nestedSleepProgram(fanout int, d time.Duration) Skeleton[int, int] {
+	fs := NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, fanout)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := NewExec("fe", func(n int) (int, error) {
+		time.Sleep(d)
+		return 1, nil
+	})
+	fm := NewMerge("fm", func(ps []int) (int, error) {
+		s := 0
+		for _, p := range ps {
+			s += p
+		}
+		return s, nil
+	})
+	inner := Map(fs, Seq(fe), fm)
+	return Map(fs, inner, fm)
+}
+
+// TestConcurrentAutonomicInputs: several goal-driven inputs share one pool;
+// each gets its own controller and decision log, all complete correctly.
+// The pool LP is a shared lever — the controllers cooperate on it
+// (last-writer-wins per analysis), which is the stream semantics the
+// library documents.
+func TestConcurrentAutonomicInputs(t *testing.T) {
+	prog := nestedSleepProgram(3, 4*time.Millisecond)
+	st := NewStream[int, int](prog,
+		WithLP(1),
+		WithMaxLP(12),
+		WithWCTGoal(60*time.Millisecond))
+	defer st.Close()
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	results := make([]int, jobs)
+	decided := make([]int, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ex := st.Input(0)
+			results[i], errs[i] = ex.Get()
+			decided[i] = len(ex.Decisions())
+		}(i)
+	}
+	wg.Wait()
+	adapted := 0
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if results[i] != 9 {
+			t.Fatalf("job %d: result %d, want 9", i, results[i])
+		}
+		adapted += decided[i]
+	}
+	if adapted == 0 {
+		t.Fatal("no execution adapted")
+	}
+}
+
+// TestWithRhoChangesEstimator: ρ=1 keeps only the last observation.
+func TestWithRhoChangesEstimator(t *testing.T) {
+	fe := NewExec("varying", func(d time.Duration) (int, error) {
+		time.Sleep(d)
+		return 0, nil
+	})
+	st := NewStream[time.Duration, int](Seq(fe), WithRho(1))
+	defer st.Close()
+	if _, err := st.Do(8 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Do(1 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := st.Estimates().Duration(fe.Muscle().ID())
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// With ρ=1 the estimate is the last (~1ms) run, not a blend (~4.5ms).
+	if d > 4*time.Millisecond {
+		t.Fatalf("ρ=1 estimate %v still blends history", d)
+	}
+}
+
+// TestWithEstimatorVariant: the median window survives one outlier.
+func TestWithEstimatorVariant(t *testing.T) {
+	fe := NewExec("spiky", func(d time.Duration) (int, error) {
+		time.Sleep(d)
+		return 0, nil
+	})
+	st := NewStream[time.Duration, int](Seq(fe), WithEstimator(estimate.MedianFactory(5)))
+	defer st.Close()
+	for _, d := range []time.Duration{2, 2, 40, 2, 2} {
+		if _, err := st.Do(d * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, ok := st.Estimates().Duration(fe.Muscle().ID())
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if d > 10*time.Millisecond {
+		t.Fatalf("median estimate %v dominated by the outlier", d)
+	}
+}
+
+// TestWithPredictorWorkSpan: the analytic predictor drives adaptation too.
+func TestWithPredictorWorkSpan(t *testing.T) {
+	prog := nestedSleepProgram(4, 5*time.Millisecond)
+	st := NewStream[int, int](prog,
+		WithLP(1),
+		WithMaxLP(16),
+		WithWCTGoal(60*time.Millisecond),
+		WithPredictor(PredictWorkSpan))
+	defer st.Close()
+	ex := st.Input(0)
+	res, err := ex.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 16 {
+		t.Fatalf("result %d", res)
+	}
+	if len(ex.Decisions()) == 0 {
+		t.Fatal("work/span predictor never adapted")
+	}
+}
+
+// TestWithADGBudgetStillWorks: a tiny analysis budget degrades gracefully.
+func TestWithADGBudgetStillWorks(t *testing.T) {
+	prog := nestedSleepProgram(4, 3*time.Millisecond)
+	st := NewStream[int, int](prog,
+		WithLP(1),
+		WithMaxLP(8),
+		WithWCTGoal(50*time.Millisecond),
+		WithADGBudget(4))
+	defer st.Close()
+	res, err := st.Do(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 16 {
+		t.Fatalf("result %d", res)
+	}
+}
+
+// TestCloseIdempotentAndInputPanics: stream lifecycle edges.
+func TestCloseIdempotentAndInputPanics(t *testing.T) {
+	id := NewExec("id", func(n int) (int, error) { return n, nil })
+	st := NewStream[int, int](Seq(id))
+	st.Close()
+	st.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Input on closed stream did not panic")
+		}
+	}()
+	st.Input(1)
+}
+
+// TestGaugeThroughPublicAPI: WithGauge observes worker activity.
+func TestGaugeThroughPublicAPI(t *testing.T) {
+	prog := nestedSleepProgram(2, 2*time.Millisecond)
+	var mu sync.Mutex
+	peak := 0
+	st := NewStream[int, int](prog, WithLP(3),
+		WithGauge(func(_ time.Time, active, lp int) {
+			mu.Lock()
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+		}))
+	defer st.Close()
+	if _, err := st.Do(0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak < 1 {
+		t.Fatal("gauge saw no activity")
+	}
+	if peak > 3 {
+		t.Fatalf("gauge peak %d exceeds LP", peak)
+	}
+}
+
+// TestDrainWaitsForInFlight: Drain returns only after every injected
+// execution resolved; the stream stays usable.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	slow := NewExec("slow", func(n int) (int, error) {
+		time.Sleep(5 * time.Millisecond)
+		return n, nil
+	})
+	st := NewStream[int, int](Seq(slow), WithLP(2))
+	defer st.Close()
+	for i := 0; i < 6; i++ {
+		st.Input(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := st.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := st.Do(7); err != nil || res != 7 {
+		t.Fatalf("stream unusable after drain: %v/%v", res, err)
+	}
+}
+
+// TestDrainContextCancel: a canceled context aborts the wait.
+func TestDrainContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	stuck := NewExec("stuck", func(n int) (int, error) {
+		<-block
+		return n, nil
+	})
+	st := NewStream[int, int](Seq(stuck), WithLP(1))
+	defer st.Close()
+	defer close(block)
+	ex := st.Input(1)
+	_ = ex
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := st.Drain(ctx); err == nil {
+		t.Fatal("drain returned while execution blocked")
+	}
+}
+
+// TestRemainingOptionCoverage exercises the less-traveled options and
+// accessors together: virtual clock, throttled analyses, damped decreases,
+// explicit policies, farm wrapper, and the execution accessors.
+func TestRemainingOptionCoverage(t *testing.T) {
+	prog := Farm(nestedSleepProgram(3, 2*time.Millisecond))
+	st := NewStream[int, int](prog,
+		WithLP(1),
+		WithMaxLP(8),
+		WithWCTGoal(40*time.Millisecond),
+		WithAnalysisInterval(time.Millisecond),
+		WithDecreaseHold(10*time.Millisecond),
+		WithPolicies(IncreaseMinimal, DecreaseHalve),
+		WithClock(nil2clock()),
+	)
+	defer st.Close()
+	ex := st.Input(0)
+	select {
+	case <-ex.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("execution did not finish")
+	}
+	res, err := ex.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 9 {
+		t.Fatalf("result %d", res)
+	}
+	_ = ex.Analyses()
+	_ = ex.Decisions()
+	// Muscle accessors on every handle flavour.
+	fs := intRange()
+	fm := intSum()
+	fc := NewCond("c", func(n int) (bool, error) { return false, nil })
+	if fs.Muscle() == nil || fm.Muscle() == nil || fc.Muscle() == nil {
+		t.Fatal("nil muscle accessor")
+	}
+}
+
+// nil2clock returns the default clock through the public option path.
+func nil2clock() clockIface { return realClock{} }
+
+type clockIface = interface{ Now() time.Time }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// TestAnalysisTickerCatchesStraggler: a muscle that wildly overruns its
+// estimate emits no events, so an event-driven controller stays blind
+// until it ends. The periodic ticker re-analyzes mid-muscle, notices the
+// projection slipping past the goal, and raises LP so the remaining
+// branches overlap the straggler.
+func TestAnalysisTickerCatchesStraggler(t *testing.T) {
+	var calls atomic.Int64
+	fs := NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, 6)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := NewExec("fe", func(n int) (int, error) {
+		if calls.Add(1) == 2 {
+			// The second invocation is a 40ms straggler; the first taught
+			// the estimator ~2ms.
+			time.Sleep(40 * time.Millisecond)
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return 1, nil
+	})
+	fm := NewMerge("fm", func(ps []int) (int, error) {
+		s := 0
+		for _, p := range ps {
+			s += p
+		}
+		return s, nil
+	})
+	inner := Map(fs, Seq(fe), fm)
+	prog := Map(fs, inner, fm)
+
+	st := NewStream[int, int](prog,
+		WithLP(1),
+		WithMaxLP(8),
+		WithWCTGoal(60*time.Millisecond),
+		WithAnalysisTicker(3*time.Millisecond))
+	defer st.Close()
+	ex := st.Input(0)
+	res, err := ex.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 36 {
+		t.Fatalf("result %d, want 36", res)
+	}
+	if len(ex.Decisions()) == 0 {
+		t.Fatal("ticker-driven controller never adapted")
+	}
+}
