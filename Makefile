@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt cover clean
+.PHONY: all build test race bench figures examples vet fmt cover check clean
 
-all: build test
+all: check
+
+# check is the pre-merge gate: compile, full tests, vet/fmt, then the race
+# detector over the concurrency-heavy packages (pool, controller+arbiter,
+# daemon) and the stream lifecycle tests of the root package.
+check: build test vet race
 
 build:
 	$(GO) build ./...
@@ -13,7 +18,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/exec ./internal/core ./internal/server
+	$(GO) test -race -run 'TestClose|TestDrain|TestStream' .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// jobView mirrors the daemon's job JSON (the fields this client shows).
+type jobView struct {
+	ID          string  `json:"id"`
+	Skeleton    string  `json:"skeleton"`
+	Program     string  `json:"program"`
+	State       string  `json:"state"`
+	GoalMS      float64 `json:"goal_ms"`
+	LP          int     `json:"lp"`
+	Active      int     `json:"active"`
+	Grant       int     `json:"grant"`
+	DesiredLP   int     `json:"desired_lp"`
+	PredictedMS float64 `json:"predicted_wct_ms"`
+	OvershootMS float64 `json:"overshoot_ms"`
+	Decisions   int     `json:"decisions"`
+	FinishedMS  float64 `json:"finished_ms"`
+	StartedMS   float64 `json:"started_ms"`
+	Result      string  `json:"result"`
+	Error       string  `json:"error"`
+}
+
+type decisionView struct {
+	TMS         float64 `json:"t_ms"`
+	OldLP       int     `json:"old_lp"`
+	NewLP       int     `json:"new_lp"`
+	PredictedMS float64 `json:"predicted_wct_ms"`
+	BestMS      float64 `json:"best_wct_ms"`
+	OptimalLP   int     `json:"optimal_lp"`
+	Reason      string  `json:"reason"`
+}
+
+// runDaemonClient submits one job to a running skelrund and follows it to
+// completion, printing LP/grant transitions and the decision log.
+func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, maxLP int) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	params := map[string]any{}
+	if paramsJSON != "" {
+		if err := json.Unmarshal([]byte(paramsJSON), &params); err != nil {
+			return fmt.Errorf("bad -params JSON: %w", err)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{
+		"skeleton":   skeleton,
+		"params":     params,
+		"goal_ms":    float64(goal) / float64(time.Millisecond),
+		"initial_lp": lp,
+		"max_lp":     maxLP,
+	})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", base, err)
+	}
+	raw := new(bytes.Buffer)
+	_, _ = raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))
+	}
+	var j jobView
+	if err := json.Unmarshal(raw.Bytes(), &j); err != nil {
+		return fmt.Errorf("submit: decode: %w", err)
+	}
+	fmt.Printf("submitted %s: %s  %s\n", j.ID, j.Skeleton, j.Program)
+	if goal > 0 {
+		fmt.Printf("QoS: WCT goal %v, initial LP %d\n", goal, lp)
+	}
+
+	lastLP, lastGrant, lastState := -1, -1, ""
+	for {
+		v, err := getJob(base, j.ID)
+		if err != nil {
+			return err
+		}
+		if v.LP != lastLP || v.Grant != lastGrant || v.State != lastState {
+			fmt.Printf("  t=%-9s state=%-8s lp=%d/%d grant=%d desired=%d pred=%.0fms overshoot=%.0fms\n",
+				fmt.Sprintf("%.0fms", sinceStartMS(v)), v.State, v.Active, v.LP,
+				v.Grant, v.DesiredLP, v.PredictedMS, v.OvershootMS)
+			lastLP, lastGrant, lastState = v.LP, v.Grant, v.State
+		}
+		if v.State == "done" || v.State == "failed" || v.State == "canceled" {
+			return printOutcome(base, v)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func sinceStartMS(v jobView) float64 {
+	if v.FinishedMS > 0 {
+		return v.FinishedMS
+	}
+	return v.StartedMS
+}
+
+func getJob(base, id string) (jobView, error) {
+	var v jobView
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return v, fmt.Errorf("poll: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("poll: %s", resp.Status)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func printOutcome(base string, v jobView) error {
+	resp, err := http.Get(base + "/jobs/" + v.ID + "/decisions")
+	if err == nil {
+		var decs []decisionView
+		_ = json.NewDecoder(resp.Body).Decode(&decs)
+		resp.Body.Close()
+		for _, d := range decs {
+			fmt.Printf("  decision t=%-8s LP %2d -> %2d  pred=%.0fms best=%.0fms opt=%d  %s\n",
+				fmt.Sprintf("%.0fms", d.TMS), d.OldLP, d.NewLP,
+				d.PredictedMS, d.BestMS, d.OptimalLP, d.Reason)
+		}
+	}
+	wall := v.FinishedMS - v.StartedMS
+	switch v.State {
+	case "done":
+		fmt.Printf("done in %.0fms: %s\n", wall, v.Result)
+		if v.GoalMS > 0 {
+			verdict := "MET"
+			if wall > v.GoalMS {
+				verdict = "MISSED"
+			}
+			fmt.Printf("goal: %s (%.0fms vs %.0fms)\n", verdict, wall, v.GoalMS)
+		}
+		return nil
+	case "canceled":
+		return fmt.Errorf("job %s canceled: %s", v.ID, v.Error)
+	default:
+		return fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+	}
+}

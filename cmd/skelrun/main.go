@@ -7,6 +7,13 @@
 //	go run ./cmd/skelrun -goal 9.5s -init            # paper scenario 2
 //	go run ./cmd/skelrun -goal 10.5s -decrease none  # ablation
 //	go run ./cmd/skelrun -lp 1 -goal 0               # sequential baseline
+//
+// With -daemon it instead submits a real job to a running skelrund and
+// follows it to completion:
+//
+//	go run ./cmd/skelrun -daemon localhost:8080 -skeleton wordcount -goal 500ms
+//	go run ./cmd/skelrun -daemon localhost:8080 -skeleton sleepgrid \
+//	    -params '{"k":4,"m":4,"cell_ms":20}' -goal 100ms
 package main
 
 import (
@@ -35,7 +42,17 @@ func main() {
 	increase := flag.String("increase", "minimal", "increase policy: optimal|minimal")
 	decrease := flag.String("decrease", "halve", "decrease policy: halve|none|exact")
 	csv := flag.Bool("csv", false, "print the active-threads series as CSV")
+	daemon := flag.String("daemon", "", "submit to a running skelrund at this address instead of simulating")
+	skeleton := flag.String("skeleton", "wordcount", "registered skeleton to run (daemon mode)")
+	params := flag.String("params", "", "skeleton params as JSON (daemon mode)")
 	flag.Parse()
+
+	if *daemon != "" {
+		if err := runDaemonClient(*daemon, *skeleton, *params, *goal, *lp, *maxLP); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	spec := paperexp.Spec{
 		K: *k, M: *m,

@@ -1,0 +1,80 @@
+// skelrund is the multi-job autonomic skeleton daemon: it serves the
+// HTTP/JSON API from internal/server, running submitted skeleton jobs
+// under a machine-wide LP budget divided by the arbiter.
+//
+//	go run ./cmd/skelrund -addr localhost:8080
+//	curl -s localhost:8080/skeletons
+//	curl -s -X POST localhost:8080/jobs -d '{"skeleton":"wordcount","goal_ms":500}'
+//
+// SIGINT/SIGTERM starts a graceful shutdown: new submissions are refused,
+// running and queued jobs drain within -drain, then the listener closes.
+// A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skandium/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	budget := flag.Int("budget", 0, "machine-wide LP budget (0 = 2×GOMAXPROCS)")
+	rebalance := flag.Duration("rebalance", 25*time.Millisecond, "arbiter rebalance period")
+	analysisTick := flag.Duration("analysis-tick", 5*time.Millisecond, "per-job periodic re-analysis")
+	analysisInterval := flag.Duration("analysis-interval", 2*time.Millisecond, "event-driven analysis throttle")
+	eventLog := flag.Int("eventlog", 8192, "per-job event ring size")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Budget:           *budget,
+		Rebalance:        *rebalance,
+		AnalysisTick:     *analysisTick,
+		AnalysisInterval: *analysisInterval,
+		EventLog:         *eventLog,
+	})
+	httpd := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpd.ListenAndServe() }()
+	log.Printf("skelrund: serving on http://%s (budget %d)", *addr, srv.Budget())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("skelrund: %v", err)
+	case sig := <-sigc:
+		log.Printf("skelrund: %v — draining (deadline %v; signal again to force quit)", sig, *drain)
+	}
+
+	go func() {
+		sig := <-sigc
+		log.Printf("skelrund: %v — forcing exit", sig)
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("skelrund: drain cut short: %v", err)
+	} else {
+		log.Printf("skelrund: all jobs drained")
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer shutCancel()
+	if err := httpd.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("skelrund: http shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// Member is the per-job face the Arbiter manages: a controller (or a test
+// double) that publishes its resource wish and accepts a budget grant. The
+// grant is an external LP cap — the member's own controller keeps computing
+// its desired/optimal LP from its ADG exactly as in the paper; the arbiter
+// only bounds how much of that wish the machine honours.
+type Member interface {
+	// Demand returns the member's latest resource wish.
+	Demand() Demand
+	// Grant imposes the arbiter's budget share as an external LP cap.
+	Grant(n int)
+}
+
+// GrantDecision records one change of a member's budget share, for
+// experiment harnesses, the daemon API and debugging.
+type GrantDecision struct {
+	Time   time.Time
+	Job    string
+	OldLP  int
+	NewLP  int
+	Reason string
+}
+
+// String renders the decision compactly.
+func (d GrantDecision) String() string {
+	return fmt.Sprintf("[%v] %s grant %d->%d: %s", d.Time, d.Job, d.OldLP, d.NewLP, d.Reason)
+}
+
+// ErrNoCapacity is returned by Admit when every budget unit is already
+// committed to a running job (each admitted job needs at least one worker).
+var ErrNoCapacity = fmt.Errorf("core: arbiter at capacity")
+
+// Arbiter owns a machine-wide LP budget and divides it across the per-job
+// autonomic controllers — the fleet-level analogue of the paper's
+// asymmetric policy. On every Rebalance each member starts from the LP its
+// own controller desires; if the wishes exceed the budget, jobs that are
+// meeting their goal (slack) are halved first, and only then are
+// goal-missing jobs shrunk, least-severe overshoot first. Increases are
+// granted eagerly (a goal-missing job jumps straight to its wish when the
+// budget allows), decreases happen in halving steps, mirroring the
+// controller's raise-to-optimal / halve-to-decrease asymmetry one level up.
+type Arbiter struct {
+	budget int
+	clk    clock.Clock
+
+	mu      sync.Mutex
+	members map[string]*arbEntry
+	order   []string // admission order, for deterministic iteration
+	log     []GrantDecision
+}
+
+type arbEntry struct {
+	m     Member
+	grant int
+}
+
+// NewArbiter creates an arbiter over a global LP budget (minimum 1). A nil
+// clock means the system clock; decisions are stamped with its readings.
+func NewArbiter(budget int, clk clock.Clock) *Arbiter {
+	if budget < 1 {
+		budget = 1
+	}
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Arbiter{budget: budget, clk: clk, members: map[string]*arbEntry{}}
+}
+
+// Budget returns the global LP budget.
+func (a *Arbiter) Budget() int { return a.budget }
+
+// Admit adds a member under the given id and rebalances. It fails with
+// ErrNoCapacity when the budget cannot guarantee every admitted job its
+// minimum of one worker, and with an error on duplicate ids. The caller
+// (the daemon) queues submissions that do not fit and retries on Release.
+func (a *Arbiter) Admit(id string, m Member) error {
+	if m == nil {
+		panic("core: Admit with nil member")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.members[id]; dup {
+		return fmt.Errorf("core: arbiter already has job %q", id)
+	}
+	if len(a.members) >= a.budget {
+		return ErrNoCapacity
+	}
+	a.members[id] = &arbEntry{m: m}
+	a.order = append(a.order, id)
+	a.rebalanceLocked("admitted " + id)
+	return nil
+}
+
+// Release removes a member (finished, canceled or evicted) and immediately
+// redistributes its budget to the survivors. Unknown ids are a no-op.
+func (a *Arbiter) Release(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.members[id]
+	if !ok {
+		return
+	}
+	delete(a.members, id)
+	for i, oid := range a.order {
+		if oid == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	if e.grant != 0 {
+		a.log = append(a.log, GrantDecision{
+			Time: a.clk.Now(), Job: id, OldLP: e.grant, NewLP: 0,
+			Reason: "released: budget returned",
+		})
+	}
+	a.rebalanceLocked("released " + id)
+}
+
+// Members returns the admitted job ids in admission order.
+func (a *Arbiter) Members() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.order...)
+}
+
+// Grants returns the current budget share of every admitted member.
+func (a *Arbiter) Grants() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.members))
+	for id, e := range a.members {
+		out[id] = e.grant
+	}
+	return out
+}
+
+// Granted returns the sum of all current grants (always <= Budget).
+func (a *Arbiter) Granted() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, e := range a.members {
+		total += e.grant
+	}
+	return total
+}
+
+// Decisions returns a copy of the grant-change log.
+func (a *Arbiter) Decisions() []GrantDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]GrantDecision(nil), a.log...)
+}
+
+// Rebalance re-divides the budget according to the members' current
+// demands. The daemon calls it periodically and after QoS changes.
+func (a *Arbiter) Rebalance() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rebalanceLocked("periodic rebalance")
+}
+
+// StartTicker rebalances every d on a background goroutine until the
+// returned stop function is called. Only meaningful on real-time clocks.
+func (a *Arbiter) StartTicker(d time.Duration) (stop func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				a.Rebalance()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// cand is one member's state during a rebalance round.
+type cand struct {
+	id        string
+	e         *arbEntry
+	grant     int
+	severe    bool // goal-missing at its current LP
+	overshoot time.Duration
+}
+
+func (a *Arbiter) rebalanceLocked(why string) {
+	if len(a.members) == 0 {
+		return
+	}
+	now := a.clk.Now()
+	cands := make([]*cand, 0, len(a.members))
+	for _, id := range a.order {
+		e := a.members[id]
+		d := e.m.Demand()
+		des := d.DesiredLP
+		if !d.Valid || des < 1 {
+			// Before the first analysis (or without a goal) a job holds what
+			// it actually uses; a fresh job starts at the minimum.
+			des = d.CurrentLP
+			if des < 1 {
+				des = 1
+			}
+		}
+		if des > a.budget {
+			des = a.budget
+		}
+		cands = append(cands, &cand{
+			id: id, e: e, grant: des,
+			severe:    d.Valid && d.Goal > 0 && d.Overshoot > 0,
+			overshoot: d.Overshoot,
+		})
+	}
+
+	// Shrink until the wishes fit the budget: halve the slack jobs first
+	// (largest grant first, so comfort pays before need), then — only if
+	// slack alone does not cover it — halve goal-missing jobs, least severe
+	// overshoot first. Each round halves, never zeroes: every admitted job
+	// keeps at least one worker, and admission guarantees that fits.
+	sum := 0
+	for _, c := range cands {
+		sum += c.grant
+	}
+	for sum > a.budget {
+		var victim *cand
+		for _, c := range cands { // pass 1: slack jobs
+			if c.severe || c.grant <= 1 {
+				continue
+			}
+			if victim == nil || c.grant > victim.grant {
+				victim = c
+			}
+		}
+		if victim == nil {
+			for _, c := range cands { // pass 2: least-severe goal-missers
+				if c.grant <= 1 {
+					continue
+				}
+				if victim == nil || c.overshoot < victim.overshoot ||
+					(c.overshoot == victim.overshoot && c.grant > victim.grant) {
+					victim = c
+				}
+			}
+		}
+		if victim == nil {
+			break // all at the floor of 1; admission keeps this <= budget
+		}
+		half := victim.grant / 2
+		if half < 1 {
+			half = 1
+		}
+		sum -= victim.grant - half
+		victim.grant = half
+	}
+
+	// Apply and log changes: all cuts before all raises, so the sum of the
+	// caps actually imposed on the pools never exceeds the budget, not even
+	// between two Grant calls. Within each group, most severe first.
+	sort.SliceStable(cands, func(i, j int) bool {
+		di, dj := cands[i].grant < cands[i].e.grant, cands[j].grant < cands[j].e.grant
+		if di != dj {
+			return di // decreases first
+		}
+		return cands[i].overshoot > cands[j].overshoot
+	})
+	for _, c := range cands {
+		if c.grant == c.e.grant {
+			continue
+		}
+		old := c.e.grant
+		c.e.grant = c.grant
+		c.e.m.Grant(c.grant)
+		reason := why
+		if c.grant < old {
+			if c.severe {
+				reason += ": shrink goal-missing job (slack exhausted)"
+			} else {
+				reason += ": halve slack job"
+			}
+		} else if c.severe {
+			reason += ": grant goal-missing job"
+		} else {
+			reason += ": grant"
+		}
+		a.log = append(a.log, GrantDecision{
+			Time: now, Job: c.id, OldLP: old, NewLP: c.grant, Reason: reason,
+		})
+	}
+}

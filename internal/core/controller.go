@@ -114,11 +114,40 @@ func (d Decision) String() string {
 		d.Time, d.OldLP, d.NewLP, d.PredictedWCT, d.BestWCT, d.OptimalLP, d.Reason)
 }
 
+// Demand is the controller's latest resource wish, the per-job face a
+// machine-wide budget arbiter reads: how many workers this job wants
+// (uncapped by any external grant) and how badly it is missing its goal.
+type Demand struct {
+	// Valid is false until the first complete analysis has run (estimates
+	// still warming up).
+	Valid bool
+	// Time is when the analysis producing this demand ran.
+	Time time.Time
+	// CurrentLP is the lever's level of parallelism at analysis time (the
+	// externally capped, actual value).
+	CurrentLP int
+	// DesiredLP is the LP the controller wants under its own policies and
+	// MaxLP QoS, ignoring external caps.
+	DesiredLP int
+	// OptimalLP is the peak of the best-effort timeline.
+	OptimalLP int
+	// PredictedWCT is the estimated wall-clock time at CurrentLP.
+	PredictedWCT time.Duration
+	// BestWCT is the best-effort (unbounded LP) estimate.
+	BestWCT time.Duration
+	// Goal is the WCT goal in force at analysis time.
+	Goal time.Duration
+	// Overshoot is predicted end minus deadline: positive means the goal
+	// will be missed at the current LP — the arbiter's severity key.
+	Overshoot time.Duration
+	// Finished reports whether the execution has completed.
+	Finished bool
+}
+
 // Controller is the autonomic manager of one execution. Wire it after the
 // tracker on the same event registry (Attach does both in order), so state
 // machines observe an event before the controller analyses it.
 type Controller struct {
-	cfg     Config
 	node    *skel.Node
 	lever   LPControl
 	est     *estimate.Registry
@@ -129,6 +158,7 @@ type Controller struct {
 	reqCard []muscle.ID
 
 	mu           sync.Mutex
+	cfg          Config // goal and MaxLP are adjustable at runtime
 	start        time.Time
 	started      bool
 	finished     bool
@@ -136,6 +166,8 @@ type Controller struct {
 	hasLast      bool
 	lastIncrease time.Time
 	hasIncrease  bool
+	lastWant     int // last LP target handed to the lever (0 = none yet)
+	demand       Demand
 	decisions    []Decision
 	analyses     int
 }
@@ -176,6 +208,45 @@ func (c *Controller) SetStart(t time.Time) {
 	c.mu.Lock()
 	c.start, c.started = t, true
 	c.mu.Unlock()
+}
+
+// SetGoal adjusts the WCT goal at runtime (still measured from the original
+// execution start). A non-positive goal suspends adaptation.
+func (c *Controller) SetGoal(d time.Duration) {
+	c.mu.Lock()
+	c.cfg.WCTGoal = d
+	c.mu.Unlock()
+}
+
+// SetMaxLP adjusts the LP QoS cap at runtime (0 = uncapped). It bounds what
+// the controller will request; pair it with the lever's own cap to also
+// shrink an already granted level.
+func (c *Controller) SetMaxLP(n int) {
+	c.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	c.cfg.MaxLP = n
+	c.mu.Unlock()
+}
+
+// Goal returns the WCT goal currently in force.
+func (c *Controller) Goal() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.WCTGoal
+}
+
+// Demand returns the controller's latest resource wish for budget
+// arbitration. CurrentLP and Finished are always fresh; the estimate fields
+// carry the last completed analysis (Valid=false before the first one).
+func (c *Controller) Demand() Demand {
+	c.mu.Lock()
+	d := c.demand
+	d.Finished = c.finished
+	c.mu.Unlock()
+	d.CurrentLP = c.lever.LP()
+	return d
 }
 
 // Listener returns the event hook that triggers analyses. Only After events
@@ -287,7 +358,11 @@ func (c *Controller) Decisions() []Decision {
 // estimates). It is normally invoked from the event listener but is
 // exported for tests, the simulator and external schedulers.
 func (c *Controller) Analyze(now time.Time) bool {
-	if c.cfg.WCTGoal <= 0 {
+	c.mu.Lock()
+	cfg := c.cfg // goal/MaxLP may be adjusted at runtime; analyze a snapshot
+	start := c.start
+	c.mu.Unlock()
+	if cfg.WCTGoal <= 0 {
 		return false
 	}
 	// Gate: all muscles observed or initialized (the paper's "wait until
@@ -295,11 +370,8 @@ func (c *Controller) Analyze(now time.Time) bool {
 	if !c.est.Complete(c.reqDur, c.reqCard) {
 		return false
 	}
-	c.mu.Lock()
-	start := c.start
-	c.mu.Unlock()
 
-	predictor := c.cfg.Predictor
+	predictor := cfg.Predictor
 	if predictor == nil {
 		predictor = ADGPredictor{}
 	}
@@ -309,13 +381,13 @@ func (c *Controller) Analyze(now time.Time) bool {
 		Est:     c.est,
 		Start:   start,
 		Now:     now,
-		Budget:  c.cfg.ADGBudget,
+		Budget:  cfg.ADGBudget,
 	})
 	if err != nil {
 		return false // not started yet, or estimates raced away; retry later
 	}
 	cur := c.lever.LP()
-	deadline := start.Add(c.cfg.WCTGoal)
+	deadline := start.Add(cfg.WCTGoal)
 
 	predictedEnd := pred.LimitedEnd(cur)
 	predicted := predictedEnd.Sub(start)
@@ -326,7 +398,23 @@ func (c *Controller) Analyze(now time.Time) bool {
 	c.analyses++
 	c.mu.Unlock()
 
-	ceil := c.cfg.MaxLP
+	// desired is what this controller wants ignoring any external cap —
+	// published via Demand for budget arbitration. It defaults to holding
+	// the current level and is overwritten by the branches below.
+	desired := cur
+	defer func() {
+		c.mu.Lock()
+		c.demand = Demand{
+			Valid: true, Time: now,
+			CurrentLP: cur, DesiredLP: desired, OptimalLP: optimal,
+			PredictedWCT: predicted, BestWCT: best,
+			Goal:      cfg.WCTGoal,
+			Overshoot: predictedEnd.Sub(deadline),
+		}
+		c.mu.Unlock()
+	}()
+
+	ceil := cfg.MaxLP
 	if ceil <= 0 {
 		ceil = optimal
 	}
@@ -335,7 +423,7 @@ func (c *Controller) Analyze(now time.Time) bool {
 		// The goal will be missed at the current LP: self-optimize up.
 		target := cur
 		reason := ""
-		switch c.cfg.Increase {
+		switch cfg.Increase {
 		case IncreaseOptimal:
 			target = optimal
 			reason = "goal missed: raise to optimal LP"
@@ -358,25 +446,26 @@ func (c *Controller) Analyze(now time.Time) bool {
 				reason = "goal unreachable: raise to minimal LP near best effort"
 			}
 		}
-		if c.cfg.MaxLP > 0 && target > c.cfg.MaxLP {
-			target = c.cfg.MaxLP
+		if cfg.MaxLP > 0 && target > cfg.MaxLP {
+			target = cfg.MaxLP
 		}
 		if target > cur {
+			desired = target
 			c.apply(now, cur, target, predicted, best, optimal, reason)
 		}
 		return true
 	}
 
 	// On track: consider lowering LP (self-configuration toward economy).
-	if c.cfg.DecreaseHold > 0 {
+	if cfg.DecreaseHold > 0 {
 		c.mu.Lock()
-		held := c.hasIncrease && now.Sub(c.lastIncrease) < c.cfg.DecreaseHold
+		held := c.hasIncrease && now.Sub(c.lastIncrease) < cfg.DecreaseHold
 		c.mu.Unlock()
 		if held {
 			return true
 		}
 	}
-	switch c.cfg.Decrease {
+	switch cfg.Decrease {
 	case DecreaseNone:
 		return true
 	case DecreaseHalve:
@@ -385,10 +474,12 @@ func (c *Controller) Analyze(now time.Time) bool {
 			return true
 		}
 		if !pred.LimitedEnd(half).After(deadline) {
+			desired = half
 			c.apply(now, cur, half, predicted, best, optimal, "goal met with half the threads: halve LP")
 		}
 	case DecreaseExact:
 		if lp, ok := pred.MinLP(deadline, cur); ok && lp < cur {
+			desired = lp
 			c.apply(now, cur, lp, predicted, best, optimal, "goal met with fewer threads: drop to minimum")
 		}
 	}
@@ -396,11 +487,21 @@ func (c *Controller) Analyze(now time.Time) bool {
 }
 
 func (c *Controller) apply(now time.Time, from, to int, predicted, best time.Duration, optimal int, reason string) {
+	before := c.lever.LP()
 	c.lever.SetLP(to)
+	after := c.lever.LP()
 	c.mu.Lock()
 	if to > from {
 		c.lastIncrease, c.hasIncrease = now, true
 	}
+	// Under an external cap the lever may clamp the request: the controller
+	// keeps wishing for the same target analysis after analysis with no
+	// actual change. Log that intent once, not on every cycle.
+	if to == c.lastWant && after == before {
+		c.mu.Unlock()
+		return
+	}
+	c.lastWant = to
 	c.decisions = append(c.decisions, Decision{
 		Time: now, OldLP: from, NewLP: to,
 		PredictedWCT: predicted, BestWCT: best, OptimalLP: optimal,

@@ -261,19 +261,16 @@ func TestPanicInListenerAbortsExecution(t *testing.T) {
 	}
 }
 
-// TestSubmitAfterCloseDoesNotHang: closing the pool drops queued tasks; the
-// futures of in-flight roots simply never resolve, but Submit panics
-// loudly rather than deadlocking silently.
-func TestSubmitAfterClosePanics(t *testing.T) {
+// TestSubmitAfterCloseFailsFuture: submitting to a closed pool neither
+// panics nor hangs — the root's future resolves with ErrPoolClosed, so a
+// stream racing Close against Input degrades to an errored execution.
+func TestSubmitAfterCloseFailsFuture(t *testing.T) {
 	pool := NewPool(clock.System, 1, 0)
 	pool.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Submit on closed pool did not panic")
-		}
-	}()
 	root := NewRoot(pool, nil, nil)
-	root.Start(skel.NewSeq(feAdd(1)), 1)
+	if _, err := root.Start(skel.NewSeq(feAdd(1)), 1).Get(); err != ErrPoolClosed {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
 }
 
 // TestPoolCloseIdempotent: double close is safe.

@@ -1,12 +1,18 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"skandium/internal/clock"
 )
+
+// ErrPoolClosed resolves the futures of roots whose tasks reach a closed
+// pool: the execution cannot make progress anymore, so waiters must not
+// hang.
+var ErrPoolClosed = errors.New("exec: pool closed")
 
 // GaugeFunc observes pool state transitions: now is the clock reading,
 // active the number of workers currently executing a task, lp the current
@@ -31,7 +37,9 @@ type Pool struct {
 	cond    *sync.Cond
 	queue   []*Task // LIFO: depth-first keeps the working set small
 	lp      int
+	want    int // last requested LP target, before clamping
 	maxLP   int // hard cap (QoS "maximum LP"); 0 = unlimited
+	extCap  int // externally imposed cap (a budget arbiter's grant); 0 = none
 	spawned int
 	active  int
 	closed  bool
@@ -65,12 +73,38 @@ func NewPool(clk clock.Clock, initialLP, maxLP int) *Pool {
 	if initialLP < 1 {
 		initialLP = 1
 	}
-	if maxLP > 0 && initialLP > maxLP {
-		initialLP = maxLP
-	}
-	p := &Pool{clk: clk, lp: initialLP, maxLP: maxLP}
+	p := &Pool{clk: clk, want: initialLP, maxLP: maxLP}
+	p.lp = p.effectiveLocked()
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// effectiveLocked clamps the requested target by the pool's own cap and the
+// external cap, with a floor of one worker.
+func (p *Pool) effectiveLocked() int {
+	n := p.want
+	if p.maxLP > 0 && n > p.maxLP {
+		n = p.maxLP
+	}
+	if p.extCap > 0 && n > p.extCap {
+		n = p.extCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// applyLocked recomputes the effective LP after want/maxLP/extCap changed.
+func (p *Pool) applyLocked() {
+	eff := p.effectiveLocked()
+	if eff == p.lp {
+		return
+	}
+	p.lp = eff
+	p.ensureWorkersLocked()
+	p.sampleLocked()
+	p.cond.Broadcast()
 }
 
 // SetGauge installs the state observer. Pass nil to remove it.
@@ -116,9 +150,10 @@ func (p *Pool) QueueLen() int {
 	return len(p.queue)
 }
 
-// SetLP changes the level-of-parallelism target, clamped to [1, maxLP].
-// Raising it spawns or wakes workers immediately; lowering it takes effect
-// as running workers finish their current task.
+// SetLP changes the level-of-parallelism target, clamped to [1, maxLP] and
+// any external cap. Raising it spawns or wakes workers immediately; lowering
+// it takes effect as running workers finish their current task. The
+// unclamped target is remembered, so lifting a cap later restores it.
 func (p *Pool) SetLP(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -128,25 +163,68 @@ func (p *Pool) SetLP(n int) {
 	if n < 1 {
 		n = 1
 	}
-	if p.maxLP > 0 && n > p.maxLP {
-		n = p.maxLP
-	}
-	if n == p.lp {
-		return
-	}
-	p.lp = n
-	p.ensureWorkersLocked()
-	p.sampleLocked()
-	p.cond.Broadcast()
+	p.want = n
+	p.applyLocked()
 }
 
-// Submit enqueues a task for execution.
-func (p *Pool) Submit(t *Task) {
+// Want returns the last requested LP target before clamping — what the
+// controller asked for, as opposed to what the caps allow.
+func (p *Pool) Want() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.want
+}
+
+// SetCap imposes (or, with n <= 0, lifts) an external LP cap on top of the
+// pool's own maxLP — the lever a machine-wide budget arbiter pulls. The last
+// SetLP target is re-clamped immediately, in both directions.
+func (p *Pool) SetCap(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		panic("exec: Submit on closed pool")
+		return
 	}
+	if n < 0 {
+		n = 0
+	}
+	p.extCap = n
+	p.applyLocked()
+}
+
+// Cap returns the external LP cap (0 = none).
+func (p *Pool) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.extCap
+}
+
+// SetMaxLP adjusts the pool's own hard cap at runtime (0 = unlimited); the
+// current target is re-clamped immediately.
+func (p *Pool) SetMaxLP(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.maxLP = n
+	p.applyLocked()
+}
+
+// Submit enqueues a task for execution. Submitting to a closed pool fails
+// the task's root (resolving its future with ErrPoolClosed) instead of
+// panicking, so a stream racing Close against Input degrades to an errored
+// execution rather than a crash.
+func (p *Pool) Submit(t *Task) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.root.fail(ErrPoolClosed)
+		return
+	}
+	defer p.mu.Unlock()
 	p.queue = append(p.queue, t)
 	p.ensureWorkersLocked()
 	p.cond.Broadcast()

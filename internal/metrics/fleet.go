@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet aggregates per-job recorders for a multi-job service: each job gets
+// its own Recorder (the per-job LP/active timeline), and the fleet exposes
+// machine-wide series — total LP committed over time, its peak — which is
+// how a budget arbiter's "sum of grants never exceeds the budget" invariant
+// becomes observable.
+type Fleet struct {
+	mu      sync.Mutex
+	start   time.Time
+	started bool
+	jobs    map[string]*Recorder
+	order   []string
+}
+
+// NewFleet returns an empty fleet recorder.
+func NewFleet() *Fleet { return &Fleet{jobs: map[string]*Recorder{}} }
+
+// SetStart fixes the fleet-wide time origin; job recorders created later
+// inherit it.
+func (f *Fleet) SetStart(t time.Time) {
+	f.mu.Lock()
+	f.start, f.started = t, true
+	for _, r := range f.jobs {
+		r.SetStart(t)
+	}
+	f.mu.Unlock()
+}
+
+// Job returns (creating on demand) the recorder of one job.
+func (f *Fleet) Job(id string) *Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r, ok := f.jobs[id]; ok {
+		return r
+	}
+	r := NewRecorder()
+	if f.started {
+		r.SetStart(f.start)
+	}
+	f.jobs[id] = r
+	f.order = append(f.order, id)
+	return r
+}
+
+// Remove forgets a job's recorder (eviction; completed jobs are usually
+// kept so their timeline stays queryable).
+func (f *Fleet) Remove(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.jobs, id)
+	for i, oid := range f.order {
+		if oid == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Jobs returns the known job ids in creation order.
+func (f *Fleet) Jobs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// TotalLP returns the sum of every job's most recent LP observation — the
+// machine-wide level of parallelism currently committed.
+func (f *Fleet) TotalLP() int {
+	f.mu.Lock()
+	recs := make([]*Recorder, 0, len(f.jobs))
+	for _, r := range f.jobs {
+		recs = append(recs, r)
+	}
+	f.mu.Unlock()
+	total := 0
+	for _, r := range recs {
+		if s, ok := r.Last(); ok {
+			total += s.LP
+		}
+	}
+	return total
+}
+
+// TotalLPSeries exports the aggregate LP step series: at every observation
+// instant, the sum of each job's LP at that moment (jobs contribute 0
+// before their first and after their last-zero sample). Time is scaled to
+// unit from the fleet start (or the earliest sample when unset).
+func (f *Fleet) TotalLPSeries(unit time.Duration) []Point {
+	return f.totalSeries(unit, func(s Sample) int { return s.LP })
+}
+
+// TotalActiveSeries is TotalLPSeries for the active-worker counts.
+func (f *Fleet) TotalActiveSeries(unit time.Duration) []Point {
+	return f.totalSeries(unit, func(s Sample) int { return s.Active })
+}
+
+// PeakTotalLP returns the maximum of the aggregate LP series.
+func (f *Fleet) PeakTotalLP() int {
+	peak := 0
+	for _, p := range f.TotalLPSeries(time.Millisecond) {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	return peak
+}
+
+// sweepEvent is one job's value change during the aggregate sweep.
+type sweepEvent struct {
+	t     time.Time
+	job   int
+	value int
+}
+
+func (f *Fleet) totalSeries(unit time.Duration, val func(Sample) int) []Point {
+	f.mu.Lock()
+	start, started := f.start, f.started
+	recs := make([]*Recorder, 0, len(f.jobs))
+	for _, id := range f.order {
+		recs = append(recs, f.jobs[id])
+	}
+	f.mu.Unlock()
+
+	var events []sweepEvent
+	for j, r := range recs {
+		for _, s := range r.Samples() {
+			events = append(events, sweepEvent{t: s.T, job: j, value: val(s)})
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	if !started {
+		start = events[0].t
+	}
+
+	cur := make([]int, len(recs))
+	total := 0
+	var out []Point
+	for _, e := range events {
+		total += e.value - cur[e.job]
+		cur[e.job] = e.value
+		p := Point{T: float64(e.t.Sub(start)) / float64(unit), V: total}
+		if n := len(out); n > 0 && out[n-1].T == p.T {
+			out[n-1].V = p.V
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].V == p.V {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

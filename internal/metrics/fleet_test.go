@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func fleetAt(ms int) time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Duration(ms) * time.Millisecond)
+}
+
+// TestFleetTotalLPSeries: the aggregate series sums each job's step series
+// at every instant.
+func TestFleetTotalLPSeries(t *testing.T) {
+	f := NewFleet()
+	f.SetStart(fleetAt(0))
+
+	a := f.Job("a")
+	b := f.Job("b")
+	a.Gauge(fleetAt(0), 0, 2)  // a: LP 2 from t=0
+	b.Gauge(fleetAt(5), 0, 3)  // b: LP 3 from t=5 -> total 5
+	a.Gauge(fleetAt(10), 0, 4) // a: LP 4 -> total 7
+	b.Gauge(fleetAt(15), 0, 0) // b done -> total 4
+
+	got := f.TotalLPSeries(time.Millisecond)
+	want := []Point{{0, 2}, {5, 5}, {10, 7}, {15, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("series %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series[%d] = %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+	if peak := f.PeakTotalLP(); peak != 7 {
+		t.Fatalf("peak total LP = %d, want 7", peak)
+	}
+	if total := f.TotalLP(); total != 4 {
+		t.Fatalf("current total LP = %d, want 4", total)
+	}
+}
+
+// TestFleetJobIdentity: Job is create-on-demand and stable; Remove forgets.
+func TestFleetJobIdentity(t *testing.T) {
+	f := NewFleet()
+	r1 := f.Job("x")
+	if f.Job("x") != r1 {
+		t.Fatal("Job not stable")
+	}
+	f.Job("y")
+	if jobs := f.Jobs(); len(jobs) != 2 || jobs[0] != "x" || jobs[1] != "y" {
+		t.Fatalf("jobs %v", jobs)
+	}
+	f.Remove("x")
+	if jobs := f.Jobs(); len(jobs) != 1 || jobs[0] != "y" {
+		t.Fatalf("jobs after remove %v", jobs)
+	}
+	if f.Job("x") == r1 {
+		t.Fatal("removed recorder resurrected")
+	}
+}
+
+// TestRecorderLast: Last returns the freshest observation.
+func TestRecorderLast(t *testing.T) {
+	r := NewRecorder()
+	if _, ok := r.Last(); ok {
+		t.Fatal("Last on empty recorder")
+	}
+	r.Gauge(fleetAt(1), 1, 2)
+	r.Gauge(fleetAt(2), 0, 5)
+	if s, ok := r.Last(); !ok || s.LP != 5 {
+		t.Fatalf("Last = %v/%v", s, ok)
+	}
+}

@@ -58,6 +58,18 @@ func (r *Recorder) Samples() []Sample {
 	return out
 }
 
+// Last returns the most recent observation, if any.
+func (r *Recorder) Last() (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return Sample{}, false
+	}
+	// Samples arrive roughly time-ordered; the append order's tail is the
+	// freshest observation for gauge-style consumers.
+	return r.samples[len(r.samples)-1], true
+}
+
 // Point is one (time, value) pair of an exported series, time in units.
 type Point struct {
 	T float64

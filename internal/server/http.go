@@ -1,0 +1,523 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"reflect"
+	"time"
+
+	"skandium"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET    /healthz                   liveness + drain state
+//	GET    /metrics                   text exposition of fleet/job/pool gauges
+//	GET    /skeletons                 registered blueprint catalog
+//	POST   /jobs                      submit a job
+//	GET    /jobs                      list jobs
+//	GET    /jobs/{id}                 one job's status/QoS/arbitration
+//	GET    /jobs/{id}/decisions       the autonomic decision log
+//	GET    /jobs/{id}/events          NDJSON event stream (?follow=1&from=N)
+//	GET    /jobs/{id}/timeline        NDJSON LP/WCT timeline (+ decisions)
+//	PATCH  /jobs/{id}/qos             adjust WCT goal / max LP at runtime
+//	DELETE /jobs/{id}                 cancel a job
+//	GET    /arbiter                   budget, grants and grant decisions
+//	GET    /debug/pprof/...           runtime profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /skeletons", s.handleSkeletons)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("PATCH /jobs/{id}/qos", s.handleQoS)
+	mux.HandleFunc("POST /jobs/{id}/qos", s.handleQoS) // curl-friendly alias
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /arbiter", s.handleArbiter)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	counts := s.stateCounts()
+	jobs := map[string]int{}
+	for _, st := range statesInOrder(counts) {
+		jobs[string(st)] = counts[st]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"budget": s.Budget(),
+		"jobs":   jobs,
+	})
+}
+
+func (s *Server) handleSkeletons(w http.ResponseWriter, r *http.Request) {
+	type bpView struct {
+		Name        string          `json:"name"`
+		Description string          `json:"description"`
+		Defaults    skandium.Params `json:"defaults,omitempty"`
+	}
+	var out []bpView
+	for _, b := range skandium.Blueprints() {
+		out = append(out, bpView{Name: b.Name, Description: b.Description, Defaults: b.Defaults})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Skeleton  string          `json:"skeleton"`
+	Params    skandium.Params `json:"params"`
+	GoalMS    float64         `json:"goal_ms"`
+	MaxLP     int             `json:"max_lp"`
+	InitialLP int             `json:"initial_lp"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad submit body: %w", err))
+		return
+	}
+	j, err := s.Submit(SubmitSpec{
+		Skeleton:  req.Skeleton,
+		Params:    req.Params,
+		Goal:      time.Duration(req.GoalMS * float64(time.Millisecond)),
+		MaxLP:     req.MaxLP,
+		InitialLP: req.InitialLP,
+	})
+	switch {
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		code := http.StatusBadRequest
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobView(j))
+}
+
+// jobView is the API projection of one job.
+type jobView struct {
+	ID          string          `json:"id"`
+	Skeleton    string          `json:"skeleton"`
+	Program     string          `json:"program"`
+	Params      skandium.Params `json:"params,omitempty"`
+	State       string          `json:"state"`
+	GoalMS      float64         `json:"goal_ms,omitempty"`
+	MaxLP       int             `json:"max_lp,omitempty"`
+	LP          int             `json:"lp"`
+	Active      int             `json:"active"`
+	Grant       int             `json:"grant"`
+	DesiredLP   int             `json:"desired_lp,omitempty"`
+	OptimalLP   int             `json:"optimal_lp,omitempty"`
+	PredictedMS float64         `json:"predicted_wct_ms,omitempty"`
+	OvershootMS float64         `json:"overshoot_ms,omitempty"`
+	Analyses    int             `json:"analyses"`
+	Decisions   int             `json:"decisions"`
+	Events      int64           `json:"events"`
+	TasksRun    uint64          `json:"tasks_run"`
+	BusyMS      float64         `json:"busy_ms"`
+	CreatedMS   float64         `json:"created_ms"`
+	StartedMS   float64         `json:"started_ms,omitempty"`
+	FinishedMS  float64         `json:"finished_ms,omitempty"`
+	Result      string          `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// sinceStart renders a timestamp as ms since the fleet start (0 for zero
+// times), keeping the API clock-agnostic.
+func (s *Server) sinceStart(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	start := time.Time{}
+	if smp := s.fleetStart(); !smp.IsZero() {
+		start = smp
+	}
+	return float64(t.Sub(start)) / float64(time.Millisecond)
+}
+
+func (s *Server) fleetStart() time.Time {
+	// The fleet start was fixed in New; recover it from any recorder-free
+	// path by caching on the server would be overkill — store once.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startTime
+}
+
+func (s *Server) jobView(j *job) jobView {
+	state, grant, h, started, finished, result, jerr := j.snapshot()
+	v := jobView{
+		ID:         j.id,
+		Skeleton:   j.skeleton,
+		Program:    j.program,
+		Params:     j.params,
+		State:      string(state),
+		GoalMS:     float64(j.goal) / float64(time.Millisecond),
+		MaxLP:      j.maxLP,
+		Grant:      grant,
+		Events:     j.log.len(),
+		CreatedMS:  s.sinceStart(j.created),
+		StartedMS:  s.sinceStart(started),
+		FinishedMS: s.sinceStart(finished),
+	}
+	if h != nil {
+		v.LP = h.LP()
+		v.Active = h.Active()
+		v.Analyses = h.Analyses()
+		v.Decisions = len(h.Decisions())
+		st := h.Stats()
+		v.TasksRun = st.TasksRun
+		v.BusyMS = float64(st.BusyTime) / float64(time.Millisecond)
+		if d := h.Demand(); d.Valid {
+			v.DesiredLP = d.DesiredLP
+			v.OptimalLP = d.OptimalLP
+			v.PredictedMS = float64(d.PredictedWCT) / float64(time.Millisecond)
+			v.OvershootMS = float64(d.Overshoot) / float64(time.Millisecond)
+		}
+	}
+	if state.terminal() {
+		v.LP = 0
+		if jerr != nil {
+			v.Error = jerr.Error()
+		} else {
+			v.Result = summarize(result)
+		}
+	}
+	return v
+}
+
+// summarize renders a job result compactly: scalars and small maps print
+// as JSON, big collections print as a type+length sketch (nobody wants two
+// million sorted ints in a status response).
+func summarize(v any) string {
+	if v == nil {
+		return "null"
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array, reflect.Map:
+		if rv.Len() > 64 {
+			return fmt.Sprintf("%T of %d elements", v, rv.Len())
+		}
+	}
+	b, err := json.Marshal(v)
+	if err != nil || len(b) > 4096 {
+		return fmt.Sprintf("%T", v)
+	}
+	return string(b)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var out []jobView
+	for _, id := range s.JobIDs() {
+		if j, ok := s.Job(id); ok {
+			out = append(out, s.jobView(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, s.jobView(j))
+	}
+}
+
+// decisionView is one autonomic adaptation in API form.
+type decisionView struct {
+	TMS         float64 `json:"t_ms"`
+	OldLP       int     `json:"old_lp"`
+	NewLP       int     `json:"new_lp"`
+	PredictedMS float64 `json:"predicted_wct_ms"`
+	BestMS      float64 `json:"best_wct_ms"`
+	OptimalLP   int     `json:"optimal_lp"`
+	Reason      string  `json:"reason"`
+}
+
+func (s *Server) decisionViews(ds []skandium.Decision) []decisionView {
+	out := make([]decisionView, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, decisionView{
+			TMS:         s.sinceStart(d.Time),
+			OldLP:       d.OldLP,
+			NewLP:       d.NewLP,
+			PredictedMS: float64(d.PredictedWCT) / float64(time.Millisecond),
+			BestMS:      float64(d.BestWCT) / float64(time.Millisecond),
+			OptimalLP:   d.OptimalLP,
+			Reason:      d.Reason,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	_, _, h, _, _, _, _ := j.snapshot()
+	var ds []skandium.Decision
+	if h != nil {
+		ds = h.Decisions()
+	}
+	writeJSON(w, http.StatusOK, s.decisionViews(ds))
+}
+
+// handleEvents streams the job's event log as NDJSON. With ?follow=1 the
+// response keeps streaming until the job finishes or the client leaves;
+// ?from=N resumes after sequence number N-1.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	follow := r.URL.Query().Get("follow") != ""
+	var from int64
+	fmt.Sscanf(r.URL.Query().Get("from"), "%d", &from)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		recs, next, done, changed := j.log.snapshot(from)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+		if flusher != nil && len(recs) > 0 {
+			flusher.Flush()
+		}
+		from = next
+		if !follow || done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// timelineRecord is one NDJSON line of the LP/WCT timeline: gauge samples
+// ("lp") interleaved with controller decisions ("decision") in time order.
+type timelineRecord struct {
+	Type        string  `json:"type"`
+	TMS         float64 `json:"t_ms"`
+	Active      int     `json:"active,omitempty"`
+	LP          int     `json:"lp,omitempty"`
+	OldLP       int     `json:"old_lp,omitempty"`
+	NewLP       int     `json:"new_lp,omitempty"`
+	PredictedMS float64 `json:"predicted_wct_ms,omitempty"`
+	BestMS      float64 `json:"best_wct_ms,omitempty"`
+	OptimalLP   int     `json:"optimal_lp,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	_, _, h, _, _, _, _ := j.snapshot()
+
+	var recs []timelineRecord
+	for _, smp := range j.rec.Samples() {
+		recs = append(recs, timelineRecord{
+			Type: "lp", TMS: s.sinceStart(smp.T), Active: smp.Active, LP: smp.LP,
+		})
+	}
+	if h != nil {
+		for _, d := range h.Decisions() {
+			recs = append(recs, timelineRecord{
+				Type: "decision", TMS: s.sinceStart(d.Time),
+				OldLP: d.OldLP, NewLP: d.NewLP,
+				PredictedMS: float64(d.PredictedWCT) / float64(time.Millisecond),
+				BestMS:      float64(d.BestWCT) / float64(time.Millisecond),
+				OptimalLP:   d.OptimalLP, Reason: d.Reason,
+			})
+		}
+	}
+	sortTimeline(recs)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+	}
+}
+
+// qosRequest is the PATCH /jobs/{id}/qos body; absent fields keep the
+// current value.
+type qosRequest struct {
+	GoalMS *float64 `json:"goal_ms"`
+	MaxLP  *int     `json:"max_lp"`
+}
+
+func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	var req qosRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad qos body: %w", err))
+		return
+	}
+	var goal *time.Duration
+	if req.GoalMS != nil {
+		g := time.Duration(*req.GoalMS * float64(time.Millisecond))
+		goal = &g
+	}
+	if err := s.AdjustQoS(j.id, goal, req.MaxLP); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j.id)
+	writeJSON(w, http.StatusOK, s.jobView(j))
+}
+
+// arbiterView is the GET /arbiter response.
+type arbiterView struct {
+	Budget    int              `json:"budget"`
+	Granted   int              `json:"granted"`
+	Grants    map[string]int   `json:"grants"`
+	Decisions []grantDecisionV `json:"decisions"`
+}
+
+type grantDecisionV struct {
+	TMS    float64 `json:"t_ms"`
+	Job    string  `json:"job"`
+	OldLP  int     `json:"old_lp"`
+	NewLP  int     `json:"new_lp"`
+	Reason string  `json:"reason"`
+}
+
+func (s *Server) handleArbiter(w http.ResponseWriter, r *http.Request) {
+	ds := s.arb.Decisions()
+	out := arbiterView{
+		Budget:    s.arb.Budget(),
+		Granted:   s.arb.Granted(),
+		Grants:    s.arb.Grants(),
+		Decisions: make([]grantDecisionV, 0, len(ds)),
+	}
+	for _, d := range ds {
+		out.Decisions = append(out.Decisions, grantDecisionV{
+			TMS: s.sinceStart(d.Time), Job: d.Job,
+			OldLP: d.OldLP, NewLP: d.NewLP, Reason: d.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics exposes the fleet in Prometheus text exposition format
+// (hand-rolled: no dependency for a text format).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP skelrund_budget machine-wide LP budget\n")
+	fmt.Fprintf(w, "skelrund_budget %d\n", s.Budget())
+	fmt.Fprintf(w, "# HELP skelrund_granted sum of current arbiter grants\n")
+	fmt.Fprintf(w, "skelrund_granted %d\n", s.arb.Granted())
+	fmt.Fprintf(w, "# HELP skelrund_total_lp sum of all job pools' current LP\n")
+	fmt.Fprintf(w, "skelrund_total_lp %d\n", s.fleet.TotalLP())
+	fmt.Fprintf(w, "# HELP skelrund_peak_total_lp peak of the aggregate LP series\n")
+	fmt.Fprintf(w, "skelrund_peak_total_lp %d\n", s.fleet.PeakTotalLP())
+	counts := s.stateCounts()
+	for _, st := range statesInOrder(counts) {
+		fmt.Fprintf(w, "skelrund_jobs{state=%q} %d\n", st, counts[st])
+	}
+	for _, id := range s.JobIDs() {
+		j, ok := s.Job(id)
+		if !ok {
+			continue
+		}
+		state, grant, h, _, _, _, _ := j.snapshot()
+		lp, active := 0, 0
+		var stats statsView
+		if h != nil {
+			if !state.terminal() {
+				lp, active = h.LP(), h.Active()
+			}
+			ps := h.Stats()
+			stats = statsView{Tasks: ps.TasksRun, BusySec: ps.BusyTime.Seconds(), Spawned: ps.Spawned}
+		}
+		lbl := fmt.Sprintf("{job=%q,skeleton=%q}", j.id, j.skeleton)
+		fmt.Fprintf(w, "skelrund_job_lp%s %d\n", lbl, lp)
+		fmt.Fprintf(w, "skelrund_job_active%s %d\n", lbl, active)
+		fmt.Fprintf(w, "skelrund_job_grant%s %d\n", lbl, grant)
+		fmt.Fprintf(w, "skelrund_job_tasks_total%s %d\n", lbl, stats.Tasks)
+		fmt.Fprintf(w, "skelrund_job_busy_seconds%s %g\n", lbl, stats.BusySec)
+		fmt.Fprintf(w, "skelrund_job_workers_spawned%s %d\n", lbl, stats.Spawned)
+	}
+}
+
+type statsView struct {
+	Tasks   uint64
+	BusySec float64
+	Spawned int
+}
+
+// sortTimeline orders records by time, stable across types.
+func sortTimeline(recs []timelineRecord) {
+	metricsSortSlice(recs)
+}
+
+// metricsSortSlice is a tiny insertion sort: timelines are mostly ordered
+// already (two pre-sorted series merged), where insertion sort is linear.
+func metricsSortSlice(recs []timelineRecord) {
+	for i := 1; i < len(recs); i++ {
+		for k := i; k > 0 && recs[k].TMS < recs[k-1].TMS; k-- {
+			recs[k], recs[k-1] = recs[k-1], recs[k]
+		}
+	}
+}

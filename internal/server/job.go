@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skandium"
+	"skandium/internal/core"
+	"skandium/internal/metrics"
+)
+
+// jobState is the lifecycle of one submitted job.
+type jobState string
+
+// Job lifecycle states.
+const (
+	stateQueued   jobState = "queued"   // accepted, waiting for budget
+	stateRunning  jobState = "running"  // admitted, executing
+	stateDone     jobState = "done"     // finished successfully
+	stateFailed   jobState = "failed"   // a muscle failed
+	stateCanceled jobState = "canceled" // canceled by request or shutdown
+)
+
+// errCanceled resolves executions canceled through the API.
+var errCanceled = fmt.Errorf("server: job canceled by request")
+
+// errShutdown resolves executions cut off by daemon shutdown.
+var errShutdown = fmt.Errorf("server: daemon shutting down")
+
+// job is one submitted execution: the erased runner plus its QoS, event
+// log, timeline recorder and arbitration state. It implements core.Member,
+// so the arbiter reads its controller's demand and imposes grants directly.
+type job struct {
+	id       string
+	skeleton string
+	program  string
+	params   skandium.Params
+	runner   skandium.Runner
+	goal     time.Duration
+	maxLP    int
+	initLP   int
+	log      *eventLog
+	rec      *metrics.Recorder
+
+	mu       sync.Mutex
+	state    jobState
+	grant    int
+	handle   skandium.Handle
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+	canceled bool
+}
+
+// Demand implements core.Member: the controller's wish once running, a
+// minimal placeholder while queued (so a just-admitted job starts at one
+// worker until its first analysis).
+func (j *job) Demand() core.Demand {
+	j.mu.Lock()
+	h := j.handle
+	j.mu.Unlock()
+	if h == nil {
+		return core.Demand{}
+	}
+	d := h.Demand()
+	if d.CurrentLP == 0 {
+		// No autonomic controller (no WCT goal): hold what the pool uses.
+		d.CurrentLP = h.LP()
+	}
+	return d
+}
+
+// Grant implements core.Member: the arbiter's budget share becomes the
+// stream's external LP cap.
+func (j *job) Grant(n int) {
+	j.mu.Lock()
+	j.grant = n
+	h := j.handle
+	j.mu.Unlock()
+	if h != nil {
+		h.SetCap(n)
+	}
+}
+
+// snapshot returns the mutable fields under the job lock.
+func (j *job) snapshot() (state jobState, grant int, h skandium.Handle, started, finished time.Time, result any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.grant, j.handle, j.started, j.finished, j.result, j.err
+}
+
+// terminal reports whether the state is final.
+func (s jobState) terminal() bool {
+	return s == stateDone || s == stateFailed || s == stateCanceled
+}

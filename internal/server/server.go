@@ -1,0 +1,424 @@
+// Package server turns the skandium library into a long-running,
+// network-facing service: an HTTP/JSON API to submit jobs against named
+// registered skeletons, observe their events and LP/WCT timelines, adjust
+// QoS at runtime — with a machine-wide LP budget divided across the per-job
+// autonomic controllers by a core.Arbiter (the fleet-level analogue of the
+// paper's asymmetric adaptation policy).
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"sync"
+
+	"skandium"
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/metrics"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Budget is the machine-wide LP budget the arbiter divides across jobs
+	// (default: 2 × GOMAXPROCS — sleep- and IO-bound muscles oversubscribe
+	// safely; lower it for purely CPU-bound fleets).
+	Budget int
+	// Rebalance is the arbiter's reallocation period (default 25ms).
+	Rebalance time.Duration
+	// AnalysisTick is each job's periodic controller re-analysis (default
+	// 5ms; see Stream.WithAnalysisTicker).
+	AnalysisTick time.Duration
+	// AnalysisInterval throttles event-driven analyses (default 2ms).
+	AnalysisInterval time.Duration
+	// EventLog bounds the per-job event ring (default 8192 records).
+	EventLog int
+	// Clock substitutes the time source (tests).
+	Clock clock.Clock
+}
+
+// Server owns the job table, the arbiter and the fleet metrics. Build one
+// with New, expose Handler over HTTP, stop with Drain/Close.
+type Server struct {
+	cfg       Config
+	arb       *core.Arbiter
+	fleet     *metrics.Fleet
+	clk       clock.Clock
+	stopArb   func()
+	startTime time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	queue    []*job // accepted, waiting for budget (FIFO)
+	nextID   int
+	draining bool
+}
+
+// New builds a server and starts the arbiter's rebalance ticker.
+func New(cfg Config) *Server {
+	if cfg.Budget < 1 {
+		cfg.Budget = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Rebalance <= 0 {
+		cfg.Rebalance = 25 * time.Millisecond
+	}
+	if cfg.AnalysisTick <= 0 {
+		cfg.AnalysisTick = 5 * time.Millisecond
+	}
+	if cfg.AnalysisInterval <= 0 {
+		cfg.AnalysisInterval = 2 * time.Millisecond
+	}
+	if cfg.EventLog <= 0 {
+		cfg.EventLog = 8192
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	s := &Server{
+		cfg:   cfg,
+		arb:   core.NewArbiter(cfg.Budget, cfg.Clock),
+		fleet: metrics.NewFleet(),
+		clk:   cfg.Clock,
+		jobs:  map[string]*job{},
+	}
+	s.startTime = s.clk.Now()
+	s.fleet.SetStart(s.startTime)
+	s.stopArb = s.arb.StartTicker(cfg.Rebalance)
+	return s
+}
+
+// Budget returns the machine-wide LP budget.
+func (s *Server) Budget() int { return s.arb.Budget() }
+
+// Arbiter exposes the budget arbiter (API handlers, tests).
+func (s *Server) Arbiter() *core.Arbiter { return s.arb }
+
+// Fleet exposes the aggregate metrics recorder.
+func (s *Server) Fleet() *metrics.Fleet { return s.fleet }
+
+// SubmitSpec is a decoded job submission.
+type SubmitSpec struct {
+	Skeleton  string
+	Params    skandium.Params
+	Goal      time.Duration // 0 disables autonomic adaptation
+	MaxLP     int           // per-job LP QoS cap; 0 = uncapped
+	InitialLP int           // starting LP (default 1, the paper's setup)
+}
+
+// Submit accepts a job: the blueprint is compiled immediately (rejecting
+// bad params synchronously), then the job either starts — when the budget
+// has room — or queues. During drain all submissions are refused.
+func (s *Server) Submit(spec SubmitSpec) (*job, error) {
+	bp, ok := skandium.LookupBlueprint(spec.Skeleton)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown skeleton %q", spec.Skeleton)
+	}
+	if spec.Params == nil {
+		spec.Params = skandium.Params{}
+	}
+	runner, err := bp.Build(spec.Params)
+	if err != nil {
+		return nil, fmt.Errorf("server: build %s: %w", spec.Skeleton, err)
+	}
+	if spec.InitialLP < 1 {
+		spec.InitialLP = 1
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", s.nextID),
+		skeleton: spec.Skeleton,
+		program:  runner.Program(),
+		params:   spec.Params,
+		runner:   runner,
+		goal:     spec.Goal,
+		maxLP:    spec.MaxLP,
+		initLP:   spec.InitialLP,
+		created:  s.clk.Now(),
+		state:    stateQueued,
+	}
+	j.log = newEventLog(s.cfg.EventLog, j.created)
+	j.rec = s.fleet.Job(j.id)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+	s.admitLocked()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
+
+// admitLocked starts queued jobs while the arbiter has capacity. Caller
+// holds s.mu.
+func (s *Server) admitLocked() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		if err := s.arb.Admit(j.id, j); err != nil {
+			return // at capacity (or duplicate — impossible by construction)
+		}
+		s.queue = s.queue[1:]
+		s.start(j)
+	}
+}
+
+// start launches an admitted job's stream. The arbiter has already set the
+// job's grant (Admit rebalances), so the stream starts capped: the sum of
+// pool LPs never exceeds the budget, not even transiently.
+func (s *Server) start(j *job) {
+	j.mu.Lock()
+	grant := j.grant
+	if grant < 1 {
+		grant = 1
+	}
+	opts := []skandium.Option{
+		skandium.WithLP(j.initLP),
+		skandium.WithMaxLP(j.maxLP),
+		skandium.WithLPCap(grant),
+		skandium.WithClock(s.clk),
+		skandium.WithGauge(j.rec.Gauge),
+		skandium.WithListener(j.log.listener()),
+	}
+	if j.goal > 0 {
+		opts = append(opts,
+			skandium.WithWCTGoal(j.goal),
+			skandium.WithAnalysisInterval(s.cfg.AnalysisInterval),
+			skandium.WithAnalysisTicker(s.cfg.AnalysisTick),
+		)
+	}
+	j.handle = j.runner.Start(opts...)
+	j.state = stateRunning
+	j.started = s.clk.Now()
+	handle := j.handle
+	j.mu.Unlock()
+	go s.watch(j, handle)
+}
+
+// watch waits for a job to finish, returns its budget and admits the next
+// queued job.
+func (s *Server) watch(j *job, h skandium.Handle) {
+	res, err := h.Result()
+	now := s.clk.Now()
+
+	j.mu.Lock()
+	j.finished = now
+	j.result, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = stateDone
+	case j.canceled || err == errCanceled || err == errShutdown || err == skandium.ErrClosed:
+		j.state = stateCanceled
+	default:
+		j.state = stateFailed
+	}
+	j.mu.Unlock()
+
+	j.rec.Gauge(now, 0, 0) // the aggregate series drops to reality
+	j.log.close()
+	s.arb.Release(j.id)
+	h.Close()
+
+	s.mu.Lock()
+	s.admitLocked()
+	s.mu.Unlock()
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobIDs returns all job ids in submission order.
+func (s *Server) JobIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Cancel aborts a job. Queued jobs are canceled in place; running jobs are
+// canceled through their execution (running muscles finish, nothing new
+// starts). Unknown ids report false.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	j.canceled = true
+	h := j.handle
+	if h == nil && !j.state.terminal() {
+		j.state = stateCanceled
+		j.finished = s.clk.Now()
+		j.err = errCanceled
+	}
+	j.mu.Unlock()
+	if h != nil {
+		h.Cancel(errCanceled)
+	} else {
+		j.log.close()
+	}
+	return true
+}
+
+// AdjustQoS changes a running job's WCT goal and/or LP cap and triggers an
+// immediate rebalance so the new wish is arbitrated right away. Nil fields
+// keep the current value.
+func (s *Server) AdjustQoS(id string, goal *time.Duration, maxLP *int) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no job %q", id)
+	}
+	j.mu.Lock()
+	if goal != nil {
+		j.goal = *goal
+	}
+	if maxLP != nil {
+		j.maxLP = *maxLP
+	}
+	h := j.handle
+	goalNow, maxNow := j.goal, j.maxLP
+	j.mu.Unlock()
+	if h != nil {
+		if goal != nil {
+			h.SetGoal(goalNow)
+		}
+		if maxLP != nil {
+			h.SetMaxLP(maxNow)
+		}
+	}
+	s.arb.Rebalance()
+	return nil
+}
+
+// BeginDrain stops accepting submissions; running and queued jobs proceed.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether the server is refusing submissions.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain refuses new submissions and waits until every accepted job reached
+// a terminal state or ctx expires; on expiry the stragglers are canceled
+// (running muscles still finish — the pool never interrupts them). The
+// returned error is ctx's when the deadline cut the drain short.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.liveJobs() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			for _, id := range s.JobIDs() {
+				if j, ok := s.Job(id); ok {
+					st, _, _, _, _, _, _ := j.snapshot()
+					if !st.terminal() {
+						s.Cancel(id)
+					}
+				}
+			}
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) liveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the arbiter and tears every job down (canceling what still
+// runs). Call after Drain for a graceful stop, or alone for a hard one.
+func (s *Server) Close() {
+	s.stopArb()
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.queue = nil
+	s.draining = true
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		h := j.handle
+		if h == nil && !j.state.terminal() {
+			j.state = stateCanceled
+			j.err = errShutdown
+			j.finished = s.clk.Now()
+		}
+		j.mu.Unlock()
+		if h != nil {
+			h.Cancel(errShutdown)
+			h.Close()
+		}
+		j.log.close()
+	}
+}
+
+// sortedStates summarizes job states for /healthz and /metrics.
+func (s *Server) stateCounts() map[jobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[jobState]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// statesInOrder lists the states deterministically for text exposition.
+func statesInOrder(m map[jobState]int) []jobState {
+	states := make([]jobState, 0, len(m))
+	for st := range m {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	return states
+}

@@ -2,6 +2,7 @@ package skandium
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,14 @@ import (
 
 // Decision is one autonomic adaptation record (see Execution.Decisions).
 type Decision = core.Decision
+
+// Demand is the controller's latest resource wish (see Execution.Demand):
+// the per-job face a multi-job budget arbiter reads.
+type Demand = core.Demand
+
+// ErrClosed resolves executions injected into (or interrupted by) a closed
+// Stream.
+var ErrClosed = errors.New("skandium: stream closed")
 
 // Increase/decrease policy re-exports for WithPolicies.
 const (
@@ -38,6 +47,7 @@ const (
 type config struct {
 	lp               int
 	maxLP            int
+	lpCap            int
 	goal             time.Duration
 	estimator        estimate.Factory
 	analysisInterval time.Duration
@@ -67,6 +77,12 @@ func WithLP(n int) Option { return func(c *config) { c.lp = n } }
 // WithMaxLP caps the level of parallelism — the paper's LP QoS. 0 means
 // uncapped.
 func WithMaxLP(n int) Option { return func(c *config) { c.maxLP = n } }
+
+// WithLPCap starts the stream under an external LP cap (a budget arbiter's
+// initial grant), on top of the job's own MaxLP QoS. Unlike WithMaxLP it is
+// meant to move at runtime via SetCap; installing it as an option ensures
+// the pool never runs a single task above the grant. 0 means no cap.
+func WithLPCap(n int) Option { return func(c *config) { c.lpCap = n } }
 
 // WithWCTGoal sets the wall-clock-time QoS per input: the autonomic
 // controller adapts the pool so each execution finishes within d of its
@@ -167,6 +183,7 @@ type Stream[P, R any] struct {
 	mu       sync.Mutex
 	closed   bool
 	inFlight []<-chan struct{}
+	live     []*exec.Root // unresolved executions, canceled on Close
 }
 
 // NewStream builds an execution stream for a skeleton program.
@@ -182,6 +199,9 @@ func NewStream[P, R any](s Skeleton[P, R], opts ...Option) *Stream[P, R] {
 		cfg.lp = 1
 	}
 	pool := exec.NewPool(cfg.clk, cfg.lp, cfg.maxLP)
+	if cfg.lpCap > 0 {
+		pool.SetCap(cfg.lpCap)
+	}
 	if cfg.gauge != nil {
 		pool.SetGauge(cfg.gauge)
 	}
@@ -193,14 +213,21 @@ func NewStream[P, R any](s Skeleton[P, R], opts ...Option) *Stream[P, R] {
 }
 
 // Input injects one parameter and returns the handle to its (asynchronous)
-// execution. It panics if the stream is closed.
+// execution. Injecting into a closed stream does not panic: it returns an
+// execution already resolved with ErrClosed, so Input racing Close (a
+// daemon evicting a job mid-submission) degrades gracefully.
 func (st *Stream[P, R]) Input(p P) *Execution[R] {
+	// The whole injection runs under the stream lock: Close serializes
+	// against it, so a stream observed open here stays open until the task
+	// is on the pool (a closed pool would still only fail the future, never
+	// crash — see exec.ErrPoolClosed).
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.closed {
-		st.mu.Unlock()
-		panic("skandium: Input on closed Stream")
+		root := exec.NewRoot(st.pool, nil, st.cfg.clk)
+		root.Cancel(ErrClosed)
+		return &Execution[R]{fut: root.Future(), root: root}
 	}
-	st.mu.Unlock()
 
 	reg := event.NewRegistry()
 	for _, le := range st.cfg.listeners {
@@ -234,9 +261,17 @@ func (st *Stream[P, R]) Input(p P) *Execution[R] {
 		}()
 	}
 	ex := &Execution[R]{fut: fut, ctl: ctl, root: root}
-	st.mu.Lock()
 	st.inFlight = append(st.inFlight, fut.Done())
-	st.mu.Unlock()
+	// Track unresolved roots so Close can fail their futures (otherwise a
+	// concurrent Drain would wait forever on tasks a closed pool dropped);
+	// prune the resolved ones while we are here.
+	kept := st.live[:0]
+	for _, r := range st.live {
+		if _, _, ok := r.Future().TryGet(); !ok {
+			kept = append(kept, r)
+		}
+	}
+	st.live = append(kept, root)
 	return ex
 }
 
@@ -268,6 +303,29 @@ func (st *Stream[P, R]) LP() int { return st.pool.LP() }
 // may override it on its next analysis when a WCT goal is configured).
 func (st *Stream[P, R]) SetLP(n int) { st.pool.SetLP(n) }
 
+// Active returns the number of workers currently executing a task.
+func (st *Stream[P, R]) Active() int { return st.pool.Active() }
+
+// SetCap imposes (n > 0) or lifts (n <= 0) an external LP cap on the pool —
+// the lever a multi-job budget arbiter pulls. The controller keeps
+// computing its desired LP; the cap only bounds what the pool honours, and
+// widening it immediately restores the controller's last request.
+func (st *Stream[P, R]) SetCap(n int) { st.pool.SetCap(n) }
+
+// Cap returns the external LP cap (0 = none).
+func (st *Stream[P, R]) Cap() int { return st.pool.Cap() }
+
+// SetMaxLP adjusts the pool's hard LP cap at runtime (0 = uncapped) — the
+// paper's LP QoS as a live knob. Controllers of executions injected later
+// inherit it; pair with Execution.SetMaxLP to also re-bound a running
+// controller's requests.
+func (st *Stream[P, R]) SetMaxLP(n int) {
+	st.mu.Lock()
+	st.cfg.maxLP = n
+	st.mu.Unlock()
+	st.pool.SetMaxLP(n)
+}
+
 // Stats returns the pool's execution counters (tasks run, cumulative busy
 // time, workers spawned).
 func (st *Stream[P, R]) Stats() exec.Stats { return st.pool.Stats() }
@@ -280,15 +338,25 @@ func (st *Stream[P, R]) Profile() estimate.Profile { return st.est.Snapshot() }
 // individual muscles).
 func (st *Stream[P, R]) Estimates() *estimate.Registry { return st.est }
 
-// Close shuts down the stream's pool. Pending executions are dropped;
-// Close is idempotent.
+// Close shuts down the stream: unresolved executions resolve with ErrClosed
+// (running muscles are not interrupted, but no further ones start) and the
+// pool's workers exit after their current task. Close is idempotent and safe
+// to call concurrently with Input and Drain — racing Inputs yield failed
+// executions and a concurrent Drain observes every future resolve.
 func (st *Stream[P, R]) Close() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return
 	}
 	st.closed = true
+	live := st.live
+	st.live = nil
+	st.mu.Unlock()
+
+	for _, r := range live {
+		r.Cancel(ErrClosed)
+	}
 	st.pool.Close()
 }
 
@@ -335,6 +403,33 @@ func (e *Execution[R]) Analyses() int {
 		return 0
 	}
 	return e.ctl.Analyses()
+}
+
+// Demand returns the controller's latest resource wish — the face a
+// multi-job budget arbiter reads. Without a WCT goal it is the zero Demand.
+func (e *Execution[R]) Demand() Demand {
+	if e.ctl == nil {
+		return Demand{}
+	}
+	return e.ctl.Demand()
+}
+
+// SetGoal adjusts this execution's WCT goal at runtime (still measured from
+// the original start). A no-op without an autonomic controller, i.e. when
+// the stream had no WCT goal at Input time.
+func (e *Execution[R]) SetGoal(d time.Duration) {
+	if e.ctl != nil {
+		e.ctl.SetGoal(d)
+	}
+}
+
+// SetMaxLP adjusts this execution's LP QoS cap at runtime (0 = uncapped).
+// It bounds future controller requests; combine with Stream.SetMaxLP to
+// also clamp the pool immediately.
+func (e *Execution[R]) SetMaxLP(n int) {
+	if e.ctl != nil {
+		e.ctl.SetMaxLP(n)
+	}
 }
 
 func castResult[R any](res any, err error) (R, error) {

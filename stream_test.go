@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"skandium/internal/estimate"
+	"skandium/internal/exec"
 )
 
 // nestedSleepProgram is the two-level shared-muscle shape with sleep
@@ -164,18 +165,74 @@ func TestWithADGBudgetStillWorks(t *testing.T) {
 	}
 }
 
-// TestCloseIdempotentAndInputPanics: stream lifecycle edges.
-func TestCloseIdempotentAndInputPanics(t *testing.T) {
+// TestCloseIdempotentAndInputFails: stream lifecycle edges — double Close is
+// safe, and Input after Close yields an execution resolved with ErrClosed
+// instead of panicking (a daemon may evict a job while a submission races).
+func TestCloseIdempotentAndInputFails(t *testing.T) {
 	id := NewExec("id", func(n int) (int, error) { return n, nil })
 	st := NewStream[int, int](Seq(id))
 	st.Close()
 	st.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Input on closed stream did not panic")
+	if _, err := st.Input(1).Get(); err != ErrClosed {
+		t.Fatalf("Input on closed stream: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseConcurrentWithInputAndDrain: Close racing in-flight Input and
+// Drain calls must neither panic nor hang — every injected execution
+// resolves (with its result or ErrClosed) and Drain returns. Run with
+// -race; this is the regression test for the daemon's job-eviction and
+// shutdown paths.
+func TestCloseConcurrentWithInputAndDrain(t *testing.T) {
+	slow := NewExec("slow", func(n int) (int, error) {
+		time.Sleep(200 * time.Microsecond)
+		return n, nil
+	})
+	for round := 0; round < 8; round++ {
+		st := NewStream[int, int](Seq(slow), WithLP(2))
+		var wg sync.WaitGroup
+		execs := make(chan *Execution[int], 64)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					execs <- st.Input(g*8 + i)
+				}
+			}(g)
 		}
-	}()
-	st.Input(1)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := st.Drain(ctx); err != nil {
+				t.Errorf("Drain: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(round) * 300 * time.Microsecond)
+			st.Close()
+			st.Close() // idempotent under contention too
+		}()
+		wg.Wait()
+		close(execs)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for ex := range execs {
+				if _, err := ex.Get(); err != nil && err != ErrClosed && err != exec.ErrPoolClosed {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("executions did not resolve after Close")
+		}
+	}
 }
 
 // TestGaugeThroughPublicAPI: WithGauge observes worker activity.
