@@ -18,8 +18,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec ./internal/core ./internal/server
-	$(GO) test -race -run 'TestClose|TestDrain|TestStream' .
+	$(GO) test -race ./internal/exec ./internal/core ./internal/server ./internal/chaos
+	$(GO) test -race -run 'TestClose|TestDrain|TestStream|TestChaos|TestWithRetry|TestWCTGoal' .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

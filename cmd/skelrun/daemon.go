@@ -3,11 +3,33 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"syscall"
 	"time"
 )
+
+// daemonClient is the HTTP client for all daemon calls. The bare
+// http.DefaultClient has no timeout at all, so a wedged daemon would hang
+// the CLI forever; 30s comfortably covers the slowest expected response (a
+// status poll or decision-log fetch — event *streams* are not fetched
+// through this client).
+var daemonClient = &http.Client{Timeout: 30 * time.Second}
+
+// getRetryRefused performs an idempotent GET, retrying exactly once after a
+// short pause when the connection is refused — the window where the daemon
+// is still binding its listener during startup scripts ("skelrund & skelrun
+// -daemon ...").
+func getRetryRefused(url string) (*http.Response, error) {
+	resp, err := daemonClient.Get(url)
+	if err != nil && errors.Is(err, syscall.ECONNREFUSED) {
+		time.Sleep(200 * time.Millisecond)
+		return daemonClient.Get(url)
+	}
+	return resp, err
+}
 
 // jobView mirrors the daemon's job JSON (the fields this client shows).
 type jobView struct {
@@ -39,9 +61,16 @@ type decisionView struct {
 	Reason      string  `json:"reason"`
 }
 
+// submitOpts carries the fault-tolerance knobs of one submission.
+type submitOpts struct {
+	Retries int
+	Timeout time.Duration
+	Partial string
+}
+
 // runDaemonClient submits one job to a running skelrund and follows it to
 // completion, printing LP/grant transitions and the decision log.
-func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, maxLP int) error {
+func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, maxLP int, opts submitOpts) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -54,14 +83,24 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 			return fmt.Errorf("bad -params JSON: %w", err)
 		}
 	}
-	body, _ := json.Marshal(map[string]any{
+	submit := map[string]any{
 		"skeleton":   skeleton,
 		"params":     params,
 		"goal_ms":    float64(goal) / float64(time.Millisecond),
 		"initial_lp": lp,
 		"max_lp":     maxLP,
-	})
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	}
+	if opts.Retries > 1 {
+		submit["retries"] = opts.Retries
+	}
+	if opts.Timeout > 0 {
+		submit["timeout_ms"] = float64(opts.Timeout) / float64(time.Millisecond)
+	}
+	if opts.Partial != "" {
+		submit["partial"] = opts.Partial
+	}
+	body, _ := json.Marshal(submit)
+	resp, err := daemonClient.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("submit to %s: %w", base, err)
 	}
@@ -108,7 +147,7 @@ func sinceStartMS(v jobView) float64 {
 
 func getJob(base, id string) (jobView, error) {
 	var v jobView
-	resp, err := http.Get(base + "/jobs/" + id)
+	resp, err := getRetryRefused(base + "/jobs/" + id)
 	if err != nil {
 		return v, fmt.Errorf("poll: %w", err)
 	}
@@ -120,7 +159,7 @@ func getJob(base, id string) (jobView, error) {
 }
 
 func printOutcome(base string, v jobView) error {
-	resp, err := http.Get(base + "/jobs/" + v.ID + "/decisions")
+	resp, err := getRetryRefused(base + "/jobs/" + v.ID + "/decisions")
 	if err == nil {
 		var decs []decisionView
 		_ = json.NewDecoder(resp.Body).Decode(&decs)

@@ -45,10 +45,14 @@ func main() {
 	daemon := flag.String("daemon", "", "submit to a running skelrund at this address instead of simulating")
 	skeleton := flag.String("skeleton", "wordcount", "registered skeleton to run (daemon mode)")
 	params := flag.String("params", "", "skeleton params as JSON (daemon mode)")
+	retries := flag.Int("retries", 0, "total attempts per muscle, <=1 = no retry (daemon mode)")
+	timeout := flag.Duration("timeout", 0, "per-muscle deadline, 0 = none (daemon mode)")
+	partial := flag.String("partial", "", "fan-out failure policy: failfast|skip|substitute (daemon mode)")
 	flag.Parse()
 
 	if *daemon != "" {
-		if err := runDaemonClient(*daemon, *skeleton, *params, *goal, *lp, *maxLP); err != nil {
+		opts := submitOpts{Retries: *retries, Timeout: *timeout, Partial: *partial}
+		if err := runDaemonClient(*daemon, *skeleton, *params, *goal, *lp, *maxLP, opts); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -39,6 +39,11 @@ const (
 	AtMerge      = event.Merge
 	AtCondition  = event.Condition
 	AtNestedSkel = event.NestedSkel
+
+	// AtRetry marks a failed muscle attempt about to be retried; AtFault a
+	// terminal muscle failure. Both are After events carrying Err.
+	AtRetry = event.Retry
+	AtFault = event.Fault
 )
 
 // NoParent marks events raised by a root-level activation.

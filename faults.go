@@ -1,0 +1,77 @@
+package skandium
+
+import (
+	"time"
+
+	"skandium/internal/exec"
+)
+
+// RetryPolicy bounds how failed muscle invocations are retried (see
+// WithRetry): total attempts, exponential backoff with seeded jitter, and an
+// optional error predicate.
+type RetryPolicy = exec.RetryPolicy
+
+// PartialPolicy decides what happens when one branch of a data-parallel
+// fan-out (map, fork, d&c) fails terminally (see WithPartialFailure). Build
+// values with FailFast, SkipFailed or Substitute.
+type PartialPolicy = exec.PartialPolicy
+
+// FaultStats is a snapshot of a stream's fault-tolerance counters (see
+// Stream.FaultStats).
+type FaultStats = exec.FaultStats
+
+// MuscleError wraps an error or recovered panic raised by a muscle, carrying
+// the muscle identity and the skeleton trace for diagnosis.
+type MuscleError = exec.MuscleError
+
+// BranchFailure records one fan-out branch lost to the partial-failure
+// policy.
+type BranchFailure = exec.BranchFailure
+
+// FailureError aggregates branch failures: it resolves an execution whose
+// fan-out lost every branch under SkipFailed, and Execution.Failures returns
+// it after partially-degraded successes.
+type FailureError = exec.FailureError
+
+// ErrMuscleTimeout is wrapped by the MuscleError of a muscle attempt that
+// overran the WithMuscleTimeout deadline. Detect it with errors.Is.
+var ErrMuscleTimeout = exec.ErrMuscleTimeout
+
+// FailFast aborts the whole execution on the first branch failure — the
+// default.
+func FailFast() PartialPolicy { return exec.FailFast() }
+
+// SkipFailed drops failed fan-out branches before the merge: the merge
+// muscle receives only the surviving results, and the execution succeeds
+// with a partial result (inspect Execution.Failures). When every branch of a
+// fan-out fails, the activation fails with a FailureError.
+func SkipFailed() PartialPolicy { return exec.SkipFailed() }
+
+// Substitute replaces each failed branch's result with v before the merge,
+// preserving the fan-out's cardinality.
+func Substitute(v any) PartialPolicy { return exec.Substitute(v) }
+
+// WithMuscleTimeout sets a per-muscle deadline: an attempt overrunning d
+// fails with a MuscleError wrapping ErrMuscleTimeout (retryable under
+// WithRetry like any other failure). The overrunning attempt is abandoned,
+// not interrupted — it finishes in the background and its result is
+// discarded — so muscles guarded by a timeout should be side-effect-free or
+// idempotent. Zero disables deadlines.
+func WithMuscleTimeout(d time.Duration) Option {
+	return func(c *config) { c.faultTimeout = d }
+}
+
+// WithRetry retries failed muscle invocations per p. Each retry re-raises
+// the attempt's Before event, so estimators time every attempt separately
+// and the EWMA never absorbs the cost of a failed try; attempts that failed
+// but will be retried raise AtRetry events, terminal failures raise AtFault
+// events (both carry Err, so autonomic listeners skip their timing).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *config) { c.faultRetry = p }
+}
+
+// WithPartialFailure installs the fan-out branch-failure policy (default
+// FailFast).
+func WithPartialFailure(p PartialPolicy) Option {
+	return func(c *config) { c.faultPartial = p }
+}

@@ -1,0 +1,270 @@
+package skandium
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skandium/internal/chaos"
+	"skandium/internal/clock"
+	"skandium/internal/skel"
+)
+
+// TestWithRetryRecoversAndEstimatorNotPolluted proves the tentpole's
+// estimator contract: a retried muscle's EWMA sees only the succeeding
+// attempt's duration. Every attempt advances a virtual clock by a known
+// amount; the failed attempts' time must not leak into the estimate.
+func TestWithRetryRecoversAndEstimatorNotPolluted(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	var calls atomic.Int64
+	fe := NewExec("step", func(n int) (int, error) {
+		clk.Advance(10 * time.Millisecond) // every attempt costs 10ms
+		if calls.Add(1) <= 2 {
+			return 0, errors.New("transient")
+		}
+		return n + 1, nil
+	})
+	st := NewStream[int, int](Seq(fe),
+		WithLP(1), WithClock(clk),
+		WithRetry(RetryPolicy{MaxAttempts: 3}))
+	defer st.Close()
+	res, err := st.Do(1)
+	if err != nil || res != 2 {
+		t.Fatalf("got (%v, %v), want (2, nil)", res, err)
+	}
+	if fs := st.FaultStats(); fs.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", fs.Retries)
+	}
+	d, ok := st.Estimates().Duration(fe.Muscle().ID())
+	if !ok {
+		t.Fatal("no duration estimate recorded")
+	}
+	if d != 10*time.Millisecond {
+		t.Fatalf("estimate = %v, want 10ms (single-attempt cost; retries double-counted?)", d)
+	}
+}
+
+// TestChaosSkipFailedWordcountGrid is the PR's acceptance scenario: a
+// two-level map grid with >=10%% of leaf muscles failing completes under
+// SkipFailed with exactly the surviving leaves counted.
+func TestChaosSkipFailedWordcountGrid(t *testing.T) {
+	const leaves = 64 // 8×8 grid
+	inj := chaos.New(chaos.Config{Seed: 20130725, ErrorRate: 0.2})
+	fs := NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, 8)
+		for i := range out {
+			out[i] = n / 8
+		}
+		return out, nil
+	})
+	fe := NewExec("leaf", chaos.Wrap(inj, func(n int) (int, error) { return 1, nil }))
+	fm := NewMerge("fm", func(ps []int) (int, error) {
+		s := 0
+		for _, p := range ps {
+			s += p
+		}
+		return s, nil
+	})
+	inner := Map(fs, Seq(fe), fm)
+	program := Map(fs, inner, fm)
+
+	st := NewStream[int, int](program, WithLP(4), WithPartialFailure(SkipFailed()))
+	defer st.Close()
+	ex := st.Input(leaves)
+	res, err := ex.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := inj.Stats()
+	if cs.Errors == 0 || cs.Errors < leaves/10 {
+		t.Fatalf("chaos injected only %d errors into %d leaves (want >= 10%%)", cs.Errors, leaves)
+	}
+	want := leaves - int(cs.Errors)
+	if res != want {
+		t.Fatalf("partial result = %d, want %d (= %d leaves - %d injected failures)", res, want, leaves, cs.Errors)
+	}
+	fails := ex.Failures()
+	if fails == nil || len(fails.Failures) != int(cs.Errors) {
+		t.Fatalf("Failures() reports %v, want %d records", fails, cs.Errors)
+	}
+	if fs := st.FaultStats(); fs.Skipped != cs.Errors {
+		t.Fatalf("skipped counter = %d, want %d", fs.Skipped, cs.Errors)
+	}
+}
+
+// TestChaosRetryRecoversAllFaults: with a retry budget above the chaos
+// error rate's worst streak, every injected fault is recovered and the
+// result is complete.
+func TestChaosRetryRecoversAllFaults(t *testing.T) {
+	const leaves = 32
+	inj := chaos.New(chaos.Config{Seed: 7, ErrorRate: 0.3})
+	fs := NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, leaves)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := NewExec("leaf", chaos.Wrap(inj, func(n int) (int, error) { return 1, nil }))
+	fm := NewMerge("fm", func(ps []int) (int, error) {
+		s := 0
+		for _, p := range ps {
+			s += p
+		}
+		return s, nil
+	})
+	st := NewStream[int, int](Map(fs, Seq(fe), fm),
+		WithLP(4), WithRetry(RetryPolicy{MaxAttempts: 25}))
+	defer st.Close()
+	res, err := st.Do(leaves)
+	if err != nil || res != leaves {
+		t.Fatalf("got (%v, %v), want (%d, nil)", res, err, leaves)
+	}
+	fstats := st.FaultStats()
+	if fstats.Retries == 0 {
+		t.Fatal("chaos injected no faults to retry — test proves nothing")
+	}
+	if fstats.Faults != 0 {
+		t.Fatalf("faults = %d, want 0 (every injected error recovered)", fstats.Faults)
+	}
+}
+
+// TestWCTGoalKeptUnderFaults: the autonomic controller still meets its WCT
+// goal when muscles fail transiently and are retried. Deterministic faults
+// (FailFirst) avoid flakes; sleep muscles make LP a real lever.
+func TestWCTGoalKeptUnderFaults(t *testing.T) {
+	const fanout = 12
+	inj := chaos.New(chaos.Config{FailFirst: 4})
+	fs := NewSplit("fs", func(n int) ([]int, error) {
+		out := make([]int, fanout)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := NewExec("sleepy", chaos.Wrap(inj, func(n int) (int, error) {
+		time.Sleep(5 * time.Millisecond)
+		return 1, nil
+	}))
+	fm := NewMerge("fm", func(ps []int) (int, error) { return len(ps), nil })
+
+	goal := 250 * time.Millisecond
+	st := NewStream[int, int](Map(fs, Seq(fe), fm),
+		WithLP(1), WithMaxLP(8),
+		WithWCTGoal(goal),
+		WithRetry(RetryPolicy{MaxAttempts: 6}),
+	)
+	defer st.Close()
+	start := time.Now()
+	ex := st.Input(fanout)
+	res, err := ex.Get()
+	wall := time.Since(start)
+	if err != nil || res != fanout {
+		t.Fatalf("got (%v, %v), want (%d, nil)", res, err, fanout)
+	}
+	if fstats := st.FaultStats(); fstats.Retries < 4 {
+		t.Fatalf("retries = %d, want >= 4 (FailFirst faults recovered)", fstats.Retries)
+	}
+	// Sequential would take fanout × 5ms = 60ms plus retries; the goal is
+	// generous, so missing it means the controller or retry path stalled.
+	if wall > goal {
+		t.Fatalf("WCT %v exceeded goal %v under faults (decisions: %v)", wall, goal, ex.Decisions())
+	}
+}
+
+// TestMuscleTimeoutPublic: a hanging muscle is cut at the deadline and the
+// error is detectable with errors.Is.
+func TestMuscleTimeoutPublic(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	fe := NewExec("hang", func(n int) (int, error) {
+		<-gate
+		return n, nil
+	})
+	st := NewStream[int, int](Seq(fe), WithLP(1), WithMuscleTimeout(15*time.Millisecond))
+	defer st.Close()
+	_, err := st.Do(1)
+	if !errors.Is(err, ErrMuscleTimeout) {
+		t.Fatalf("want ErrMuscleTimeout, got %v", err)
+	}
+	if fstats := st.FaultStats(); fstats.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", fstats.Timeouts)
+	}
+}
+
+// TestMuscleErrorTracePropagation: a failure in a seq nested inside
+// map inside pipe surfaces a MuscleError whose trace walks the static
+// skeleton path pipe → map → seq.
+func TestMuscleErrorTracePropagation(t *testing.T) {
+	fs := NewSplit("fs", func(n int) ([]int, error) { return []int{n, n + 1}, nil })
+	bad := NewExec("bad", func(n int) (int, error) {
+		return 0, fmt.Errorf("muscle exploded on %d", n)
+	})
+	fm := NewMerge("fm", func(ps []int) (int, error) { return len(ps), nil })
+	first := NewExec("first", func(n int) (int, error) { return n, nil })
+
+	program := Pipe(Seq(first), Map(fs, Seq(bad), fm))
+	st := NewStream[int, int](program, WithLP(1))
+	defer st.Close()
+	_, err := st.Do(3)
+	var me *MuscleError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MuscleError, got %v", err)
+	}
+	if me.Muscle.Name() != "bad" {
+		t.Fatalf("error blames muscle %q, want \"bad\"", me.Muscle.Name())
+	}
+	kinds := make([]skel.Kind, 0, len(me.Trace))
+	for _, nd := range me.Trace {
+		kinds = append(kinds, nd.Kind())
+	}
+	want := []skel.Kind{skel.Pipe, skel.Map, skel.Seq}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("trace kinds = %v, want %v", kinds, want)
+		}
+	}
+	if !strings.Contains(err.Error(), "muscle exploded") {
+		t.Fatalf("cause lost from rendered error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("muscle name lost from rendered error: %v", err)
+	}
+}
+
+// TestRetryEventsVisibleToListeners: AtRetry/AtFault reach public
+// listeners with Err set.
+func TestRetryEventsVisibleToListeners(t *testing.T) {
+	var calls, retrySeen, faultSeen atomic.Int64
+	fe := NewExec("flaky", func(n int) (int, error) {
+		if calls.Add(1) <= 3 {
+			return 0, errors.New("transient")
+		}
+		return n, nil
+	})
+	st := NewStream[int, int](Seq(fe),
+		WithLP(1),
+		WithRetry(RetryPolicy{MaxAttempts: 3}),
+		WithListener(ListenerFunc(func(e *Event) any {
+			switch e.Where {
+			case AtRetry:
+				retrySeen.Add(1)
+			case AtFault:
+				faultSeen.Add(1)
+			}
+			return e.Param
+		})))
+	defer st.Close()
+	if _, err := st.Do(1); err == nil {
+		t.Fatal("want terminal failure after 3 attempts")
+	}
+	if retrySeen.Load() != 2 || faultSeen.Load() != 1 {
+		t.Fatalf("listeners saw %d retries, %d faults; want 2 and 1", retrySeen.Load(), faultSeen.Load())
+	}
+}

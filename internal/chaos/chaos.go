@@ -1,0 +1,191 @@
+// Package chaos is a deterministic fault-injection harness for exercising
+// the fault-tolerance layer. An Injector wraps muscle functions and, driven
+// by a seeded random source, makes a configurable fraction of invocations
+// fail, panic, stall, or hang. Latency is injected through the clock
+// abstraction, so tests on a virtual clock stay instantaneous and fully
+// reproducible: the same seed and invocation order produce the same faults.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// ErrInjected is the base error of every chaos-injected failure. Detect
+// injected faults with errors.Is; real muscle errors never wrap it.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config tunes an Injector. Rates are probabilities in [0,1] evaluated per
+// invocation, in order: hang, panic, error — at most one fault fires per
+// call, and latency (when it fires) is added before a successful return.
+type Config struct {
+	// Seed fixes the fault sequence (0 uses seed 1).
+	Seed int64
+	// ErrorRate is the probability an invocation returns ErrInjected.
+	ErrorRate float64
+	// PanicRate is the probability an invocation panics.
+	PanicRate float64
+	// LatencyRate is the probability Latency is added to a successful call.
+	LatencyRate float64
+	// Latency is the stall added when latency fires, through clock.Sleep —
+	// a virtual clock advances instead of sleeping.
+	Latency time.Duration
+	// HangRate is the probability an invocation blocks until Release is
+	// called (or forever) — the fault a per-muscle deadline must catch.
+	HangRate float64
+	// FailFirst deterministically fails the first FailFirst invocations
+	// with ErrInjected, before any probabilistic draw. This models
+	// transient faults precisely: with FailFirst = 2 and MaxAttempts >= 3,
+	// a retrying execution always succeeds on its third attempt.
+	FailFirst int
+	// Clock is the time source for injected latency (nil = system clock).
+	Clock clock.Clock
+}
+
+// Stats is a snapshot of the faults an Injector has dealt.
+type Stats struct {
+	// Calls counts wrapped invocations.
+	Calls uint64
+	// Errors counts invocations failed with ErrInjected (FailFirst
+	// included).
+	Errors uint64
+	// Panics counts injected panics.
+	Panics uint64
+	// Latencies counts invocations that were stalled.
+	Latencies uint64
+	// Hangs counts invocations that blocked on the hang gate.
+	Hangs uint64
+}
+
+// Injector deals faults to the muscle functions wrapped with Wrap. Safe for
+// concurrent use; one injector may back every muscle of a program.
+type Injector struct {
+	cfg Config
+	clk clock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls     atomic.Uint64
+	errs      atomic.Uint64
+	panics    atomic.Uint64
+	latencies atomic.Uint64
+	hangs     atomic.Uint64
+
+	release chan struct{}
+	once    sync.Once
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Injector{
+		cfg:     cfg,
+		clk:     clk,
+		rng:     rand.New(rand.NewSource(seed)),
+		release: make(chan struct{}),
+	}
+}
+
+// Release unblocks every invocation hung so far and every future one —
+// hangs become no-ops. Idempotent.
+func (in *Injector) Release() {
+	in.once.Do(func() { close(in.release) })
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Calls:     in.calls.Load(),
+		Errors:    in.errs.Load(),
+		Panics:    in.panics.Load(),
+		Latencies: in.latencies.Load(),
+		Hangs:     in.hangs.Load(),
+	}
+}
+
+// verdict is the fault decided for one invocation.
+type verdict int
+
+const (
+	pass verdict = iota
+	failErr
+	failPanic
+	stall
+	hang
+)
+
+// draw decides the fault for the next invocation. A single lock-protected
+// draw keeps the sequence reproducible under concurrency up to scheduling
+// order.
+func (in *Injector) draw() verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.FailFirst > 0 {
+		in.cfg.FailFirst--
+		return failErr
+	}
+	u := in.rng.Float64()
+	if u < in.cfg.HangRate {
+		return hang
+	}
+	u -= in.cfg.HangRate
+	if u < in.cfg.PanicRate {
+		return failPanic
+	}
+	u -= in.cfg.PanicRate
+	if u < in.cfg.ErrorRate {
+		return failErr
+	}
+	u -= in.cfg.ErrorRate
+	if u < in.cfg.LatencyRate {
+		return stall
+	}
+	return pass
+}
+
+// apply executes the verdict before the real muscle runs. It returns a
+// non-nil error when the invocation must fail instead of calling through.
+func (in *Injector) apply() error {
+	n := in.calls.Add(1)
+	switch in.draw() {
+	case failErr:
+		in.errs.Add(1)
+		return fmt.Errorf("%w (call %d)", ErrInjected, n)
+	case failPanic:
+		in.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected panic (call %d)", n))
+	case stall:
+		in.latencies.Add(1)
+		clock.Sleep(in.clk, in.cfg.Latency)
+	case hang:
+		in.hangs.Add(1)
+		<-in.release
+	}
+	return nil
+}
+
+// Wrap decorates a one-argument muscle function (execute, condition, or a
+// split/merge specialisation) with fault injection.
+func Wrap[P, R any](in *Injector, fn func(P) (R, error)) func(P) (R, error) {
+	return func(p P) (R, error) {
+		if err := in.apply(); err != nil {
+			var zero R
+			return zero, err
+		}
+		return fn(p)
+	}
+}

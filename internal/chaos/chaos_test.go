@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+func ident(p int) (int, error) { return p, nil }
+
+// sequence runs n wrapped calls and records which failed.
+func sequence(in *Injector, n int) []bool {
+	fn := Wrap(in, ident)
+	out := make([]bool, n)
+	for i := range out {
+		_, err := fn(i)
+		out[i] = err != nil
+	}
+	return out
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.3}
+	a := sequence(New(cfg), 200)
+	b := sequence(New(cfg), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at call %d", i)
+		}
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	in := New(Config{Seed: 7, ErrorRate: 0.25})
+	fn := Wrap(in, ident)
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := fn(i); err != nil {
+			fails++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+		}
+	}
+	if fails < 200 || fails > 300 {
+		t.Fatalf("got %d failures out of 1000 at rate 0.25", fails)
+	}
+	if st := in.Stats(); st.Calls != 1000 || st.Errors != uint64(fails) {
+		t.Fatalf("stats mismatch: %+v (fails=%d)", st, fails)
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	in := New(Config{FailFirst: 3})
+	fn := Wrap(in, ident)
+	for i := 0; i < 3; i++ {
+		if _, err := fn(i); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want injected failure, got %v", i, err)
+		}
+	}
+	if v, err := fn(99); err != nil || v != 99 {
+		t.Fatalf("call after FailFirst budget: got (%v, %v)", v, err)
+	}
+}
+
+func TestVirtualLatency(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	in := New(Config{Seed: 1, LatencyRate: 1, Latency: 50 * time.Millisecond, Clock: clk})
+	fn := Wrap(in, ident)
+	start := clk.Now()
+	if _, err := fn(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.Now().Sub(start); d != 50*time.Millisecond {
+		t.Fatalf("virtual clock advanced %v, want 50ms", d)
+	}
+	if st := in.Stats(); st.Latencies != 1 {
+		t.Fatalf("latencies = %d, want 1", st.Latencies)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in := New(Config{Seed: 1, PanicRate: 1})
+	fn := Wrap(in, ident)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected injected panic")
+		}
+		if st := in.Stats(); st.Panics != 1 {
+			t.Fatalf("panics = %d, want 1", st.Panics)
+		}
+	}()
+	fn(0)
+}
+
+func TestHangAndRelease(t *testing.T) {
+	in := New(Config{Seed: 1, HangRate: 1})
+	fn := Wrap(in, ident)
+	done := make(chan struct{})
+	go func() {
+		fn(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("hung call returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Release did not unblock the hung call")
+	}
+	// After Release, hangs are no-ops.
+	if _, err := fn(1); err != nil {
+		t.Fatal(err)
+	}
+}

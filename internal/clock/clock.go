@@ -72,3 +72,25 @@ func (v *Virtual) Set(t time.Time) {
 	}
 	v.mu.Unlock()
 }
+
+// Advancer is the optional capability of clocks whose time is moved by the
+// program instead of the hardware (Virtual implements it). Components that
+// must wait a duration — retry backoff, injected latency faults — use it to
+// stay deterministic under a virtual clock.
+type Advancer interface {
+	Advance(d time.Duration)
+}
+
+// Sleep waits for d according to clk: on an Advancer (virtual clock) it
+// advances the clock and returns immediately, otherwise it sleeps real wall
+// time. Non-positive durations return at once.
+func Sleep(clk Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if adv, ok := clk.(Advancer); ok {
+		adv.Advance(d)
+		return
+	}
+	time.Sleep(d)
+}

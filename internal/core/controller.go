@@ -255,6 +255,12 @@ func (c *Controller) Demand() Demand {
 func (c *Controller) Listener() event.Listener {
 	return event.Func(func(e *event.Event) any {
 		if e.Err != nil {
+			// Failed attempts carry no new timing knowledge, but a terminal
+			// fault changes the plan (a branch just vanished or got
+			// substituted), so it is worth re-analyzing.
+			if e.Where == event.Fault {
+				c.maybeAnalyze(e.Time)
+			}
 			return e.Param
 		}
 		c.noteStart(e.Time)

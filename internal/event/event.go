@@ -49,13 +49,19 @@ type Where int
 // Where values. Skeleton brackets the whole pattern activation ("beginning
 // of the skeleton" / "end of the map" in the paper); the others bracket the
 // correspondingly named muscle; NestedSkel brackets one nested-skeleton
-// evaluation inside map/fork/d&c/pipe/while/for/farm.
+// evaluation inside map/fork/d&c/pipe/while/for/farm. Retry and Fault are
+// the fault-tolerance extension: Retry fires once per failed-but-retried
+// muscle attempt (Err holds the attempt's error, Iter the attempt number),
+// Fault fires when a muscle invocation fails terminally — after exhausting
+// its retry budget — just before the error unwinds.
 const (
 	Skeleton Where = iota
 	Split
 	Merge
 	Condition
 	NestedSkel
+	Retry
+	Fault
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +77,10 @@ func (w Where) String() string {
 		return "condition"
 	case NestedSkel:
 		return "nested"
+	case Retry:
+		return "retry"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Where(%d)", int(w))
 	}
@@ -134,6 +144,7 @@ func (e *Event) CurrentSkel() *skel.Node { return e.Node }
 func (e *Event) String() string {
 	code := map[Where]string{
 		Skeleton: "", Split: "s", Merge: "m", Condition: "c", NestedSkel: "n",
+		Retry: "r", Fault: "f",
 	}[e.Where]
 	wh := "b"
 	if e.When == After {

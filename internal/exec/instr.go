@@ -42,8 +42,19 @@ func instrFor(nd *skel.Node, parent int64, trace []*skel.Node) Instr {
 	case skel.DaC:
 		return &dacInst{nd: nd, parent: parent, trace: tr, depth: 0}
 	default:
-		panic(fmt.Sprintf("exec: unknown skeleton kind %v", nd.Kind()))
+		// An unknown kind is unreachable through the public constructors,
+		// but a forged or future Node must fail the root cleanly instead of
+		// panicking the worker goroutine.
+		return badKindInst{kind: nd.Kind()}
 	}
+}
+
+// badKindInst fails the root for a skeleton kind the interpreter does not
+// know.
+type badKindInst struct{ kind skel.Kind }
+
+func (in badKindInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	return nil, fmt.Errorf("skandium: unknown skeleton kind %v", in.kind)
 }
 
 // MuscleError wraps an error (or recovered panic) raised by a muscle, adding
@@ -65,21 +76,6 @@ func (e *MuscleError) Error() string {
 
 // Unwrap exposes the underlying error.
 func (e *MuscleError) Unwrap() error { return e.Err }
-
-// call invokes fn with panic recovery, turning panics into MuscleError so a
-// buggy muscle aborts its execution instead of the process.
-func call[T any](m *muscle.Muscle, trace []*skel.Node, fn func() (T, error)) (res T, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = &MuscleError{Muscle: m, Trace: trace, Err: fmt.Errorf("panic: %v", rec)}
-		}
-	}()
-	res, err = fn()
-	if err != nil {
-		err = &MuscleError{Muscle: m, Trace: trace, Err: err}
-	}
-	return res, err
-}
 
 // emitter bundles the arguments common to every event of one activation.
 type emitter struct {

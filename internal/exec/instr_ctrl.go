@@ -120,7 +120,9 @@ func runCondition(a actx, w *worker, t *Task, iter int) (bool, error) {
 	em := a.em(t.root, w)
 	p := em.emit(event.Before, event.Condition, t.param, func(e *event.Event) { e.Iter = iter })
 	fc := a.nd.Cond()
-	c, err := call(fc, a.trace, func() (bool, error) { return fc.CallCondition(p) })
+	c, err := runAttempts(em, fc, p, func() (any, error) {
+		return em.emit(event.Before, event.Condition, t.param, func(e *event.Event) { e.Iter = iter }), nil
+	}, func(p any) (bool, error) { return fc.CallCondition(p) })
 	if err != nil {
 		return false, err
 	}

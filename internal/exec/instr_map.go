@@ -36,7 +36,9 @@ func runSplit(a actx, w *worker, t *Task) ([]any, error) {
 	em := a.em(t.root, w)
 	p := em.emit(event.Before, event.Split, t.param, nil)
 	fs := a.nd.Split()
-	parts, err := call(fs, a.trace, func() ([]any, error) { return fs.CallSplit(p) })
+	parts, err := runAttempts(em, fs, p, func() (any, error) {
+		return em.emit(event.Before, event.Split, t.param, nil), nil
+	}, func(p any) ([]any, error) { return fs.CallSplit(p) })
 	if err != nil {
 		return nil, err
 	}
@@ -83,18 +85,35 @@ func (in *mapMergeInst) interpret(w *worker, t *Task) ([]*Task, error) {
 }
 
 // runMerge raises the before/after merge events around the merge muscle and
-// returns the merged value.
+// returns the merged value. Failed-branch markers are resolved by the
+// root's partial-failure policy before the merge's Before event, so
+// listeners and the merge muscle only ever see real (or substituted)
+// results.
 func runMerge(a actx, w *worker, t *Task) (any, error) {
-	results := t.takeResults()
 	em := a.em(t.root, w)
-	p := em.emit(event.Before, event.Merge, any(results), nil)
-	rs, ok := p.([]any)
-	if !ok {
-		return nil, fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
-			a.nd.Kind(), p)
+	results, ferr := applyPartial(t.root, t.takeResults())
+	if ferr != nil {
+		// Every branch failed: close the activation with a Fault event and
+		// the aggregate error (absorbable one level up, like any failure).
+		em.emit(event.After, event.Fault, nil, func(e *event.Event) { e.Err = ferr })
+		return nil, ferr
+	}
+	cast := func(p any) ([]any, error) {
+		rs, ok := p.([]any)
+		if !ok {
+			return nil, fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
+				a.nd.Kind(), p)
+		}
+		return rs, nil
+	}
+	rs, err := cast(em.emit(event.Before, event.Merge, any(results), nil))
+	if err != nil {
+		return nil, err
 	}
 	fm := a.nd.Merge()
-	merged, err := call(fm, a.trace, func() (any, error) { return fm.CallMerge(rs) })
+	merged, err := runAttempts(em, fm, rs, func() ([]any, error) {
+		return cast(em.emit(event.Before, event.Merge, any(results), nil))
+	}, func(ps []any) (any, error) { return fm.CallMerge(ps) })
 	if err != nil {
 		return nil, err
 	}

@@ -38,11 +38,17 @@ type seqInst struct {
 func (in *seqInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	a := begin(in.nd, in.parent, in.trace, w, t)
 	fe := in.nd.Exec()
-	res, err := call(fe, in.trace, func() (any, error) { return fe.CallExecute(t.param) })
+	em := a.em(t.root, w)
+	// Each retry re-raises the Skeleton/Before event, restarting the
+	// activation clock so the estimator times only the final attempt.
+	res, err := runAttempts(em, fe, t.param, func() (any, error) {
+		t.param = em.emit(event.Before, event.Skeleton, t.param, nil)
+		return t.param, nil
+	}, func(p any) (any, error) { return fe.CallExecute(p) })
 	if err != nil {
 		return nil, err
 	}
-	t.param = a.em(t.root, w).emit(event.After, event.Skeleton, res, nil)
+	t.param = em.emit(event.After, event.Skeleton, res, nil)
 	return nil, nil
 }
 

@@ -319,7 +319,9 @@ func (p *Pool) run(w *worker, t *Task) {
 		in := t.pop()
 		children, err := in.interpret(w, t)
 		if err != nil {
-			t.root.fail(err)
+			if !t.absorb(err) {
+				t.root.fail(err)
+			}
 			return
 		}
 		if children != nil {

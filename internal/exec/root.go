@@ -4,6 +4,8 @@
 package exec
 
 import (
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +27,16 @@ type Root struct {
 	canceled atomic.Bool
 	future   *Future
 	start    time.Time
+
+	// Fault tolerance: the policy envelope (immutable after Start), the
+	// jitter source it draws from, and the branch failures absorbed by
+	// partial-failure policies.
+	faults      FaultConfig
+	ctrs        *FaultCounters
+	rngMu       sync.Mutex
+	rng         *rand.Rand
+	failMu      sync.Mutex
+	branchFails []BranchFailure
 }
 
 // NewRoot creates an execution session on pool reporting to events. A nil
@@ -39,7 +51,59 @@ func NewRoot(pool *Pool, events *event.Registry, clk clock.Clock) *Root {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Root{pool: pool, events: events, clk: clk, future: NewFuture()}
+	r := &Root{pool: pool, events: events, clk: clk, future: NewFuture()}
+	r.ctrs = &FaultCounters{}
+	r.rng = rand.New(rand.NewSource(1))
+	return r
+}
+
+// SetFaults installs the fault-tolerance policy. Call before Start; the
+// config must not change once tasks are running. A non-nil cfg.Counters
+// replaces the root's private counters (streams share one across inputs).
+func (r *Root) SetFaults(cfg FaultConfig) {
+	r.faults = cfg
+	if cfg.Counters != nil {
+		r.ctrs = cfg.Counters
+	}
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r.rng = rand.New(rand.NewSource(seed))
+}
+
+// Faults returns the fault-tolerance policy in force.
+func (r *Root) Faults() FaultConfig { return r.faults }
+
+// counters returns the fault counter sink (never nil).
+func (r *Root) counters() *FaultCounters { return r.ctrs }
+
+// FaultStats snapshots the root's fault counters. When the root shares a
+// stream-level FaultCounters, the snapshot covers the whole stream.
+func (r *Root) FaultStats() FaultStats { return r.ctrs.Stats() }
+
+// recordBranchFailure logs one absorbed fan-out branch failure.
+func (r *Root) recordBranchFailure(bf BranchFailure) {
+	if bf.Substituted {
+		r.ctrs.substituted.Add(1)
+	} else {
+		r.ctrs.skipped.Add(1)
+	}
+	r.failMu.Lock()
+	r.branchFails = append(r.branchFails, bf)
+	r.failMu.Unlock()
+}
+
+// Failures returns the branch failures absorbed by partial-failure policies
+// during this execution, or nil when every branch succeeded. A non-nil
+// return alongside a successful future means the result is partial.
+func (r *Root) Failures() *FailureError {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	if len(r.branchFails) == 0 {
+		return nil
+	}
+	return &FailureError{Failures: append([]BranchFailure(nil), r.branchFails...)}
 }
 
 // Events returns the registry this execution emits to.

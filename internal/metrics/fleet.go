@@ -101,6 +101,23 @@ func (f *Fleet) TotalActiveSeries(unit time.Duration) []Point {
 	return f.totalSeries(unit, func(s Sample) int { return s.Active })
 }
 
+// TotalFaults sums the retry and terminal-fault events observed across
+// every job's recorder.
+func (f *Fleet) TotalFaults() (retries, faults uint64) {
+	f.mu.Lock()
+	recs := make([]*Recorder, 0, len(f.jobs))
+	for _, r := range f.jobs {
+		recs = append(recs, r)
+	}
+	f.mu.Unlock()
+	for _, r := range recs {
+		re, fa := r.FaultCounts()
+		retries += re
+		faults += fa
+	}
+	return retries, faults
+}
+
 // PeakTotalLP returns the maximum of the aggregate LP series.
 func (f *Fleet) PeakTotalLP() int {
 	peak := 0

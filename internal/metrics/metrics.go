@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"skandium/internal/event"
 )
 
 // Sample is one gauge observation.
@@ -26,6 +28,8 @@ type Recorder struct {
 	start   time.Time
 	started bool
 	samples []Sample
+	retries uint64
+	faults  uint64
 }
 
 // NewRecorder returns an empty recorder. The first sample anchors t=0
@@ -47,6 +51,32 @@ func (r *Recorder) Gauge(now time.Time, active, lp int) {
 	}
 	r.samples = append(r.samples, Sample{T: now, Active: active, LP: lp})
 	r.mu.Unlock()
+}
+
+// FaultListener returns an event listener tallying retry and terminal-fault
+// events into the recorder — the telemetry face of the fault-tolerance
+// layer. Install it next to the gauge hook.
+func (r *Recorder) FaultListener() event.Listener {
+	return event.Func(func(e *event.Event) any {
+		switch e.Where {
+		case event.Retry:
+			r.mu.Lock()
+			r.retries++
+			r.mu.Unlock()
+		case event.Fault:
+			r.mu.Lock()
+			r.faults++
+			r.mu.Unlock()
+		}
+		return e.Param
+	})
+}
+
+// FaultCounts returns the retry and terminal-fault events observed so far.
+func (r *Recorder) FaultCounts() (retries, faults uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries, r.faults
 }
 
 // Samples returns a copy of the raw observations in time order.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skandium"
+	"skandium/internal/chaos"
 	"skandium/internal/workload"
 )
 
@@ -20,6 +21,7 @@ func init() {
 	skandium.RegisterBlueprint(mergesortBlueprint())
 	skandium.RegisterBlueprint(montecarloBlueprint())
 	skandium.RegisterBlueprint(sleepgridBlueprint())
+	skandium.RegisterBlueprint(chaosgridBlueprint())
 }
 
 // wordcountBlueprint is the paper's §5 workload: a two-level map over a
@@ -196,6 +198,74 @@ func sleepgridBlueprint() skandium.Blueprint {
 				time.Sleep(cell)
 				return 1, nil
 			})
+			fm := skandium.NewMerge("fm", func(parts []int) (int, error) {
+				s := 0
+				for _, v := range parts {
+					s += v
+				}
+				return s, nil
+			})
+			inner := skandium.Map(fs, skandium.Seq(fe), fm)
+			program := skandium.Map(fs, inner, fm)
+			return skandium.NewRunner(program, cells{N: total}), nil
+		},
+	}
+}
+
+// chaosgridBlueprint is the sleep grid with seeded fault injection on the
+// leaf muscle — the daemon's live demonstration of the fault-tolerance
+// layer. Submit it with retries/partial policies and watch the retry and
+// fault counters move; each leaf returns 1, so under a "skip" policy the
+// job's result is exactly the number of surviving cells.
+func chaosgridBlueprint() skandium.Blueprint {
+	type cells struct {
+		N int
+	}
+	return skandium.Blueprint{
+		Name:        "chaosgrid",
+		Description: "sleep grid with seeded fault injection on the leaf muscle (pair with retries/timeout_ms/partial)",
+		Defaults: skandium.Params{
+			"k": 4, "m": 4, "cell_ms": 2, "seed": 1,
+			"fail_rate": 0.1, "panic_rate": 0.0, "latency_rate": 0.0, "latency_ms": 0, "fail_first": 0,
+		},
+		Build: func(p skandium.Params) (skandium.Runner, error) {
+			k := p.Int("k", 4)
+			m := p.Int("m", 4)
+			cellMS := p.Float("cell_ms", 2)
+			if k < 1 || m < 1 || cellMS <= 0 {
+				return nil, fmt.Errorf("chaosgrid: k/m/cell_ms must be positive")
+			}
+			failRate := p.Float("fail_rate", 0.1)
+			panicRate := p.Float("panic_rate", 0)
+			latencyRate := p.Float("latency_rate", 0)
+			if failRate < 0 || failRate > 1 || panicRate < 0 || panicRate > 1 || latencyRate < 0 || latencyRate > 1 {
+				return nil, fmt.Errorf("chaosgrid: rates must be in [0,1]")
+			}
+			inj := chaos.New(chaos.Config{
+				Seed:        int64(p.Int("seed", 1)),
+				ErrorRate:   failRate,
+				PanicRate:   panicRate,
+				LatencyRate: latencyRate,
+				Latency:     time.Duration(p.Float("latency_ms", 0) * float64(time.Millisecond)),
+				FailFirst:   p.Int("fail_first", 0),
+			})
+			cell := time.Duration(cellMS * float64(time.Millisecond))
+			total := k * m
+			fs := skandium.NewSplit("fs", func(c cells) ([]cells, error) {
+				parts := k
+				if c.N < total {
+					parts = m
+				}
+				out := make([]cells, parts)
+				for i := range out {
+					out[i] = cells{N: c.N / parts}
+				}
+				return out, nil
+			})
+			fe := skandium.NewExec("fe", chaos.Wrap(inj, func(c cells) (int, error) {
+				time.Sleep(cell)
+				return 1, nil
+			}))
 			fm := skandium.NewMerge("fm", func(parts []int) (int, error) {
 				s := 0
 				for _, v := range parts {

@@ -98,6 +98,12 @@ type submitRequest struct {
 	GoalMS    float64         `json:"goal_ms"`
 	MaxLP     int             `json:"max_lp"`
 	InitialLP int             `json:"initial_lp"`
+	// Fault tolerance (all optional).
+	TimeoutMS      float64 `json:"timeout_ms"`
+	Retries        int     `json:"retries"`
+	RetryBackoffMS float64 `json:"retry_backoff_ms"`
+	Partial        string  `json:"partial"`
+	Substitute     any     `json:"substitute"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -107,11 +113,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.Submit(SubmitSpec{
-		Skeleton:  req.Skeleton,
-		Params:    req.Params,
-		Goal:      time.Duration(req.GoalMS * float64(time.Millisecond)),
-		MaxLP:     req.MaxLP,
-		InitialLP: req.InitialLP,
+		Skeleton:      req.Skeleton,
+		Params:        req.Params,
+		Goal:          time.Duration(req.GoalMS * float64(time.Millisecond)),
+		MaxLP:         req.MaxLP,
+		InitialLP:     req.InitialLP,
+		MuscleTimeout: time.Duration(req.TimeoutMS * float64(time.Millisecond)),
+		RetryAttempts: req.Retries,
+		RetryBackoff:  time.Duration(req.RetryBackoffMS * float64(time.Millisecond)),
+		Partial:       req.Partial,
+		Substitute:    req.Substitute,
 	})
 	switch {
 	case err == ErrDraining:
@@ -151,6 +162,17 @@ type jobView struct {
 	FinishedMS  float64         `json:"finished_ms,omitempty"`
 	Result      string          `json:"result,omitempty"`
 	Error       string          `json:"error,omitempty"`
+
+	// Fault-tolerance configuration and counters.
+	TimeoutMS      float64 `json:"timeout_ms,omitempty"`
+	RetryAttempts  int     `json:"retry_attempts,omitempty"`
+	Partial        string  `json:"partial,omitempty"`
+	Retries        uint64  `json:"retries_total,omitempty"`
+	Faults         uint64  `json:"faults_total,omitempty"`
+	Timeouts       uint64  `json:"timeouts_total,omitempty"`
+	Skipped        uint64  `json:"skipped_total,omitempty"`
+	Substituted    uint64  `json:"substituted_total,omitempty"`
+	FailedBranches int     `json:"failed_branches,omitempty"`
 }
 
 // sinceStart renders a timestamp as ms since the fleet start (0 for zero
@@ -190,6 +212,9 @@ func (s *Server) jobView(j *job) jobView {
 		StartedMS:  s.sinceStart(started),
 		FinishedMS: s.sinceStart(finished),
 	}
+	v.TimeoutMS = float64(j.timeout) / float64(time.Millisecond)
+	v.RetryAttempts = j.retry.MaxAttempts
+	v.Partial = j.partial.String()
 	if h != nil {
 		v.LP = h.LP()
 		v.Active = h.Active()
@@ -198,6 +223,12 @@ func (s *Server) jobView(j *job) jobView {
 		st := h.Stats()
 		v.TasksRun = st.TasksRun
 		v.BusyMS = float64(st.BusyTime) / float64(time.Millisecond)
+		fs := h.FaultStats()
+		v.Retries, v.Faults, v.Timeouts = fs.Retries, fs.Faults, fs.Timeouts
+		v.Skipped, v.Substituted = fs.Skipped, fs.Substituted
+		if f := h.Failures(); f != nil {
+			v.FailedBranches = len(f.Failures)
+		}
 		if d := h.Demand(); d.Valid {
 			v.DesiredLP = d.DesiredLP
 			v.OptimalLP = d.OptimalLP
@@ -472,6 +503,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "skelrund_total_lp %d\n", s.fleet.TotalLP())
 	fmt.Fprintf(w, "# HELP skelrund_peak_total_lp peak of the aggregate LP series\n")
 	fmt.Fprintf(w, "skelrund_peak_total_lp %d\n", s.fleet.PeakTotalLP())
+	retries, faults := s.fleet.TotalFaults()
+	fmt.Fprintf(w, "# HELP skelrund_retries_total muscle attempts retried, fleet-wide\n")
+	fmt.Fprintf(w, "skelrund_retries_total %d\n", retries)
+	fmt.Fprintf(w, "# HELP skelrund_faults_total terminal muscle failures, fleet-wide\n")
+	fmt.Fprintf(w, "skelrund_faults_total %d\n", faults)
 	counts := s.stateCounts()
 	for _, st := range statesInOrder(counts) {
 		fmt.Fprintf(w, "skelrund_jobs{state=%q} %d\n", st, counts[st])
@@ -484,12 +520,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		state, grant, h, _, _, _, _ := j.snapshot()
 		lp, active := 0, 0
 		var stats statsView
+		var faults skandium.FaultStats
 		if h != nil {
 			if !state.terminal() {
 				lp, active = h.LP(), h.Active()
 			}
 			ps := h.Stats()
 			stats = statsView{Tasks: ps.TasksRun, BusySec: ps.BusyTime.Seconds(), Spawned: ps.Spawned}
+			faults = h.FaultStats()
 		}
 		lbl := fmt.Sprintf("{job=%q,skeleton=%q}", j.id, j.skeleton)
 		fmt.Fprintf(w, "skelrund_job_lp%s %d\n", lbl, lp)
@@ -498,6 +536,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "skelrund_job_tasks_total%s %d\n", lbl, stats.Tasks)
 		fmt.Fprintf(w, "skelrund_job_busy_seconds%s %g\n", lbl, stats.BusySec)
 		fmt.Fprintf(w, "skelrund_job_workers_spawned%s %d\n", lbl, stats.Spawned)
+		fmt.Fprintf(w, "skelrund_job_retries_total%s %d\n", lbl, faults.Retries)
+		fmt.Fprintf(w, "skelrund_job_faults_total%s %d\n", lbl, faults.Faults)
+		fmt.Fprintf(w, "skelrund_job_timeouts_total%s %d\n", lbl, faults.Timeouts)
+		fmt.Fprintf(w, "skelrund_job_skipped_total%s %d\n", lbl, faults.Skipped)
+		fmt.Fprintf(w, "skelrund_job_substituted_total%s %d\n", lbl, faults.Substituted)
 	}
 }
 

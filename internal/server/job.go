@@ -40,6 +40,9 @@ type job struct {
 	goal     time.Duration
 	maxLP    int
 	initLP   int
+	timeout  time.Duration
+	retry    skandium.RetryPolicy
+	partial  skandium.PartialPolicy
 	log      *eventLog
 	rec      *metrics.Recorder
 

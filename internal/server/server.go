@@ -107,6 +107,28 @@ type SubmitSpec struct {
 	Goal      time.Duration // 0 disables autonomic adaptation
 	MaxLP     int           // per-job LP QoS cap; 0 = uncapped
 	InitialLP int           // starting LP (default 1, the paper's setup)
+
+	// Fault tolerance (all optional; zero values reproduce the historical
+	// fail-fast behaviour).
+	MuscleTimeout time.Duration // per-muscle deadline; 0 = none
+	RetryAttempts int           // total attempts per muscle; <= 1 = no retry
+	RetryBackoff  time.Duration // base delay of the exponential backoff
+	Partial       string        // "", "failfast", "skip" or "substitute"
+	Substitute    any           // stand-in value when Partial == "substitute"
+}
+
+// parsePartial validates the submission's partial-failure policy name.
+func parsePartial(name string, sub any) (skandium.PartialPolicy, error) {
+	switch name {
+	case "", "failfast":
+		return skandium.FailFast(), nil
+	case "skip":
+		return skandium.SkipFailed(), nil
+	case "substitute":
+		return skandium.Substitute(sub), nil
+	default:
+		return skandium.PartialPolicy{}, fmt.Errorf("server: unknown partial policy %q (want failfast, skip or substitute)", name)
+	}
 }
 
 // Submit accepts a job: the blueprint is compiled immediately (rejecting
@@ -127,6 +149,10 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	if spec.InitialLP < 1 {
 		spec.InitialLP = 1
 	}
+	partial, err := parsePartial(spec.Partial, spec.Substitute)
+	if err != nil {
+		return nil, err
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -143,6 +169,9 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 		goal:     spec.Goal,
 		maxLP:    spec.MaxLP,
 		initLP:   spec.InitialLP,
+		timeout:  spec.MuscleTimeout,
+		retry:    skandium.RetryPolicy{MaxAttempts: spec.RetryAttempts, BaseDelay: spec.RetryBackoff},
+		partial:  partial,
 		created:  s.clk.Now(),
 		state:    stateQueued,
 	}
@@ -188,6 +217,14 @@ func (s *Server) start(j *job) {
 		skandium.WithClock(s.clk),
 		skandium.WithGauge(j.rec.Gauge),
 		skandium.WithListener(j.log.listener()),
+		skandium.WithListener(j.rec.FaultListener()),
+		skandium.WithPartialFailure(j.partial),
+	}
+	if j.timeout > 0 {
+		opts = append(opts, skandium.WithMuscleTimeout(j.timeout))
+	}
+	if j.retry.MaxAttempts > 1 {
+		opts = append(opts, skandium.WithRetry(j.retry))
 	}
 	if j.goal > 0 {
 		opts = append(opts,

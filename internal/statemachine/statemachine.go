@@ -160,7 +160,18 @@ func (tr *Tracker) Root() *Instance {
 
 func (tr *Tracker) handle(e *event.Event) {
 	if e.Err != nil {
-		return // unwinding; timing of failed muscles is not knowledge
+		// Timing of failed muscle attempts is not knowledge — estimators
+		// must only learn from successes. A terminal Fault still closes the
+		// activation, so the ADG stops treating it as running work.
+		if e.Where == event.Fault {
+			tr.mu.Lock()
+			if in := tr.inst(e); in != nil && !in.Done {
+				in.Done = true
+				in.EndTime = e.Time
+			}
+			tr.mu.Unlock()
+		}
+		return
 	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
@@ -184,6 +195,14 @@ func (tr *Tracker) inst(e *event.Event) *Instance {
 
 func (tr *Tracker) onSkeleton(e *event.Event) {
 	if e.When == event.Before {
+		if in := tr.inst(e); in != nil {
+			// A retry re-raised the activation's Before: restart its clock
+			// so the estimator times only the succeeding attempt, and do
+			// not duplicate the instance in the tree.
+			in.StartTime = e.Time
+			in.Done = false
+			return
+		}
 		in := &Instance{
 			Node:       e.Node,
 			Kind:       e.Node.Kind(),
@@ -259,6 +278,11 @@ func (tr *Tracker) onCondition(e *event.Event) {
 		return
 	}
 	if e.When == event.Before {
+		if n := len(in.Conds); n > 0 && !in.Conds[n-1].Ended && in.Conds[n-1].Iter == e.Iter {
+			// Retry of the same condition check: restart its clock.
+			in.Conds[n-1].Start = e.Time
+			return
+		}
 		in.Conds = append(in.Conds, ActivityRec{Start: e.Time, Started: true, Iter: e.Iter})
 		return
 	}

@@ -256,3 +256,62 @@ func TestTrackerDrivenByRealEngine(t *testing.T) {
 		t.Fatalf("instances = %d, want 4", w)
 	}
 }
+
+// TestRetryResetsStartWithoutDuplicating: a retried attempt re-raises
+// seq@b(i) for the same index. The tracker must reset the instance's start
+// time (so only the final attempt is timed) instead of opening a second
+// instance, and the estimator must see the final attempt's duration only.
+func TestRetryResetsStartWithoutDuplicating(t *testing.T) {
+	w := newWorld()
+	fe := muscle.NewExecute("fe", func(p any) (any, error) { return p, nil })
+	nd := skel.NewSeq(fe)
+
+	w.emit(nd, 0, event.NoParent, event.Before, event.Skeleton, 100, nil)
+	// Attempt 1 fails at t=130 and is retried.
+	w.emit(nd, 0, event.NoParent, event.After, event.Retry, 130, func(e *event.Event) {
+		e.Err = exec.ErrMuscleTimeout
+		e.Iter = 1
+	})
+	// Attempt 2 re-raises seq@b(i) at t=150 and succeeds at t=170.
+	w.emit(nd, 0, event.NoParent, event.Before, event.Skeleton, 150, nil)
+	w.emit(nd, 0, event.NoParent, event.After, event.Skeleton, 170, nil)
+
+	w.tr.mu.Lock()
+	n := len(w.tr.instances)
+	w.tr.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("tracker holds %d instances, want 1 (retry must not duplicate)", n)
+	}
+	root := w.tr.Root()
+	if !root.Done || root.StartTime != clock.Epoch.Add(u(150)) {
+		t.Fatalf("instance = done=%v start=%v, want done with start reset to t=150", root.Done, root.StartTime)
+	}
+	if d, ok := w.est.Duration(fe.ID()); !ok || d != u(20) {
+		t.Fatalf("t(fe) = %v/%v, want 20ms (final attempt only)", d, ok)
+	}
+	if n := w.est.DurationObservations(fe.ID()); n != 1 {
+		t.Fatalf("%d duration observations, want 1", n)
+	}
+}
+
+// TestFaultClosesInstance: a terminal fault event marks the activation done
+// so the predictor stops counting it as running work.
+func TestFaultClosesInstance(t *testing.T) {
+	w := newWorld()
+	fe := muscle.NewExecute("fe", func(p any) (any, error) { return p, nil })
+	nd := skel.NewSeq(fe)
+
+	w.emit(nd, 0, event.NoParent, event.Before, event.Skeleton, 100, nil)
+	w.emit(nd, 0, event.NoParent, event.After, event.Fault, 140, func(e *event.Event) {
+		e.Err = exec.ErrMuscleTimeout
+	})
+
+	root := w.tr.Root()
+	if root == nil || !root.Done || root.EndTime != clock.Epoch.Add(u(140)) {
+		t.Fatalf("faulted instance not closed: %+v", root)
+	}
+	// The failed activation must not have fed the estimator.
+	if _, ok := w.est.Duration(fe.ID()); ok {
+		t.Fatal("faulted activation polluted the duration estimate")
+	}
+}

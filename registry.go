@@ -102,6 +102,11 @@ type Handle interface {
 	SetMaxLP(n int)
 	// Stats returns the pool's execution counters.
 	Stats() exec.Stats
+	// FaultStats returns the fault-tolerance counters.
+	FaultStats() FaultStats
+	// Failures returns the branch failures absorbed by the partial-failure
+	// policy (nil when none — the result is complete).
+	Failures() *FailureError
 	// Cancel aborts the execution; its Result returns err.
 	Cancel(err error)
 	// Close shuts the job's stream down (idempotent).
@@ -152,9 +157,11 @@ func (h *handle[P, R]) SetMaxLP(n int) {
 	h.st.SetMaxLP(n)
 	h.ex.SetMaxLP(n)
 }
-func (h *handle[P, R]) Stats() exec.Stats { return h.st.Stats() }
-func (h *handle[P, R]) Cancel(err error)  { h.ex.Cancel(err) }
-func (h *handle[P, R]) Close()            { h.st.Close() }
+func (h *handle[P, R]) Stats() exec.Stats       { return h.st.Stats() }
+func (h *handle[P, R]) FaultStats() FaultStats  { return h.st.FaultStats() }
+func (h *handle[P, R]) Failures() *FailureError { return h.ex.Failures() }
+func (h *handle[P, R]) Cancel(err error)        { h.ex.Cancel(err) }
+func (h *handle[P, R]) Close()                  { h.st.Close() }
 
 // The process-wide blueprint registry. Register at init time; the daemon
 // lists and looks blueprints up by name.

@@ -61,6 +61,9 @@ type config struct {
 	gauge            exec.GaugeFunc
 	profile          estimate.Profile
 	listeners        []listenerEntry
+	faultTimeout     time.Duration
+	faultRetry       exec.RetryPolicy
+	faultPartial     exec.PartialPolicy
 }
 
 type listenerEntry struct {
@@ -179,6 +182,7 @@ type Stream[P, R any] struct {
 	cfg  config
 	pool *exec.Pool
 	est  *estimate.Registry
+	ctrs *exec.FaultCounters // fault statistics shared across inputs
 
 	mu       sync.Mutex
 	closed   bool
@@ -209,7 +213,7 @@ func NewStream[P, R any](s Skeleton[P, R], opts ...Option) *Stream[P, R] {
 	if cfg.profile != nil {
 		est.Restore(cfg.profile)
 	}
-	return &Stream[P, R]{node: s.n, cfg: cfg, pool: pool, est: est}
+	return &Stream[P, R]{node: s.n, cfg: cfg, pool: pool, est: est, ctrs: &exec.FaultCounters{}}
 }
 
 // Input injects one parameter and returns the handle to its (asynchronous)
@@ -252,6 +256,12 @@ func (st *Stream[P, R]) Input(p P) *Execution[R] {
 		reg.Add(tracker.Listener())
 	}
 	root := exec.NewRoot(st.pool, reg, st.cfg.clk)
+	root.SetFaults(exec.FaultConfig{
+		Timeout:  st.cfg.faultTimeout,
+		Retry:    st.cfg.faultRetry,
+		Partial:  st.cfg.faultPartial,
+		Counters: st.ctrs,
+	})
 	fut := root.Start(st.node, p)
 	if ctl != nil && st.cfg.analysisTicker > 0 {
 		stop := ctl.StartTicker(st.cfg.analysisTicker)
@@ -329,6 +339,10 @@ func (st *Stream[P, R]) SetMaxLP(n int) {
 // Stats returns the pool's execution counters (tasks run, cumulative busy
 // time, workers spawned).
 func (st *Stream[P, R]) Stats() exec.Stats { return st.pool.Stats() }
+
+// FaultStats snapshots the stream's fault-tolerance counters, aggregated
+// across every input injected so far.
+func (st *Stream[P, R]) FaultStats() FaultStats { return st.ctrs.Stats() }
 
 // Profile snapshots the current muscle estimates, suitable for WithProfile
 // of a later stream over the same muscle handles.
@@ -422,6 +436,12 @@ func (e *Execution[R]) SetGoal(d time.Duration) {
 		e.ctl.SetGoal(d)
 	}
 }
+
+// Failures returns the fan-out branch failures absorbed by the
+// partial-failure policy during this execution, or nil when every branch
+// succeeded. A non-nil return alongside a nil Get error means the result is
+// partial: branches were skipped or substituted per WithPartialFailure.
+func (e *Execution[R]) Failures() *FailureError { return e.root.Failures() }
 
 // SetMaxLP adjusts this execution's LP QoS cap at runtime (0 = uncapped).
 // It bounds future controller requests; combine with Stream.SetMaxLP to
