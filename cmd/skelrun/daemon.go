@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -18,17 +20,56 @@ import (
 // through this client).
 var daemonClient = &http.Client{Timeout: 30 * time.Second}
 
-// getRetryRefused performs an idempotent GET, retrying exactly once after a
-// short pause when the connection is refused — the window where the daemon
-// is still binding its listener during startup scripts ("skelrund & skelrun
-// -daemon ...").
+// getRetryRefused performs an idempotent GET, retrying after a short pause
+// when the connection is refused — the window where the daemon is still
+// binding its listener during startup scripts ("skelrund & skelrun -daemon
+// ...") or restarting after a crash — and when the daemon answers 429/503
+// (overloaded or draining). GETs are idempotent, so retrying is always
+// safe; the pause honors the daemon's Retry-After header when present.
 func getRetryRefused(url string) (*http.Response, error) {
-	resp, err := daemonClient.Get(url)
-	if err != nil && errors.Is(err, syscall.ECONNREFUSED) {
-		time.Sleep(200 * time.Millisecond)
-		return daemonClient.Get(url)
+	var (
+		resp *http.Response
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err = daemonClient.Get(url)
+		if attempt >= 2 {
+			return resp, err
+		}
+		if err != nil {
+			if !errors.Is(err, syscall.ECONNREFUSED) {
+				return nil, err
+			}
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		wait := retryAfter(resp, 500*time.Millisecond)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(wait)
 	}
-	return resp, err
+}
+
+// retryAfter reads a response's Retry-After header (delay-seconds form),
+// falling back to def and clamping to 30s so a bogus header cannot wedge
+// the client.
+func retryAfter(resp *http.Response, def time.Duration) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return def
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return def
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // jobView mirrors the daemon's job JSON (the fields this client shows).
@@ -100,18 +141,12 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 		submit["partial"] = opts.Partial
 	}
 	body, _ := json.Marshal(submit)
-	resp, err := daemonClient.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	raw, err := submitWithBackoff(base, body)
 	if err != nil {
-		return fmt.Errorf("submit to %s: %w", base, err)
-	}
-	raw := new(bytes.Buffer)
-	_, _ = raw.ReadFrom(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))
+		return err
 	}
 	var j jobView
-	if err := json.Unmarshal(raw.Bytes(), &j); err != nil {
+	if err := json.Unmarshal(raw, &j); err != nil {
 		return fmt.Errorf("submit: decode: %w", err)
 	}
 	fmt.Printf("submitted %s: %s  %s\n", j.ID, j.Skeleton, j.Program)
@@ -136,6 +171,40 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// submitWithBackoff POSTs a submission, retrying up to five times when the
+// daemon sheds it with 429 (queue full) or 503 (draining/restarting),
+// waiting out the daemon's Retry-After hint between attempts. Any other
+// rejection — including 422 goal-infeasible, which no amount of waiting
+// will fix — fails immediately.
+func submitWithBackoff(base string, body []byte) ([]byte, error) {
+	const attempts = 5
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := daemonClient.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("submit to %s: %w", base, err)
+		}
+		raw := new(bytes.Buffer)
+		_, _ = raw.ReadFrom(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return raw.Bytes(), nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			wait := retryAfter(resp, time.Second)
+			lastErr = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))
+			if i < attempts-1 {
+				fmt.Printf("daemon shed submission (%s); retrying in %v (%d/%d)\n",
+					resp.Status, wait, i+1, attempts-1)
+				time.Sleep(wait)
+			}
+		default:
+			return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))
+		}
+	}
+	return nil, lastErr
 }
 
 func sinceStartMS(v jobView) float64 {

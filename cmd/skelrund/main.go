@@ -6,6 +6,12 @@
 //	curl -s localhost:8080/skeletons
 //	curl -s -X POST localhost:8080/jobs -d '{"skeleton":"wordcount","goal_ms":500}'
 //
+// With -journal-dir the daemon keeps a write-ahead job journal: every
+// submission and state transition is appended to an NDJSON log, so a crash
+// (or kill -9) loses nothing — on restart the same -journal-dir replays
+// the log, serves finished results from the snapshot, and re-queues the
+// jobs the crash interrupted.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: new submissions are refused,
 // running and queued jobs drain within -drain, then the listener closes.
 // A second signal exits immediately.
@@ -22,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"skandium/internal/journal"
 	"skandium/internal/server"
 )
 
@@ -33,7 +40,40 @@ func main() {
 	analysisInterval := flag.Duration("analysis-interval", 2*time.Millisecond, "event-driven analysis throttle")
 	eventLog := flag.Int("eventlog", 8192, "per-job event ring size")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	journalDir := flag.String("journal-dir", "", "directory for the durable job journal (empty = no persistence)")
+	queueMax := flag.Int("queue-max", 0, "max queued jobs before submissions are shed with 429 (0 = unbounded)")
+	fsyncMode := flag.String("fsync", "interval", "journal durability: always | interval | never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period when -fsync=interval")
+	rotateBytes := flag.Int64("journal-rotate", 1<<20, "journal size that triggers compaction into the snapshot")
 	flag.Parse()
+
+	var (
+		jn        *journal.Journal
+		recovered []journal.JobState
+	)
+	if *journalDir != "" {
+		policy, err := journal.ParseFsync(*fsyncMode)
+		if err != nil {
+			log.Fatalf("skelrund: %v", err)
+		}
+		jn, recovered, err = journal.Open(*journalDir, journal.Options{
+			Fsync:       policy,
+			FsyncEvery:  *fsyncEvery,
+			RotateBytes: *rotateBytes,
+		})
+		if err != nil {
+			log.Fatalf("skelrund: open journal: %v", err)
+		}
+		if n := len(recovered); n > 0 {
+			requeued := 0
+			for _, st := range recovered {
+				if !st.Terminal() {
+					requeued++
+				}
+			}
+			log.Printf("skelrund: journal %s: recovered %d job(s), re-queued %d interrupted", *journalDir, n, requeued)
+		}
+	}
 
 	srv := server.New(server.Config{
 		Budget:           *budget,
@@ -41,6 +81,9 @@ func main() {
 		AnalysisTick:     *analysisTick,
 		AnalysisInterval: *analysisInterval,
 		EventLog:         *eventLog,
+		Journal:          jn,
+		Recover:          recovered,
+		QueueMax:         *queueMax,
 	})
 	httpd := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -77,4 +120,9 @@ func main() {
 		log.Printf("skelrund: http shutdown: %v", err)
 	}
 	srv.Close()
+	if jn != nil {
+		if err := jn.Close(); err != nil {
+			log.Printf("skelrund: close journal: %v", err)
+		}
+	}
 }

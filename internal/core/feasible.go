@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Feasible reports whether a WCT goal is achievable with at most lp workers
+// for a job whose total work (serial busy time) and span (critical path,
+// i.e. the best-effort WCT at unbounded LP) have been estimated. It applies
+// the greedy-scheduling lower bound
+//
+//	WCT >= max(span, work/lp)
+//
+// which errs on the permissive side: when even this bound exceeds the goal,
+// no schedule under the budget can meet it, so rejecting is safe — the
+// admission-control analogue of the paper's predictor-driven decisions.
+// A non-positive goal means "no QoS", which is always feasible.
+func Feasible(goal, work, span time.Duration, lp int) bool {
+	if goal <= 0 {
+		return true
+	}
+	if lp < 1 {
+		lp = 1
+	}
+	bound := span
+	if perLP := work / time.Duration(lp); perLP > bound {
+		bound = perLP
+	}
+	return goal >= bound
+}
+
+// Profile is a per-skeleton execution estimate used for admission control:
+// the cheapest observed work and span across completed runs. Keeping minima
+// (not means) keeps rejection conservative — a skeleton submitted with
+// lighter parameters than any run seen so far is still admitted.
+type Profile struct {
+	Work time.Duration // minimum observed serial work (sum of busy time)
+	Span time.Duration // minimum observed best-effort WCT (critical path)
+	Runs int           // completed runs folded in
+}
+
+// ProfileStore aggregates Profiles per skeleton name, concurrency-safe. The
+// daemon feeds it from every successfully completed job and consults it
+// before accepting a goal-bearing submission.
+type ProfileStore struct {
+	mu sync.Mutex
+	m  map[string]Profile
+}
+
+// NewProfileStore returns an empty store.
+func NewProfileStore() *ProfileStore {
+	return &ProfileStore{m: map[string]Profile{}}
+}
+
+// Observe folds one completed run's work and span into the skeleton's
+// profile. Zero measurements are ignored per-dimension (a job without a WCT
+// goal never produced a span estimate, but its busy time still counts).
+func (p *ProfileStore) Observe(name string, work, span time.Duration) {
+	if name == "" || (work <= 0 && span <= 0) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.m[name]
+	if work > 0 && (!ok || pr.Work == 0 || work < pr.Work) {
+		pr.Work = work
+	}
+	if span > 0 && (!ok || pr.Span == 0 || span < pr.Span) {
+		pr.Span = span
+	}
+	pr.Runs++
+	p.m[name] = pr
+}
+
+// Lookup returns the skeleton's profile, if any run has been observed.
+func (p *ProfileStore) Lookup(name string) (Profile, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.m[name]
+	return pr, ok
+}

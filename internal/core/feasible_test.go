@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFeasible(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name             string
+		goal, work, span time.Duration
+		lp               int
+		want             bool
+	}{
+		{"no goal is always feasible", 0, ms(1000), ms(100), 1, true},
+		{"negative goal is no goal", -ms(5), ms(1000), ms(100), 1, true},
+		{"goal above both bounds", ms(500), ms(1000), ms(100), 4, true}, // work/4=250
+		{"goal below span", ms(50), ms(100), ms(100), 64, false},
+		{"goal below work/lp", ms(100), ms(1000), ms(10), 4, false}, // 1000/4=250
+		{"goal exactly at the bound", ms(250), ms(1000), ms(10), 4, true},
+		{"lp floor of one", ms(500), ms(1000), 0, 0, false}, // 1000/1 > 500
+		{"zero estimates never reject", ms(1), 0, 0, 8, true},
+	}
+	for _, c := range cases {
+		if got := Feasible(c.goal, c.work, c.span, c.lp); got != c.want {
+			t.Errorf("%s: Feasible(%v,%v,%v,%d) = %v, want %v",
+				c.name, c.goal, c.work, c.span, c.lp, got, c.want)
+		}
+	}
+}
+
+func TestProfileStoreKeepsMinima(t *testing.T) {
+	ps := NewProfileStore()
+	if _, ok := ps.Lookup("wordcount"); ok {
+		t.Fatal("empty store reported a profile")
+	}
+	ps.Observe("wordcount", 800*time.Millisecond, 90*time.Millisecond)
+	ps.Observe("wordcount", 500*time.Millisecond, 120*time.Millisecond)
+	ps.Observe("wordcount", 900*time.Millisecond, 40*time.Millisecond)
+	pr, ok := ps.Lookup("wordcount")
+	if !ok || pr.Runs != 3 {
+		t.Fatalf("profile missing or wrong run count: %+v ok=%v", pr, ok)
+	}
+	if pr.Work != 500*time.Millisecond || pr.Span != 40*time.Millisecond {
+		t.Fatalf("minima not kept: %+v", pr)
+	}
+}
+
+func TestProfileStoreIgnoresZeroDimensions(t *testing.T) {
+	ps := NewProfileStore()
+	// A goal-less run has busy time but no span estimate.
+	ps.Observe("sleepgrid", 300*time.Millisecond, 0)
+	pr, ok := ps.Lookup("sleepgrid")
+	if !ok || pr.Work != 300*time.Millisecond || pr.Span != 0 {
+		t.Fatalf("zero span mishandled: %+v", pr)
+	}
+	// A later run with a span must not let the zero overwrite the work.
+	ps.Observe("sleepgrid", 0, 50*time.Millisecond)
+	pr, _ = ps.Lookup("sleepgrid")
+	if pr.Work != 300*time.Millisecond || pr.Span != 50*time.Millisecond {
+		t.Fatalf("dimensions cross-contaminated: %+v", pr)
+	}
+	// Fully-zero observations are dropped outright.
+	ps.Observe("", time.Second, time.Second)
+	ps.Observe("noop", 0, 0)
+	if _, ok := ps.Lookup("noop"); ok {
+		t.Fatal("zero observation created a profile")
+	}
+}

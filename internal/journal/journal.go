@@ -1,0 +1,512 @@
+// Package journal is skelrund's write-ahead job journal: an append-only
+// NDJSON log of job state transitions (submit/start/finish/cancel/fault)
+// that the daemon writes before acting, plus a JSON snapshot the log
+// periodically compacts into. On restart the daemon replays snapshot +
+// journal and recovers every job the crash interrupted: jobs that were
+// queued or running are re-queued (muscles are pure, so re-execution is
+// safe), finished jobs keep serving their persisted result.
+//
+// Durability is tunable per deployment through the fsync policy: "always"
+// syncs after every append (no record is ever lost, slowest), "interval"
+// syncs on a timer (bounded loss window, the default), "never" leaves
+// syncing to the OS (crash-of-process safe, crash-of-kernel lossy).
+//
+// The format is deliberately boring — one JSON object per line — so a torn
+// final record (the process died mid-write) is detected by a failed parse
+// and dropped, never poisoning the records before it.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Op labels one journal record's transition.
+type Op string
+
+// Record operations.
+const (
+	OpSubmit Op = "submit" // job accepted: Spec holds the full submission
+	OpStart  Op = "start"  // job admitted by the arbiter, stream launched
+	OpFinish Op = "finish" // job reached done/failed: result or error persisted
+	OpCancel Op = "cancel" // job canceled by request or graceful shutdown
+	OpFault  Op = "fault"  // fault counters advanced (crash-safe counters)
+)
+
+// Replayed job states (string-typed so the server maps them onto its own
+// lifecycle without an import cycle).
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Spec is the durable form of one job submission, in the JSON units of the
+// daemon's API (milliseconds) so journals stay readable with plain tools.
+type Spec struct {
+	Skeleton       string         `json:"skeleton"`
+	Program        string         `json:"program,omitempty"`
+	Params         map[string]any `json:"params,omitempty"`
+	GoalMS         float64        `json:"goal_ms,omitempty"`
+	MaxLP          int            `json:"max_lp,omitempty"`
+	InitialLP      int            `json:"initial_lp,omitempty"`
+	TimeoutMS      float64        `json:"timeout_ms,omitempty"`
+	Retries        int            `json:"retries,omitempty"`
+	RetryBackoffMS float64        `json:"retry_backoff_ms,omitempty"`
+	Partial        string         `json:"partial,omitempty"`
+	Substitute     any            `json:"substitute,omitempty"`
+}
+
+// FaultCounts carries a job's cumulative fault-tolerance counters. Fault
+// records persist them mid-run so a crash does not zero the history.
+type FaultCounts struct {
+	Retries     uint64 `json:"retries,omitempty"`
+	Faults      uint64 `json:"faults,omitempty"`
+	Timeouts    uint64 `json:"timeouts,omitempty"`
+	Skipped     uint64 `json:"skipped,omitempty"`
+	Substituted uint64 `json:"substituted,omitempty"`
+}
+
+// Record is one NDJSON line of the journal.
+type Record struct {
+	Op     Op           `json:"op"`
+	Job    string       `json:"job"`
+	Seq    uint64       `json:"seq"`
+	TS     int64        `json:"ts_ms,omitempty"` // wall clock, informational
+	Spec   *Spec        `json:"spec,omitempty"`
+	State  string       `json:"state,omitempty"`  // finish: done|failed
+	Result string       `json:"result,omitempty"` // finish: summarized result
+	Error  string       `json:"error,omitempty"`
+	Faults *FaultCounts `json:"faults,omitempty"`
+}
+
+// JobState is one job's state reduced from snapshot + journal: what the
+// daemon needs to either re-queue the job or serve its persisted outcome.
+type JobState struct {
+	ID          string      `json:"id"`
+	Spec        Spec        `json:"spec"`
+	State       string      `json:"state"`
+	Result      string      `json:"result,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Faults      FaultCounts `json:"faults,omitempty"`
+	SubmittedTS int64       `json:"submitted_ts_ms,omitempty"`
+	FinishedTS  int64       `json:"finished_ts_ms,omitempty"`
+}
+
+// Terminal reports whether the replayed state is final — such jobs serve
+// their persisted outcome instead of re-running.
+func (s *JobState) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+}
+
+// FsyncPolicy says when appended records reach the disk platter.
+type FsyncPolicy string
+
+// Fsync policies.
+const (
+	FsyncAlways   FsyncPolicy = "always"   // sync after every append
+	FsyncInterval FsyncPolicy = "interval" // sync on a timer (default)
+	FsyncNever    FsyncPolicy = "never"    // leave syncing to the OS
+)
+
+// ParseFsync validates a policy name from a flag.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncInterval, nil
+	default:
+		return "", fmt.Errorf("journal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncEvery is the interval policy's sync period (default 100ms).
+	FsyncEvery time.Duration
+	// RotateBytes compacts the journal into the snapshot once the live log
+	// exceeds this size (default 1 MiB).
+	RotateBytes int64
+}
+
+// Counters observes the journal's activity for /metrics.
+type Counters struct {
+	Appends     uint64 // records written
+	Fsyncs      uint64 // explicit syncs issued
+	Rotations   uint64 // size-triggered compactions
+	Compactions uint64 // all compactions (rotations + the open-time one)
+	Torn        uint64 // unparsable records dropped during replay
+	Replayed    uint64 // records applied during replay
+}
+
+const (
+	journalName  = "journal.ndjson"
+	snapshotName = "snapshot.json"
+)
+
+// snapshotFile is the on-disk shape of the compacted state.
+type snapshotFile struct {
+	Seq  uint64     `json:"seq"`
+	Jobs []JobState `json:"jobs"`
+}
+
+// Journal is the write-ahead log plus its reduced job-state table (kept
+// in memory so compaction never has to re-read the log it is replacing).
+type Journal struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	seq    uint64
+	states map[string]*JobState
+	order  []string
+	ctr    Counters
+	dirty  bool
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrClosed rejects appends after Close.
+var ErrClosed = fmt.Errorf("journal: closed")
+
+// Open loads (snapshot + journal), compacts the result into a fresh
+// snapshot — so startup cost stays proportional to the job table, not the
+// log — and returns the journal ready for appends together with the
+// replayed job states in submission order.
+func Open(dir string, opt Options) (*Journal, []JobState, error) {
+	if opt.Fsync == "" {
+		opt.Fsync = FsyncInterval
+	}
+	if opt.FsyncEvery <= 0 {
+		opt.FsyncEvery = 100 * time.Millisecond
+	}
+	if opt.RotateBytes <= 0 {
+		opt.RotateBytes = 1 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opt: opt, states: map[string]*JobState{}, stop: make(chan struct{})}
+	if err := j.loadSnapshot(); err != nil {
+		return nil, nil, err
+	}
+	if err := j.replayLog(); err != nil {
+		return nil, nil, err
+	}
+	if err := j.compactLocked(); err != nil { // also opens j.f fresh
+		return nil, nil, err
+	}
+	if opt.Fsync == FsyncInterval {
+		j.wg.Add(1)
+		go j.fsyncLoop()
+	}
+	return j, j.States(), nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// loadSnapshot reads the compacted state, tolerating a missing or corrupt
+// snapshot (corrupt means a crash during compaction: the journal still has
+// everything the snapshot would have had, minus what older compactions
+// folded in — the torn counter records the loss).
+func (j *Journal) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(j.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		j.ctr.Torn++
+		return nil
+	}
+	j.seq = snap.Seq
+	for i := range snap.Jobs {
+		st := snap.Jobs[i]
+		j.states[st.ID] = &st
+		j.order = append(j.order, st.ID)
+	}
+	return nil
+}
+
+// replayLog applies the journal on top of the snapshot. Records that fail
+// to parse — a torn final write, or garbage from a partial page flush — are
+// dropped and counted, never aborting the replay.
+func (j *Journal) replayLog() error {
+	data, err := os.ReadFile(filepath.Join(j.dir, journalName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: read log: %w", err)
+	}
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" || rec.Job == "" {
+			j.ctr.Torn++
+			continue
+		}
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		if j.applyLocked(rec) {
+			j.ctr.Replayed++
+		}
+	}
+	return nil
+}
+
+// applyLocked folds one record into the job-state table; it reports whether
+// the record changed anything (duplicates — a finish replayed twice, a
+// start for a terminal job — are no-ops, which is what makes replay
+// idempotent and result records duplicate-proof).
+func (j *Journal) applyLocked(rec Record) bool {
+	st := j.states[rec.Job]
+	switch rec.Op {
+	case OpSubmit:
+		if st != nil || rec.Spec == nil {
+			return false
+		}
+		j.states[rec.Job] = &JobState{
+			ID: rec.Job, Spec: *rec.Spec, State: StateQueued, SubmittedTS: rec.TS,
+		}
+		j.order = append(j.order, rec.Job)
+		return true
+	case OpStart:
+		if st == nil || st.Terminal() {
+			return false
+		}
+		st.State = StateRunning
+		return true
+	case OpFinish:
+		if st == nil || st.Terminal() || (rec.State != StateDone && rec.State != StateFailed) {
+			return false
+		}
+		st.State, st.Result, st.Error, st.FinishedTS = rec.State, rec.Result, rec.Error, rec.TS
+		if rec.Faults != nil {
+			st.Faults = *rec.Faults
+		}
+		return true
+	case OpCancel:
+		if st == nil || st.Terminal() {
+			return false
+		}
+		st.State, st.Error, st.FinishedTS = StateCanceled, rec.Error, rec.TS
+		return true
+	case OpFault:
+		if st == nil || st.Terminal() || rec.Faults == nil {
+			return false
+		}
+		st.Faults = *rec.Faults
+		return true
+	}
+	return false
+}
+
+// append stamps, applies and persists one record.
+func (j *Journal) append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	j.seq++
+	rec.Seq = j.seq
+	rec.TS = time.Now().UnixMilli()
+	j.applyLocked(rec)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	b = append(b, '\n')
+	n, err := j.f.Write(b)
+	j.size += int64(n)
+	j.ctr.Appends++
+	j.dirty = true
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if j.opt.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.ctr.Fsyncs++
+		j.dirty = false
+	}
+	if j.size > j.opt.RotateBytes {
+		j.ctr.Rotations++
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit journals a job acceptance.
+func (j *Journal) Submit(id string, spec Spec) error {
+	return j.append(Record{Op: OpSubmit, Job: id, Spec: &spec})
+}
+
+// Start journals a job's admission.
+func (j *Journal) Start(id string) error {
+	return j.append(Record{Op: OpStart, Job: id})
+}
+
+// Finish journals a terminal done/failed outcome with its fault counters.
+func (j *Journal) Finish(id, state, result, errMsg string, fc FaultCounts) error {
+	return j.append(Record{Op: OpFinish, Job: id, State: state, Result: result, Error: errMsg, Faults: &fc})
+}
+
+// Cancel journals a cancellation.
+func (j *Journal) Cancel(id, errMsg string) error {
+	return j.append(Record{Op: OpCancel, Job: id, Error: errMsg})
+}
+
+// Fault journals a job's cumulative fault counters mid-run.
+func (j *Journal) Fault(id string, fc FaultCounts) error {
+	return j.append(Record{Op: OpFault, Job: id, Faults: &fc})
+}
+
+// compactLocked writes the reduced job table to the snapshot (atomically:
+// tmp + fsync + rename) and truncates the journal. Caller holds j.mu (or is
+// Open, before the journal is shared).
+func (j *Journal) compactLocked() error {
+	jobs := make([]JobState, 0, len(j.order))
+	for _, id := range j.order {
+		jobs = append(jobs, *j.states[id])
+	}
+	b, err := json.MarshalIndent(snapshotFile{Seq: j.seq, Jobs: jobs}, "", " ")
+	if err != nil {
+		return fmt.Errorf("journal: snapshot marshal: %w", err)
+	}
+	tmp := filepath.Join(j.dir, snapshotName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if _, err := tf.Write(b); err != nil {
+		tf.Close()
+		return fmt.Errorf("journal: snapshot write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("journal: snapshot sync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(filepath.Join(j.dir, journalName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen log: %w", err)
+	}
+	j.f, j.size = f, 0
+	j.syncDir()
+	j.ctr.Compactions++
+	return nil
+}
+
+// syncDir best-effort fsyncs the journal directory so renames survive a
+// power cut (not all filesystems support directory sync; errors ignored).
+func (j *Journal) syncDir() {
+	if d, err := os.Open(j.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// fsyncLoop is the interval policy's timer.
+func (j *Journal) fsyncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opt.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.dirty && !j.closed {
+				if err := j.f.Sync(); err == nil {
+					j.ctr.Fsyncs++
+					j.dirty = false
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Counters returns a copy of the activity counters.
+func (j *Journal) Counters() Counters {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctr
+}
+
+// States returns a copy of the replayed/current job states in submission
+// order.
+func (j *Journal) States() []JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JobState, 0, len(j.order))
+	for _, id := range j.order {
+		out = append(out, *j.states[id])
+	}
+	return out
+}
+
+// Close syncs and closes the journal; later appends return ErrClosed.
+// Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	close(j.stop)
+	var err error
+	if j.f != nil {
+		if j.dirty {
+			if serr := j.f.Sync(); serr == nil {
+				j.ctr.Fsyncs++
+			}
+		}
+		err = j.f.Close()
+	}
+	j.mu.Unlock()
+	j.wg.Wait()
+	return err
+}

@@ -17,10 +17,39 @@ type Fleet struct {
 	started bool
 	jobs    map[string]*Recorder
 	order   []string
+	sheds   map[string]uint64
 }
 
+// Canonical shed reasons (admission-control rejections) so dashboards can
+// rely on stable label values.
+const (
+	ShedQueueFull  = "queue-full"
+	ShedInfeasible = "goal-infeasible"
+	ShedDraining   = "draining"
+)
+
 // NewFleet returns an empty fleet recorder.
-func NewFleet() *Fleet { return &Fleet{jobs: map[string]*Recorder{}} }
+func NewFleet() *Fleet {
+	return &Fleet{jobs: map[string]*Recorder{}, sheds: map[string]uint64{}}
+}
+
+// Shed counts one shed submission under its reason.
+func (f *Fleet) Shed(reason string) {
+	f.mu.Lock()
+	f.sheds[reason]++
+	f.mu.Unlock()
+}
+
+// Sheds returns a copy of the shed counters by reason.
+func (f *Fleet) Sheds() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.sheds))
+	for k, v := range f.sheds {
+		out[k] = v
+	}
+	return out
+}
 
 // SetStart fixes the fleet-wide time origin; job recorders created later
 // inherit it.

@@ -72,3 +72,23 @@ func TestRecorderLast(t *testing.T) {
 		t.Fatalf("Last = %v/%v", s, ok)
 	}
 }
+
+// TestFleetSheds: shed counters accumulate per reason and Sheds returns a
+// copy the caller cannot use to corrupt the fleet's own map.
+func TestFleetSheds(t *testing.T) {
+	f := NewFleet()
+	if got := f.Sheds(); len(got) != 0 {
+		t.Fatalf("fresh fleet sheds = %v, want empty", got)
+	}
+	f.Shed(ShedQueueFull)
+	f.Shed(ShedQueueFull)
+	f.Shed(ShedInfeasible)
+	got := f.Sheds()
+	if got[ShedQueueFull] != 2 || got[ShedInfeasible] != 1 || got[ShedDraining] != 0 {
+		t.Fatalf("sheds = %v, want queue-full 2 / goal-infeasible 1", got)
+	}
+	got[ShedQueueFull] = 99
+	if again := f.Sheds(); again[ShedQueueFull] != 2 {
+		t.Fatalf("Sheds returned a shared map: %v", again)
+	}
+}

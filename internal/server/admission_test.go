@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOverloadShed is the overload acceptance scenario: with budget 1 and a
+// one-slot wait queue, a third submission is shed with 429 + Retry-After,
+// /healthz degrades to "overloaded", and /metrics exposes the shed and
+// journal counters.
+func TestOverloadShed(t *testing.T) {
+	jn, states := openJournal(t, t.TempDir())
+	_, ts := newTestDaemon(t, Config{
+		Budget: 1, QueueMax: 1, Rebalance: 5 * time.Millisecond,
+		Journal: jn, Recover: states,
+	})
+	base := ts.URL
+
+	// Long cells so both jobs comfortably outlive the assertions.
+	a := submitSleepgrid(t, base, 0, 300)
+	b := submitSleepgrid(t, base, 0, 300)
+	if a.State != "running" || b.State != "queued" {
+		t.Fatalf("setup states = %s/%s, want running/queued", a.State, b.State)
+	}
+
+	resp, body := postJSON(t, base+"/jobs", map[string]any{
+		"skeleton": "sleepgrid",
+		"params":   map[string]any{"k": 4, "m": 4, "cell_ms": 300},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", ra)
+	}
+	if !strings.Contains(string(body), `"rejected": "queue-full"`) {
+		t.Fatalf("shed body %s, want rejected queue-full", body)
+	}
+
+	health := getJSON[map[string]any](t, base+"/healthz")
+	if health["status"] != HealthOverloaded {
+		t.Fatalf("health status = %v, want overloaded", health["status"])
+	}
+	if q, qm := health["queue"].(float64), health["queue_max"].(float64); q != 1 || qm != 1 {
+		t.Fatalf("health queue = %v/%v, want 1/1", q, qm)
+	}
+	shed, ok := health["shed"].(map[string]any)
+	if !ok || shed["queue-full"].(float64) != 1 {
+		t.Fatalf("health shed = %v, want queue-full: 1", health["shed"])
+	}
+	if _, ok := health["journal"].(map[string]any); !ok {
+		t.Fatalf("health journal counters missing: %v", health)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var mbuf bytes.Buffer
+	_, _ = mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`skelrund_shed_total{reason="queue-full"} 1`,
+		"skelrund_queue_len 1",
+		"skelrund_queue_max 1",
+		"skelrund_journal_appends_total",
+		"skelrund_journal_fsyncs_total",
+	} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestInfeasibleGoal: once a completed run has taught the profile store a
+// skeleton's work, a goal below the work/budget lower bound is rejected
+// with 422 rather than accepted and inevitably missed — while generous
+// goals keep being admitted (the gate is conservative).
+func TestInfeasibleGoal(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{Budget: 2, Rebalance: 5 * time.Millisecond})
+	base := ts.URL
+
+	// Seed the profile: a 4×4 grid of 20ms cells is ~320ms of serial work,
+	// so even the full budget of 2 cannot finish under ~160ms.
+	seed := submitSleepgrid(t, base, 0, 20)
+	waitState(t, base, seed.ID, "done", 20*time.Second)
+
+	resp, body := postJSON(t, base+"/jobs", map[string]any{
+		"skeleton": "sleepgrid",
+		"params":   map[string]any{"k": 4, "m": 4, "cell_ms": 20},
+		"goal_ms":  1,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible submit: status %d body %s, want 422", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"rejected": "goal-infeasible"`) {
+		t.Fatalf("infeasible body %s, want rejected goal-infeasible", body)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var mbuf bytes.Buffer
+	_, _ = mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if want := `skelrund_shed_total{reason="goal-infeasible"} 1`; !strings.Contains(mbuf.String(), want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+
+	// A reachable goal is still admitted.
+	ok := submitSleepgrid(t, base, 10000, 20)
+	waitState(t, base, ok.ID, "done", 20*time.Second)
+}
+
+// TestEventLogTruncation: a ring smaller than the job's event count drops
+// the oldest records, reports how many through the job view, and the NDJSON
+// stream announces the gap with an explicit truncation marker instead of
+// silently skipping sequence numbers.
+func TestEventLogTruncation(t *testing.T) {
+	const ring = 4
+	_, ts := newTestDaemon(t, Config{Budget: 2, EventLog: ring, Rebalance: 5 * time.Millisecond})
+	base := ts.URL
+
+	j := submitSleepgrid(t, base, 0, 2) // 16 cells emit far more than 4 events
+	v := waitState(t, base, j.ID, "done", 20*time.Second)
+	if v.EventsDropped <= 0 {
+		t.Fatalf("events_dropped = %d, want > 0 with a %d-slot ring", v.EventsDropped, ring)
+	}
+	if v.Events <= int64(ring) {
+		t.Fatalf("events = %d, want more than the ring holds", v.Events)
+	}
+
+	recs := getNDJSON(t, base+"/jobs/"+j.ID+"/events")
+	if len(recs) == 0 {
+		t.Fatal("no event records")
+	}
+	first := recs[0]
+	if first["ev"] != "truncated" {
+		t.Fatalf("first record = %v, want the truncated marker", first)
+	}
+	lost := int64(first["truncated"].(float64))
+	if lost != v.EventsDropped {
+		t.Fatalf("marker lost = %d, want events_dropped %d", lost, v.EventsDropped)
+	}
+	if got := int64(len(recs) - 1); lost+got != v.Events {
+		t.Fatalf("lost %d + streamed %d != total events %d", lost, got, v.Events)
+	}
+	// The retained records are the newest ones: sequence numbers resume
+	// exactly where the marker says the gap ends.
+	if seq := int64(recs[1]["seq"].(float64)); seq != lost {
+		t.Fatalf("first retained seq = %d, want %d", seq, lost)
+	}
+}

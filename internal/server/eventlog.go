@@ -23,6 +23,10 @@ type eventRecord struct {
 	Iter   int     `json:"iter,omitempty"`
 	Worker int     `json:"worker"`
 	Err    string  `json:"err,omitempty"`
+	// Truncated marks the synthetic marker record a follower receives when
+	// the ring dropped records between its cursor and the oldest retained
+	// one; it holds the number of records lost to the reader.
+	Truncated int64 `json:"truncated,omitempty"`
 }
 
 // eventLog is a bounded ring of a job's events with follow support: the
@@ -34,6 +38,7 @@ type eventLog struct {
 	base    int64 // sequence number of buf[0]
 	buf     []eventRecord
 	cap     int
+	dropped int64 // records pushed out of the ring (memory stays bounded)
 	closed  bool
 	changed chan struct{} // replaced on every append/close; closed to wake waiters
 }
@@ -77,6 +82,7 @@ func (l *eventLog) append(rec eventRecord) {
 		drop := len(l.buf) - l.cap
 		l.buf = append(l.buf[:0], l.buf[drop:]...)
 		l.base += int64(drop)
+		l.dropped += int64(drop)
 	}
 	ch := l.changed
 	l.changed = make(chan struct{})
@@ -99,17 +105,20 @@ func (l *eventLog) close() {
 }
 
 // snapshot returns the records with Seq >= from, the next cursor, whether
-// the log is complete, and a channel that closes on the next change.
-func (l *eventLog) snapshot(from int64) (recs []eventRecord, next int64, done bool, changed <-chan struct{}) {
+// the log is complete, how many records between from and the oldest
+// retained one were lost to the ring (the caller surfaces those with an
+// explicit truncation marker), and a channel that closes on the next change.
+func (l *eventLog) snapshot(from int64) (recs []eventRecord, next int64, done bool, lost int64, changed <-chan struct{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if from < l.base {
-		from = l.base // older records fell off the ring
+		lost = l.base - from // older records fell off the ring
+		from = l.base
 	}
 	if idx := from - l.base; idx < int64(len(l.buf)) {
 		recs = append(recs, l.buf[idx:]...)
 	}
-	return recs, l.base + int64(len(l.buf)), l.closed, l.changed
+	return recs, l.base + int64(len(l.buf)), l.closed, lost, l.changed
 }
 
 // len returns the number of events ever appended.
@@ -117,4 +126,11 @@ func (l *eventLog) len() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.base + int64(len(l.buf))
+}
+
+// droppedCount returns how many records the ring has evicted so far.
+func (l *eventLog) droppedCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }

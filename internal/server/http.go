@@ -2,10 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"reflect"
+	"sort"
+	"strconv"
 	"time"
 
 	"skandium"
@@ -62,20 +66,34 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.Draining() {
-		status = "draining"
-	}
+	status := s.Health()
 	counts := s.stateCounts()
 	jobs := map[string]int{}
 	for _, st := range statesInOrder(counts) {
 		jobs[string(st)] = counts[st]
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": status,
-		"budget": s.Budget(),
-		"jobs":   jobs,
-	})
+	queued, queueMax := s.QueueDepth()
+	body := map[string]any{
+		"status":    status,
+		"budget":    s.Budget(),
+		"jobs":      jobs,
+		"queue":     queued,
+		"queue_max": queueMax,
+	}
+	if n := s.RecoveredJobs(); n > 0 {
+		body["recovered"] = n
+	}
+	if sheds := s.fleet.Sheds(); len(sheds) > 0 {
+		body["shed"] = sheds
+	}
+	if jn := s.Journal(); jn != nil {
+		c := jn.Counters()
+		body["journal"] = map[string]uint64{
+			"appends": c.Appends, "fsyncs": c.Fsyncs, "rotations": c.Rotations,
+			"compactions": c.Compactions, "torn": c.Torn, "replayed": c.Replayed,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSkeletons(w http.ResponseWriter, r *http.Request) {
@@ -124,9 +142,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Partial:       req.Partial,
 		Substitute:    req.Substitute,
 	})
+	var over *OverloadError
+	var infeasible *InfeasibleError
 	switch {
-	case err == ErrDraining:
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": err.Error(), "rejected": "draining",
+		})
+		return
+	case errors.As(err, &over):
+		secs := int(math.Ceil(over.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": err.Error(), "rejected": "queue-full", "retry_after_s": secs,
+		})
+		return
+	case errors.As(err, &infeasible):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error": err.Error(), "rejected": "goal-infeasible",
+		})
 		return
 	case err != nil:
 		code := http.StatusBadRequest
@@ -173,6 +211,13 @@ type jobView struct {
 	Skipped        uint64  `json:"skipped_total,omitempty"`
 	Substituted    uint64  `json:"substituted_total,omitempty"`
 	FailedBranches int     `json:"failed_branches,omitempty"`
+
+	// Durability. Recovered marks a job that survived a daemon restart:
+	// either re-queued from the journal (it re-ran) or rehydrated from the
+	// snapshot (its persisted outcome is served). EventsDropped counts
+	// records the bounded event ring evicted.
+	Recovered     bool  `json:"recovered,omitempty"`
+	EventsDropped int64 `json:"events_dropped,omitempty"`
 }
 
 // sinceStart renders a timestamp as ms since the fleet start (0 for zero
@@ -215,6 +260,11 @@ func (s *Server) jobView(j *job) jobView {
 	v.TimeoutMS = float64(j.timeout) / float64(time.Millisecond)
 	v.RetryAttempts = j.retry.MaxAttempts
 	v.Partial = j.partial.String()
+	v.Recovered = j.recovered || j.restored
+	v.EventsDropped = j.log.droppedCount()
+	fs := j.totalFaults(h)
+	v.Retries, v.Faults, v.Timeouts = fs.Retries, fs.Faults, fs.Timeouts
+	v.Skipped, v.Substituted = fs.Skipped, fs.Substituted
 	if h != nil {
 		v.LP = h.LP()
 		v.Active = h.Active()
@@ -223,9 +273,6 @@ func (s *Server) jobView(j *job) jobView {
 		st := h.Stats()
 		v.TasksRun = st.TasksRun
 		v.BusyMS = float64(st.BusyTime) / float64(time.Millisecond)
-		fs := h.FaultStats()
-		v.Retries, v.Faults, v.Timeouts = fs.Retries, fs.Faults, fs.Timeouts
-		v.Skipped, v.Substituted = fs.Skipped, fs.Substituted
 		if f := h.Failures(); f != nil {
 			v.FailedBranches = len(f.Failures)
 		}
@@ -238,9 +285,12 @@ func (s *Server) jobView(j *job) jobView {
 	}
 	if state.terminal() {
 		v.LP = 0
-		if jerr != nil {
+		switch {
+		case jerr != nil:
 			v.Error = jerr.Error()
-		} else {
+		case j.restored:
+			v.Result = j.resultSummary // already summarized when journaled
+		default:
 			v.Result = summarize(result)
 		}
 	}
@@ -349,13 +399,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
-		recs, next, done, changed := j.log.snapshot(from)
+		recs, next, done, lost, changed := j.log.snapshot(from)
+		if lost > 0 {
+			// The ring evicted records between the reader's cursor and the
+			// oldest retained one: say so explicitly instead of silently
+			// skipping sequence numbers.
+			first := next - int64(len(recs))
+			if err := enc.Encode(eventRecord{Seq: first, Ev: "truncated", Truncated: lost}); err != nil {
+				return
+			}
+		}
 		for _, rec := range recs {
 			if err := enc.Encode(rec); err != nil {
 				return
 			}
 		}
-		if flusher != nil && len(recs) > 0 {
+		if flusher != nil && (len(recs) > 0 || lost > 0) {
 			flusher.Flush()
 		}
 		from = next
@@ -508,6 +567,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "skelrund_retries_total %d\n", retries)
 	fmt.Fprintf(w, "# HELP skelrund_faults_total terminal muscle failures, fleet-wide\n")
 	fmt.Fprintf(w, "skelrund_faults_total %d\n", faults)
+	queued, queueMax := s.QueueDepth()
+	fmt.Fprintf(w, "# HELP skelrund_queue_len jobs waiting for budget\n")
+	fmt.Fprintf(w, "skelrund_queue_len %d\n", queued)
+	fmt.Fprintf(w, "# HELP skelrund_queue_max wait-queue bound (0 = unbounded)\n")
+	fmt.Fprintf(w, "skelrund_queue_max %d\n", queueMax)
+	fmt.Fprintf(w, "# HELP skelrund_shed_total submissions rejected by admission control\n")
+	sheds := s.fleet.Sheds()
+	reasons := make([]string, 0, len(sheds))
+	for r := range sheds {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "skelrund_shed_total{reason=%q} %d\n", r, sheds[r])
+	}
+	fmt.Fprintf(w, "# HELP skelrund_recovered_jobs jobs rehydrated or re-queued from the journal\n")
+	fmt.Fprintf(w, "skelrund_recovered_jobs %d\n", s.RecoveredJobs())
+	if jn := s.Journal(); jn != nil {
+		c := jn.Counters()
+		fmt.Fprintf(w, "# HELP skelrund_journal_appends_total journal records written\n")
+		fmt.Fprintf(w, "skelrund_journal_appends_total %d\n", c.Appends)
+		fmt.Fprintf(w, "# HELP skelrund_journal_fsyncs_total explicit journal syncs\n")
+		fmt.Fprintf(w, "skelrund_journal_fsyncs_total %d\n", c.Fsyncs)
+		fmt.Fprintf(w, "skelrund_journal_rotations_total %d\n", c.Rotations)
+		fmt.Fprintf(w, "skelrund_journal_compactions_total %d\n", c.Compactions)
+		fmt.Fprintf(w, "skelrund_journal_torn_total %d\n", c.Torn)
+		fmt.Fprintf(w, "skelrund_journal_replayed_total %d\n", c.Replayed)
+	}
 	counts := s.stateCounts()
 	for _, st := range statesInOrder(counts) {
 		fmt.Fprintf(w, "skelrund_jobs{state=%q} %d\n", st, counts[st])
@@ -520,14 +607,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		state, grant, h, _, _, _, _ := j.snapshot()
 		lp, active := 0, 0
 		var stats statsView
-		var faults skandium.FaultStats
+		faults := j.totalFaults(h)
 		if h != nil {
 			if !state.terminal() {
 				lp, active = h.LP(), h.Active()
 			}
 			ps := h.Stats()
 			stats = statsView{Tasks: ps.TasksRun, BusySec: ps.BusyTime.Seconds(), Spawned: ps.Spawned}
-			faults = h.FaultStats()
 		}
 		lbl := fmt.Sprintf("{job=%q,skeleton=%q}", j.id, j.skeleton)
 		fmt.Fprintf(w, "skelrund_job_lp%s %d\n", lbl, lp)
@@ -541,6 +627,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "skelrund_job_timeouts_total%s %d\n", lbl, faults.Timeouts)
 		fmt.Fprintf(w, "skelrund_job_skipped_total%s %d\n", lbl, faults.Skipped)
 		fmt.Fprintf(w, "skelrund_job_substituted_total%s %d\n", lbl, faults.Substituted)
+		fmt.Fprintf(w, "skelrund_job_events_dropped%s %d\n", lbl, j.log.droppedCount())
 	}
 }
 

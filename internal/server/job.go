@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skandium"
@@ -45,6 +46,19 @@ type job struct {
 	partial  skandium.PartialPolicy
 	log      *eventLog
 	rec      *metrics.Recorder
+
+	// Crash-recovery state. recovered marks a job re-queued from the
+	// journal (it re-runs; muscles are pure). restored marks a terminal job
+	// rehydrated from the snapshot: it has no runner or handle, only its
+	// persisted outcome. prior carries fault counters journaled before the
+	// crash; faultRetries/faultFaults accumulate this run's, for mid-run
+	// journaling (listener goroutines, hence atomics).
+	recovered     bool
+	restored      bool
+	resultSummary string
+	prior         skandium.FaultStats
+	faultRetries  atomic.Uint64
+	faultFaults   atomic.Uint64
 
 	mu       sync.Mutex
 	state    jobState
@@ -93,6 +107,21 @@ func (j *job) snapshot() (state jobState, grant int, h skandium.Handle, started,
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.grant, j.handle, j.started, j.finished, j.result, j.err
+}
+
+// totalFaults merges the fault counters journaled before a crash with this
+// run's (h is nil for restored or still-queued jobs).
+func (j *job) totalFaults(h skandium.Handle) skandium.FaultStats {
+	fs := j.prior
+	if h != nil {
+		cur := h.FaultStats()
+		fs.Retries += cur.Retries
+		fs.Faults += cur.Faults
+		fs.Timeouts += cur.Timeouts
+		fs.Skipped += cur.Skipped
+		fs.Substituted += cur.Substituted
+	}
+	return fs
 }
 
 // terminal reports whether the state is final.

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"skandium"
+	"skandium/internal/journal"
+)
+
+// recover rebuilds the job table from a journal replay. Terminal jobs are
+// rehydrated in place: they serve their persisted result or error without a
+// runner. Queued and running jobs are re-queued for execution from scratch
+// — muscles are pure, so re-running a job the crash interrupted produces
+// the same result it would have produced — and their journaled fault
+// counters carry over. Job numbering continues after the highest recovered
+// id, so recovered and fresh jobs never collide.
+func (s *Server) recover(states []journal.JobState) {
+	if len(states) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range states {
+		if n, ok := jobNum(st.ID); ok && n > s.nextID {
+			s.nextID = n
+		}
+		if st.Terminal() {
+			s.restoreLocked(st)
+		} else {
+			s.requeueLocked(st)
+		}
+		s.recovered++
+	}
+	s.admitLocked()
+}
+
+// jobNum parses the N of a "job-N" id.
+func jobNum(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	return n, err == nil
+}
+
+// restoreLocked rehydrates one terminal job from its persisted outcome.
+// Caller holds s.mu.
+func (s *Server) restoreLocked(st journal.JobState) {
+	j := &job{
+		id:            st.ID,
+		skeleton:      st.Spec.Skeleton,
+		program:       st.Spec.Program,
+		params:        st.Spec.Params,
+		goal:          msToDur(st.Spec.GoalMS),
+		maxLP:         st.Spec.MaxLP,
+		restored:      true,
+		resultSummary: st.Result,
+		prior:         faultStats(st.Faults),
+		state:         restoredState(st.State),
+		created:       s.clk.Now(),
+	}
+	if st.Error != "" {
+		j.err = fmt.Errorf("%s", st.Error)
+	}
+	j.log = newEventLog(1, j.created)
+	j.log.close()
+	j.rec = s.fleet.Job(j.id)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+// requeueLocked rebuilds a queued/running job's runner from its journaled
+// spec and puts it back on the wait queue. A spec that no longer builds
+// (blueprint unregistered, params now invalid) is rehydrated as failed —
+// and that outcome is journaled, so the next restart does not retry it
+// forever. Caller holds s.mu.
+func (s *Server) requeueLocked(st journal.JobState) {
+	spec := fromJournalSpec(st.Spec)
+	fail := func(err error) {
+		st.State = journal.StateFailed
+		st.Error = fmt.Sprintf("recovery: %v", err)
+		s.restoreLocked(st)
+		if s.jn != nil {
+			_ = s.jn.Finish(st.ID, journal.StateFailed, "", st.Error, st.Faults)
+		}
+	}
+	bp, ok := skandium.LookupBlueprint(spec.Skeleton)
+	if !ok {
+		fail(fmt.Errorf("unknown skeleton %q", spec.Skeleton))
+		return
+	}
+	runner, err := bp.Build(spec.Params)
+	if err != nil {
+		fail(fmt.Errorf("build %s: %w", spec.Skeleton, err))
+		return
+	}
+	partial, err := parsePartial(spec.Partial, spec.Substitute)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if spec.InitialLP < 1 {
+		spec.InitialLP = 1
+	}
+	j := &job{
+		id:        st.ID,
+		skeleton:  spec.Skeleton,
+		program:   runner.Program(),
+		params:    spec.Params,
+		runner:    runner,
+		goal:      spec.Goal,
+		maxLP:     spec.MaxLP,
+		initLP:    spec.InitialLP,
+		timeout:   spec.MuscleTimeout,
+		retry:     skandium.RetryPolicy{MaxAttempts: spec.RetryAttempts, BaseDelay: spec.RetryBackoff},
+		partial:   partial,
+		recovered: true,
+		prior:     faultStats(st.Faults),
+		created:   s.clk.Now(),
+		state:     stateQueued,
+	}
+	j.log = newEventLog(s.cfg.EventLog, j.created)
+	j.rec = s.fleet.Job(j.id)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+}
+
+// restoredState maps a journal terminal state onto the job lifecycle.
+func restoredState(st string) jobState {
+	switch st {
+	case journal.StateDone:
+		return stateDone
+	case journal.StateFailed:
+		return stateFailed
+	default:
+		return stateCanceled
+	}
+}
+
+// faultStats converts journaled fault counters into the runtime form.
+func faultStats(fc journal.FaultCounts) skandium.FaultStats {
+	return skandium.FaultStats{
+		Retries: fc.Retries, Faults: fc.Faults, Timeouts: fc.Timeouts,
+		Skipped: fc.Skipped, Substituted: fc.Substituted,
+	}
+}
+
+// toJournalSpec converts a submission into its durable form (API units).
+func toJournalSpec(spec SubmitSpec, program string) journal.Spec {
+	return journal.Spec{
+		Skeleton:       spec.Skeleton,
+		Program:        program,
+		Params:         spec.Params,
+		GoalMS:         durToMS(spec.Goal),
+		MaxLP:          spec.MaxLP,
+		InitialLP:      spec.InitialLP,
+		TimeoutMS:      durToMS(spec.MuscleTimeout),
+		Retries:        spec.RetryAttempts,
+		RetryBackoffMS: durToMS(spec.RetryBackoff),
+		Partial:        spec.Partial,
+		Substitute:     spec.Substitute,
+	}
+}
+
+// fromJournalSpec is the inverse, for re-queuing a recovered job.
+func fromJournalSpec(js journal.Spec) SubmitSpec {
+	return SubmitSpec{
+		Skeleton:      js.Skeleton,
+		Params:        js.Params,
+		Goal:          msToDur(js.GoalMS),
+		MaxLP:         js.MaxLP,
+		InitialLP:     js.InitialLP,
+		MuscleTimeout: msToDur(js.TimeoutMS),
+		RetryAttempts: js.Retries,
+		RetryBackoff:  msToDur(js.RetryBackoffMS),
+		Partial:       js.Partial,
+		Substitute:    js.Substitute,
+	}
+}
+
+func durToMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

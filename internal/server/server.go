@@ -18,6 +18,8 @@ import (
 	"skandium"
 	"skandium/internal/clock"
 	"skandium/internal/core"
+	"skandium/internal/event"
+	"skandium/internal/journal"
 	"skandium/internal/metrics"
 )
 
@@ -38,6 +40,19 @@ type Config struct {
 	EventLog int
 	// Clock substitutes the time source (tests).
 	Clock clock.Clock
+
+	// Journal is the write-ahead job journal; nil runs the daemon
+	// memory-only (the historical behaviour). Every job state transition is
+	// journaled before it is acted on.
+	Journal *journal.Journal
+	// Recover is the replayed job-state table from journal.Open: terminal
+	// jobs are rehydrated to serve their persisted outcome, queued/running
+	// jobs are re-queued for execution.
+	Recover []journal.JobState
+	// QueueMax bounds the number of jobs waiting for budget; submissions
+	// beyond it are shed with an OverloadError (HTTP 429 + Retry-After).
+	// 0 keeps the queue unbounded.
+	QueueMax int
 }
 
 // Server owns the job table, the arbiter and the fleet metrics. Build one
@@ -49,13 +64,18 @@ type Server struct {
 	clk       clock.Clock
 	stopArb   func()
 	startTime time.Time
+	jn        *journal.Journal   // nil = memory-only
+	profiles  *core.ProfileStore // per-skeleton work/span, feeds admission
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string
-	queue    []*job // accepted, waiting for budget (FIFO)
-	nextID   int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	queue     []*job // accepted, waiting for budget (FIFO)
+	nextID    int
+	draining  bool
+	recovered int           // jobs rehydrated or re-queued from the journal
+	runCount  int           // completed runs (Retry-After estimation)
+	runSum    time.Duration // their summed wall time
 }
 
 // New builds a server and starts the arbiter's rebalance ticker.
@@ -79,15 +99,18 @@ func New(cfg Config) *Server {
 		cfg.Clock = clock.System
 	}
 	s := &Server{
-		cfg:   cfg,
-		arb:   core.NewArbiter(cfg.Budget, cfg.Clock),
-		fleet: metrics.NewFleet(),
-		clk:   cfg.Clock,
-		jobs:  map[string]*job{},
+		cfg:      cfg,
+		arb:      core.NewArbiter(cfg.Budget, cfg.Clock),
+		fleet:    metrics.NewFleet(),
+		clk:      cfg.Clock,
+		jn:       cfg.Journal,
+		profiles: core.NewProfileStore(),
+		jobs:     map[string]*job{},
 	}
 	s.startTime = s.clk.Now()
 	s.fleet.SetStart(s.startTime)
 	s.stopArb = s.arb.StartTicker(cfg.Rebalance)
+	s.recover(cfg.Recover)
 	return s
 }
 
@@ -133,7 +156,10 @@ func parsePartial(name string, sub any) (skandium.PartialPolicy, error) {
 
 // Submit accepts a job: the blueprint is compiled immediately (rejecting
 // bad params synchronously), then the job either starts — when the budget
-// has room — or queues. During drain all submissions are refused.
+// has room — or queues. Admission control runs first: during drain all
+// submissions are refused; a full queue sheds with OverloadError; a WCT
+// goal the predictor's profile proves unreachable under the whole budget is
+// rejected with InfeasibleError rather than accepted and missed.
 func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	bp, ok := skandium.LookupBlueprint(spec.Skeleton)
 	if !ok {
@@ -153,11 +179,28 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Goal > 0 {
+		if pr, ok := s.profiles.Lookup(spec.Skeleton); ok &&
+			!core.Feasible(spec.Goal, pr.Work, pr.Span, s.arb.Budget()) {
+			s.fleet.Shed(metrics.ShedInfeasible)
+			return nil, &InfeasibleError{
+				Skeleton: spec.Skeleton, Goal: spec.Goal,
+				Work: pr.Work, Span: pr.Span, Budget: s.arb.Budget(),
+			}
+		}
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.fleet.Shed(metrics.ShedDraining)
 		return nil, ErrDraining
+	}
+	if s.cfg.QueueMax > 0 && len(s.queue) >= s.cfg.QueueMax {
+		ra := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.fleet.Shed(metrics.ShedQueueFull)
+		return nil, &OverloadError{Queued: s.cfg.QueueMax, RetryAfter: ra}
 	}
 	s.nextID++
 	j := &job{
@@ -180,13 +223,66 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j)
+	if s.jn != nil {
+		// Write-ahead: the submission is durable before the job can start.
+		_ = s.jn.Submit(j.id, toJournalSpec(spec, j.program))
+	}
 	s.admitLocked()
 	s.mu.Unlock()
 	return j, nil
 }
 
+// retryAfterLocked estimates when a shed client should try again: the mean
+// completed-job wall time scaled by how many queue slots stand in front of
+// a budget unit, clamped to [1s, 30s]. Caller holds s.mu.
+func (s *Server) retryAfterLocked() time.Duration {
+	mean := time.Second
+	if s.runCount > 0 {
+		mean = s.runSum / time.Duration(s.runCount)
+	}
+	budget := s.arb.Budget()
+	if budget < 1 {
+		budget = 1
+	}
+	ra := mean * time.Duration(len(s.queue)+1) / time.Duration(budget)
+	if ra < time.Second {
+		ra = time.Second
+	}
+	if ra > 30*time.Second {
+		ra = 30 * time.Second
+	}
+	return ra
+}
+
 // ErrDraining rejects submissions during shutdown.
 var ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
+
+// OverloadError sheds a submission because the wait queue is full. The
+// HTTP layer renders it as 429 with a Retry-After hint.
+type OverloadError struct {
+	Queued     int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded, %d jobs already queued (retry in %v)", e.Queued, e.RetryAfter)
+}
+
+// InfeasibleError rejects a submission whose WCT goal is provably
+// unreachable: even granted the whole budget, the skeleton's observed
+// work/span lower-bounds the makespan above the goal.
+type InfeasibleError struct {
+	Skeleton   string
+	Goal       time.Duration
+	Work, Span time.Duration
+	Budget     int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf(
+		"server: goal %v for %s is infeasible: observed work %v / span %v lower-bound the makespan above the goal even at the full budget of %d",
+		e.Goal, e.Skeleton, e.Work, e.Span, e.Budget)
+}
 
 // admitLocked starts queued jobs while the arbiter has capacity. Caller
 // holds s.mu.
@@ -233,6 +329,13 @@ func (s *Server) start(j *job) {
 			skandium.WithAnalysisTicker(s.cfg.AnalysisTick),
 		)
 	}
+	if s.jn != nil {
+		// Write-ahead: the start is durable before any muscle runs, and
+		// fault counters are journaled as they advance so a crash cannot
+		// zero them.
+		_ = s.jn.Start(j.id)
+		opts = append(opts, skandium.WithListener(s.faultJournalListener(j)))
+	}
 	j.handle = j.runner.Start(opts...)
 	j.state = stateRunning
 	j.started = s.clk.Now()
@@ -241,8 +344,29 @@ func (s *Server) start(j *job) {
 	go s.watch(j, handle)
 }
 
-// watch waits for a job to finish, returns its budget and admits the next
-// queued job.
+// faultJournalListener persists a job's cumulative retry/fault counters on
+// every fault-vocabulary event. It runs on worker goroutines, so it only
+// touches atomics and the journal's own lock.
+func (s *Server) faultJournalListener(j *job) event.Listener {
+	return event.Func(func(e *event.Event) any {
+		switch e.Where {
+		case event.Retry:
+			j.faultRetries.Add(1)
+		case event.Fault:
+			j.faultFaults.Add(1)
+		default:
+			return e.Param
+		}
+		_ = s.jn.Fault(j.id, journal.FaultCounts{
+			Retries: j.prior.Retries + j.faultRetries.Load(),
+			Faults:  j.prior.Faults + j.faultFaults.Load(),
+		})
+		return e.Param
+	})
+}
+
+// watch waits for a job to finish, persists the outcome, returns its
+// budget and admits the next queued job.
 func (s *Server) watch(j *job, h skandium.Handle) {
 	res, err := h.Result()
 	now := s.clk.Now()
@@ -258,7 +382,34 @@ func (s *Server) watch(j *job, h skandium.Handle) {
 	default:
 		j.state = stateFailed
 	}
+	state, started := j.state, j.started
 	j.mu.Unlock()
+
+	if s.jn != nil {
+		fc := faultCounts(j.totalFaults(h))
+		switch state {
+		case stateDone:
+			_ = s.jn.Finish(j.id, journal.StateDone, summarize(res), "", fc)
+		case stateFailed:
+			_ = s.jn.Finish(j.id, journal.StateFailed, "", err.Error(), fc)
+		case stateCanceled:
+			_ = s.jn.Cancel(j.id, err.Error())
+		}
+	}
+	if state == stateDone {
+		// Feed the admission-control profile: busy time is the serial work,
+		// the controller's best-effort estimate is the span (zero without a
+		// goal — the work bound still applies).
+		var span time.Duration
+		if d := h.Demand(); d.Valid && d.BestWCT > 0 {
+			span = d.BestWCT
+		}
+		s.profiles.Observe(j.skeleton, h.Stats().BusyTime, span)
+		s.mu.Lock()
+		s.runCount++
+		s.runSum += now.Sub(started)
+		s.mu.Unlock()
+	}
 
 	j.rec.Gauge(now, 0, 0) // the aggregate series drops to reality
 	j.log.close()
@@ -268,6 +419,14 @@ func (s *Server) watch(j *job, h skandium.Handle) {
 	s.mu.Lock()
 	s.admitLocked()
 	s.mu.Unlock()
+}
+
+// faultCounts converts the fault stats into their journal form.
+func faultCounts(fs skandium.FaultStats) journal.FaultCounts {
+	return journal.FaultCounts{
+		Retries: fs.Retries, Faults: fs.Faults, Timeouts: fs.Timeouts,
+		Skipped: fs.Skipped, Substituted: fs.Substituted,
+	}
 }
 
 // Job looks a job up by id.
@@ -306,15 +465,20 @@ func (s *Server) Cancel(id string) bool {
 	j.mu.Lock()
 	j.canceled = true
 	h := j.handle
+	canceledInPlace := false
 	if h == nil && !j.state.terminal() {
 		j.state = stateCanceled
 		j.finished = s.clk.Now()
 		j.err = errCanceled
+		canceledInPlace = true
 	}
 	j.mu.Unlock()
 	if h != nil {
-		h.Cancel(errCanceled)
+		h.Cancel(errCanceled) // watch journals the terminal state
 	} else {
+		if canceledInPlace && s.jn != nil {
+			_ = s.jn.Cancel(j.id, errCanceled.Error())
+		}
 		j.log.close()
 	}
 	return true
@@ -365,6 +529,60 @@ func (s *Server) Draining() bool {
 	defer s.mu.Unlock()
 	return s.draining
 }
+
+// Health degradation states for /healthz, most severe first.
+const (
+	HealthDraining   = "draining"   // shutting down, refusing submissions
+	HealthRecovering = "recovering" // journal-recovered jobs still queued
+	HealthOverloaded = "overloaded" // wait queue at capacity, shedding
+	HealthOK         = "ok"
+)
+
+// Health reports the daemon's degradation state.
+func (s *Server) Health() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		return HealthDraining
+	case s.recoveringLocked():
+		return HealthRecovering
+	case s.cfg.QueueMax > 0 && len(s.queue) >= s.cfg.QueueMax:
+		return HealthOverloaded
+	default:
+		return HealthOK
+	}
+}
+
+// recoveringLocked reports whether any journal-recovered job is still
+// waiting for budget. Caller holds s.mu.
+func (s *Server) recoveringLocked() bool {
+	for _, j := range s.queue {
+		if j.recovered {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueDepth returns the number of jobs waiting for budget and the bound
+// (0 = unbounded).
+func (s *Server) QueueDepth() (queued, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.cfg.QueueMax
+}
+
+// RecoveredJobs returns how many jobs the journal replay rehydrated or
+// re-queued.
+func (s *Server) RecoveredJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Journal exposes the write-ahead journal (nil when memory-only).
+func (s *Server) Journal() *journal.Journal { return s.jn }
 
 // Drain refuses new submissions and waits until every accepted job reached
 // a terminal state or ctx expires; on expiry the stragglers are canceled
