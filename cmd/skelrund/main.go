@@ -23,6 +23,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,7 +46,20 @@ func main() {
 	fsyncMode := flag.String("fsync", "interval", "journal durability: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period when -fsync=interval")
 	rotateBytes := flag.Int64("journal-rotate", 1<<20, "journal size that triggers compaction into the snapshot")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux via the blank
+		// import; serve them on their own listener so profiling never shares
+		// a port (or a mux) with the job API.
+		go func() {
+			log.Printf("skelrund: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("skelrund: pprof server: %v", err)
+			}
+		}()
+	}
 
 	var (
 		jn        *journal.Journal

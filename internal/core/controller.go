@@ -157,6 +157,14 @@ type Controller struct {
 	reqDur  []muscle.ID
 	reqCard []muscle.ID
 
+	// anMu serializes analyses and guards gateOpen/memo. Kept separate from
+	// mu so Demand/Decisions readers never wait behind an ADG build, and so
+	// the memoized Prediction's closures (single-goroutine by contract) are
+	// only ever exercised by one analysis at a time.
+	anMu     sync.Mutex
+	gateOpen bool
+	memo     *analysisMemo
+
 	mu           sync.Mutex
 	cfg          Config // goal and MaxLP are adjustable at runtime
 	start        time.Time
@@ -359,6 +367,35 @@ func (c *Controller) Decisions() []Decision {
 	return append([]Decision(nil), c.decisions...)
 }
 
+// analysisMemo is one cached predictor snapshot together with the inputs
+// it was computed from. Versions are read before predicting, so an equal
+// (estVer, topoVer) on a later analysis proves the knowledge base did not
+// change in between — at worst the memo is newer than its key (a wasted
+// recompute next time), never staler.
+type analysisMemo struct {
+	estVer  uint64
+	topoVer uint64
+	start   time.Time
+	now     time.Time
+	budget  int
+	pred    *Prediction
+}
+
+// memoLimited wraps a Prediction's LimitedEnd with a per-LP cache: graph
+// predictors reschedule the whole ADG per call, and analyses repeatedly ask
+// for the same handful of LPs (current, half, minimal-search probes).
+func memoLimited(f func(int) time.Time) func(int) time.Time {
+	cache := make(map[int]time.Time, 4)
+	return func(lp int) time.Time {
+		if t, ok := cache[lp]; ok {
+			return t
+		}
+		t := f(lp)
+		cache[lp] = t
+		return t
+	}
+}
+
 // Analyze runs one full estimation/adaptation cycle at time now and
 // reports whether the analysis actually ran (false while gated on missing
 // estimates). It is normally invoked from the event listener but is
@@ -371,26 +408,53 @@ func (c *Controller) Analyze(now time.Time) bool {
 	if cfg.WCTGoal <= 0 {
 		return false
 	}
+	c.anMu.Lock()
+	defer c.anMu.Unlock()
 	// Gate: all muscles observed or initialized (the paper's "wait until
-	// all muscles have been executed at least once").
-	if !c.est.Complete(c.reqDur, c.reqCard) {
-		return false
+	// all muscles have been executed at least once"). Estimates are never
+	// forgotten, so the gate is monotone: once open the scan is skipped.
+	if !c.gateOpen {
+		if !c.est.Complete(c.reqDur, c.reqCard) {
+			return false
+		}
+		c.gateOpen = true
 	}
 
 	predictor := cfg.Predictor
 	if predictor == nil {
 		predictor = ADGPredictor{}
 	}
-	pred, err := predictor.Predict(PredictorInput{
-		Node:    c.node,
-		Tracker: c.tracker,
-		Est:     c.est,
-		Start:   start,
-		Now:     now,
-		Budget:  cfg.ADGBudget,
-	})
-	if err != nil {
-		return false // not started yet, or estimates raced away; retry later
+	// Versions are read before predicting (see analysisMemo). When neither
+	// the estimates nor the activation tree changed since the last analysis
+	// at the same instant — common in virtual-time runs, where one event
+	// batch shares a timestamp — the previous schedule is still exact and
+	// the ADG build is skipped entirely. now must be part of the key: live
+	// builds clamp running activities by elapsed wall-clock time.
+	estVer := c.est.Version()
+	topoVer := c.tracker.Version()
+	var pred *Prediction
+	if m := c.memo; m != nil && m.estVer == estVer && m.topoVer == topoVer &&
+		m.start.Equal(start) && m.now.Equal(now) && m.budget == cfg.ADGBudget {
+		pred = m.pred
+	} else {
+		p, err := predictor.Predict(PredictorInput{
+			Node:    c.node,
+			Tracker: c.tracker,
+			Est:     c.est,
+			Start:   start,
+			Now:     now,
+			Budget:  cfg.ADGBudget,
+		})
+		if err != nil {
+			return false // not started yet, or estimates raced away; retry later
+		}
+		p.LimitedEnd = memoLimited(p.LimitedEnd)
+		pred = p
+		c.memo = &analysisMemo{
+			estVer: estVer, topoVer: topoVer,
+			start: start, now: now, budget: cfg.ADGBudget,
+			pred: pred,
+		}
 	}
 	cur := c.lever.LP()
 	deadline := start.Add(cfg.WCTGoal)

@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skandium/internal/muscle"
@@ -14,10 +15,21 @@ import (
 type Registry struct {
 	factory Factory
 
+	// ver counts mutations (observations and inits). Readers use it to
+	// detect that nothing changed between two analyses and reuse derived
+	// results; it only ever advances, so a matching version can never mean
+	// a stale view.
+	ver atomic.Uint64
+
 	mu   sync.RWMutex
 	dur  map[muscle.ID]Estimator
 	card map[muscle.ID]Estimator
 }
+
+// Version returns the mutation counter: it advances on every Observe*,
+// Init* and Restore. Read it before consulting estimates; if it reads the
+// same on a later check, the estimates are unchanged in between.
+func (r *Registry) Version() uint64 { return r.ver.Load() }
 
 // NewRegistry builds a registry whose per-quantity estimators come from
 // factory; nil means the paper's default, EWMA with ρ=0.5.
@@ -45,6 +57,7 @@ func (r *Registry) estimator(m map[muscle.ID]Estimator, id muscle.ID) Estimator 
 func (r *Registry) ObserveDuration(id muscle.ID, d time.Duration) {
 	r.mu.Lock()
 	r.estimator(r.dur, id).Observe(d.Seconds())
+	r.ver.Add(1)
 	r.mu.Unlock()
 }
 
@@ -52,6 +65,7 @@ func (r *Registry) ObserveDuration(id muscle.ID, d time.Duration) {
 func (r *Registry) InitDuration(id muscle.ID, d time.Duration) {
 	r.mu.Lock()
 	r.estimator(r.dur, id).Init(d.Seconds())
+	r.ver.Add(1)
 	r.mu.Unlock()
 }
 
@@ -77,6 +91,7 @@ func (r *Registry) Duration(id muscle.ID) (time.Duration, bool) {
 func (r *Registry) ObserveCard(id muscle.ID, n float64) {
 	r.mu.Lock()
 	r.estimator(r.card, id).Observe(n)
+	r.ver.Add(1)
 	r.mu.Unlock()
 }
 
@@ -84,6 +99,7 @@ func (r *Registry) ObserveCard(id muscle.ID, n float64) {
 func (r *Registry) InitCard(id muscle.ID, n float64) {
 	r.mu.Lock()
 	r.estimator(r.card, id).Init(n)
+	r.ver.Add(1)
 	r.mu.Unlock()
 }
 

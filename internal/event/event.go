@@ -16,7 +16,9 @@ package event
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skandium/internal/skel"
@@ -208,17 +210,76 @@ type entry struct {
 	l      Listener
 }
 
+// Slot-index dimensions: every event carries a (When, Where, node Kind)
+// triple drawn from these small enums, so the snapshot can pre-sort the
+// listener list into one bucket per triple and Emit only walks listeners
+// that can possibly match.
+const (
+	numWhen  = int(After) + 1
+	numWhere = int(Fault) + 1
+	numKind  = int(skel.DaC) + 1
+)
+
+// maskBits is how many entries the slot index covers; listeners past it
+// (rare — registries hold a handful) stay correct via an unindexed scan.
+const maskBits = 64
+
+// snapshot is the immutable listener view Emit reads through an atomic
+// pointer. For each (When, Where, Kind) triple, slots holds a bitmask over
+// entries: bit i set means entries[i]'s filter admits that triple, with only
+// the Node field left to check at emission time. Bit position equals
+// registration position, so walking set bits dispatches in registration
+// order. Bitmasks (rather than per-slot entry slices) keep rebuilds to two
+// allocations, which matters because streams add and remove a per-input
+// listener around every injected parameter.
+type snapshot struct {
+	entries []entry
+	slots   [numWhen][numWhere][numKind]uint64
+}
+
+func buildSnapshot(entries []entry) *snapshot {
+	s := &snapshot{entries: append([]entry(nil), entries...)}
+	for i, en := range s.entries {
+		if i >= maskBits {
+			break
+		}
+		f := en.filter
+		for wh := 0; wh < numWhen; wh++ {
+			if f.HasWhen && int(f.When) != wh {
+				continue
+			}
+			for wr := 0; wr < numWhere; wr++ {
+				if f.HasWhere && int(f.Where) != wr {
+					continue
+				}
+				for k := 0; k < numKind; k++ {
+					if f.HasKind && int(f.Kind) != k {
+						continue
+					}
+					// A Node filter implies the node's own kind: the entry
+					// can never fire for any other kind's bucket.
+					if f.Node != nil && int(f.Node.Kind()) != k {
+						continue
+					}
+					s.slots[wh][wr][k] |= 1 << i
+				}
+			}
+		}
+	}
+	return s
+}
+
 // Registry is an ordered set of listeners with filters. Emission walks the
 // listeners in registration order, threading the partial solution through
-// each matching handler. A Registry is safe for concurrent use; emission
-// takes a read-lock-free snapshot so listeners can (un)register from within
-// handlers without deadlock.
+// each matching handler. A Registry is safe for concurrent use; emission is
+// lock-free (it reads an immutable snapshot through an atomic pointer), so
+// listeners can (un)register from within handlers without deadlock and
+// workers never contend on a registry lock.
 type Registry struct {
 	mu      sync.Mutex
 	nextID  uint64
 	entries []entry
-	// snapshot is the copy-on-write view used by Emit.
-	snapshot []entry
+	snap    atomic.Pointer[snapshot]
 }
 
 // NewRegistry returns an empty listener registry.
@@ -241,7 +302,7 @@ func (r *Registry) AddFiltered(l Listener, filter Filter) Subscription {
 	r.nextID++
 	id := r.nextID
 	r.entries = append(r.entries, entry{id: id, filter: filter, l: l})
-	r.rebuildLocked()
+	r.snap.Store(buildSnapshot(r.entries))
 	return Subscription(id)
 }
 
@@ -253,7 +314,7 @@ func (r *Registry) Remove(s Subscription) {
 	for i, en := range r.entries {
 		if en.id == uint64(s) {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
-			r.rebuildLocked()
+			r.snap.Store(buildSnapshot(r.entries))
 			return
 		}
 	}
@@ -266,23 +327,80 @@ func (r *Registry) Len() int {
 	return len(r.entries)
 }
 
-func (r *Registry) rebuildLocked() {
-	snap := make([]entry, len(r.entries))
-	copy(snap, r.entries)
-	r.snapshot = snap
+// Wants reports whether any registered listener could match an event with
+// the given (node kind, when, where) coordinates. Emitters use it as a fast
+// path: when it returns false they skip Event construction entirely. A true
+// result is conservative — a Node-filtered listener makes Wants true for its
+// node's kind even though events from sibling nodes of that kind will still
+// be dropped at emission time.
+func (r *Registry) Wants(kind skel.Kind, when When, where Where) bool {
+	snap := r.snap.Load()
+	if snap == nil {
+		return false
+	}
+	if int(when) >= numWhen || int(where) >= numWhere || int(kind) >= numKind ||
+		when < 0 || where < 0 || kind < 0 {
+		return len(snap.entries) > 0
+	}
+	return snap.slots[when][where][kind] != 0 || len(snap.entries) > maskBits
 }
 
 // Emit delivers e to every matching listener in registration order and
 // returns the final partial solution (e.Param threaded through handlers).
-// Emit never blocks on listener registration.
+// Emit is lock-free and never blocks on listener registration.
+//
+// The *Event is only guaranteed valid for the duration of each handler call:
+// emitters may recycle it (see Acquire/Release). Listeners that need to keep
+// event data must copy the fields they care about, never the pointer.
 func (r *Registry) Emit(e *Event) any {
-	r.mu.Lock()
-	snap := r.snapshot
-	r.mu.Unlock()
-	for _, en := range snap {
+	snap := r.snap.Load()
+	if snap == nil {
+		return e.Param
+	}
+	if e.Node != nil {
+		wh, wr, k := int(e.When), int(e.Where), int(e.Node.Kind())
+		if wh >= 0 && wh < numWhen && wr >= 0 && wr < numWhere && k >= 0 && k < numKind {
+			for m := snap.slots[wh][wr][k]; m != 0; m &= m - 1 {
+				en := &snap.entries[bits.TrailingZeros64(m)]
+				if en.filter.Node == nil || en.filter.Node == e.Node {
+					e.Param = en.l.Handler(e)
+				}
+			}
+			// Entries past the mask width are unindexed; they come after
+			// every indexed entry, so scanning them last keeps registration
+			// order.
+			for i := maskBits; i < len(snap.entries); i++ {
+				if en := &snap.entries[i]; en.filter.Matches(e) {
+					e.Param = en.l.Handler(e)
+				}
+			}
+			return e.Param
+		}
+	}
+	// Fallback for events outside the indexable space (nil node or
+	// out-of-range coordinates): full scan with the complete filter.
+	for _, en := range snap.entries {
 		if en.filter.Matches(e) {
 			e.Param = en.l.Handler(e)
 		}
 	}
 	return e.Param
+}
+
+// eventPool recycles Event structs between emissions: the hot path fires
+// several events per muscle invocation and pooling keeps them off the heap.
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
+
+// Acquire returns a zeroed Event from the pool. Emitters fill it, pass it to
+// Emit, and hand it back with Release once Emit returns. Because of this
+// recycling, listeners must treat the *Event as valid only during their
+// handler call (copy fields, never retain the pointer).
+func Acquire() *Event { return eventPool.Get().(*Event) }
+
+// Release zeroes e and returns it to the pool. Callers must not touch e
+// afterwards. Only call Release on events obtained from Acquire whose Emit
+// call has returned.
+func Release(e *Event) {
+	*e = Event{}
+	eventPool.Put(e)
 }

@@ -1,0 +1,140 @@
+package event
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEmitNoListenerAllocs pins the empty-registry hot path: Wants must be
+// false (emitters then skip Event construction entirely) and Emit itself
+// must not allocate.
+func TestEmitNoListenerAllocs(t *testing.T) {
+	reg := NewRegistry()
+	nd := seqNode()
+	if reg.Wants(nd.Kind(), After, Skeleton) {
+		t.Fatal("empty registry Wants = true")
+	}
+	ev := &Event{Node: nd, When: After, Where: Skeleton, Param: 1}
+	if a := testing.AllocsPerRun(200, func() { reg.Emit(ev) }); a != 0 {
+		t.Fatalf("Emit with no listeners allocates %v per run, want 0", a)
+	}
+}
+
+// TestEmitFilteredOutAllocs pins the slot index: a listener filtered to a
+// different (Where) slot must leave other slots on the zero-allocation
+// no-match path, and Wants must report the mismatch.
+func TestEmitFilteredOutAllocs(t *testing.T) {
+	reg := NewRegistry()
+	fired := 0
+	reg.AddFiltered(Func(func(e *Event) any { fired++; return e.Param }),
+		Filter{Where: Merge, HasWhere: true})
+	nd := seqNode()
+	if reg.Wants(nd.Kind(), After, Skeleton) {
+		t.Fatal("Wants(Skeleton) = true for a Merge-only listener")
+	}
+	if !reg.Wants(nd.Kind(), After, Merge) {
+		t.Fatal("Wants(Merge) = false for a Merge-only listener")
+	}
+	ev := &Event{Node: nd, When: After, Where: Skeleton, Param: 1}
+	if a := testing.AllocsPerRun(200, func() { reg.Emit(ev) }); a != 0 {
+		t.Fatalf("Emit with filtered-out listener allocates %v per run, want 0", a)
+	}
+	if fired != 0 {
+		t.Fatalf("filtered-out listener fired %d times", fired)
+	}
+}
+
+// TestEmitMatchingAllocs: dispatching to a matching listener allocates
+// nothing in Emit itself (the handler here is allocation-free too).
+func TestEmitMatchingAllocs(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(Func(func(e *Event) any { return e.Param }))
+	nd := seqNode()
+	ev := &Event{Node: nd, When: After, Where: Skeleton, Param: 1}
+	if a := testing.AllocsPerRun(200, func() { reg.Emit(ev) }); a != 0 {
+		t.Fatalf("Emit dispatch allocates %v per run, want 0", a)
+	}
+}
+
+// TestEmitOrderWithManyListeners exercises the unindexed tail (entries past
+// the bitmask width): registration order must hold across the boundary and
+// no listener may be dropped.
+func TestEmitOrderWithManyListeners(t *testing.T) {
+	reg := NewRegistry()
+	const n = maskBits + 8
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		reg.Add(Func(func(e *Event) any { got = append(got, i); return e.Param }))
+	}
+	nd := seqNode()
+	if !reg.Wants(nd.Kind(), Before, Split) {
+		t.Fatal("Wants = false with generic listeners past the mask width")
+	}
+	reg.Emit(&Event{Node: nd, When: Before, Where: Split})
+	if len(got) != n {
+		t.Fatalf("dispatched %d of %d listeners", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("dispatch order %v, want registration order", got[:i+1])
+		}
+	}
+}
+
+// TestRegistryConcurrentAddRemoveEmit drives registration churn against
+// concurrent emission; run under -race it checks the snapshot swap. Every
+// emission must observe a consistent listener list (never a torn one), and
+// handlers registered at emission time must thread the param correctly.
+func TestRegistryConcurrentAddRemoveEmit(t *testing.T) {
+	reg := NewRegistry()
+	nd := seqNode()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churner: adds and removes filtered listeners.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s1 := reg.Add(Func(func(e *Event) any { return e.Param }))
+			s2 := reg.AddFiltered(Func(func(e *Event) any { return e.Param }),
+				Filter{Where: Merge, HasWhere: true})
+			reg.Remove(s1)
+			reg.Remove(s2)
+		}
+	}()
+
+	// Emitters: fire across several slots.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := &Event{Node: nd, Param: 7}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ev.When = When(i % 2)
+				ev.Where = Where(i % 5)
+				if out := reg.Emit(ev); out != 7 {
+					t.Errorf("emit returned %v, want 7", out)
+					return
+				}
+				_ = reg.Wants(nd.Kind(), ev.When, ev.Where)
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

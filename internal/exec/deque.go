@@ -1,0 +1,98 @@
+package exec
+
+import "sync/atomic"
+
+// deque is a Chase-Lev work-stealing deque of tasks. The owning worker
+// pushes and pops at the bottom (LIFO, which keeps the working set of a
+// fan-out's children small); thieves steal from the top (FIFO). All methods
+// are lock-free; Go's atomics are sequentially consistent, which is what the
+// classic algorithm's correctness argument assumes.
+//
+// Overwrite safety: push only reuses a ring slot once top has advanced past
+// it, and a steal whose slot was overwritten after it read the element loses
+// the CAS on top (top must have moved for the overwrite to be possible), so
+// the stale value is discarded.
+type deque struct {
+	top    atomic.Int64 // next index to steal
+	bottom atomic.Int64 // next index to push
+	ring   atomic.Pointer[dequeRing]
+}
+
+// dequeRing is the deque's circular buffer. The buffer is immutable once
+// published (growth allocates a new ring); stealers may keep reading an old
+// ring, which stays valid for every index the CAS on top can still admit.
+type dequeRing struct {
+	buf  []atomic.Pointer[Task]
+	mask int64
+}
+
+func newDequeRing(size int64) *dequeRing {
+	return &dequeRing{buf: make([]atomic.Pointer[Task], size), mask: size - 1}
+}
+
+func (r *dequeRing) get(i int64) *Task    { return r.buf[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, t *Task) { r.buf[i&r.mask].Store(t) }
+func (r *dequeRing) grow(top, bottom int64) *dequeRing {
+	nr := newDequeRing(int64(len(r.buf)) * 2)
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.ring.Store(newDequeRing(64))
+	return d
+}
+
+// push appends t at the bottom. Owner only.
+func (d *deque) push(t *Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top >= int64(len(r.buf)) {
+		r = r.grow(top, b)
+		d.ring.Store(r)
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner only.
+func (d *deque) pop() *Task {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	top := d.top.Load()
+	if b < top {
+		// Empty: undo the tentative claim.
+		d.bottom.Store(top)
+		return nil
+	}
+	t := r.get(b)
+	if b > top {
+		return t
+	}
+	// Last element: race stealers for it via the CAS on top.
+	if !d.top.CompareAndSwap(top, top+1) {
+		t = nil
+	}
+	d.bottom.Store(top + 1)
+	return t
+}
+
+// steal removes the oldest task. Safe from any goroutine.
+func (d *deque) steal() *Task {
+	top := d.top.Load()
+	b := d.bottom.Load()
+	if top >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	t := r.get(top)
+	if !d.top.CompareAndSwap(top, top+1) {
+		return nil
+	}
+	return t
+}

@@ -321,7 +321,7 @@ type failedBranch struct {
 // (the parent merges around the lost branch) and false when it must fail
 // the whole root: fail-fast policy, a root-level task, or a structural
 // (non-muscle) error.
-func (t *Task) absorb(err error) bool {
+func (t *Task) absorb(w *worker, err error) bool {
 	if t.parent == nil {
 		return false
 	}
@@ -339,7 +339,7 @@ func (t *Task) absorb(err error) bool {
 		Err:         err,
 		Substituted: mode == substituteFailed,
 	})
-	t.parent.childDone(t.branch, failedBranch{err: err})
+	t.parent.childDone(w, t.branch, failedBranch{err: err})
 	return true
 }
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"skandium/internal/event"
 	"skandium/internal/muscle"
@@ -11,41 +12,86 @@ import (
 // Instr is one step of skeleton interpretation. interpret may mutate the
 // task (its param and instruction stack) and may return child tasks; when it
 // does, the worker submits the children and parks the task until they all
-// complete. Instructions are created at run time and are used exactly once.
+// complete. Instructions are created at run time and are used exactly once;
+// pooled instruction types implement releasable and are recycled by the
+// worker right after their single interpret call.
 type Instr interface {
 	interpret(w *worker, t *Task) (children []*Task, err error)
 }
 
-// instrFor builds the entry instruction for one activation of nd. parent is
-// the activation index of the enclosing skeleton activation (event.NoParent
-// at the root); trace is the static path from the root up to and including
-// nd's parent.
-func instrFor(nd *skel.Node, parent int64, trace []*skel.Node) Instr {
-	tr := appendTrace(trace, nd)
-	switch nd.Kind() {
+// releasable is implemented by pooled instructions; the worker calls
+// release exactly once, after interpret returns.
+type releasable interface{ release() }
+
+// instrPool recycles one instruction type through a sync.Pool.
+type instrPool[T any] struct{ p sync.Pool }
+
+func (ip *instrPool[T]) get() *T {
+	if v := ip.p.Get(); v != nil {
+		return v.(*T)
+	}
+	return new(T)
+}
+
+func (ip *instrPool[T]) put(x *T) {
+	var zero T
+	*x = zero
+	ip.p.Put(x)
+}
+
+// instrFor builds the entry instruction for one activation of the skeleton
+// at site. parent is the activation index of the enclosing skeleton
+// activation (event.NoParent at the root). The instruction's trace is the
+// site's precomputed static trace.
+func instrFor(site *skel.Site, parent int64) Instr {
+	return instrWithTrace(site, parent, site.Trace())
+}
+
+// instrWithTrace is instrFor with an explicit trace — divide&conquer
+// recursion re-enters sites with a longer, dynamically grown trace.
+func instrWithTrace(site *skel.Site, parent int64, tr []*skel.Node) Instr {
+	switch site.Node().Kind() {
 	case skel.Seq:
-		return &seqInst{nd: nd, parent: parent, trace: tr}
+		in := seqPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.Farm:
-		return &farmInst{nd: nd, parent: parent, trace: tr}
+		in := farmPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.Pipe:
-		return &pipeInst{nd: nd, parent: parent, trace: tr}
+		in := pipePool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.While:
-		return &whileInst{nd: nd, parent: parent, trace: tr}
+		in := whilePool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.If:
-		return &ifInst{nd: nd, parent: parent, trace: tr}
+		in := ifPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.For:
-		return &forInst{nd: nd, parent: parent, trace: tr}
+		in := forPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.Map:
-		return &mapInst{nd: nd, parent: parent, trace: tr}
+		in := mapPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.Fork:
-		return &forkInst{nd: nd, parent: parent, trace: tr}
+		in := forkPool.get()
+		in.site, in.parent, in.trace = site, parent, tr
+		return in
 	case skel.DaC:
-		return &dacInst{nd: nd, parent: parent, trace: tr, depth: 0}
+		in := dacPool.get()
+		in.site, in.parent, in.trace, in.depth = site, parent, tr, 0
+		return in
 	default:
 		// An unknown kind is unreachable through the public constructors,
 		// but a forged or future Node must fail the root cleanly instead of
 		// panicking the worker goroutine.
-		return badKindInst{kind: nd.Kind()}
+		return badKindInst{kind: site.Node().Kind()}
 	}
 }
 
@@ -88,23 +134,31 @@ type emitter struct {
 }
 
 // emit raises one event and returns the (possibly listener-replaced)
-// partial solution. mod, when non-nil, sets the extra payload fields.
+// partial solution. mod, when non-nil, sets the extra payload fields. When
+// no listener can match the event's slot, the Event is never constructed —
+// the emission costs two atomic loads. Events are pooled: they are valid
+// only during the listener calls.
 func (em emitter) emit(when event.When, where event.Where, param any, mod func(*event.Event)) any {
-	e := &event.Event{
-		Node:   em.nd,
-		Trace:  em.trace,
-		Index:  em.idx,
-		Parent: em.parent,
-		When:   when,
-		Where:  where,
-		Param:  param,
-		Time:   em.root.clk.Now(),
-		Worker: workerID(em.w),
+	reg := em.root.events
+	if !reg.Wants(em.nd.Kind(), when, where) {
+		return param
 	}
+	e := event.Acquire()
+	e.Node = em.nd
+	e.Trace = em.trace
+	e.Index = em.idx
+	e.Parent = em.parent
+	e.When = when
+	e.Where = where
+	e.Param = param
+	e.Time = em.root.clk.Now()
+	e.Worker = workerID(em.w)
 	if mod != nil {
 		mod(e)
 	}
-	return em.root.events.Emit(e)
+	p := reg.Emit(e)
+	event.Release(e)
+	return p
 }
 
 func workerID(w *worker) int {

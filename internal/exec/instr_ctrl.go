@@ -12,18 +12,22 @@ import (
 // replication itself comes from the task pool running many farm activations
 // at once.
 type farmInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var farmPool instrPool[farmInst]
+
+func (in *farmInst) release() { farmPool.put(in) }
+
 func (in *farmInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
+	a := begin(in.site, in.parent, in.trace, w, t)
 	t.push(
-		&skelEndInst{a: a},
-		&nestedEndInst{a: a},
-		instrFor(in.nd.Children()[0], a.idx, in.trace),
-		&nestedBeginInst{a: a},
+		newSkelEnd(a),
+		newNestedEnd(a, 0, 0),
+		instrFor(in.site.Child(0), a.idx),
+		newNestedBegin(a, 0, 0),
 	)
 	return nil, nil
 }
@@ -33,20 +37,24 @@ func (in *farmInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // number in Branch. Pipeline parallelism across *different* inputs emerges
 // from the pool executing several pipe activations concurrently.
 type pipeInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var pipePool instrPool[pipeInst]
+
+func (in *pipeInst) release() { pipePool.put(in) }
+
 func (in *pipeInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
-	stages := in.nd.Children()
-	t.push(&skelEndInst{a: a})
+	a := begin(in.site, in.parent, in.trace, w, t)
+	stages := in.site.Children()
+	t.push(newSkelEnd(a))
 	for i := len(stages) - 1; i >= 0; i-- {
 		t.push(
-			&nestedEndInst{a: a, branch: i},
-			instrFor(stages[i], a.idx, in.trace),
-			&nestedBeginInst{a: a, branch: i},
+			newNestedEnd(a, i, 0),
+			instrFor(stages[i], a.idx),
+			newNestedBegin(a, i, 0),
 		)
 	}
 	return nil, nil
@@ -55,20 +63,24 @@ func (in *pipeInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // forInst evaluates for(n,∆): n sequential nested evaluations, iteration
 // numbers carried in Iter.
 type forInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var forPool instrPool[forInst]
+
+func (in *forInst) release() { forPool.put(in) }
+
 func (in *forInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
-	n := in.nd.N()
-	t.push(&skelEndInst{a: a})
+	a := begin(in.site, in.parent, in.trace, w, t)
+	n := in.site.Node().N()
+	t.push(newSkelEnd(a))
 	for i := n - 1; i >= 0; i-- {
 		t.push(
-			&nestedEndInst{a: a, iter: i},
-			instrFor(in.nd.Children()[0], a.idx, in.trace),
-			&nestedBeginInst{a: a, iter: i},
+			newNestedEnd(a, 0, i),
+			instrFor(in.site.Child(0), a.idx),
+			newNestedBegin(a, 0, i),
 		)
 	}
 	return nil, nil
@@ -77,14 +89,18 @@ func (in *forInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // whileInst opens a while(fc,∆) activation and schedules the first
 // condition check.
 type whileInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var whilePool instrPool[whileInst]
+
+func (in *whileInst) release() { whilePool.put(in) }
+
 func (in *whileInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
-	t.push(&whileCondInst{a: a, iter: 0})
+	a := begin(in.site, in.parent, in.trace, w, t)
+	t.push(newWhileCond(a, 0))
 	return nil, nil
 }
 
@@ -94,6 +110,16 @@ func (in *whileInst) interpret(w *worker, t *Task) ([]*Task, error) {
 type whileCondInst struct {
 	a    actx
 	iter int
+}
+
+var whileCondPool instrPool[whileCondInst]
+
+func (in *whileCondInst) release() { whileCondPool.put(in) }
+
+func newWhileCond(a actx, iter int) *whileCondInst {
+	in := whileCondPool.get()
+	in.a, in.iter = a, iter
+	return in
 }
 
 func (in *whileCondInst) interpret(w *worker, t *Task) ([]*Task, error) {
@@ -106,10 +132,10 @@ func (in *whileCondInst) interpret(w *worker, t *Task) ([]*Task, error) {
 		return nil, nil
 	}
 	t.push(
-		&whileCondInst{a: in.a, iter: in.iter + 1},
-		&nestedEndInst{a: in.a, iter: in.iter},
-		instrFor(in.a.nd.Children()[0], in.a.idx, in.a.trace),
-		&nestedBeginInst{a: in.a, iter: in.iter},
+		newWhileCond(in.a, in.iter+1),
+		newNestedEnd(in.a, 0, in.iter),
+		instrFor(in.a.site.Child(0), in.a.idx),
+		newNestedBegin(in.a, 0, in.iter),
 	)
 	return nil, nil
 }
@@ -119,7 +145,7 @@ func (in *whileCondInst) interpret(w *worker, t *Task) ([]*Task, error) {
 func runCondition(a actx, w *worker, t *Task, iter int) (bool, error) {
 	em := a.em(t.root, w)
 	p := em.emit(event.Before, event.Condition, t.param, func(e *event.Event) { e.Iter = iter })
-	fc := a.nd.Cond()
+	fc := a.nd().Cond()
 	c, err := runAttempts(em, fc, p, func() (any, error) {
 		return em.emit(event.Before, event.Condition, t.param, func(e *event.Event) { e.Iter = iter }), nil
 	}, func(p any) (bool, error) { return fc.CallCondition(p) })
@@ -137,13 +163,17 @@ func runCondition(a actx, w *worker, t *Task, iter int) (bool, error) {
 // autonomic layer leaves If unsupported; the engine runs it and the ADG
 // layer handles it as a documented extension.
 type ifInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var ifPool instrPool[ifInst]
+
+func (in *ifInst) release() { ifPool.put(in) }
+
 func (in *ifInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
+	a := begin(in.site, in.parent, in.trace, w, t)
 	c, err := runCondition(a, w, t, 0)
 	if err != nil {
 		return nil, err
@@ -153,10 +183,10 @@ func (in *ifInst) interpret(w *worker, t *Task) ([]*Task, error) {
 		branch = 1
 	}
 	t.push(
-		&skelEndInst{a: a},
-		&nestedEndInst{a: a, branch: branch},
-		instrFor(in.nd.Children()[branch], a.idx, in.trace),
-		&nestedBeginInst{a: a, branch: branch},
+		newSkelEnd(a),
+		newNestedEnd(a, branch, 0),
+		instrFor(in.site.Child(branch), a.idx),
+		newNestedBegin(a, branch, 0),
 	)
 	return nil, nil
 }

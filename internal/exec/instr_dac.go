@@ -9,27 +9,38 @@ import (
 // children in parallel, then merge) and solving the leaf with ∆. The
 // recursion depth travels in the events' Iter field — it is what the
 // estimator's |fc| cardinality tracks for d&c (estimated depth of the
-// recursion tree, per the paper §4).
+// recursion tree, per the paper §4). The trace grows with recursion depth,
+// so it cannot come from the static site beyond depth 0; it is extended once
+// per activation and shared by all of that activation's branches.
 type dacInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 	depth  int
 }
 
+var dacPool instrPool[dacInst]
+
+func (in *dacInst) release() { dacPool.put(in) }
+
 func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
+	a := begin(in.site, in.parent, in.trace, w, t)
 	c, err := runCondition(a, w, t, in.depth)
 	if err != nil {
 		return nil, err
 	}
 	if !c {
 		// Leaf: solve with the nested skeleton, then close the activation.
+		leaf := in.site.Child(0)
+		leafInstr := instrFor(leaf, a.idx)
+		if in.depth > 0 {
+			leafInstr = instrWithTrace(leaf, a.idx, appendTrace(in.trace, leaf.Node()))
+		}
 		t.push(
-			&skelEndInst{a: a},
-			&nestedEndInst{a: a, iter: in.depth},
-			instrFor(in.nd.Children()[0], a.idx, in.trace),
-			&nestedBeginInst{a: a, iter: in.depth},
+			newSkelEnd(a),
+			newNestedEnd(a, 0, in.depth),
+			leafInstr,
+			newNestedBegin(a, 0, in.depth),
 		)
 		return nil, nil
 	}
@@ -37,13 +48,14 @@ func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.push(&mapMergeInst{a: a})
+	t.push(newMapMerge(a))
+	// One grown trace per activation, shared by every recursive branch.
+	site, nd := in.site, in.site.Node()
+	depth := in.depth
+	branchTrace := appendTrace(in.trace, nd)
 	return forkChildren(a, t, parts, func(branch int) Instr {
-		return &dacInst{
-			nd:     in.nd,
-			parent: a.idx,
-			trace:  appendTrace(in.trace, in.nd),
-			depth:  in.depth + 1,
-		}
+		child := dacPool.get()
+		child.site, child.parent, child.trace, child.depth = site, a.idx, branchTrace, depth+1
+		return child
 	}), nil
 }

@@ -13,20 +13,25 @@ import (
 // tasks executed in parallel; the merge runs as a continuation when the last
 // child completes.
 type mapInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var mapPool instrPool[mapInst]
+
+func (in *mapInst) release() { mapPool.put(in) }
+
 func (in *mapInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
+	a := begin(in.site, in.parent, in.trace, w, t)
 	parts, err := runSplit(a, w, t)
 	if err != nil {
 		return nil, err
 	}
-	t.push(&mapMergeInst{a: a})
+	t.push(newMapMerge(a))
+	child := in.site.Child(0)
 	return forkChildren(a, t, parts, func(branch int) Instr {
-		return instrFor(in.nd.Children()[0], a.idx, in.trace)
+		return instrFor(child, a.idx)
 	}), nil
 }
 
@@ -35,7 +40,7 @@ func (in *mapInst) interpret(w *worker, t *Task) ([]*Task, error) {
 func runSplit(a actx, w *worker, t *Task) ([]any, error) {
 	em := a.em(t.root, w)
 	p := em.emit(event.Before, event.Split, t.param, nil)
-	fs := a.nd.Split()
+	fs := a.nd().Split()
 	parts, err := runAttempts(em, fs, p, func() (any, error) {
 		return em.emit(event.Before, event.Split, t.param, nil), nil
 	}, func(p any) ([]any, error) { return fs.CallSplit(p) })
@@ -63,9 +68,9 @@ func forkChildren(a actx, t *Task, parts []any, prog func(branch int) Instr) []*
 	children := make([]*Task, len(parts))
 	for b, p := range parts {
 		children[b] = newTask(t.root, t, b, p,
-			&nestedEndInst{a: a, branch: b},
+			newNestedEnd(a, b, 0),
 			prog(b),
-			&nestedBeginInst{a: a, branch: b},
+			newNestedBegin(a, b, 0),
 		)
 	}
 	return children
@@ -74,6 +79,16 @@ func forkChildren(a actx, t *Task, parts []any, prog func(branch int) Instr) []*
 // mapMergeInst is the continuation of a map activation: it merges the
 // children results and closes the activation.
 type mapMergeInst struct{ a actx }
+
+var mapMergePool instrPool[mapMergeInst]
+
+func (in *mapMergeInst) release() { mapMergePool.put(in) }
+
+func newMapMerge(a actx) *mapMergeInst {
+	in := mapMergePool.get()
+	in.a = a
+	return in
+}
 
 func (in *mapMergeInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	merged, err := runMerge(in.a, w, t)
@@ -102,7 +117,7 @@ func runMerge(a actx, w *worker, t *Task) (any, error) {
 		rs, ok := p.([]any)
 		if !ok {
 			return nil, fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
-				a.nd.Kind(), p)
+				a.nd().Kind(), p)
 		}
 		return rs, nil
 	}
@@ -110,7 +125,7 @@ func runMerge(a actx, w *worker, t *Task) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	fm := a.nd.Merge()
+	fm := a.nd().Merge()
 	merged, err := runAttempts(em, fm, rs, func() ([]any, error) {
 		return cast(em.emit(event.Before, event.Merge, any(results), nil))
 	}, func(ps []any) (any, error) { return fm.CallMerge(ps) })
@@ -124,24 +139,28 @@ func runMerge(a actx, w *worker, t *Task) (any, error) {
 // nested skeleton ∆b. The split must produce exactly one sub-problem per
 // nested skeleton.
 type forkInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var forkPool instrPool[forkInst]
+
+func (in *forkInst) release() { forkPool.put(in) }
+
 func (in *forkInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
+	a := begin(in.site, in.parent, in.trace, w, t)
 	parts, err := runSplit(a, w, t)
 	if err != nil {
 		return nil, err
 	}
-	subs := in.nd.Children()
+	subs := in.site.Children()
 	if len(parts) != len(subs) {
 		return nil, fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
 			len(parts), len(subs))
 	}
-	t.push(&mapMergeInst{a: a})
+	t.push(newMapMerge(a))
 	return forkChildren(a, t, parts, func(branch int) Instr {
-		return instrFor(subs[branch], a.idx, in.trace)
+		return instrFor(subs[branch], a.idx)
 	}), nil
 }

@@ -7,22 +7,26 @@ import (
 
 // actx is the context of one skeleton activation, shared by the several
 // instructions an activation schedules (e.g. a map's split instruction and
-// its merge continuation).
+// its merge continuation). trace is usually the site's static trace; d&c
+// recursion substitutes its dynamically grown one.
 type actx struct {
-	nd     *skel.Node
+	site   *skel.Site
 	trace  []*skel.Node
 	idx    int64
 	parent int64
 }
 
+// nd returns the activation's skeleton node.
+func (a actx) nd() *skel.Node { return a.site.Node() }
+
 // em builds an emitter for the current worker.
 func (a actx) em(r *Root, w *worker) emitter {
-	return emitter{root: r, w: w, nd: a.nd, trace: a.trace, idx: a.idx, parent: a.parent}
+	return emitter{root: r, w: w, nd: a.site.Node(), trace: a.trace, idx: a.idx, parent: a.parent}
 }
 
 // begin allocates the activation index and raises the Skeleton/Before event.
-func begin(nd *skel.Node, parent int64, trace []*skel.Node, w *worker, t *Task) actx {
-	a := actx{nd: nd, trace: trace, idx: t.root.nextIndex(), parent: parent}
+func begin(site *skel.Site, parent int64, trace []*skel.Node, w *worker, t *Task) actx {
+	a := actx{site: site, trace: trace, idx: t.root.nextIndex(), parent: parent}
 	t.param = a.em(t.root, w).emit(event.Before, event.Skeleton, t.param, nil)
 	return a
 }
@@ -30,14 +34,18 @@ func begin(nd *skel.Node, parent int64, trace []*skel.Node, w *worker, t *Task) 
 // seqInst evaluates seq(fe): the two events of the paper's Fig. 3,
 // seq(fe)@b(i) and seq(fe)@a(i), bracket the execute muscle.
 type seqInst struct {
-	nd     *skel.Node
+	site   *skel.Site
 	parent int64
 	trace  []*skel.Node
 }
 
+var seqPool instrPool[seqInst]
+
+func (in *seqInst) release() { seqPool.put(in) }
+
 func (in *seqInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.nd, in.parent, in.trace, w, t)
-	fe := in.nd.Exec()
+	a := begin(in.site, in.parent, in.trace, w, t)
+	fe := in.site.Node().Exec()
 	em := a.em(t.root, w)
 	// Each retry re-raises the Skeleton/Before event, restarting the
 	// activation clock so the estimator times only the final attempt.
@@ -60,6 +68,16 @@ type nestedBeginInst struct {
 	iter   int
 }
 
+var nestedBeginPool instrPool[nestedBeginInst]
+
+func (in *nestedBeginInst) release() { nestedBeginPool.put(in) }
+
+func newNestedBegin(a actx, branch, iter int) *nestedBeginInst {
+	in := nestedBeginPool.get()
+	in.a, in.branch, in.iter = a, branch, iter
+	return in
+}
+
 func (in *nestedBeginInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	t.param = in.a.em(t.root, w).emit(event.Before, event.NestedSkel, t.param, func(e *event.Event) {
 		e.Branch, e.Iter = in.branch, in.iter
@@ -74,6 +92,16 @@ type nestedEndInst struct {
 	iter   int
 }
 
+var nestedEndPool instrPool[nestedEndInst]
+
+func (in *nestedEndInst) release() { nestedEndPool.put(in) }
+
+func newNestedEnd(a actx, branch, iter int) *nestedEndInst {
+	in := nestedEndPool.get()
+	in.a, in.branch, in.iter = a, branch, iter
+	return in
+}
+
 func (in *nestedEndInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	t.param = in.a.em(t.root, w).emit(event.After, event.NestedSkel, t.param, func(e *event.Event) {
 		e.Branch, e.Iter = in.branch, in.iter
@@ -85,6 +113,16 @@ func (in *nestedEndInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // whose body was scheduled as separate stack entries (farm, pipe, for,
 // if, while, and the leaf arm of d&c).
 type skelEndInst struct{ a actx }
+
+var skelEndPool instrPool[skelEndInst]
+
+func (in *skelEndInst) release() { skelEndPool.put(in) }
+
+func newSkelEnd(a actx) *skelEndInst {
+	in := skelEndPool.get()
+	in.a = a
+	return in
+}
 
 func (in *skelEndInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	t.param = in.a.em(t.root, w).emit(event.After, event.Skeleton, t.param, nil)

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"skandium/internal/clock"
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// TestRootFIFOFairness: externally submitted roots drain in submission
+// order (the shared overflow queue is FIFO), so early stream inputs are not
+// starved by later arrivals the way a global LIFO stack would. Children
+// spawned by a running task stay LIFO on the worker's own deque — this test
+// pins only the root ordering.
+func TestRootFIFOFairness(t *testing.T) {
+	pool := NewPool(clock.System, 1, 0)
+	defer pool.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocker := muscle.NewExecute("block", func(p any) (any, error) {
+		once.Do(func() { close(started) })
+		<-block
+		return p, nil
+	})
+	var mu sync.Mutex
+	var order []int
+	rec := muscle.NewExecute("rec", func(p any) (any, error) {
+		mu.Lock()
+		order = append(order, p.(int))
+		mu.Unlock()
+		return p, nil
+	})
+
+	// Occupy the single worker so subsequent roots pile up queued.
+	blockRoot := NewRoot(pool, nil, nil)
+	blockFut := blockRoot.Start(skel.NewSeq(blocker), -1)
+	<-started
+
+	const n = 8
+	nd := skel.NewSeq(rec)
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		r := NewRoot(pool, nil, nil)
+		futs[i] = r.Start(nd, i)
+	}
+
+	close(block)
+	if _, err := blockFut.Get(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("ran %d of %d roots", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v, want FIFO submission order", order)
+		}
+	}
+}
+
+// TestPoolResizeRaceWithSteal hammers every pool control and observer while
+// fan-out work keeps all workers stealing; run under -race it checks the
+// deque/counter protocol against concurrent resizing.
+func TestPoolResizeRaceWithSteal(t *testing.T) {
+	pool := NewPool(clock.System, 2, 16)
+	defer pool.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lp := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lp = lp%8 + 1
+			pool.SetLP(lp)
+			pool.SetCap(lp + 1)
+			pool.SetMaxLP(16)
+			_ = pool.LP()
+			_ = pool.Active()
+			_ = pool.QueueLen()
+			_ = pool.Stats()
+		}
+	}()
+
+	fe := muscle.NewExecute("id", func(p any) (any, error) { return p, nil })
+	nd := skel.NewMap(fsRange(), skel.NewSeq(fe), fmSum())
+	for i := 0; i < 40; i++ {
+		root := NewRoot(pool, nil, nil)
+		if _, err := root.Start(nd, 16).Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

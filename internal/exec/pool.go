@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skandium/internal/clock"
@@ -16,11 +17,17 @@ var ErrPoolClosed = errors.New("exec: pool closed")
 
 // GaugeFunc observes pool state transitions: now is the clock reading,
 // active the number of workers currently executing a task, lp the current
-// level-of-parallelism target. It is invoked with the pool lock held, so it
-// must be fast and must not call back into the pool. The metrics recorder
-// uses it to build the "number of active threads vs wall-clock time" series
-// of the paper's Figs. 5-7.
+// level-of-parallelism target. It is invoked outside all pool locks, from
+// whichever goroutine caused the transition, so a slow gauge delays only its
+// own worker; it may be called concurrently and must be safe for that. It
+// must not call back into the pool's setters. The metrics recorder uses it
+// to build the "number of active threads vs wall-clock time" series of the
+// paper's Figs. 5-7.
 type GaugeFunc func(now time.Time, active, lp int)
+
+// runWrapFunc is the SetRunWrapper hook type (the distributed substrate
+// injects shipping latency and per-node accounting here).
+type runWrapFunc = func(workerID int, run func())
 
 // Pool is a task pool with a dynamically resizable level of parallelism
 // (LP). It is the autonomic lever of the paper: raising LP admits more
@@ -28,29 +35,44 @@ type GaugeFunc func(now time.Time, active, lp int)
 // after their current task (running muscles are never interrupted, matching
 // Skandium's behaviour).
 //
-// Workers are goroutines spawned lazily up to the historical maximum LP and
-// gated by the current LP: at most lp workers execute tasks at any moment.
+// The hot path is contention-free: every worker owns a Chase-Lev deque for
+// the tasks it forks (LIFO, depth-first locality) and steals from its peers
+// when its own deque drains; external submissions (one per stream input)
+// land in a shared FIFO overflow queue so early inputs are not starved by
+// later ones. All counters the controller reads — LP(), Active(),
+// QueueLen(), Want(), Cap() — are atomics and never take a lock. The mutex
+// only serializes the cold paths: parking idle workers, spawning, and the
+// LP/cap setters.
 type Pool struct {
 	clk clock.Clock
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*Task // LIFO: depth-first keeps the working set small
-	lp      int
-	want    int // last requested LP target, before clamping
-	maxLP   int // hard cap (QoS "maximum LP"); 0 = unlimited
-	extCap  int // externally imposed cap (a budget arbiter's grant); 0 = none
-	spawned int
-	active  int
-	closed  bool
-	gauge   GaugeFunc
-	// wrap, when set, surrounds every task execution (the distributed
-	// substrate injects shipping latency and per-node accounting here).
-	wrap func(workerID int, run func())
+	// Hot-path state, all atomic. lp is the effective (clamped) target;
+	// want/maxLP/extCap are the inputs it is recomputed from under mu.
+	lp       atomic.Int32
+	want     atomic.Int32
+	maxLP    atomic.Int32
+	extCap   atomic.Int32
+	active   atomic.Int32
+	queued   atomic.Int64 // tasks submitted and not yet taken by a worker
+	closed   atomic.Bool
+	tasksRun atomic.Uint64
+	busyNS   atomic.Int64
 
-	// statistics (guarded by mu)
-	tasksRun  uint64
-	busyTotal time.Duration
+	gauge  atomic.Pointer[GaugeFunc]
+	wrap   atomic.Pointer[runWrapFunc]
+	deques atomic.Pointer[[]*deque] // copy-on-write snapshot for stealing
+
+	// overflow is the shared FIFO of externally submitted (root-level)
+	// tasks; head indexes the next task to pop.
+	overflowMu sync.Mutex
+	overflow   []*Task
+	overflowHd int
+
+	// mu guards parking, spawning, and the LP recomputation.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	spawned  int
+	sleepers atomic.Int32
 }
 
 // Stats is a snapshot of pool counters.
@@ -73,21 +95,25 @@ func NewPool(clk clock.Clock, initialLP, maxLP int) *Pool {
 	if initialLP < 1 {
 		initialLP = 1
 	}
-	p := &Pool{clk: clk, want: initialLP, maxLP: maxLP}
-	p.lp = p.effectiveLocked()
+	p := &Pool{clk: clk}
+	p.want.Store(int32(initialLP))
+	p.maxLP.Store(int32(maxLP))
+	p.lp.Store(p.effective())
 	p.cond = sync.NewCond(&p.mu)
+	empty := make([]*deque, 0)
+	p.deques.Store(&empty)
 	return p
 }
 
-// effectiveLocked clamps the requested target by the pool's own cap and the
+// effective clamps the requested target by the pool's own cap and the
 // external cap, with a floor of one worker.
-func (p *Pool) effectiveLocked() int {
-	n := p.want
-	if p.maxLP > 0 && n > p.maxLP {
-		n = p.maxLP
+func (p *Pool) effective() int32 {
+	n := p.want.Load()
+	if m := p.maxLP.Load(); m > 0 && n > m {
+		n = m
 	}
-	if p.extCap > 0 && n > p.extCap {
-		n = p.extCap
+	if c := p.extCap.Load(); c > 0 && n > c {
+		n = c
 	}
 	if n < 1 {
 		n = 1
@@ -95,213 +121,340 @@ func (p *Pool) effectiveLocked() int {
 	return n
 }
 
-// applyLocked recomputes the effective LP after want/maxLP/extCap changed.
-func (p *Pool) applyLocked() {
-	eff := p.effectiveLocked()
-	if eff == p.lp {
-		return
+// applyLocked recomputes the effective LP after want/maxLP/extCap changed
+// and reports whether it moved (the caller samples the gauge after
+// unlocking).
+func (p *Pool) applyLocked() bool {
+	eff := p.effective()
+	old := p.lp.Load()
+	if eff == old {
+		return false
 	}
-	p.lp = eff
+	p.lp.Store(eff)
 	p.ensureWorkersLocked()
-	p.sampleLocked()
 	p.cond.Broadcast()
+	return true
 }
 
 // SetGauge installs the state observer. Pass nil to remove it.
 func (p *Pool) SetGauge(g GaugeFunc) {
-	p.mu.Lock()
-	p.gauge = g
-	p.mu.Unlock()
+	if g == nil {
+		p.gauge.Store(nil)
+		return
+	}
+	p.gauge.Store(&g)
 }
 
 // SetRunWrapper surrounds every task execution with w (nil = direct). The
 // wrapper must call run exactly once. Install before submitting work.
 func (p *Pool) SetRunWrapper(w func(workerID int, run func())) {
-	p.mu.Lock()
-	p.wrap = w
-	p.mu.Unlock()
+	if w == nil {
+		p.wrap.Store(nil)
+		return
+	}
+	p.wrap.Store(&w)
 }
 
-// LP returns the current level-of-parallelism target.
-func (p *Pool) LP() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lp
-}
+// LP returns the current level-of-parallelism target. Lock-free.
+func (p *Pool) LP() int { return int(p.lp.Load()) }
 
-// MaxLP returns the hard cap (0 = unlimited).
-func (p *Pool) MaxLP() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.maxLP
-}
+// MaxLP returns the hard cap (0 = unlimited). Lock-free.
+func (p *Pool) MaxLP() int { return int(p.maxLP.Load()) }
 
 // Active returns the number of workers currently executing a task.
-func (p *Pool) Active() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.active
-}
+// Lock-free.
+func (p *Pool) Active() int { return int(p.active.Load()) }
 
-// QueueLen returns the number of tasks waiting for a worker.
-func (p *Pool) QueueLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
-}
+// QueueLen returns the number of tasks waiting for a worker (across the
+// overflow queue and all worker deques). Lock-free.
+func (p *Pool) QueueLen() int { return int(p.queued.Load()) }
+
+// Want returns the last requested LP target before clamping — what the
+// controller asked for, as opposed to what the caps allow. Lock-free.
+func (p *Pool) Want() int { return int(p.want.Load()) }
+
+// Cap returns the external LP cap (0 = none). Lock-free.
+func (p *Pool) Cap() int { return int(p.extCap.Load()) }
 
 // SetLP changes the level-of-parallelism target, clamped to [1, maxLP] and
 // any external cap. Raising it spawns or wakes workers immediately; lowering
 // it takes effect as running workers finish their current task. The
 // unclamped target is remembered, so lifting a cap later restores it.
 func (p *Pool) SetLP(n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return
-	}
 	if n < 1 {
 		n = 1
 	}
-	p.want = n
-	p.applyLocked()
-}
-
-// Want returns the last requested LP target before clamping — what the
-// controller asked for, as opposed to what the caps allow.
-func (p *Pool) Want() int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.want
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return
+	}
+	p.want.Store(int32(n))
+	changed := p.applyLocked()
+	p.mu.Unlock()
+	if changed {
+		p.sample()
+	}
 }
 
 // SetCap imposes (or, with n <= 0, lifts) an external LP cap on top of the
 // pool's own maxLP — the lever a machine-wide budget arbiter pulls. The last
 // SetLP target is re-clamped immediately, in both directions.
 func (p *Pool) SetCap(n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return
-	}
 	if n < 0 {
 		n = 0
 	}
-	p.extCap = n
-	p.applyLocked()
-}
-
-// Cap returns the external LP cap (0 = none).
-func (p *Pool) Cap() int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.extCap
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return
+	}
+	p.extCap.Store(int32(n))
+	changed := p.applyLocked()
+	p.mu.Unlock()
+	if changed {
+		p.sample()
+	}
 }
 
 // SetMaxLP adjusts the pool's own hard cap at runtime (0 = unlimited); the
 // current target is re-clamped immediately.
 func (p *Pool) SetMaxLP(n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return
-	}
 	if n < 0 {
 		n = 0
 	}
-	p.maxLP = n
-	p.applyLocked()
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return
+	}
+	p.maxLP.Store(int32(n))
+	changed := p.applyLocked()
+	p.mu.Unlock()
+	if changed {
+		p.sample()
+	}
 }
 
-// Submit enqueues a task for execution. Submitting to a closed pool fails
-// the task's root (resolving its future with ErrPoolClosed) instead of
-// panicking, so a stream racing Close against Input degrades to an errored
-// execution rather than a crash.
-func (p *Pool) Submit(t *Task) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+// Submit enqueues a task for execution from outside the pool (a root-level
+// task). External tasks go through the shared FIFO overflow queue, so
+// concurrent stream inputs are served in arrival order. Submitting to a
+// closed pool fails the task's root (resolving its future with
+// ErrPoolClosed) instead of panicking, so a stream racing Close against
+// Input degrades to an errored execution rather than a crash.
+func (p *Pool) Submit(t *Task) { p.submit(nil, t) }
+
+// submit routes t to w's own deque (LIFO, locality) when called from a
+// worker, or to the overflow FIFO otherwise.
+func (p *Pool) submit(w *worker, t *Task) {
+	if p.closed.Load() {
 		t.root.fail(ErrPoolClosed)
 		return
 	}
-	defer p.mu.Unlock()
-	p.queue = append(p.queue, t)
-	p.ensureWorkersLocked()
-	p.cond.Broadcast()
+	if w != nil {
+		w.dq.push(t)
+		p.queued.Add(1)
+	} else {
+		p.overflowMu.Lock()
+		p.overflow = append(p.overflow, t)
+		p.overflowMu.Unlock()
+		p.queued.Add(1)
+		p.maybeSpawn()
+	}
+	p.wakeOne()
+}
+
+// popOverflow takes the oldest externally submitted task, if any.
+func (p *Pool) popOverflow() *Task {
+	if p.queued.Load() == 0 {
+		return nil
+	}
+	p.overflowMu.Lock()
+	defer p.overflowMu.Unlock()
+	if p.overflowHd >= len(p.overflow) {
+		return nil
+	}
+	t := p.overflow[p.overflowHd]
+	p.overflow[p.overflowHd] = nil
+	p.overflowHd++
+	if p.overflowHd == len(p.overflow) {
+		p.overflow = p.overflow[:0]
+		p.overflowHd = 0
+	}
+	return t
 }
 
 // Close shuts the pool down. Queued tasks are dropped; workers exit after
 // their current task. Close is idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
+		p.mu.Unlock()
 		return
 	}
-	p.closed = true
-	p.queue = nil
+	p.closed.Store(true)
 	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.overflowMu.Lock()
+	p.overflow, p.overflowHd = nil, 0
+	p.overflowMu.Unlock()
+}
+
+// maybeSpawn brings the worker count up to the current LP; fast-path
+// lock-free when enough workers already exist.
+func (p *Pool) maybeSpawn() {
+	if ds := p.deques.Load(); int32(len(*ds)) >= p.lp.Load() {
+		return
+	}
+	p.mu.Lock()
+	p.ensureWorkersLocked()
+	p.mu.Unlock()
 }
 
 func (p *Pool) ensureWorkersLocked() {
-	for p.spawned < p.lp {
-		w := &worker{id: p.spawned}
+	for p.spawned < int(p.lp.Load()) {
+		w := &worker{id: p.spawned, dq: newDeque()}
 		p.spawned++
+		cur := *p.deques.Load()
+		next := make([]*deque, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = w.dq
+		p.deques.Store(&next)
 		go p.workerLoop(w)
 	}
 }
 
-func (p *Pool) sampleLocked() {
-	if p.gauge != nil {
-		p.gauge(p.clk.Now(), p.active, p.lp)
+// sample invokes the gauge, outside all pool locks.
+func (p *Pool) sample() {
+	if g := p.gauge.Load(); g != nil {
+		(*g)(p.clk.Now(), int(p.active.Load()), int(p.lp.Load()))
 	}
 }
 
-// worker identifies one pool goroutine in events and metrics.
+// worker identifies one pool goroutine in events and metrics and owns its
+// work-stealing deque.
 type worker struct {
 	id int
+	dq *deque
+}
+
+// acquire claims an execution slot under the LP gate.
+func (p *Pool) acquire() bool {
+	for {
+		a := p.active.Load()
+		if a >= p.lp.Load() {
+			return false
+		}
+		if p.active.CompareAndSwap(a, a+1) {
+			return true
+		}
+	}
+}
+
+// runnable reports whether a parked worker has any chance to make progress.
+func (p *Pool) runnable() bool {
+	return p.queued.Load() > 0 && p.active.Load() < p.lp.Load()
+}
+
+// park blocks until there is work to try for or the pool closes. The
+// sleepers counter is incremented before re-checking runnable, and
+// submitters increment queued before reading sleepers; with Go's
+// sequentially consistent atomics at least one side always sees the other,
+// so no wakeup is lost.
+func (p *Pool) park() {
+	p.mu.Lock()
+	p.sleepers.Add(1)
+	for !p.closed.Load() && !p.runnable() {
+		p.cond.Wait()
+	}
+	p.sleepers.Add(-1)
+	p.mu.Unlock()
+}
+
+// wakeOne signals one parked worker, if any.
+func (p *Pool) wakeOne() {
+	if p.sleepers.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// take returns the next task for w: its own deque first (LIFO children),
+// then the shared FIFO overflow (root tasks in arrival order), then a steal
+// sweep over the other workers' deques.
+func (p *Pool) take(w *worker) *Task {
+	if t := w.dq.pop(); t != nil {
+		p.queued.Add(-1)
+		return t
+	}
+	if t := p.popOverflow(); t != nil {
+		p.queued.Add(-1)
+		return t
+	}
+	dqs := *p.deques.Load()
+	n := len(dqs)
+	for attempt := 0; attempt < 2; attempt++ {
+		for i := 1; i <= n; i++ {
+			d := dqs[(w.id+i)%n]
+			if d == w.dq {
+				continue
+			}
+			if t := d.steal(); t != nil {
+				p.queued.Add(-1)
+				return t
+			}
+		}
+		if t := p.popOverflow(); t != nil {
+			p.queued.Add(-1)
+			return t
+		}
+		if p.queued.Load() == 0 {
+			return nil
+		}
+	}
+	return nil
 }
 
 func (p *Pool) workerLoop(w *worker) {
 	for {
-		p.mu.Lock()
-		for !p.closed && (len(p.queue) == 0 || p.active >= p.lp) {
-			p.cond.Wait()
-		}
-		if p.closed {
-			p.mu.Unlock()
+		if p.closed.Load() {
 			return
 		}
-		t := p.queue[len(p.queue)-1]
-		p.queue[len(p.queue)-1] = nil
-		p.queue = p.queue[:len(p.queue)-1]
-		p.active++
-		p.sampleLocked()
-		wrap := p.wrap
-		p.mu.Unlock()
-
+		if !p.acquire() {
+			p.park()
+			continue
+		}
+		t := p.take(w)
+		if t == nil {
+			p.active.Add(-1)
+			p.park()
+			continue
+		}
+		p.sample()
 		runStart := p.clk.Now()
-		if wrap != nil {
-			wrap(w.id, func() { p.run(w, t) })
+		if wf := p.wrap.Load(); wf != nil {
+			(*wf)(w.id, func() { p.run(w, t) })
 		} else {
 			p.run(w, t)
 		}
-		busy := p.clk.Now().Sub(runStart)
-
-		p.mu.Lock()
-		p.active--
-		p.tasksRun++
-		p.busyTotal += busy
-		p.sampleLocked()
-		p.cond.Broadcast()
-		p.mu.Unlock()
+		p.busyNS.Add(int64(p.clk.Now().Sub(runStart)))
+		p.tasksRun.Add(1)
+		p.active.Add(-1)
+		p.sample()
+		if p.queued.Load() > 0 {
+			p.wakeOne()
+		}
 	}
 }
 
 // run interprets t's instruction stack until the task completes, parks
 // behind children, or its root fails. A panic escaping an instruction —
 // which muscle wrappers already convert, so in practice a panicking event
-// listener — aborts the execution instead of killing the worker.
+// listener — aborts the execution instead of killing the worker. Terminal
+// paths recycle the task; parked parents are recycled by the worker that
+// later completes them.
 func (p *Pool) run(w *worker, t *Task) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -310,23 +463,28 @@ func (p *Pool) run(w *worker, t *Task) {
 	}()
 	for {
 		if t.root.Canceled() {
+			releaseTask(t)
 			return
 		}
 		if len(t.stack) == 0 {
-			t.complete()
+			t.complete(w)
 			return
 		}
 		in := t.pop()
 		children, err := in.interpret(w, t)
+		if rel, ok := in.(releasable); ok {
+			rel.release()
+		}
 		if err != nil {
-			if !t.absorb(err) {
+			if !t.absorb(w, err) {
 				t.root.fail(err)
 			}
+			releaseTask(t)
 			return
 		}
 		if children != nil {
 			for _, c := range children {
-				p.Submit(c)
+				p.submit(w, c)
 			}
 			return
 		}
@@ -336,14 +494,20 @@ func (p *Pool) run(w *worker, t *Task) {
 // Stats returns a snapshot of the pool's execution counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{TasksRun: p.tasksRun, BusyTime: p.busyTotal, Spawned: p.spawned}
+	spawned := p.spawned
+	p.mu.Unlock()
+	return Stats{
+		TasksRun: p.tasksRun.Load(),
+		BusyTime: time.Duration(p.busyNS.Load()),
+		Spawned:  spawned,
+	}
 }
 
 // String describes the pool state for debugging.
 func (p *Pool) String() string {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	spawned := p.spawned
+	p.mu.Unlock()
 	return fmt.Sprintf("pool{lp=%d max=%d active=%d queued=%d spawned=%d closed=%v}",
-		p.lp, p.maxLP, p.active, len(p.queue), p.spawned, p.closed)
+		p.lp.Load(), p.maxLP.Load(), p.active.Load(), p.queued.Load(), spawned, p.closed.Load())
 }

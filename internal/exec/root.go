@@ -129,7 +129,7 @@ func (r *Root) Start(node *skel.Node, param any) *Future {
 		return r.future
 	}
 	r.start = r.clk.Now()
-	t := newTask(r, nil, 0, param, instrFor(node, event.NoParent, nil))
+	t := newTask(r, nil, 0, param, instrFor(node.Plan(), event.NoParent))
 	r.pool.Submit(t)
 	return r.future
 }

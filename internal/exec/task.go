@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"skandium/internal/skel"
@@ -13,6 +14,12 @@ import (
 // the child's worker re-enqueues the parent. This continuation design is
 // what makes the level of parallelism a pure resource knob: a map with LP=1
 // still terminates, it just runs its branches sequentially.
+//
+// Tasks are recycled through a sync.Pool: the worker releases a task on its
+// terminal paths (complete, failure, cancellation), when no other goroutine
+// can still reference it — a task taken from a queue has no outstanding
+// children (a forked parent is parked, not queued, until its last child
+// re-submits it).
 type Task struct {
 	id     uint64
 	root   *Root
@@ -32,15 +39,27 @@ type Task struct {
 
 var lastTaskID atomic.Uint64
 
+var taskPool = sync.Pool{New: func() any { return new(Task) }}
+
 func newTask(root *Root, parent *Task, branch int, param any, program ...Instr) *Task {
-	return &Task{
-		id:     lastTaskID.Add(1),
-		root:   root,
-		parent: parent,
-		branch: branch,
-		param:  param,
-		stack:  program,
+	t := taskPool.Get().(*Task)
+	t.id = lastTaskID.Add(1)
+	t.root, t.parent, t.branch, t.param = root, parent, branch, param
+	t.stack = append(t.stack, program...)
+	return t
+}
+
+// releaseTask zeroes t and returns it to the pool, keeping the stack's
+// backing array. Callers must guarantee no other goroutine references t.
+func releaseTask(t *Task) {
+	for i := range t.stack {
+		t.stack[i] = nil
 	}
+	t.stack = t.stack[:0]
+	t.id, t.root, t.parent, t.branch = 0, nil, nil, 0
+	t.param, t.results = nil, nil
+	t.pending.Store(0)
+	taskPool.Put(t)
 }
 
 // push adds instructions to the stack; the last pushed runs first.
@@ -72,25 +91,30 @@ func (t *Task) takeResults() []any {
 }
 
 // childDone records a child's result; the last child re-enqueues the parent
-// on the pool.
-func (t *Task) childDone(branch int, result any) {
+// on the worker's own deque (w may be nil for non-worker contexts).
+func (t *Task) childDone(w *worker, branch int, result any) {
 	t.results[branch] = result
 	if t.pending.Add(-1) == 0 {
-		t.root.pool.Submit(t)
+		t.root.pool.submit(w, t)
 	}
 }
 
 // complete is called when the stack is empty: the task's value is final.
-func (t *Task) complete() {
-	if t.parent != nil {
-		t.parent.childDone(t.branch, t.param)
+// The task is recycled before the parent is notified (the parent never
+// reads the child again).
+func (t *Task) complete(w *worker) {
+	parent, branch, param, root := t.parent, t.branch, t.param, t.root
+	releaseTask(t)
+	if parent != nil {
+		parent.childDone(w, branch, param)
 		return
 	}
-	t.root.finish(t.param, nil)
+	root.finish(param, nil)
 }
 
-// appendTrace returns a fresh trace slice extending base with nd. Traces are
-// immutable once handed to events, so each extension copies.
+// appendTrace returns a fresh trace slice extending base with nd. The static
+// traces of a program are precomputed once per root (skel.Site); this
+// remains only for divide&conquer recursion, whose trace grows per depth.
 func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
 	tr := make([]*skel.Node, len(base)+1)
 	copy(tr, base)

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// TestStreamJobAllocBound pins the per-job allocation cost of the simulated
+// hot path (farm(seq) with no listeners — the configuration the farm
+// throughput benchmark measures). The bound is deliberately loose against
+// incidental growth but tight enough to catch a return to per-event Event
+// construction or per-activation trace copying, either of which multiplies
+// the count.
+func TestStreamJobAllocBound(t *testing.T) {
+	fe := muscle.NewExecute("fe", func(p any) (any, error) { return p, nil })
+	node := skel.NewFarm(skel.NewSeq(fe))
+	eng := NewEngine(Config{
+		Costs: CostFunc(func(*muscle.Muscle, any) time.Duration { return time.Millisecond }),
+		LP:    4,
+	})
+
+	const jobs = 64
+	inj := make([]Injection, jobs)
+	for i := range inj {
+		inj[i] = Injection{Param: i}
+	}
+	// Warm up once: plan/root-program caches populate on the first run.
+	if _, err := eng.RunStream(node, inj); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.RunStream(node, inj); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perJob := allocs / jobs
+	// One farm(seq) job currently costs ~10 allocations (task, stack, the
+	// activation's typed instructions). 20 leaves headroom; the pre-PR-4
+	// closure-per-event interpreter sat near 25.
+	if perJob > 20 {
+		t.Fatalf("one farm(seq) job allocates %.1f objects (total %.0f for %d jobs), want <= 20",
+			perJob, allocs, jobs)
+	}
+}

@@ -80,6 +80,12 @@ type Engine struct {
 	nextArr   int
 	results   []StreamResult
 	completed int
+
+	// rootNode/rootProg cache the compiled entry program of the last
+	// streamed node: entry instructions are immutable, so every injection
+	// of the same node can push the same program.
+	rootNode *skel.Node
+	rootProg []sinstr
 }
 
 // arrival is a pending stream injection.
@@ -256,7 +262,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 		r := e.running.pop()
 		e.clk.Set(r.until)
 		e.sample()
-		r.done()
+		r.fin.finish(r.task, r.slot)
 		if e.err != nil {
 			break
 		}
@@ -275,8 +281,12 @@ func (e *Engine) admitArrivals(node *skel.Node) {
 	for e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(now) {
 		a := e.arrivals[e.nextArr]
 		e.nextArr++
+		if e.rootNode != node {
+			e.rootNode = node
+			e.rootProg = progFor(e, node.Plan(), event.NoParent)
+		}
 		root := &task{param: a.param, rootIdx: a.idx}
-		root.push(progFor(e, node, event.NoParent, nil)...)
+		root.push(e.rootProg...)
 		e.submit(root)
 	}
 }
@@ -316,22 +326,17 @@ func (e *Engine) step(t *task, slot int) {
 		}
 		in := t.pop()
 		switch in := in.(type) {
+		case *emitInstr:
+			in.run(t, slot)
 		case *instant:
 			in.fn(t, slot)
+		case *seqInstr:
+			in.run(t, slot)
+		case *seqBusy:
+			e.park(t, slot, in.dur, in)
+			return
 		case *busy:
-			d := in.dur
-			if d < 0 {
-				d = 0
-			}
-			e.seq++
-			e.running.push(run{
-				until: e.clk.Now().Add(d),
-				seq:   e.seq,
-				task:  t,
-				slot:  slot,
-				done:  func() { in.fn(t, slot) },
-			})
-			e.sample()
+			e.park(t, slot, in.dur, in)
 			return
 		case *spawn:
 			if len(in.children) == 0 {
@@ -412,6 +417,9 @@ type busy struct {
 	fn  func(t *task, slot int)
 }
 
+// finish implements finisher.
+func (b *busy) finish(t *task, slot int) { b.fn(t, slot) }
+
 // spawn parks the task behind children.
 type spawn struct{ children []*task }
 
@@ -419,12 +427,35 @@ func (*instant) simInstr() {}
 func (*busy) simInstr()    {}
 func (*spawn) simInstr()   {}
 
+// finisher is the continuation of a busy period, invoked when the virtual
+// muscle completes. Typed (rather than a bound closure per busy period) so
+// scheduling a muscle costs no extra allocation.
+type finisher interface {
+	finish(t *task, slot int)
+}
+
+// park schedules t's current busy period of duration d, finishing with fin.
+func (e *Engine) park(t *task, slot int, d time.Duration, fin finisher) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.running.push(run{
+		until: e.clk.Now().Add(d),
+		seq:   e.seq,
+		task:  t,
+		slot:  slot,
+		fin:   fin,
+	})
+	e.sample()
+}
+
 type run struct {
 	until time.Time
 	seq   uint64
 	task  *task
 	slot  int
-	done  func()
+	fin   finisher
 }
 
 // runHeap orders running muscles by completion time, FIFO within equal

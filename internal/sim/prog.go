@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"skandium/internal/event"
 	"skandium/internal/exec"
@@ -14,31 +15,44 @@ import (
 // controller cannot tell the substrates apart. Differential tests in
 // sim_test.go enforce the equivalence.
 
-// sctx is one activation's event context (exec's actx counterpart).
+// sctx is one activation's event context (exec's actx counterpart). trace is
+// usually the site's static precomputed trace; d&c recursion substitutes its
+// dynamically grown one.
 type sctx struct {
 	e      *Engine
-	nd     *skel.Node
+	site   *skel.Site
 	trace  []*skel.Node
 	idx    int64
 	parent int64
 }
 
+func (a sctx) nd() *skel.Node { return a.site.Node() }
+
 func (a sctx) emit(slot int, when event.When, where event.Where, param any, mod func(*event.Event)) any {
-	ev := &event.Event{
-		Node:   a.nd,
-		Trace:  a.trace,
-		Index:  a.idx,
-		Parent: a.parent,
-		When:   when,
-		Where:  where,
-		Param:  param,
-		Time:   a.e.clk.Now(),
-		Worker: slot,
+	reg := a.e.events
+	nd := a.site.Node()
+	// Fast path: when no listener can match this slot, skip Event
+	// construction entirely (the simulator is single-threaded, so this is
+	// purely an allocation/cost optimization — no behavioural change).
+	if !reg.Wants(nd.Kind(), when, where) {
+		return param
 	}
+	ev := event.Acquire()
+	ev.Node = nd
+	ev.Trace = a.trace
+	ev.Index = a.idx
+	ev.Parent = a.parent
+	ev.When = when
+	ev.Where = where
+	ev.Param = param
+	ev.Time = a.e.clk.Now()
+	ev.Worker = slot
 	if mod != nil {
 		mod(ev)
 	}
-	return a.e.events.Emit(ev)
+	p := reg.Emit(ev)
+	event.Release(ev)
+	return p
 }
 
 // scall invokes a muscle with panic recovery, mirroring exec.call.
@@ -62,95 +76,154 @@ func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
 	return tr
 }
 
-// progFor returns the entry program of one activation of nd: a single
-// instant instruction that raises the begin event and unfolds the rest.
-func progFor(e *Engine, nd *skel.Node, parent int64, trace []*skel.Node) []sinstr {
-	return []sinstr{entryFor(e, nd, parent, trace)}
+// progFor returns the entry program of one activation of the skeleton at
+// site: a single instant instruction that raises the begin event and unfolds
+// the rest.
+func progFor(e *Engine, site *skel.Site, parent int64) []sinstr {
+	return []sinstr{entryFor(e, site, parent)}
 }
 
-func entryFor(e *Engine, nd *skel.Node, parent int64, trace []*skel.Node) sinstr {
-	tr := appendTrace(trace, nd)
-	switch nd.Kind() {
+func entryFor(e *Engine, site *skel.Site, parent int64) sinstr {
+	return entryWithTrace(e, site, parent, site.Trace())
+}
+
+// entryWithTrace is entryFor with an explicit trace — divide&conquer
+// recursion re-enters sites with a longer, dynamically grown trace.
+func entryWithTrace(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+	switch site.Node().Kind() {
 	case skel.Seq:
-		return seqEntry(e, nd, parent, tr)
+		return seqEntry(e, site, parent, tr)
 	case skel.Farm:
-		return wrapperEntry(e, nd, parent, tr, nd.Children()[0], 0, 0)
+		return wrapperEntry(e, site, parent, tr, site.Child(0), 0, 0)
 	case skel.Pipe:
-		return pipeEntry(e, nd, parent, tr)
+		return pipeEntry(e, site, parent, tr)
 	case skel.While:
-		return whileEntry(e, nd, parent, tr)
+		return whileEntry(e, site, parent, tr)
 	case skel.If:
-		return ifEntry(e, nd, parent, tr)
+		return ifEntry(e, site, parent, tr)
 	case skel.For:
-		return forEntry(e, nd, parent, tr)
+		return forEntry(e, site, parent, tr)
 	case skel.Map:
-		return mapEntry(e, nd, parent, tr)
+		return mapEntry(e, site, parent, tr)
 	case skel.Fork:
-		return forkEntry(e, nd, parent, tr)
+		return forkEntry(e, site, parent, tr)
 	case skel.DaC:
-		return dacEntry(e, nd, parent, tr, 0)
+		return dacEntry(e, site, parent, tr, 0)
 	default:
-		panic(fmt.Sprintf("sim: unknown skeleton kind %v", nd.Kind()))
+		panic(fmt.Sprintf("sim: unknown skeleton kind %v", site.Node().Kind()))
 	}
 }
 
 // begin opens the activation: allocates the index and emits Skeleton/Before.
-func begin(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, t *task, slot int) sctx {
-	a := sctx{e: e, nd: nd, trace: tr, idx: e.nextIndex(), parent: parent}
+func begin(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, t *task, slot int) sctx {
+	a := sctx{e: e, site: site, trace: tr, idx: e.nextIndex(), parent: parent}
 	t.param = a.emit(slot, event.Before, event.Skeleton, t.param, nil)
 	return a
 }
 
+// emitInstr raises one event with fixed coordinates. It is the typed form
+// of the skeleton-end / nested-begin / nested-end brackets: every activation
+// pushes several of these, so they carry their parameters as fields instead
+// of closure captures (one allocation instead of two).
+type emitInstr struct {
+	a      sctx
+	when   event.When
+	where  event.Where
+	branch int
+	iter   int
+}
+
+func (*emitInstr) simInstr() {}
+
+func (in *emitInstr) run(t *task, slot int) {
+	a := in.a
+	reg := a.e.events
+	nd := a.site.Node()
+	if !reg.Wants(nd.Kind(), in.when, in.where) {
+		return
+	}
+	ev := event.Acquire()
+	ev.Node = nd
+	ev.Trace = a.trace
+	ev.Index = a.idx
+	ev.Parent = a.parent
+	ev.When = in.when
+	ev.Where = in.where
+	ev.Param = t.param
+	ev.Branch = in.branch
+	ev.Iter = in.iter
+	ev.Time = a.e.clk.Now()
+	ev.Worker = slot
+	t.param = reg.Emit(ev)
+	event.Release(ev)
+}
+
 func skelEnd(a sctx) sinstr {
-	return &instant{fn: func(t *task, slot int) {
-		t.param = a.emit(slot, event.After, event.Skeleton, t.param, nil)
-	}}
+	return &emitInstr{a: a, when: event.After, where: event.Skeleton}
 }
 
 func nestedBegin(a sctx, branch, iter int) sinstr {
-	return &instant{fn: func(t *task, slot int) {
-		t.param = a.emit(slot, event.Before, event.NestedSkel, t.param, func(ev *event.Event) {
-			ev.Branch, ev.Iter = branch, iter
-		})
-	}}
+	return &emitInstr{a: a, when: event.Before, where: event.NestedSkel, branch: branch, iter: iter}
 }
 
 func nestedEnd(a sctx, branch, iter int) sinstr {
-	return &instant{fn: func(t *task, slot int) {
-		t.param = a.emit(slot, event.After, event.NestedSkel, t.param, func(ev *event.Event) {
-			ev.Branch, ev.Iter = branch, iter
-		})
-	}}
+	return &emitInstr{a: a, when: event.After, where: event.NestedSkel, branch: branch, iter: iter}
 }
 
 // --- seq ------------------------------------------------------------------------
 
-func seqEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
-	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
-		fe := nd.Exec()
-		t.push(&busy{dur: e.costs.Cost(fe, t.param), fn: func(t *task, slot int) {
-			res, err := scall(fe, tr, func() (any, error) { return fe.CallExecute(t.param) })
-			if err != nil {
-				e.fail(err)
-				return
-			}
-			t.param = a.emit(slot, event.After, event.Skeleton, res, nil)
-		}})
-	}}
+// seqInstr opens a seq activation; seqBusy is its execute muscle's busy
+// period plus completion. Both are typed because seq dominates every
+// workload's instruction count (every leaf is one).
+type seqInstr struct {
+	e      *Engine
+	site   *skel.Site
+	parent int64
+	tr     []*skel.Node
+}
+
+func (*seqInstr) simInstr() {}
+
+func (in *seqInstr) run(t *task, slot int) {
+	a := begin(in.e, in.site, in.parent, in.tr, t, slot)
+	fe := in.site.Node().Exec()
+	t.push(&seqBusy{dur: in.e.costs.Cost(fe, t.param), a: a, fe: fe})
+}
+
+type seqBusy struct {
+	dur time.Duration
+	a   sctx
+	fe  *muscle.Muscle
+}
+
+func (*seqBusy) simInstr() {}
+
+// finish implements finisher.
+func (in *seqBusy) finish(t *task, slot int) {
+	a := in.a
+	res, err := scall(in.fe, a.trace, func() (any, error) { return in.fe.CallExecute(t.param) })
+	if err != nil {
+		a.e.fail(err)
+		return
+	}
+	t.param = a.emit(slot, event.After, event.Skeleton, res, nil)
+}
+
+func seqEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+	return &seqInstr{e: e, site: site, parent: parent, tr: tr}
 }
 
 // --- wrappers: farm and the shared single-body bracket ---------------------------
 
 // wrapperEntry brackets one nested evaluation with skeleton + nested events
 // (farm, and the chosen branch of if via ifEntry).
-func wrapperEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, sub *skel.Node, branch, iter int) sinstr {
+func wrapperEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, sub *skel.Site, branch, iter int) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		t.push(
 			skelEnd(a),
 			nestedEnd(a, branch, iter),
-			entryFor(e, sub, a.idx, tr),
+			entryFor(e, sub, a.idx),
 			nestedBegin(a, branch, iter),
 		)
 	}}
@@ -158,29 +231,29 @@ func wrapperEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, sub *
 
 // --- pipe / for -------------------------------------------------------------------
 
-func pipeEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func pipeEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
-		stages := nd.Children()
+		a := begin(e, site, parent, tr, t, slot)
+		stages := site.Children()
 		t.push(skelEnd(a))
 		for i := len(stages) - 1; i >= 0; i-- {
 			t.push(
 				nestedEnd(a, i, 0),
-				entryFor(e, stages[i], a.idx, tr),
+				entryFor(e, stages[i], a.idx),
 				nestedBegin(a, i, 0),
 			)
 		}
 	}}
 }
 
-func forEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func forEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		t.push(skelEnd(a))
-		for i := nd.N() - 1; i >= 0; i-- {
+		for i := site.Node().N() - 1; i >= 0; i-- {
 			t.push(
 				nestedEnd(a, 0, i),
-				entryFor(e, nd.Children()[0], a.idx, tr),
+				entryFor(e, site.Child(0), a.idx),
 				nestedBegin(a, 0, i),
 			)
 		}
@@ -192,7 +265,7 @@ func forEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
 // pushCond schedules one condition evaluation, then hands the verdict to
 // andThen (still on the simulated worker).
 func pushCond(a sctx, iter int, t *task, slot int, andThen func(t *task, slot int, c bool)) {
-	fc := a.nd.Cond()
+	fc := a.nd().Cond()
 	p := a.emit(slot, event.Before, event.Condition, t.param, func(ev *event.Event) { ev.Iter = iter })
 	t.param = p
 	t.push(&busy{dur: a.e.costs.Cost(fc, p), fn: func(t *task, slot int) {
@@ -208,9 +281,9 @@ func pushCond(a sctx, iter int, t *task, slot int, andThen func(t *task, slot in
 	}})
 }
 
-func whileEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func whileEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		t.push(whileCheck(a, 0))
 	}}
 }
@@ -225,16 +298,16 @@ func whileCheck(a sctx, iter int) sinstr {
 			t.push(
 				whileCheck(a, iter+1),
 				nestedEnd(a, 0, iter),
-				entryFor(a.e, a.nd.Children()[0], a.idx, a.trace),
+				entryFor(a.e, a.site.Child(0), a.idx),
 				nestedBegin(a, 0, iter),
 			)
 		})
 	}}
 }
 
-func ifEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func ifEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		pushCond(a, 0, t, slot, func(t *task, slot int, c bool) {
 			branch := 0
 			if !c {
@@ -243,7 +316,7 @@ func ifEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
 			t.push(
 				skelEnd(a),
 				nestedEnd(a, branch, 0),
-				entryFor(e, nd.Children()[branch], a.idx, tr),
+				entryFor(e, site.Child(branch), a.idx),
 				nestedBegin(a, branch, 0),
 			)
 		})
@@ -254,7 +327,7 @@ func ifEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
 
 // pushSplit schedules the split muscle and hands the sub-problems to andThen.
 func pushSplit(a sctx, t *task, slot int, andThen func(t *task, slot int, parts []any)) {
-	fs := a.nd.Split()
+	fs := a.nd().Split()
 	p := a.emit(slot, event.Before, event.Split, t.param, nil)
 	t.param = p
 	t.push(&busy{dur: a.e.costs.Cost(fs, p), fn: func(t *task, slot int) {
@@ -283,10 +356,10 @@ func mergeCont(a sctx) sinstr {
 		rs, ok := p.([]any)
 		if !ok {
 			a.e.fail(fmt.Errorf("skandium: listener replaced merge input of %s with %T (want []any)",
-				a.nd.Kind(), p))
+				a.nd().Kind(), p))
 			return
 		}
-		fm := a.nd.Merge()
+		fm := a.nd().Merge()
 		t.push(&busy{dur: a.e.costs.Cost(fm, rs), fn: func(t *task, slot int) {
 			merged, err := scall(fm, a.trace, func() (any, error) { return fm.CallMerge(rs) })
 			if err != nil {
@@ -319,23 +392,23 @@ func forkOut(a sctx, t *task, parts []any, prog func(branch int) sinstr) {
 	t.push(&spawn{children: children})
 }
 
-func mapEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func mapEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
 			t.push(mergeCont(a))
 			forkOut(a, t, parts, func(int) sinstr {
-				return entryFor(e, nd.Children()[0], a.idx, tr)
+				return entryFor(e, site.Child(0), a.idx)
 			})
 		})
 	}}
 }
 
-func forkEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
+func forkEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
-			subs := nd.Children()
+			subs := site.Children()
 			if len(parts) != len(subs) {
 				e.fail(fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
 					len(parts), len(subs)))
@@ -343,29 +416,35 @@ func forkEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node) sinstr {
 			}
 			t.push(mergeCont(a))
 			forkOut(a, t, parts, func(b int) sinstr {
-				return entryFor(e, subs[b], a.idx, tr)
+				return entryFor(e, subs[b], a.idx)
 			})
 		})
 	}}
 }
 
-func dacEntry(e *Engine, nd *skel.Node, parent int64, tr []*skel.Node, depth int) sinstr {
+func dacEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, depth int) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, nd, parent, tr, t, slot)
+		a := begin(e, site, parent, tr, t, slot)
 		pushCond(a, depth, t, slot, func(t *task, slot int, c bool) {
 			if !c {
+				leaf := site.Child(0)
+				leafEntry := entryFor(e, leaf, a.idx)
+				if depth > 0 {
+					leafEntry = entryWithTrace(e, leaf, a.idx, appendTrace(tr, leaf.Node()))
+				}
 				t.push(
 					skelEnd(a),
 					nestedEnd(a, 0, depth),
-					entryFor(e, nd.Children()[0], a.idx, tr),
+					leafEntry,
 					nestedBegin(a, 0, depth),
 				)
 				return
 			}
 			pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
 				t.push(mergeCont(a))
+				branchTrace := appendTrace(tr, site.Node())
 				forkOut(a, t, parts, func(int) sinstr {
-					return dacEntry(e, nd, a.idx, appendTrace(tr, nd), depth+1)
+					return dacEntry(e, site, a.idx, branchTrace, depth+1)
 				})
 			})
 		})

@@ -16,6 +16,7 @@ package statemachine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skandium/internal/estimate"
@@ -94,6 +95,13 @@ type Instance struct {
 type Tracker struct {
 	est *estimate.Registry
 
+	// ver counts mutations of the activation tree (instance creation,
+	// completion, muscle records). pendingBranch bookkeeping does not bump
+	// it: a pending slot only matters once the child's Skeleton/Before
+	// arrives, which bumps. The counter only advances, so two equal reads
+	// bracket an unchanged tree.
+	ver atomic.Uint64
+
 	mu        sync.Mutex
 	instances map[int64]*Instance
 	roots     []*Instance
@@ -168,6 +176,7 @@ func (tr *Tracker) handle(e *event.Event) {
 			if in := tr.inst(e); in != nil && !in.Done {
 				in.Done = true
 				in.EndTime = e.Time
+				tr.ver.Add(1)
 			}
 			tr.mu.Unlock()
 		}
@@ -178,16 +187,25 @@ func (tr *Tracker) handle(e *event.Event) {
 	switch e.Where {
 	case event.Skeleton:
 		tr.onSkeleton(e)
+		tr.ver.Add(1)
 	case event.Split:
 		tr.onSplit(e)
+		tr.ver.Add(1)
 	case event.Merge:
 		tr.onMerge(e)
+		tr.ver.Add(1)
 	case event.Condition:
 		tr.onCondition(e)
+		tr.ver.Add(1)
 	case event.NestedSkel:
 		tr.onNested(e)
 	}
 }
+
+// Version returns the tree mutation counter. Read it before snapshotting
+// the tree (WithTree); an equal read later proves the tree is unchanged in
+// between, so results derived from the snapshot are still current.
+func (tr *Tracker) Version() uint64 { return tr.ver.Load() }
 
 func (tr *Tracker) inst(e *event.Event) *Instance {
 	return tr.instances[e.Index]

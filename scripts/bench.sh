@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Runs the repo's benchmark suite and records the results as benchjson JSON.
+#
+#   scripts/bench.sh                 # full suite -> BENCH_4.json
+#   OUT=my.json scripts/bench.sh     # choose the output file
+#   BENCHTIME=200x scripts/bench.sh  # fixed iteration count (comparable runs)
+#   FILTER='FarmThroughput|EventOverhead|EngineFanout' scripts/bench.sh
+#
+# Compare two recordings (fails on >20% regressions, timing advisory-only):
+#
+#   go run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_4.json -ns-advisory
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_4.json}"
+BENCHTIME="${BENCHTIME:-200x}"
+FILTER="${FILTER:-.}"
+
+go test -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' . \
+	| tee /dev/stderr \
+	| go run ./cmd/benchjson -out "$OUT"
+
+echo "wrote $OUT" >&2
