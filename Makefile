@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt cover check clean
+.PHONY: all build test race bench figures examples vet fmt lint cover check clean
 
 all: check
 
-# check is the pre-merge gate: compile, full tests, vet/fmt, then the race
-# detector over the concurrency-heavy packages (pool, controller+arbiter,
-# daemon) and the stream lifecycle tests of the root package.
-check: build test vet race
+# check is the pre-merge gate: compile, full tests, vet/fmt, static
+# analysis, then the race detector over the concurrency-heavy packages
+# (pool, controller+arbiter, daemon), the cross-backend conformance
+# harness, and the stream lifecycle tests of the root package.
+check: build test vet lint race
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal
+	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal ./internal/plan ./internal/conformance
 	$(GO) test -race -run 'TestClose|TestDrain|TestStream|TestChaos|TestWithRetry|TestWCTGoal' .
 
 bench:
@@ -41,6 +42,15 @@ examples:
 vet:
 	$(GO) vet ./...
 	gofmt -l .
+
+# lint runs staticcheck when it is installed (CI installs it; local
+# machines without it skip with a notice instead of failing check).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

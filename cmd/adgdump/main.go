@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/adgdump            # the paper's snapshot (t=70, LP=2)
 //	go run ./cmd/adgdump -virtual   # the a-priori plan (nothing executed)
+//	go run ./cmd/adgdump -plan      # the compiled program IR (internal/plan)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"skandium/internal/estimate"
 	"skandium/internal/event"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 	"skandium/internal/statemachine"
 )
@@ -28,6 +30,7 @@ func main() {
 	virtual := flag.Bool("virtual", false, "plan the program a priori instead of the t=70 snapshot")
 	lp := flag.Int("lp", 2, "limited-LP strategy thread count")
 	dot := flag.Bool("dot", false, "emit Graphviz dot of the best-effort schedule and exit")
+	showPlan := flag.Bool("plan", false, "print the compiled program IR shared by all engines and exit")
 	flag.Parse()
 
 	fs := muscle.NewSplit("fs", func(any) ([]any, error) { return nil, nil })
@@ -35,6 +38,15 @@ func main() {
 	fm := muscle.NewMerge("fm", func([]any) (any, error) { return nil, nil })
 	inner := skel.NewMap(fs, skel.NewSeq(fe), fm)
 	outer := skel.NewMap(fs, inner, fm)
+
+	if *showPlan {
+		p, err := plan.Of(outer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(p.Dump())
+		return
+	}
 
 	est := estimate.NewRegistry(nil)
 	est.InitDuration(fs.ID(), u(10))

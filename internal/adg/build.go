@@ -7,6 +7,7 @@ import (
 
 	"skandium/internal/estimate"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 	"skandium/internal/statemachine"
 )
@@ -38,7 +39,11 @@ func (e *IncompleteError) Error() string {
 }
 
 // Builder constructs ADGs from a live activation tree (or from bare
-// structure, for pre-execution planning) and an estimate registry.
+// structure, for pre-execution planning) and an estimate registry. Both
+// walks run over the compiled program IR (internal/plan) — the same steps
+// the interpreter and the simulator execute — so structural decisions
+// (branch resolution, fan-out arity, muscle slots) cannot drift between
+// analysis and execution.
 type Builder struct {
 	// Est supplies t(m) and |m|.
 	Est *estimate.Registry
@@ -56,12 +61,17 @@ type build struct {
 
 // BuildLive snapshots the ADG of a running execution: root is the tracker's
 // root instance, start the execution start time, now the analysis instant.
+// The walk pairs each live activation with its compiled program step.
 func (b Builder) BuildLive(root *statemachine.Instance, start, now time.Time) (*Graph, error) {
 	if root == nil {
 		return nil, fmt.Errorf("adg: no root activation yet")
 	}
+	p, err := plan.Of(root.Node)
+	if err != nil {
+		return nil, err
+	}
 	bd := b.newBuild(now)
-	bd.liveInst(root, nil)
+	bd.liveInst(root, p.Root(), nil)
 	if bd.err != nil {
 		return nil, bd.err
 	}
@@ -72,8 +82,12 @@ func (b Builder) BuildLive(root *statemachine.Instance, start, now time.Time) (*
 // started: every activity is pending, anchored at start. It requires every
 // muscle to have (initialized) estimates.
 func (b Builder) BuildVirtual(node *skel.Node, start time.Time) (*Graph, error) {
+	p, err := plan.Of(node)
+	if err != nil {
+		return nil, err
+	}
 	bd := b.newBuild(start)
-	bd.virtual(node, nil)
+	bd.virtual(p.Root(), nil)
 	if bd.err != nil {
 		return nil, bd.err
 	}
@@ -144,26 +158,26 @@ func (bd *build) act(m *muscle.Muscle, label string, rec statemachine.ActivityRe
 
 // collapsed replaces a whole subtree with one pending activity whose
 // duration is the analytic sequential estimate — the budget fallback.
-func (bd *build) collapsed(node *skel.Node, preds []*Activity) []*Activity {
-	return bd.lump(node, 1, preds)
+func (bd *build) collapsed(st *plan.Step, preds []*Activity) []*Activity {
+	return bd.lump(st, 1, preds)
 }
 
 // lump replaces count repetitions of a subtree with one pending activity of
 // count times the analytic sequential estimate. It keeps over-budget graphs
 // bounded: the remaining work is modelled pessimistically (sequential) but
 // the analysis stays cheap.
-func (bd *build) lump(node *skel.Node, count int, preds []*Activity) []*Activity {
+func (bd *build) lump(st *plan.Step, count int, preds []*Activity) []*Activity {
 	if count <= 0 {
 		return preds
 	}
-	d, err := SeqEstimate(bd.est, node)
+	d, err := seqEst(bd.est, st)
 	if err != nil {
 		bd.fail(err)
 		return nil
 	}
 	a := &Activity{
 		ID:    len(bd.acts),
-		Label: "~" + node.Kind().String(),
+		Label: "~" + st.Kind().String(),
 		Dur:   time.Duration(count) * d,
 		Preds: preds,
 	}
@@ -174,182 +188,184 @@ func (bd *build) lump(node *skel.Node, count int, preds []*Activity) []*Activity
 
 // --- virtual expansion (structure that has not started) ------------------------
 
-// virtual expands node into pending activities and returns the exit set.
-func (bd *build) virtual(node *skel.Node, preds []*Activity) []*Activity {
+// virtual expands the program step into pending activities and returns the
+// exit set.
+func (bd *build) virtual(st *plan.Step, preds []*Activity) []*Activity {
 	if bd.err != nil {
 		return nil
 	}
 	if bd.budget <= 0 {
-		return bd.collapsed(node, preds)
+		return bd.collapsed(st, preds)
 	}
 	none := statemachine.ActivityRec{}
-	switch node.Kind() {
-	case skel.Seq:
-		return []*Activity{bd.act(node.Exec(), node.Exec().Name(), none, preds)}
-	case skel.Farm:
-		return bd.virtual(node.Children()[0], preds)
-	case skel.Pipe:
-		for _, stage := range node.Children() {
+	switch st.Op() {
+	case plan.OpExec:
+		return []*Activity{bd.act(st.Exec(), st.Exec().Name(), none, preds)}
+	case plan.OpWrap:
+		return bd.virtual(st.Child(0), preds)
+	case plan.OpStages:
+		for _, stage := range st.Children() {
 			preds = bd.virtual(stage, preds)
 		}
 		return preds
-	case skel.For:
-		for i := 0; i < node.N(); i++ {
+	case plan.OpRepeat:
+		for i := 0; i < st.N(); i++ {
 			if bd.budget <= 0 {
-				return bd.lump(node.Children()[0], node.N()-i, preds)
+				return bd.lump(st.Child(0), st.N()-i, preds)
 			}
-			preds = bd.virtual(node.Children()[0], preds)
+			preds = bd.virtual(st.Child(0), preds)
 		}
 		return preds
-	case skel.While:
-		k := bd.card(node.Cond())
+	case plan.OpLoop:
+		k := bd.card(st.Cond())
 		for i := 0; i < k; i++ {
 			if bd.budget <= 0 {
-				return bd.lump(node, 1, preds) // remaining loop as one lump
+				return bd.lump(st, 1, preds) // remaining loop as one lump
 			}
-			cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
-			preds = bd.virtual(node.Children()[0], []*Activity{cond})
+			cond := bd.act(st.Cond(), st.Cond().Name(), none, preds)
+			preds = bd.virtual(st.Child(0), []*Activity{cond})
 		}
-		final := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+		final := bd.act(st.Cond(), st.Cond().Name(), none, preds)
 		return []*Activity{final}
-	case skel.If:
-		cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+	case plan.OpSelect:
+		cond := bd.act(st.Cond(), st.Cond().Name(), none, preds)
 		// Extension (paper leaves If unsupported): plan for the worst-case
 		// branch by analytic sequential estimate.
-		t, errT := SeqEstimate(bd.est, node.Children()[0])
-		f, errF := SeqEstimate(bd.est, node.Children()[1])
-		branch := node.Children()[0]
+		t, errT := seqEst(bd.est, st.Child(0))
+		f, errF := seqEst(bd.est, st.Child(1))
+		branch := st.Child(0)
 		if errT != nil || (errF == nil && f > t) {
-			branch = node.Children()[1]
+			branch = st.Child(1)
 		}
 		return bd.virtual(branch, []*Activity{cond})
-	case skel.Map:
-		split := bd.act(node.Split(), node.Split().Name(), none, preds)
-		k := bd.card(node.Split())
+	case plan.OpFanOut:
+		split := bd.act(st.Split(), st.Split().Name(), none, preds)
+		k := bd.card(st.Split())
 		exits := make([]*Activity, 0, k)
 		for i := 0; i < k; i++ {
 			if bd.budget <= 0 {
-				exits = append(exits, bd.lump(node.Children()[0], k-i, []*Activity{split})...)
+				exits = append(exits, bd.lump(st.Child(0), k-i, []*Activity{split})...)
 				break
 			}
-			exits = append(exits, bd.virtual(node.Children()[0], []*Activity{split})...)
+			exits = append(exits, bd.virtual(st.Child(0), []*Activity{split})...)
 		}
-		merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+		merge := bd.act(st.Merge(), st.Merge().Name(), none, exits)
 		return []*Activity{merge}
-	case skel.Fork:
-		split := bd.act(node.Split(), node.Split().Name(), none, preds)
+	case plan.OpFanFixed:
+		split := bd.act(st.Split(), st.Split().Name(), none, preds)
 		var exits []*Activity
-		for _, sub := range node.Children() {
+		for _, sub := range st.Children() {
 			exits = append(exits, bd.virtual(sub, []*Activity{split})...)
 		}
-		merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+		merge := bd.act(st.Merge(), st.Merge().Name(), none, exits)
 		return []*Activity{merge}
-	case skel.DaC:
-		depth := bd.card(node.Cond())
-		return bd.virtualDaC(node, preds, depth)
+	case plan.OpRecurse:
+		depth := bd.card(st.Cond())
+		return bd.virtualDaC(st, preds, depth)
 	default:
-		bd.fail(fmt.Errorf("adg: unknown kind %v", node.Kind()))
+		bd.fail(fmt.Errorf("adg: unknown program operation %v", st.Op()))
 		return nil
 	}
 }
 
 // virtualDaC expands a divide-and-conquer with `remaining` estimated levels
 // of recursion left before the leaf.
-func (bd *build) virtualDaC(node *skel.Node, preds []*Activity, remaining int) []*Activity {
+func (bd *build) virtualDaC(st *plan.Step, preds []*Activity, remaining int) []*Activity {
 	if bd.err != nil {
 		return nil
 	}
 	if bd.budget <= 0 {
-		return bd.collapsed(node, preds)
+		return bd.collapsed(st, preds)
 	}
 	none := statemachine.ActivityRec{}
-	cond := bd.act(node.Cond(), node.Cond().Name(), none, preds)
+	cond := bd.act(st.Cond(), st.Cond().Name(), none, preds)
 	if remaining <= 0 {
-		return bd.virtual(node.Children()[0], []*Activity{cond})
+		return bd.virtual(st.Child(0), []*Activity{cond})
 	}
-	split := bd.act(node.Split(), node.Split().Name(), none, []*Activity{cond})
-	k := bd.card(node.Split())
+	split := bd.act(st.Split(), st.Split().Name(), none, []*Activity{cond})
+	k := bd.card(st.Split())
 	if k < 1 {
 		k = 1
 	}
 	var exits []*Activity
 	for i := 0; i < k; i++ {
 		if bd.budget <= 0 {
-			exits = append(exits, bd.lump(node, k-i, []*Activity{split})...)
+			exits = append(exits, bd.lump(st, k-i, []*Activity{split})...)
 			break
 		}
-		exits = append(exits, bd.virtualDaC(node, []*Activity{split}, remaining-1)...)
+		exits = append(exits, bd.virtualDaC(st, []*Activity{split}, remaining-1)...)
 	}
-	merge := bd.act(node.Merge(), node.Merge().Name(), none, exits)
+	merge := bd.act(st.Merge(), st.Merge().Name(), none, exits)
 	return []*Activity{merge}
 }
 
 // --- live expansion (activations that exist) -----------------------------------
 
 // liveInst expands a live activation, mixing actual history with estimated
-// futures, and returns the exit set.
-func (bd *build) liveInst(in *statemachine.Instance, preds []*Activity) []*Activity {
+// futures, and returns the exit set. st is the compiled step the activation
+// was executed from (d&c recursion levels share their node's single step).
+func (bd *build) liveInst(in *statemachine.Instance, st *plan.Step, preds []*Activity) []*Activity {
 	if bd.err != nil {
 		return nil
 	}
 	if bd.budget <= 0 {
-		return bd.collapsed(in.Node, preds)
+		return bd.collapsed(st, preds)
 	}
-	switch in.Kind {
-	case skel.Seq:
+	switch st.Op() {
+	case plan.OpExec:
 		rec := in.Exec
 		if !rec.Started {
 			// Fig. 3: the seq activation brackets exactly the fe muscle.
 			rec = statemachine.ActivityRec{Start: in.StartTime, Started: in.Started}
 		}
-		return []*Activity{bd.act(in.Node.Exec(), in.Node.Exec().Name(), rec, preds)}
-	case skel.Farm:
-		return bd.singleBody(in, preds)
-	case skel.Pipe:
+		return []*Activity{bd.act(st.Exec(), st.Exec().Name(), rec, preds)}
+	case plan.OpWrap:
+		return bd.singleBody(in, st, preds)
+	case plan.OpStages:
 		byBranch := childrenByBranch(in)
-		for i := range in.Node.Children() {
+		for i, stage := range st.Children() {
 			if c, ok := byBranch[i]; ok {
-				preds = bd.liveInst(c, preds)
+				preds = bd.liveInst(c, stage, preds)
 			} else {
-				preds = bd.virtual(in.Node.Children()[i], preds)
+				preds = bd.virtual(stage, preds)
 			}
 		}
 		return preds
-	case skel.For:
+	case plan.OpRepeat:
 		byIter := childrenByIter(in)
-		for i := 0; i < in.Node.N(); i++ {
+		for i := 0; i < st.N(); i++ {
 			if c, ok := byIter[i]; ok {
-				preds = bd.liveInst(c, preds)
+				preds = bd.liveInst(c, st.Child(0), preds)
 			} else {
-				preds = bd.virtual(in.Node.Children()[0], preds)
+				preds = bd.virtual(st.Child(0), preds)
 			}
 		}
 		return preds
-	case skel.While:
-		return bd.liveWhile(in, preds)
-	case skel.If:
-		return bd.liveIf(in, preds)
-	case skel.Map, skel.Fork:
-		return bd.liveSplitMerge(in, preds, nil)
-	case skel.DaC:
-		return bd.liveDaC(in, preds)
+	case plan.OpLoop:
+		return bd.liveWhile(in, st, preds)
+	case plan.OpSelect:
+		return bd.liveIf(in, st, preds)
+	case plan.OpFanOut, plan.OpFanFixed:
+		return bd.liveSplitMerge(in, st, preds, nil)
+	case plan.OpRecurse:
+		return bd.liveDaC(in, st, preds)
 	default:
-		bd.fail(fmt.Errorf("adg: unknown kind %v", in.Kind))
+		bd.fail(fmt.Errorf("adg: unknown program operation %v", st.Op()))
 		return nil
 	}
 }
 
 // singleBody handles wrappers with exactly one nested evaluation (farm).
-func (bd *build) singleBody(in *statemachine.Instance, preds []*Activity) []*Activity {
+func (bd *build) singleBody(in *statemachine.Instance, st *plan.Step, preds []*Activity) []*Activity {
 	if len(in.Children) > 0 {
-		return bd.liveInst(in.Children[0], preds)
+		return bd.liveInst(in.Children[0], st.Child(0), preds)
 	}
-	return bd.virtual(in.Node.Children()[0], preds)
+	return bd.virtual(st.Child(0), preds)
 }
 
-func (bd *build) liveWhile(in *statemachine.Instance, preds []*Activity) []*Activity {
-	fc := in.Node.Cond()
-	body := in.Node.Children()[0]
+func (bd *build) liveWhile(in *statemachine.Instance, st *plan.Step, preds []*Activity) []*Activity {
+	fc := st.Cond()
+	body := st.Child(0)
 	byIter := childrenByIter(in)
 	// Recorded condition checks alternate with body iterations. A check
 	// still running is assumed true when the |fc| estimate predicts more
@@ -369,7 +385,7 @@ func (bd *build) liveWhile(in *statemachine.Instance, preds []*Activity) []*Acti
 			assumed = 1
 		}
 		if c, ok := byIter[i]; ok {
-			preds = bd.liveInst(c, preds)
+			preds = bd.liveInst(c, body, preds)
 		} else {
 			preds = bd.virtual(body, preds)
 		}
@@ -385,8 +401,8 @@ func (bd *build) liveWhile(in *statemachine.Instance, preds []*Activity) []*Acti
 	return []*Activity{final}
 }
 
-func (bd *build) liveIf(in *statemachine.Instance, preds []*Activity) []*Activity {
-	fc := in.Node.Cond()
+func (bd *build) liveIf(in *statemachine.Instance, st *plan.Step, preds []*Activity) []*Activity {
+	fc := st.Cond()
 	var cond *Activity
 	if len(in.Conds) > 0 {
 		cond = bd.act(fc, fc.Name(), in.Conds[0], preds)
@@ -394,44 +410,49 @@ func (bd *build) liveIf(in *statemachine.Instance, preds []*Activity) []*Activit
 		cond = bd.act(fc, fc.Name(), statemachine.ActivityRec{}, preds)
 	}
 	if len(in.Children) > 0 {
-		return bd.liveInst(in.Children[0], []*Activity{cond})
+		// The chosen branch is recorded on the child instance.
+		b := in.Children[0].Branch
+		if b < 0 || b > 1 {
+			b = 0
+		}
+		return bd.liveInst(in.Children[0], st.Child(b), []*Activity{cond})
 	}
 	// Branch not chosen yet: worst case, as in the virtual expansion.
-	t, errT := SeqEstimate(bd.est, in.Node.Children()[0])
-	f, errF := SeqEstimate(bd.est, in.Node.Children()[1])
-	branch := in.Node.Children()[0]
+	t, errT := seqEst(bd.est, st.Child(0))
+	f, errF := seqEst(bd.est, st.Child(1))
+	branch := st.Child(0)
 	if errT != nil || (errF == nil && f > t) {
-		branch = in.Node.Children()[1]
+		branch = st.Child(1)
 	}
 	return bd.virtual(branch, []*Activity{cond})
 }
 
 // liveSplitMerge handles map and fork (and the split arm of d&c when extra
 // entry predecessors are supplied).
-func (bd *build) liveSplitMerge(in *statemachine.Instance, preds []*Activity, entry []*Activity) []*Activity {
-	node := in.Node
+func (bd *build) liveSplitMerge(in *statemachine.Instance, st *plan.Step, preds []*Activity, entry []*Activity) []*Activity {
 	splitPreds := preds
 	if entry != nil {
 		splitPreds = entry
 	}
-	split := bd.act(node.Split(), node.Split().Name(), in.Split, splitPreds)
+	split := bd.act(st.Split(), st.Split().Name(), in.Split, splitPreds)
 	k := in.ActualCard
-	var subFor func(branch int) *skel.Node
-	if in.Kind == skel.Fork {
+	var subFor func(branch int) *plan.Step
+	if st.Op() == plan.OpFanFixed {
+		subs := st.Children()
 		if k < 0 {
-			k = len(node.Children())
+			k = len(subs)
 		}
-		subFor = func(b int) *skel.Node {
-			if b < len(node.Children()) {
-				return node.Children()[b]
+		subFor = func(b int) *plan.Step {
+			if b < len(subs) {
+				return subs[b]
 			}
-			return node.Children()[len(node.Children())-1]
+			return subs[len(subs)-1]
 		}
 	} else {
 		if k < 0 {
-			k = bd.card(node.Split())
+			k = bd.card(st.Split())
 		}
-		subFor = func(int) *skel.Node { return node.Children()[0] }
+		subFor = func(int) *plan.Step { return st.Child(0) }
 	}
 	byBranch := childrenByBranch(in)
 	var exits []*Activity
@@ -441,17 +462,17 @@ func (bd *build) liveSplitMerge(in *statemachine.Instance, preds []*Activity, en
 			break
 		}
 		if c, ok := byBranch[b]; ok {
-			exits = append(exits, bd.liveInst(c, []*Activity{split})...)
+			exits = append(exits, bd.liveInst(c, subFor(b), []*Activity{split})...)
 		} else {
 			exits = append(exits, bd.virtual(subFor(b), []*Activity{split})...)
 		}
 	}
-	merge := bd.act(node.Merge(), node.Merge().Name(), in.Merge, exits)
+	merge := bd.act(st.Merge(), st.Merge().Name(), in.Merge, exits)
 	return []*Activity{merge}
 }
 
-func (bd *build) liveDaC(in *statemachine.Instance, preds []*Activity) []*Activity {
-	fc := in.Node.Cond()
+func (bd *build) liveDaC(in *statemachine.Instance, st *plan.Step, preds []*Activity) []*Activity {
+	fc := st.Cond()
 	var cond *Activity
 	if len(in.Conds) > 0 {
 		cond = bd.act(fc, fc.Name(), in.Conds[0], preds)
@@ -462,57 +483,57 @@ func (bd *build) liveDaC(in *statemachine.Instance, preds []*Activity) []*Activi
 	switch {
 	case in.Split.Started || in.ActualCard >= 0:
 		// Condition held: recursive arm. Children are dacs one level deeper.
-		return bd.liveSplitMergeDaC(in, entry)
+		return bd.liveSplitMergeDaC(in, st, entry)
 	case in.CondClosed:
 		// Leaf: the nested skeleton solves it.
 		if len(in.Children) > 0 {
-			return bd.liveInst(in.Children[0], entry)
+			return bd.liveInst(in.Children[0], st.Child(0), entry)
 		}
-		return bd.virtual(in.Node.Children()[0], entry)
+		return bd.virtual(st.Child(0), entry)
 	default:
 		// Condition still running/unknown: expand virtually from the
 		// estimated remaining depth.
 		est := bd.card(fc)
 		remaining := est - in.Depth
 		if remaining <= 0 {
-			return bd.virtual(in.Node.Children()[0], entry)
+			return bd.virtual(st.Child(0), entry)
 		}
-		split := bd.act(in.Node.Split(), in.Node.Split().Name(), statemachine.ActivityRec{}, entry)
-		k := bd.card(in.Node.Split())
+		split := bd.act(st.Split(), st.Split().Name(), statemachine.ActivityRec{}, entry)
+		k := bd.card(st.Split())
 		if k < 1 {
 			k = 1
 		}
 		var exits []*Activity
 		for i := 0; i < k; i++ {
-			exits = append(exits, bd.virtualDaC(in.Node, []*Activity{split}, remaining-1)...)
+			exits = append(exits, bd.virtualDaC(st, []*Activity{split}, remaining-1)...)
 		}
-		merge := bd.act(in.Node.Merge(), in.Node.Merge().Name(), statemachine.ActivityRec{}, exits)
+		merge := bd.act(st.Merge(), st.Merge().Name(), statemachine.ActivityRec{}, exits)
 		return []*Activity{merge}
 	}
 }
 
-func (bd *build) liveSplitMergeDaC(in *statemachine.Instance, entry []*Activity) []*Activity {
-	node := in.Node
-	split := bd.act(node.Split(), node.Split().Name(), in.Split, entry)
+func (bd *build) liveSplitMergeDaC(in *statemachine.Instance, st *plan.Step, entry []*Activity) []*Activity {
+	split := bd.act(st.Split(), st.Split().Name(), in.Split, entry)
 	k := in.ActualCard
 	if k < 0 {
-		k = bd.card(node.Split())
+		k = bd.card(st.Split())
 		if k < 1 {
 			k = 1
 		}
 	}
 	byBranch := childrenByBranch(in)
-	est := bd.card(node.Cond())
+	est := bd.card(st.Cond())
 	var exits []*Activity
 	for b := 0; b < k; b++ {
 		if c, ok := byBranch[b]; ok {
-			exits = append(exits, bd.liveInst(c, []*Activity{split})...)
+			// Recursive children re-enter the same d&c step one level deeper.
+			exits = append(exits, bd.liveInst(c, st, []*Activity{split})...)
 		} else {
 			remaining := est - (in.Depth + 1)
-			exits = append(exits, bd.virtualDaC(node, []*Activity{split}, remaining)...)
+			exits = append(exits, bd.virtualDaC(st, []*Activity{split}, remaining)...)
 		}
 	}
-	merge := bd.act(node.Merge(), node.Merge().Name(), in.Merge, exits)
+	merge := bd.act(st.Merge(), st.Merge().Name(), in.Merge, exits)
 	return []*Activity{merge}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"skandium/internal/estimate"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -20,18 +21,22 @@ const maxAnalyticDepth = 64
 // virtual ADG and is also used to collapse over-budget subtrees and to rank
 // if-branches. It fails with IncompleteError when an estimate is missing.
 func SeqEstimate(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
-	return seqEst(est, node)
+	p, err := plan.Of(node)
+	if err != nil {
+		return 0, err
+	}
+	return seqEst(est, p.Root())
 }
 
-func seqEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
-	switch node.Kind() {
-	case skel.Seq:
-		return mDur(est, node.Exec())
-	case skel.Farm:
-		return seqEst(est, node.Children()[0])
-	case skel.Pipe:
+func seqEst(est *estimate.Registry, st *plan.Step) (time.Duration, error) {
+	switch st.Op() {
+	case plan.OpExec:
+		return mDur(est, st.Exec())
+	case plan.OpWrap:
+		return seqEst(est, st.Child(0))
+	case plan.OpStages:
 		var total time.Duration
-		for _, s := range node.Children() {
+		for _, s := range st.Children() {
 			d, err := seqEst(est, s)
 			if err != nil {
 				return 0, err
@@ -39,36 +44,36 @@ func seqEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
 			total += d
 		}
 		return total, nil
-	case skel.For:
-		d, err := seqEst(est, node.Children()[0])
+	case plan.OpRepeat:
+		d, err := seqEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		return time.Duration(node.N()) * d, nil
-	case skel.While:
-		tc, err := mDur(est, node.Cond())
+		return time.Duration(st.N()) * d, nil
+	case plan.OpLoop:
+		tc, err := mDur(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		k, err := mCard(est, node.Cond())
+		k, err := mCard(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		body, err := seqEst(est, node.Children()[0])
+		body, err := seqEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
 		return time.Duration(k+1)*tc + time.Duration(k)*body, nil
-	case skel.If:
-		tc, err := mDur(est, node.Cond())
+	case plan.OpSelect:
+		tc, err := mDur(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		t, err := seqEst(est, node.Children()[0])
+		t, err := seqEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		f, err := seqEst(est, node.Children()[1])
+		f, err := seqEst(est, st.Child(1))
 		if err != nil {
 			return 0, err
 		}
@@ -76,84 +81,84 @@ func seqEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
 			t = f
 		}
 		return tc + t, nil
-	case skel.Map:
-		ts, err := mDur(est, node.Split())
+	case plan.OpFanOut:
+		ts, err := mDur(est, st.Split())
 		if err != nil {
 			return 0, err
 		}
-		k, err := mCard(est, node.Split())
+		k, err := mCard(est, st.Split())
 		if err != nil {
 			return 0, err
 		}
-		body, err := seqEst(est, node.Children()[0])
+		body, err := seqEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		tm, err := mDur(est, node.Merge())
+		tm, err := mDur(est, st.Merge())
 		if err != nil {
 			return 0, err
 		}
 		return ts + time.Duration(k)*body + tm, nil
-	case skel.Fork:
-		ts, err := mDur(est, node.Split())
+	case plan.OpFanFixed:
+		ts, err := mDur(est, st.Split())
 		if err != nil {
 			return 0, err
 		}
 		var bodies time.Duration
-		for _, sub := range node.Children() {
+		for _, sub := range st.Children() {
 			d, err := seqEst(est, sub)
 			if err != nil {
 				return 0, err
 			}
 			bodies += d
 		}
-		tm, err := mDur(est, node.Merge())
+		tm, err := mDur(est, st.Merge())
 		if err != nil {
 			return 0, err
 		}
 		return ts + bodies + tm, nil
-	case skel.DaC:
-		depth, err := mCard(est, node.Cond())
+	case plan.OpRecurse:
+		depth, err := mCard(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
 		if depth > maxAnalyticDepth {
 			depth = maxAnalyticDepth
 		}
-		return dacEst(est, node, depth)
+		return dacEst(est, st, depth)
 	default:
-		return 0, fmt.Errorf("adg: unknown kind %v", node.Kind())
+		return 0, fmt.Errorf("adg: unknown program operation %v", st.Op())
 	}
 }
 
-func dacEst(est *estimate.Registry, node *skel.Node, remaining int) (time.Duration, error) {
-	tc, err := mDur(est, node.Cond())
+func dacEst(est *estimate.Registry, st *plan.Step, remaining int) (time.Duration, error) {
+	tc, err := mDur(est, st.Cond())
 	if err != nil {
 		return 0, err
 	}
 	if remaining <= 0 {
-		leaf, err := seqEst(est, node.Children()[0])
+		leaf, err := seqEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
 		return tc + leaf, nil
 	}
-	ts, err := mDur(est, node.Split())
+	ts, err := mDur(est, st.Split())
 	if err != nil {
 		return 0, err
 	}
-	k, err := mCard(est, node.Split())
+	k, err := mCard(est, st.Split())
 	if err != nil {
 		return 0, err
 	}
 	if k < 1 {
 		k = 1
 	}
-	tm, err := mDur(est, node.Merge())
+	tm, err := mDur(est, st.Merge())
 	if err != nil {
 		return 0, err
 	}
-	sub, err := dacEst(est, node, remaining-1)
+	sub, err := dacEst(est, st, remaining-1)
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"skandium/internal/estimate"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -16,18 +17,22 @@ import (
 // spirit of Lobachev et al.'s sequential-work + parallel-penalty model
 // that the paper contrasts with its ADG approach.
 func SpanEstimate(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
-	return spanEst(est, node)
+	p, err := plan.Of(node)
+	if err != nil {
+		return 0, err
+	}
+	return spanEst(est, p.Root())
 }
 
-func spanEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
-	switch node.Kind() {
-	case skel.Seq:
-		return mDur(est, node.Exec())
-	case skel.Farm:
-		return spanEst(est, node.Children()[0])
-	case skel.Pipe:
+func spanEst(est *estimate.Registry, st *plan.Step) (time.Duration, error) {
+	switch st.Op() {
+	case plan.OpExec:
+		return mDur(est, st.Exec())
+	case plan.OpWrap:
+		return spanEst(est, st.Child(0))
+	case plan.OpStages:
 		var total time.Duration
-		for _, s := range node.Children() {
+		for _, s := range st.Children() {
 			d, err := spanEst(est, s)
 			if err != nil {
 				return 0, err
@@ -35,36 +40,36 @@ func spanEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
 			total += d
 		}
 		return total, nil
-	case skel.For:
-		d, err := spanEst(est, node.Children()[0])
+	case plan.OpRepeat:
+		d, err := spanEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		return time.Duration(node.N()) * d, nil
-	case skel.While:
-		tc, err := mDur(est, node.Cond())
+		return time.Duration(st.N()) * d, nil
+	case plan.OpLoop:
+		tc, err := mDur(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		k, err := mCard(est, node.Cond())
+		k, err := mCard(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		body, err := spanEst(est, node.Children()[0])
+		body, err := spanEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
 		return time.Duration(k+1)*tc + time.Duration(k)*body, nil
-	case skel.If:
-		tc, err := mDur(est, node.Cond())
+	case plan.OpSelect:
+		tc, err := mDur(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
-		a, err := spanEst(est, node.Children()[0])
+		a, err := spanEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		b, err := spanEst(est, node.Children()[1])
+		b, err := spanEst(est, st.Child(1))
 		if err != nil {
 			return 0, err
 		}
@@ -72,28 +77,28 @@ func spanEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
 			a = b
 		}
 		return tc + a, nil
-	case skel.Map:
+	case plan.OpFanOut:
 		// All sub-problems run in parallel: span = split + one body + merge.
-		ts, err := mDur(est, node.Split())
+		ts, err := mDur(est, st.Split())
 		if err != nil {
 			return 0, err
 		}
-		body, err := spanEst(est, node.Children()[0])
+		body, err := spanEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
-		tm, err := mDur(est, node.Merge())
+		tm, err := mDur(est, st.Merge())
 		if err != nil {
 			return 0, err
 		}
 		return ts + body + tm, nil
-	case skel.Fork:
-		ts, err := mDur(est, node.Split())
+	case plan.OpFanFixed:
+		ts, err := mDur(est, st.Split())
 		if err != nil {
 			return 0, err
 		}
 		var widest time.Duration
-		for _, sub := range node.Children() {
+		for _, sub := range st.Children() {
 			d, err := spanEst(est, sub)
 			if err != nil {
 				return 0, err
@@ -102,46 +107,46 @@ func spanEst(est *estimate.Registry, node *skel.Node) (time.Duration, error) {
 				widest = d
 			}
 		}
-		tm, err := mDur(est, node.Merge())
+		tm, err := mDur(est, st.Merge())
 		if err != nil {
 			return 0, err
 		}
 		return ts + widest + tm, nil
-	case skel.DaC:
-		depth, err := mCard(est, node.Cond())
+	case plan.OpRecurse:
+		depth, err := mCard(est, st.Cond())
 		if err != nil {
 			return 0, err
 		}
 		if depth > maxAnalyticDepth {
 			depth = maxAnalyticDepth
 		}
-		return dacSpan(est, node, depth)
+		return dacSpan(est, st, depth)
 	default:
-		return 0, fmt.Errorf("adg: unknown kind %v", node.Kind())
+		return 0, fmt.Errorf("adg: unknown program operation %v", st.Op())
 	}
 }
 
-func dacSpan(est *estimate.Registry, node *skel.Node, remaining int) (time.Duration, error) {
-	tc, err := mDur(est, node.Cond())
+func dacSpan(est *estimate.Registry, st *plan.Step, remaining int) (time.Duration, error) {
+	tc, err := mDur(est, st.Cond())
 	if err != nil {
 		return 0, err
 	}
 	if remaining <= 0 {
-		leaf, err := spanEst(est, node.Children()[0])
+		leaf, err := spanEst(est, st.Child(0))
 		if err != nil {
 			return 0, err
 		}
 		return tc + leaf, nil
 	}
-	ts, err := mDur(est, node.Split())
+	ts, err := mDur(est, st.Split())
 	if err != nil {
 		return 0, err
 	}
-	tm, err := mDur(est, node.Merge())
+	tm, err := mDur(est, st.Merge())
 	if err != nil {
 		return 0, err
 	}
-	sub, err := dacSpan(est, node, remaining-1)
+	sub, err := dacSpan(est, st, remaining-1)
 	if err != nil {
 		return 0, err
 	}

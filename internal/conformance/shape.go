@@ -1,0 +1,56 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skandium/internal/statemachine"
+)
+
+// Shape renders the canonical structure of a completed execution's
+// activation tree: every activation's kind, structural slot, muscle
+// cardinalities and control-flow verdicts, with children sorted by slot
+// rather than by arrival order. Two executions of the same program on the
+// same input must produce identical shapes regardless of substrate (pool
+// interpreter vs simulator) and regardless of scheduling (activation
+// indices and event interleavings are concurrency-dependent; the shape is
+// not).
+func Shape(tr *statemachine.Tracker) string {
+	var out string
+	tr.WithTree(func(roots []*statemachine.Instance) {
+		parts := make([]string, len(roots))
+		for i, r := range roots {
+			parts[i] = shapeOf(r)
+		}
+		out = strings.Join(parts, "\n")
+	})
+	return out
+}
+
+func shapeOf(in *statemachine.Instance) string {
+	var b strings.Builder
+	writeShape(&b, in, 0)
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, in *statemachine.Instance, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%v[branch=%d iter=%d depth=%d card=%d conds=%d true=%d closed=%t done=%t]",
+		in.Kind, in.Branch, in.Iter, in.Depth, in.ActualCard,
+		len(in.Conds), in.TrueIters, in.CondClosed, in.Done)
+	b.WriteByte('\n')
+	kids := make([]*statemachine.Instance, len(in.Children))
+	copy(kids, in.Children)
+	sort.SliceStable(kids, func(i, j int) bool {
+		if kids[i].Iter != kids[j].Iter {
+			return kids[i].Iter < kids[j].Iter
+		}
+		return kids[i].Branch < kids[j].Branch
+	})
+	for _, c := range kids {
+		writeShape(b, c, depth+1)
+	}
+}

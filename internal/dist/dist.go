@@ -20,6 +20,8 @@ import (
 	"skandium/internal/clock"
 	"skandium/internal/event"
 	"skandium/internal/exec"
+	"skandium/internal/plan"
+	"skandium/internal/skel"
 )
 
 // Config describes the simulated cluster.
@@ -103,6 +105,15 @@ func (c *Cluster) dispatch(node int, run func()) {
 // reg (nil = fresh).
 func (c *Cluster) NewExecution(reg *event.Registry) *exec.Root {
 	return exec.NewRoot(c.pool, reg, c.clk)
+}
+
+// Compile lowers a skeleton tree to the shared program IR. A distributed
+// coordinator ships (or references) the compiled program once; worker nodes
+// interpret steps without re-deriving structure per task. Local executions
+// feed the result to exec.Root.StartProgram — the same seam a remote
+// backend would use.
+func (c *Cluster) Compile(node *skel.Node) (*plan.Program, error) {
+	return plan.Of(node)
 }
 
 // Pool exposes the underlying coordinator queue.

@@ -174,3 +174,39 @@ func TestConcurrentStatsAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCompiledProgramSeam: a coordinator compiles the program once and
+// injects inputs through exec.Root.StartProgram; results match Start.
+func TestCompiledProgramSeam(t *testing.T) {
+	nd, _, _, _ := wordcountish(100*time.Microsecond, 5)
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+
+	prog, err := c.Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Node() != nd {
+		t.Fatal("compiled program not rooted at the source node")
+	}
+	// Compile is cached on the node: recompiling yields the same program.
+	again, err := c.Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != prog {
+		t.Fatal("recompiling the same node built a second program")
+	}
+
+	viaProgram, err := c.NewExecution(nil).StartProgram(prog, 0).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStart, err := c.NewExecution(nil).Start(nd, 0).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaProgram != viaStart || viaProgram != 5 {
+		t.Fatalf("StartProgram=%v Start=%v, want both 5", viaProgram, viaStart)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"skandium/internal/clock"
 	"skandium/internal/event"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -281,11 +282,11 @@ func TestBackoffVirtualClockAndJitterDeterminism(t *testing.T) {
 	}
 }
 
-func TestBadKindFailsRootCleanly(t *testing.T) {
-	in := badKindInst{kind: skel.Kind(255)}
+func TestBadOpFailsRootCleanly(t *testing.T) {
+	in := badOpInst{op: plan.Op(255)}
 	_, err := in.interpret(nil, nil)
 	if err == nil {
-		t.Fatal("badKindInst must return an error")
+		t.Fatal("badOpInst must return an error")
 	}
 }
 

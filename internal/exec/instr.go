@@ -6,6 +6,7 @@ import (
 
 	"skandium/internal/event"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -39,68 +40,68 @@ func (ip *instrPool[T]) put(x *T) {
 	ip.p.Put(x)
 }
 
-// instrFor builds the entry instruction for one activation of the skeleton
-// at site. parent is the activation index of the enclosing skeleton
+// instrFor builds the entry instruction for one activation of the program
+// step. parent is the activation index of the enclosing skeleton
 // activation (event.NoParent at the root). The instruction's trace is the
-// site's precomputed static trace.
-func instrFor(site *skel.Site, parent int64) Instr {
-	return instrWithTrace(site, parent, site.Trace())
+// step's precompiled static trace.
+func instrFor(step *plan.Step, parent int64) Instr {
+	return instrWithTrace(step, parent, step.Trace())
 }
 
 // instrWithTrace is instrFor with an explicit trace — divide&conquer
-// recursion re-enters sites with a longer, dynamically grown trace.
-func instrWithTrace(site *skel.Site, parent int64, tr []*skel.Node) Instr {
-	switch site.Node().Kind() {
-	case skel.Seq:
+// recursion re-enters steps with a longer, dynamically grown trace.
+func instrWithTrace(step *plan.Step, parent int64, tr []*skel.Node) Instr {
+	switch step.Op() {
+	case plan.OpExec:
 		in := seqPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.Farm:
+	case plan.OpWrap:
 		in := farmPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.Pipe:
+	case plan.OpStages:
 		in := pipePool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.While:
+	case plan.OpLoop:
 		in := whilePool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.If:
+	case plan.OpSelect:
 		in := ifPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.For:
+	case plan.OpRepeat:
 		in := forPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.Map:
+	case plan.OpFanOut:
 		in := mapPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.Fork:
+	case plan.OpFanFixed:
 		in := forkPool.get()
-		in.site, in.parent, in.trace = site, parent, tr
+		in.step, in.parent, in.trace = step, parent, tr
 		return in
-	case skel.DaC:
+	case plan.OpRecurse:
 		in := dacPool.get()
-		in.site, in.parent, in.trace, in.depth = site, parent, tr, 0
+		in.step, in.parent, in.trace, in.depth = step, parent, tr, 0
 		return in
 	default:
-		// An unknown kind is unreachable through the public constructors,
-		// but a forged or future Node must fail the root cleanly instead of
-		// panicking the worker goroutine.
-		return badKindInst{kind: site.Node().Kind()}
+		// An unknown op is unreachable through Compile, but a forged or
+		// future Step must fail the root cleanly instead of panicking the
+		// worker goroutine.
+		return badOpInst{op: step.Op()}
 	}
 }
 
-// badKindInst fails the root for a skeleton kind the interpreter does not
+// badOpInst fails the root for a program operation the interpreter does not
 // know.
-type badKindInst struct{ kind skel.Kind }
+type badOpInst struct{ op plan.Op }
 
-func (in badKindInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	return nil, fmt.Errorf("skandium: unknown skeleton kind %v", in.kind)
+func (in badOpInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	return nil, fmt.Errorf("skandium: unknown program operation %v", in.op)
 }
 
 // MuscleError wraps an error (or recovered panic) raised by a muscle, adding

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"skandium/internal/event"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -12,7 +13,7 @@ import (
 // replication itself comes from the task pool running many farm activations
 // at once.
 type farmInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -22,11 +23,11 @@ var farmPool instrPool[farmInst]
 func (in *farmInst) release() { farmPool.put(in) }
 
 func (in *farmInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	t.push(
 		newSkelEnd(a),
 		newNestedEnd(a, 0, 0),
-		instrFor(in.site.Child(0), a.idx),
+		instrFor(in.step.Child(0), a.idx),
 		newNestedBegin(a, 0, 0),
 	)
 	return nil, nil
@@ -37,7 +38,7 @@ func (in *farmInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // number in Branch. Pipeline parallelism across *different* inputs emerges
 // from the pool executing several pipe activations concurrently.
 type pipeInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -47,8 +48,8 @@ var pipePool instrPool[pipeInst]
 func (in *pipeInst) release() { pipePool.put(in) }
 
 func (in *pipeInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
-	stages := in.site.Children()
+	a := begin(in.step, in.parent, in.trace, w, t)
+	stages := in.step.Children()
 	t.push(newSkelEnd(a))
 	for i := len(stages) - 1; i >= 0; i-- {
 		t.push(
@@ -63,7 +64,7 @@ func (in *pipeInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // forInst evaluates for(n,∆): n sequential nested evaluations, iteration
 // numbers carried in Iter.
 type forInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -73,13 +74,13 @@ var forPool instrPool[forInst]
 func (in *forInst) release() { forPool.put(in) }
 
 func (in *forInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
-	n := in.site.Node().N()
+	a := begin(in.step, in.parent, in.trace, w, t)
+	n := in.step.N()
 	t.push(newSkelEnd(a))
 	for i := n - 1; i >= 0; i-- {
 		t.push(
 			newNestedEnd(a, 0, i),
-			instrFor(in.site.Child(0), a.idx),
+			instrFor(in.step.Child(0), a.idx),
 			newNestedBegin(a, 0, i),
 		)
 	}
@@ -89,7 +90,7 @@ func (in *forInst) interpret(w *worker, t *Task) ([]*Task, error) {
 // whileInst opens a while(fc,∆) activation and schedules the first
 // condition check.
 type whileInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -99,7 +100,7 @@ var whilePool instrPool[whileInst]
 func (in *whileInst) release() { whilePool.put(in) }
 
 func (in *whileInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	t.push(newWhileCond(a, 0))
 	return nil, nil
 }
@@ -134,7 +135,7 @@ func (in *whileCondInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	t.push(
 		newWhileCond(in.a, in.iter+1),
 		newNestedEnd(in.a, 0, in.iter),
-		instrFor(in.a.site.Child(0), in.a.idx),
+		instrFor(in.a.step.Child(0), in.a.idx),
 		newNestedBegin(in.a, 0, in.iter),
 	)
 	return nil, nil
@@ -163,7 +164,7 @@ func runCondition(a actx, w *worker, t *Task, iter int) (bool, error) {
 // autonomic layer leaves If unsupported; the engine runs it and the ADG
 // layer handles it as a documented extension.
 type ifInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -173,7 +174,7 @@ var ifPool instrPool[ifInst]
 func (in *ifInst) release() { ifPool.put(in) }
 
 func (in *ifInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	c, err := runCondition(a, w, t, 0)
 	if err != nil {
 		return nil, err
@@ -185,7 +186,7 @@ func (in *ifInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	t.push(
 		newSkelEnd(a),
 		newNestedEnd(a, branch, 0),
-		instrFor(in.site.Child(branch), a.idx),
+		instrFor(in.step.Child(branch), a.idx),
 		newNestedBegin(a, branch, 0),
 	)
 	return nil, nil

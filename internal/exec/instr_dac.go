@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -10,10 +11,10 @@ import (
 // recursion depth travels in the events' Iter field — it is what the
 // estimator's |fc| cardinality tracks for d&c (estimated depth of the
 // recursion tree, per the paper §4). The trace grows with recursion depth,
-// so it cannot come from the static site beyond depth 0; it is extended once
+// so it cannot come from the static step beyond depth 0; it is extended once
 // per activation and shared by all of that activation's branches.
 type dacInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 	depth  int
@@ -24,17 +25,17 @@ var dacPool instrPool[dacInst]
 func (in *dacInst) release() { dacPool.put(in) }
 
 func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	c, err := runCondition(a, w, t, in.depth)
 	if err != nil {
 		return nil, err
 	}
 	if !c {
 		// Leaf: solve with the nested skeleton, then close the activation.
-		leaf := in.site.Child(0)
+		leaf := in.step.Child(0)
 		leafInstr := instrFor(leaf, a.idx)
 		if in.depth > 0 {
-			leafInstr = instrWithTrace(leaf, a.idx, appendTrace(in.trace, leaf.Node()))
+			leafInstr = instrWithTrace(leaf, a.idx, plan.ExtendTrace(in.trace, leaf.Node()))
 		}
 		t.push(
 			newSkelEnd(a),
@@ -50,12 +51,12 @@ func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	}
 	t.push(newMapMerge(a))
 	// One grown trace per activation, shared by every recursive branch.
-	site, nd := in.site, in.site.Node()
+	step, nd := in.step, in.step.Node()
 	depth := in.depth
-	branchTrace := appendTrace(in.trace, nd)
+	branchTrace := plan.ExtendTrace(in.trace, nd)
 	return forkChildren(a, t, parts, func(branch int) Instr {
 		child := dacPool.get()
-		child.site, child.parent, child.trace, child.depth = site, a.idx, branchTrace, depth+1
+		child.step, child.parent, child.trace, child.depth = step, a.idx, branchTrace, depth+1
 		return child
 	}), nil
 }

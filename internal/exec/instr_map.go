@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"skandium/internal/event"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -13,7 +14,7 @@ import (
 // tasks executed in parallel; the merge runs as a continuation when the last
 // child completes.
 type mapInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -23,13 +24,13 @@ var mapPool instrPool[mapInst]
 func (in *mapInst) release() { mapPool.put(in) }
 
 func (in *mapInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	parts, err := runSplit(a, w, t)
 	if err != nil {
 		return nil, err
 	}
 	t.push(newMapMerge(a))
-	child := in.site.Child(0)
+	child := in.step.Child(0)
 	return forkChildren(a, t, parts, func(branch int) Instr {
 		return instrFor(child, a.idx)
 	}), nil
@@ -139,7 +140,7 @@ func runMerge(a actx, w *worker, t *Task) (any, error) {
 // nested skeleton ∆b. The split must produce exactly one sub-problem per
 // nested skeleton.
 type forkInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -149,12 +150,12 @@ var forkPool instrPool[forkInst]
 func (in *forkInst) release() { forkPool.put(in) }
 
 func (in *forkInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
+	a := begin(in.step, in.parent, in.trace, w, t)
 	parts, err := runSplit(a, w, t)
 	if err != nil {
 		return nil, err
 	}
-	subs := in.site.Children()
+	subs := in.step.Children()
 	if len(parts) != len(subs) {
 		return nil, fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
 			len(parts), len(subs))

@@ -2,31 +2,32 @@ package exec
 
 import (
 	"skandium/internal/event"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
 // actx is the context of one skeleton activation, shared by the several
 // instructions an activation schedules (e.g. a map's split instruction and
-// its merge continuation). trace is usually the site's static trace; d&c
+// its merge continuation). trace is usually the step's static trace; d&c
 // recursion substitutes its dynamically grown one.
 type actx struct {
-	site   *skel.Site
+	step   *plan.Step
 	trace  []*skel.Node
 	idx    int64
 	parent int64
 }
 
 // nd returns the activation's skeleton node.
-func (a actx) nd() *skel.Node { return a.site.Node() }
+func (a actx) nd() *skel.Node { return a.step.Node() }
 
 // em builds an emitter for the current worker.
 func (a actx) em(r *Root, w *worker) emitter {
-	return emitter{root: r, w: w, nd: a.site.Node(), trace: a.trace, idx: a.idx, parent: a.parent}
+	return emitter{root: r, w: w, nd: a.step.Node(), trace: a.trace, idx: a.idx, parent: a.parent}
 }
 
 // begin allocates the activation index and raises the Skeleton/Before event.
-func begin(site *skel.Site, parent int64, trace []*skel.Node, w *worker, t *Task) actx {
-	a := actx{site: site, trace: trace, idx: t.root.nextIndex(), parent: parent}
+func begin(step *plan.Step, parent int64, trace []*skel.Node, w *worker, t *Task) actx {
+	a := actx{step: step, trace: trace, idx: t.root.nextIndex(), parent: parent}
 	t.param = a.em(t.root, w).emit(event.Before, event.Skeleton, t.param, nil)
 	return a
 }
@@ -34,7 +35,7 @@ func begin(site *skel.Site, parent int64, trace []*skel.Node, w *worker, t *Task
 // seqInst evaluates seq(fe): the two events of the paper's Fig. 3,
 // seq(fe)@b(i) and seq(fe)@a(i), bracket the execute muscle.
 type seqInst struct {
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	trace  []*skel.Node
 }
@@ -44,8 +45,8 @@ var seqPool instrPool[seqInst]
 func (in *seqInst) release() { seqPool.put(in) }
 
 func (in *seqInst) interpret(w *worker, t *Task) ([]*Task, error) {
-	a := begin(in.site, in.parent, in.trace, w, t)
-	fe := in.site.Node().Exec()
+	a := begin(in.step, in.parent, in.trace, w, t)
+	fe := in.step.Exec()
 	em := a.em(t.root, w)
 	// Each retry re-raises the Skeleton/Before event, restarting the
 	// activation clock so the estimator times only the final attempt.

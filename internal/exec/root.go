@@ -11,6 +11,7 @@ import (
 
 	"skandium/internal/clock"
 	"skandium/internal/event"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -123,13 +124,24 @@ func (r *Root) StartTime() time.Time { return r.start }
 
 // Start injects param into the skeleton program rooted at node and returns
 // the future of the result. Start must be called exactly once per Root.
+// The node is compiled to the shared program IR on first use (cached on the
+// node); compile errors resolve the future.
 func (r *Root) Start(node *skel.Node, param any) *Future {
-	if err := node.Validate(); err != nil {
+	p, err := plan.Of(node)
+	if err != nil {
 		r.finish(nil, err)
 		return r.future
 	}
+	return r.StartProgram(p, param)
+}
+
+// StartProgram is Start for a pre-compiled program: the seam through which
+// every backend injects work. A remote/distributed backend ships (or
+// references) the compiled IR once per program instead of re-deriving
+// structure per task; internal/dist exercises it via Cluster.Compile.
+func (r *Root) StartProgram(p *plan.Program, param any) *Future {
 	r.start = r.clk.Now()
-	t := newTask(r, nil, 0, param, instrFor(node.Plan(), event.NoParent))
+	t := newTask(r, nil, 0, param, instrFor(p.Root(), event.NoParent))
 	r.pool.Submit(t)
 	return r.future
 }

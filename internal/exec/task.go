@@ -3,8 +3,6 @@ package exec
 import (
 	"sync"
 	"sync/atomic"
-
-	"skandium/internal/skel"
 )
 
 // Task is one schedulable unit of skeleton interpretation. A task carries
@@ -110,14 +108,4 @@ func (t *Task) complete(w *worker) {
 		return
 	}
 	root.finish(param, nil)
-}
-
-// appendTrace returns a fresh trace slice extending base with nd. The static
-// traces of a program are precomputed once per root (skel.Site); this
-// remains only for divide&conquer recursion, whose trace grows per depth.
-func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
-	tr := make([]*skel.Node, len(base)+1)
-	copy(tr, base)
-	tr[len(base)] = nd
-	return tr
 }

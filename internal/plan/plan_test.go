@@ -1,0 +1,253 @@
+package plan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+func fe(name string) *muscle.Muscle {
+	return muscle.NewExecute(name, func(p any) (any, error) { return p, nil })
+}
+
+func fc(name string) *muscle.Muscle {
+	return muscle.NewCondition(name, func(p any) (bool, error) { return false, nil })
+}
+
+func fs(name string) *muscle.Muscle {
+	return muscle.NewSplit(name, func(p any) ([]any, error) { return []any{p}, nil })
+}
+
+func fm(name string) *muscle.Muscle {
+	return muscle.NewMerge(name, func(ps []any) (any, error) { return ps[0], nil })
+}
+
+// everyKind is one tree containing all nine skeleton kinds.
+func everyKind() *skel.Node {
+	return skel.NewPipe(
+		skel.NewSeq(fe("a")),
+		skel.NewFarm(skel.NewSeq(fe("b"))),
+		skel.NewFor(3, skel.NewSeq(fe("c"))),
+		skel.NewWhile(fc("w"), skel.NewSeq(fe("d"))),
+		skel.NewIf(fc("i"), skel.NewSeq(fe("t")), skel.NewSeq(fe("f"))),
+		skel.NewMap(fs("ms"), skel.NewSeq(fe("m")), fm("mm")),
+		skel.NewFork(fs("ks"), []*skel.Node{skel.NewSeq(fe("k0")), skel.NewSeq(fe("k1"))}, fm("km")),
+		skel.NewDaC(fc("dc"), fs("ds"), skel.NewSeq(fe("dl")), fm("dm")),
+	)
+}
+
+func TestCompileOpsAndSlots(t *testing.T) {
+	nd := everyKind()
+	p, err := Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := p.Root()
+	if root.Op() != OpStages || root.Node() != nd || root.Kind() != skel.Pipe {
+		t.Fatalf("root step: op=%v node=%p kind=%v", root.Op(), root.Node(), root.Kind())
+	}
+	wantOps := []Op{OpExec, OpWrap, OpRepeat, OpLoop, OpSelect, OpFanOut, OpFanFixed, OpRecurse}
+	if len(root.Children()) != len(wantOps) {
+		t.Fatalf("%d stages, want %d", len(root.Children()), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if got := root.Child(i).Op(); got != want {
+			t.Fatalf("stage %d: op %v, want %v", i, got, want)
+		}
+	}
+	if root.Child(0).Exec().Name() != "a" {
+		t.Fatal("exec slot not resolved")
+	}
+	if st := root.Child(2); st.N() != 3 {
+		t.Fatalf("repeat n=%d, want 3", st.N())
+	}
+	if st := root.Child(3); st.Cond().Name() != "w" {
+		t.Fatal("loop cond slot not resolved")
+	}
+	if st := root.Child(5); st.Split().Name() != "ms" || st.Merge().Name() != "mm" {
+		t.Fatal("fan-out split/merge slots not resolved")
+	}
+	if st := root.Child(7); st.Cond().Name() != "dc" || st.Split().Name() != "ds" || st.Merge().Name() != "dm" {
+		t.Fatal("recurse slots not resolved")
+	}
+}
+
+func TestCompileTracesAndIndexes(t *testing.T) {
+	nd := everyKind()
+	p, err := Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range p.Steps() {
+		if st.Index() != i {
+			t.Fatalf("step %d reports index %d", i, st.Index())
+		}
+		tr := st.Trace()
+		if len(tr) == 0 || tr[len(tr)-1] != st.Node() || tr[0] != nd {
+			t.Fatalf("step %d: malformed trace (len %d)", i, len(tr))
+		}
+		for _, c := range st.Children() {
+			if len(c.Trace()) != len(tr)+1 {
+				t.Fatalf("child trace len %d, want %d", len(c.Trace()), len(tr)+1)
+			}
+		}
+		if got := p.StepFor(st.Node().ID()); got != st {
+			t.Fatalf("StepFor(%v) = %v, want step %d", st.Node().ID(), got, i)
+		}
+	}
+	if p.Len() != len(p.Steps()) {
+		t.Fatal("Len disagrees with Steps")
+	}
+}
+
+func TestCompileRejectsInvalidTree(t *testing.T) {
+	// Constructors validate eagerly, so the only invalid tree reachable
+	// through the public API is the nil skeleton.
+	if _, err := Compile(nil); err == nil {
+		t.Fatal("Compile accepted a nil tree")
+	}
+}
+
+func TestOfCachesOnNode(t *testing.T) {
+	nd := everyKind()
+	p1, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Of compiled twice for the same node")
+	}
+}
+
+func TestOfConcurrentSingleProgram(t *testing.T) {
+	nd := everyKind()
+	const goroutines = 16
+	progs := make([]*Program, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Of(nd)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent Of returned distinct programs")
+		}
+	}
+}
+
+// TestRewriteNeverObservesStalePlan: skel.Optimize builds fresh nodes, so a
+// plan cached on the original root cannot leak into the rewritten tree. A
+// subtree reused by the rewrite may legitimately keep its cached plan —
+// nodes are immutable, so a per-node cache can never go stale.
+func TestRewriteNeverObservesStalePlan(t *testing.T) {
+	double := muscle.NewExecute("double", func(p any) (any, error) { return p.(int) * 2, nil })
+	inc := muscle.NewExecute("inc", func(p any) (any, error) { return p.(int) + 1, nil })
+	nd := skel.NewPipe(skel.NewSeq(double), skel.NewSeq(inc))
+
+	before, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Len() != 3 { // pipe + 2 seqs
+		t.Fatalf("original program has %d steps, want 3", before.Len())
+	}
+
+	opt := skel.Optimize(nd, skel.OptimizeOptions{FuseSeqPipes: true})
+	if opt == nd {
+		t.Fatal("fusion did not rewrite the tree")
+	}
+	after, err := Of(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("rewritten tree shares the original's cached plan")
+	}
+	// The fused pipe is a single seq: its program must reflect the rewrite,
+	// not the original structure.
+	if after.Root().Op() != OpExec {
+		t.Fatalf("optimized root op %v, want %v (fused seq)", after.Root().Op(), OpExec)
+	}
+	// The original's cache is untouched.
+	again, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != before || again.Len() != 3 {
+		t.Fatal("original cached plan changed after rewrite")
+	}
+}
+
+// TestRewriteReusedSubtreeKeepsValidPlan: when a rewrite reuses an
+// untouched subtree node, that node's cached plan still describes exactly
+// that subtree — caching is per-node and nodes are immutable.
+func TestRewriteReusedSubtreeKeepsValidPlan(t *testing.T) {
+	body := skel.NewMap(fs("s"), skel.NewSeq(fe("e")), fm("m"))
+	sub, err := Of(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := skel.NewFarm(skel.NewFarm(body))
+	opt := skel.Optimize(wrapped, skel.OptimizeOptions{})
+	p, err := Of(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root().Node() == wrapped {
+		t.Fatal("optimize did not normalize the farm nest")
+	}
+	// Wherever body survived in the optimized tree, its own cached program
+	// is unchanged and still rooted at body.
+	if sub2, err := Of(body); err != nil || sub2 != sub || sub2.Node() != body {
+		t.Fatalf("reused subtree plan changed: %v %v", sub2, err)
+	}
+}
+
+func TestExtendTrace(t *testing.T) {
+	a, b, c := skel.NewSeq(fe("a")), skel.NewSeq(fe("b")), skel.NewSeq(fe("c"))
+	base := ExtendTrace(nil, a)
+	t1 := ExtendTrace(base, b)
+	t2 := ExtendTrace(base, c)
+	if len(base) != 1 || base[0] != a {
+		t.Fatalf("base trace %v", base)
+	}
+	if len(t1) != 2 || t1[1] != b || len(t2) != 2 || t2[1] != c {
+		t.Fatalf("extended traces %v %v", t1, t2)
+	}
+	if base[0] != a {
+		t.Fatal("ExtendTrace mutated its input")
+	}
+}
+
+func TestDump(t *testing.T) {
+	p, err := Of(everyKind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Dump()
+	for _, want := range []string{"stages", "exec", "wrap", "repeat", "loop", "select",
+		"fan-out", "fan-fixed", "recurse", "n=3", "fc=w", "fs=ms", "fe=a", "fm=mm"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Dump missing %q:\n%s", want, d)
+		}
+	}
+	if !strings.HasPrefix(d, "program ") {
+		t.Fatalf("Dump header: %q", d)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"skandium/internal/clock"
 	"skandium/internal/event"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -205,7 +206,8 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 			err = fmt.Errorf("sim: panic during simulated execution (listener?): %v", rec)
 		}
 	}()
-	if err := node.Validate(); err != nil {
+	prog, err := plan.Of(node)
+	if err != nil {
 		return nil, err
 	}
 	if len(injections) == 0 {
@@ -226,7 +228,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 	}
 	sortArrivals(e.arrivals)
 	e.nextArr = 0
-	e.admitArrivals(node)
+	e.admitArrivals(prog)
 
 	for e.completed < len(e.results) && e.err == nil {
 		// Admit ready tasks while capacity remains.
@@ -248,7 +250,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 			// Idle: jump to the next arrival.
 			if e.nextArr < len(e.arrivals) {
 				e.clk.Set(e.arrivals[e.nextArr].at)
-				e.admitArrivals(node)
+				e.admitArrivals(prog)
 				continue
 			}
 			return nil, fmt.Errorf("sim: deadlock — nothing running, nothing queued, not done")
@@ -256,7 +258,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 		// If an arrival precedes the next completion, process it first.
 		if e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(e.running.peek().until) {
 			e.clk.Set(e.arrivals[e.nextArr].at)
-			e.admitArrivals(node)
+			e.admitArrivals(prog)
 			continue
 		}
 		r := e.running.pop()
@@ -276,14 +278,14 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 }
 
 // admitArrivals submits every injection whose arrival time has come.
-func (e *Engine) admitArrivals(node *skel.Node) {
+func (e *Engine) admitArrivals(prog *plan.Program) {
 	now := e.clk.Now()
 	for e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(now) {
 		a := e.arrivals[e.nextArr]
 		e.nextArr++
-		if e.rootNode != node {
-			e.rootNode = node
-			e.rootProg = progFor(e, node.Plan(), event.NoParent)
+		if e.rootNode != prog.Node() {
+			e.rootNode = prog.Node()
+			e.rootProg = progFor(e, prog.Root(), event.NoParent)
 		}
 		root := &task{param: a.param, rootIdx: a.idx}
 		root.push(e.rootProg...)

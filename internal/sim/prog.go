@@ -7,6 +7,7 @@ import (
 	"skandium/internal/event"
 	"skandium/internal/exec"
 	"skandium/internal/muscle"
+	"skandium/internal/plan"
 	"skandium/internal/skel"
 )
 
@@ -16,21 +17,21 @@ import (
 // sim_test.go enforce the equivalence.
 
 // sctx is one activation's event context (exec's actx counterpart). trace is
-// usually the site's static precomputed trace; d&c recursion substitutes its
+// usually the step's static precomputed trace; d&c recursion substitutes its
 // dynamically grown one.
 type sctx struct {
 	e      *Engine
-	site   *skel.Site
+	step   *plan.Step
 	trace  []*skel.Node
 	idx    int64
 	parent int64
 }
 
-func (a sctx) nd() *skel.Node { return a.site.Node() }
+func (a sctx) nd() *skel.Node { return a.step.Node() }
 
 func (a sctx) emit(slot int, when event.When, where event.Where, param any, mod func(*event.Event)) any {
 	reg := a.e.events
-	nd := a.site.Node()
+	nd := a.step.Node()
 	// Fast path: when no listener can match this slot, skip Event
 	// construction entirely (the simulator is single-threaded, so this is
 	// purely an allocation/cost optimization — no behavioural change).
@@ -69,54 +70,47 @@ func scall[T any](m *muscle.Muscle, trace []*skel.Node, fn func() (T, error)) (r
 	return res, err
 }
 
-func appendTrace(base []*skel.Node, nd *skel.Node) []*skel.Node {
-	tr := make([]*skel.Node, len(base)+1)
-	copy(tr, base)
-	tr[len(base)] = nd
-	return tr
-}
-
 // progFor returns the entry program of one activation of the skeleton at
-// site: a single instant instruction that raises the begin event and unfolds
+// step: a single instant instruction that raises the begin event and unfolds
 // the rest.
-func progFor(e *Engine, site *skel.Site, parent int64) []sinstr {
-	return []sinstr{entryFor(e, site, parent)}
+func progFor(e *Engine, step *plan.Step, parent int64) []sinstr {
+	return []sinstr{entryFor(e, step, parent)}
 }
 
-func entryFor(e *Engine, site *skel.Site, parent int64) sinstr {
-	return entryWithTrace(e, site, parent, site.Trace())
+func entryFor(e *Engine, step *plan.Step, parent int64) sinstr {
+	return entryWithTrace(e, step, parent, step.Trace())
 }
 
 // entryWithTrace is entryFor with an explicit trace — divide&conquer
 // recursion re-enters sites with a longer, dynamically grown trace.
-func entryWithTrace(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
-	switch site.Node().Kind() {
-	case skel.Seq:
-		return seqEntry(e, site, parent, tr)
-	case skel.Farm:
-		return wrapperEntry(e, site, parent, tr, site.Child(0), 0, 0)
-	case skel.Pipe:
-		return pipeEntry(e, site, parent, tr)
-	case skel.While:
-		return whileEntry(e, site, parent, tr)
-	case skel.If:
-		return ifEntry(e, site, parent, tr)
-	case skel.For:
-		return forEntry(e, site, parent, tr)
-	case skel.Map:
-		return mapEntry(e, site, parent, tr)
-	case skel.Fork:
-		return forkEntry(e, site, parent, tr)
-	case skel.DaC:
-		return dacEntry(e, site, parent, tr, 0)
+func entryWithTrace(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
+	switch step.Op() {
+	case plan.OpExec:
+		return seqEntry(e, step, parent, tr)
+	case plan.OpWrap:
+		return wrapperEntry(e, step, parent, tr, step.Child(0), 0, 0)
+	case plan.OpStages:
+		return pipeEntry(e, step, parent, tr)
+	case plan.OpLoop:
+		return whileEntry(e, step, parent, tr)
+	case plan.OpSelect:
+		return ifEntry(e, step, parent, tr)
+	case plan.OpRepeat:
+		return forEntry(e, step, parent, tr)
+	case plan.OpFanOut:
+		return mapEntry(e, step, parent, tr)
+	case plan.OpFanFixed:
+		return forkEntry(e, step, parent, tr)
+	case plan.OpRecurse:
+		return dacEntry(e, step, parent, tr, 0)
 	default:
-		panic(fmt.Sprintf("sim: unknown skeleton kind %v", site.Node().Kind()))
+		panic(fmt.Sprintf("sim: unknown program operation %v", step.Op()))
 	}
 }
 
 // begin opens the activation: allocates the index and emits Skeleton/Before.
-func begin(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, t *task, slot int) sctx {
-	a := sctx{e: e, site: site, trace: tr, idx: e.nextIndex(), parent: parent}
+func begin(e *Engine, step *plan.Step, parent int64, tr []*skel.Node, t *task, slot int) sctx {
+	a := sctx{e: e, step: step, trace: tr, idx: e.nextIndex(), parent: parent}
 	t.param = a.emit(slot, event.Before, event.Skeleton, t.param, nil)
 	return a
 }
@@ -138,7 +132,7 @@ func (*emitInstr) simInstr() {}
 func (in *emitInstr) run(t *task, slot int) {
 	a := in.a
 	reg := a.e.events
-	nd := a.site.Node()
+	nd := a.step.Node()
 	if !reg.Wants(nd.Kind(), in.when, in.where) {
 		return
 	}
@@ -177,7 +171,7 @@ func nestedEnd(a sctx, branch, iter int) sinstr {
 // workload's instruction count (every leaf is one).
 type seqInstr struct {
 	e      *Engine
-	site   *skel.Site
+	step   *plan.Step
 	parent int64
 	tr     []*skel.Node
 }
@@ -185,8 +179,8 @@ type seqInstr struct {
 func (*seqInstr) simInstr() {}
 
 func (in *seqInstr) run(t *task, slot int) {
-	a := begin(in.e, in.site, in.parent, in.tr, t, slot)
-	fe := in.site.Node().Exec()
+	a := begin(in.e, in.step, in.parent, in.tr, t, slot)
+	fe := in.step.Exec()
 	t.push(&seqBusy{dur: in.e.costs.Cost(fe, t.param), a: a, fe: fe})
 }
 
@@ -209,17 +203,17 @@ func (in *seqBusy) finish(t *task, slot int) {
 	t.param = a.emit(slot, event.After, event.Skeleton, res, nil)
 }
 
-func seqEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
-	return &seqInstr{e: e, site: site, parent: parent, tr: tr}
+func seqEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
+	return &seqInstr{e: e, step: step, parent: parent, tr: tr}
 }
 
 // --- wrappers: farm and the shared single-body bracket ---------------------------
 
 // wrapperEntry brackets one nested evaluation with skeleton + nested events
 // (farm, and the chosen branch of if via ifEntry).
-func wrapperEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, sub *skel.Site, branch, iter int) sinstr {
+func wrapperEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node, sub *plan.Step, branch, iter int) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		t.push(
 			skelEnd(a),
 			nestedEnd(a, branch, iter),
@@ -231,10 +225,10 @@ func wrapperEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, sub
 
 // --- pipe / for -------------------------------------------------------------------
 
-func pipeEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func pipeEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
-		stages := site.Children()
+		a := begin(e, step, parent, tr, t, slot)
+		stages := step.Children()
 		t.push(skelEnd(a))
 		for i := len(stages) - 1; i >= 0; i-- {
 			t.push(
@@ -246,14 +240,14 @@ func pipeEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr
 	}}
 }
 
-func forEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func forEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		t.push(skelEnd(a))
-		for i := site.Node().N() - 1; i >= 0; i-- {
+		for i := step.N() - 1; i >= 0; i-- {
 			t.push(
 				nestedEnd(a, 0, i),
-				entryFor(e, site.Child(0), a.idx),
+				entryFor(e, step.Child(0), a.idx),
 				nestedBegin(a, 0, i),
 			)
 		}
@@ -265,7 +259,7 @@ func forEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr 
 // pushCond schedules one condition evaluation, then hands the verdict to
 // andThen (still on the simulated worker).
 func pushCond(a sctx, iter int, t *task, slot int, andThen func(t *task, slot int, c bool)) {
-	fc := a.nd().Cond()
+	fc := a.step.Cond()
 	p := a.emit(slot, event.Before, event.Condition, t.param, func(ev *event.Event) { ev.Iter = iter })
 	t.param = p
 	t.push(&busy{dur: a.e.costs.Cost(fc, p), fn: func(t *task, slot int) {
@@ -281,9 +275,9 @@ func pushCond(a sctx, iter int, t *task, slot int, andThen func(t *task, slot in
 	}})
 }
 
-func whileEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func whileEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		t.push(whileCheck(a, 0))
 	}}
 }
@@ -298,16 +292,16 @@ func whileCheck(a sctx, iter int) sinstr {
 			t.push(
 				whileCheck(a, iter+1),
 				nestedEnd(a, 0, iter),
-				entryFor(a.e, a.site.Child(0), a.idx),
+				entryFor(a.e, a.step.Child(0), a.idx),
 				nestedBegin(a, 0, iter),
 			)
 		})
 	}}
 }
 
-func ifEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func ifEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		pushCond(a, 0, t, slot, func(t *task, slot int, c bool) {
 			branch := 0
 			if !c {
@@ -316,7 +310,7 @@ func ifEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 			t.push(
 				skelEnd(a),
 				nestedEnd(a, branch, 0),
-				entryFor(e, site.Child(branch), a.idx),
+				entryFor(e, step.Child(branch), a.idx),
 				nestedBegin(a, branch, 0),
 			)
 		})
@@ -327,7 +321,7 @@ func ifEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
 
 // pushSplit schedules the split muscle and hands the sub-problems to andThen.
 func pushSplit(a sctx, t *task, slot int, andThen func(t *task, slot int, parts []any)) {
-	fs := a.nd().Split()
+	fs := a.step.Split()
 	p := a.emit(slot, event.Before, event.Split, t.param, nil)
 	t.param = p
 	t.push(&busy{dur: a.e.costs.Cost(fs, p), fn: func(t *task, slot int) {
@@ -359,7 +353,7 @@ func mergeCont(a sctx) sinstr {
 				a.nd().Kind(), p))
 			return
 		}
-		fm := a.nd().Merge()
+		fm := a.step.Merge()
 		t.push(&busy{dur: a.e.costs.Cost(fm, rs), fn: func(t *task, slot int) {
 			merged, err := scall(fm, a.trace, func() (any, error) { return fm.CallMerge(rs) })
 			if err != nil {
@@ -392,23 +386,23 @@ func forkOut(a sctx, t *task, parts []any, prog func(branch int) sinstr) {
 	t.push(&spawn{children: children})
 }
 
-func mapEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func mapEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
 			t.push(mergeCont(a))
 			forkOut(a, t, parts, func(int) sinstr {
-				return entryFor(e, site.Child(0), a.idx)
+				return entryFor(e, step.Child(0), a.idx)
 			})
 		})
 	}}
 }
 
-func forkEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr {
+func forkEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
-			subs := site.Children()
+			subs := step.Children()
 			if len(parts) != len(subs) {
 				e.fail(fmt.Errorf("skandium: fork split produced %d sub-problems for %d nested skeletons",
 					len(parts), len(subs)))
@@ -422,15 +416,15 @@ func forkEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node) sinstr
 	}}
 }
 
-func dacEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, depth int) sinstr {
+func dacEntry(e *Engine, step *plan.Step, parent int64, tr []*skel.Node, depth int) sinstr {
 	return &instant{fn: func(t *task, slot int) {
-		a := begin(e, site, parent, tr, t, slot)
+		a := begin(e, step, parent, tr, t, slot)
 		pushCond(a, depth, t, slot, func(t *task, slot int, c bool) {
 			if !c {
-				leaf := site.Child(0)
+				leaf := step.Child(0)
 				leafEntry := entryFor(e, leaf, a.idx)
 				if depth > 0 {
-					leafEntry = entryWithTrace(e, leaf, a.idx, appendTrace(tr, leaf.Node()))
+					leafEntry = entryWithTrace(e, leaf, a.idx, plan.ExtendTrace(tr, leaf.Node()))
 				}
 				t.push(
 					skelEnd(a),
@@ -442,9 +436,9 @@ func dacEntry(e *Engine, site *skel.Site, parent int64, tr []*skel.Node, depth i
 			}
 			pushSplit(a, t, slot, func(t *task, slot int, parts []any) {
 				t.push(mergeCont(a))
-				branchTrace := appendTrace(tr, site.Node())
+				branchTrace := plan.ExtendTrace(tr, step.Node())
 				forkOut(a, t, parts, func(int) sinstr {
-					return dacEntry(e, site, a.idx, branchTrace, depth+1)
+					return dacEntry(e, step, a.idx, branchTrace, depth+1)
 				})
 			})
 		})

@@ -1,59 +1,26 @@
 package skel
 
-// Site is one static position of a skeleton tree as seen from a given
-// execution root: the node at that position, the (immutable, shared) trace
-// from the root down to it, and the sites of its children. Interpreters use
-// sites instead of re-deriving traces per activation — the trace slices are
-// built once per root and shared by every activation and every event, which
-// keeps the hot path free of appendTrace copies.
+// The compiled-program cache. A skeleton tree is compiled once per
+// execution root into the program IR of internal/plan; the compiled form is
+// cached here, on the root node itself, so it is shared by all concurrent
+// executions and all engines (interpreter, simulator, ADG builder, cluster)
+// and stays alive exactly as long as the node does. The value is opaque to
+// skel — plan depends on skel, not the other way around.
 //
-// Divide&conquer recursion re-enters the same node with a longer trace than
-// the static one; interpreters handle that by extending the site's trace
-// once per recursion level (see exec's dac instruction).
-type Site struct {
-	nd       *Node
-	trace    []*Node
-	children []*Site
-}
+// Nodes are immutable after construction and rewrites (Optimize) build
+// fresh nodes, so a cached program can never go stale: a new tree starts
+// with an empty slot.
 
-// Node returns the node at this site.
-func (s *Site) Node() *Node { return s.nd }
+// CachedPlan returns the compiled program cached for executions rooted at
+// n, or nil when none has been stored yet.
+func (n *Node) CachedPlan() any { return n.plan.Load() }
 
-// Trace returns the static nesting path from the execution root to this
-// site's node, inclusive. Callers must not modify it.
-func (s *Site) Trace() []*Node { return s.trace }
-
-// Child returns the site of the i-th child.
-func (s *Site) Child(i int) *Site { return s.children[i] }
-
-// Children returns the child sites. Callers must not modify the slice.
-func (s *Site) Children() []*Site { return s.children }
-
-// Plan returns the static site tree for executions rooted at n, building and
-// caching it on first use. The plan is immutable and shared by all
-// concurrent executions of n; it stays alive exactly as long as the node
-// does (it is stored on the node, not in a global table).
-func (n *Node) Plan() *Site {
-	if s := n.plan.Load(); s != nil {
-		return s
-	}
-	s := buildSite(n, nil)
-	if n.plan.CompareAndSwap(nil, s) {
-		return s
+// CachePlan publishes p as the compiled program for roots at n and returns
+// the winning value: p itself, or the program another goroutine raced in
+// first. All callers must store the same concrete type.
+func (n *Node) CachePlan(p any) any {
+	if n.plan.CompareAndSwap(nil, p) {
+		return p
 	}
 	return n.plan.Load()
-}
-
-func buildSite(nd *Node, parentTrace []*Node) *Site {
-	trace := make([]*Node, len(parentTrace)+1)
-	copy(trace, parentTrace)
-	trace[len(parentTrace)] = nd
-	s := &Site{nd: nd, trace: trace}
-	if len(nd.children) > 0 {
-		s.children = make([]*Site, len(nd.children))
-		for i, c := range nd.children {
-			s.children[i] = buildSite(c, trace)
-		}
-	}
-	return s
 }

@@ -76,9 +76,9 @@ type Node struct {
 	cond     *muscle.Muscle // While, If, DaC
 	children []*Node        // Pipe: stages; Farm/While/For/Map/DaC: 1; If: 2; Fork: n
 	n        int            // For: iteration count
-	// plan caches the static site tree for executions rooted at this node
-	// (built lazily by Plan; nil until the node is first executed as a root).
-	plan atomic.Pointer[Site]
+	// plan caches the compiled program (internal/plan's IR) for executions
+	// rooted at this node; opaque here, see plan.go.
+	plan atomic.Value
 }
 
 func newNode(kind Kind) *Node {
