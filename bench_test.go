@@ -581,6 +581,64 @@ func BenchmarkEstimators(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiNodeSim runs a 32-cell map on simulated clusters of equal
+// total thread count but different shapes: one fat node with no link cost
+// versus progressively thinner nodes paying 2×Link per shipped muscle. The
+// makespan spread is the price of distribution the coordinator's arbiter
+// has to weigh (DESIGN.md §11).
+func BenchmarkMultiNodeSim(b *testing.B) {
+	cases := []struct {
+		name  string
+		nodes []sim.NodeSpec
+	}{
+		{"1n8t-link0", []sim.NodeSpec{{Threads: 8}}},
+		{"2n4t-link2ms", []sim.NodeSpec{
+			{Threads: 4, Link: 2 * time.Millisecond},
+			{Threads: 4, Link: 2 * time.Millisecond},
+		}},
+		{"4n2t-link2ms", []sim.NodeSpec{
+			{Threads: 2, Link: 2 * time.Millisecond},
+			{Threads: 2, Link: 2 * time.Millisecond},
+			{Threads: 2, Link: 2 * time.Millisecond},
+			{Threads: 2, Link: 2 * time.Millisecond},
+		}},
+		{"8n1t-link5ms", []sim.NodeSpec{
+			{Threads: 1, Link: 5 * time.Millisecond}, {Threads: 1, Link: 5 * time.Millisecond},
+			{Threads: 1, Link: 5 * time.Millisecond}, {Threads: 1, Link: 5 * time.Millisecond},
+			{Threads: 1, Link: 5 * time.Millisecond}, {Threads: 1, Link: 5 * time.Millisecond},
+			{Threads: 1, Link: 5 * time.Millisecond}, {Threads: 1, Link: 5 * time.Millisecond},
+		}},
+	}
+	fs := muscle.NewSplit("cells", func(p any) ([]any, error) {
+		out := make([]any, p.(int))
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	})
+	fe := muscle.NewExecute("cell", func(p any) (any, error) { return p, nil })
+	fm := muscle.NewMerge("gather", func(ps []any) (any, error) { return len(ps), nil })
+	nd := skel.NewMap(fs, skel.NewSeq(fe), fm)
+	costs := simCostTable{fs.ID(): 2 * time.Millisecond, fe.ID(): 20 * time.Millisecond, fm.ID(): 2 * time.Millisecond}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(sim.Config{Costs: costs, Nodes: tc.nodes, LP: len(tc.nodes)})
+				res, ms, err := eng.Run(nd, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != 32 {
+					b.Fatalf("result %v, want 32", res)
+				}
+				makespan = ms
+			}
+			b.ReportMetric(float64(makespan)/float64(time.Millisecond), "makespan_ms")
+		})
+	}
+}
+
 // BenchmarkSimThroughput measures virtual events processed per second by
 // the discrete-event substrate.
 func BenchmarkSimThroughput(b *testing.B) {

@@ -26,10 +26,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"skandium/internal/journal"
+	"skandium/internal/remote"
 	"skandium/internal/server"
 )
 
@@ -47,6 +49,8 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period when -fsync=interval")
 	rotateBytes := flag.Int64("journal-rotate", 1<<20, "journal size that triggers compaction into the snapshot")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	workers := flag.String("workers", "", "comma-separated skelworker endpoints; eligible jobs route to the cluster")
+	clusterBudget := flag.Int("cluster-budget", 0, "cluster-wide LP budget divided across workers (0 = 4×workers)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -89,6 +93,22 @@ func main() {
 		}
 	}
 
+	var cluster *remote.Cluster
+	if *workers != "" {
+		endpoints := strings.Split(*workers, ",")
+		for i := range endpoints {
+			endpoints[i] = strings.TrimSpace(endpoints[i])
+		}
+		var err error
+		cluster, err = remote.New(remote.Config{Workers: endpoints, Budget: *clusterBudget})
+		if err != nil {
+			log.Fatalf("skelrund: cluster: %v", err)
+		}
+		defer cluster.Close()
+		log.Printf("skelrund: cluster coordinator over %d worker(s), budget %d (%d healthy)",
+			len(endpoints), cluster.Budget(), cluster.Healthy())
+	}
+
 	srv := server.New(server.Config{
 		Budget:           *budget,
 		Rebalance:        *rebalance,
@@ -98,6 +118,7 @@ func main() {
 		Journal:          jn,
 		Recover:          recovered,
 		QueueMax:         *queueMax,
+		Cluster:          cluster,
 	})
 	httpd := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,52 @@
+// skelworker is one remote execution node of a skandium cluster: it serves
+// the worker wire protocol (program load by blueprint name, NDJSON task
+// batches, health probes, LP grants) and interprets tasks through the same
+// compiled-program walker the local pool uses.
+//
+//	go run ./cmd/skelworker -addr localhost:9101 -max-lp 8
+//	go run ./cmd/skelworker -addr localhost:9102 -max-lp 8
+//	go run ./cmd/skelrund -workers localhost:9101,localhost:9102
+//
+// The worker's blueprint registry is its code-distribution mechanism: a
+// coordinator ships {blueprint, params} and the worker rebuilds the
+// identical program locally — muscles never cross the wire. Point a
+// coordinator only at workers built from the same catalog.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"skandium/internal/remote"
+	_ "skandium/internal/server" // registers the blueprint catalog
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9101", "listen address")
+	lp := flag.Int("lp", 1, "initial pool level of parallelism")
+	maxLP := flag.Int("max-lp", 0, "hard thread cap reported to the cluster arbiter (0 = uncapped)")
+	maxFrame := flag.Int("max-frame", remote.DefaultMaxFrame, "max NDJSON task frame in bytes")
+	flag.Parse()
+
+	w := remote.NewWorker(remote.WorkerConfig{LP: *lp, MaxLP: *maxLP, MaxFrame: *maxFrame})
+	httpd := &http.Server{Addr: *addr, Handler: w.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpd.ListenAndServe() }()
+	log.Printf("skelworker: serving on http://%s (lp %d, max-lp %d)", *addr, *lp, *maxLP)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("skelworker: %v", err)
+	case sig := <-sigc:
+		log.Printf("skelworker: %v — shutting down", sig)
+	}
+	httpd.Close()
+	w.Close()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// ClusterArbiter extends the single-node Arbiter across machines: instead
+// of dividing one machine's LP budget over the jobs running on it, it
+// divides a cluster-wide LP budget over worker *nodes*, granting each node
+// the level of parallelism it may spend. The paper's §6 frames node count
+// as "adding or removing workers like adding or removing threads in a
+// centralised manner" — the same asymmetric policy one level up again:
+// grants rise eagerly toward a node's wish, fall by halving, and the sum of
+// all per-node grants never exceeds the global budget (the invariant the
+// coordinator relies on to promise bounded cluster load).
+//
+// Members are node proxies (remote.Cluster adapts each worker endpoint into
+// a Member whose Demand is built from the worker's reported counters via
+// NodeDemand and whose Grant pushes the share to the worker's pool). Node
+// loss is ReleaseNode — the dead node's share flows to the survivors on the
+// very next rebalance, which is what makes SIGKILL-resilient rebalancing
+// budget-safe.
+type ClusterArbiter struct {
+	arb *Arbiter
+}
+
+// NewClusterArbiter creates a cluster-wide arbiter over a global LP budget
+// (minimum 1). A nil clock means the system clock; on the virtual clock the
+// whole grant history is deterministic, which is how the multi-node
+// simulator tests assert the Σ grants ≤ budget invariant.
+func NewClusterArbiter(budget int, clk clock.Clock) *ClusterArbiter {
+	return &ClusterArbiter{arb: NewArbiter(budget, clk)}
+}
+
+// Budget returns the global cluster LP budget.
+func (c *ClusterArbiter) Budget() int { return c.arb.Budget() }
+
+// AdmitNode adds a worker node under its address and rebalances. It fails
+// with ErrNoCapacity when the budget cannot guarantee every node one worker.
+func (c *ClusterArbiter) AdmitNode(addr string, m Member) error {
+	return c.arb.Admit(addr, m)
+}
+
+// ReleaseNode removes a node (decommissioned or lost) and immediately
+// redistributes its grant to the surviving nodes. Unknown addresses are a
+// no-op, so probe loops may release unconditionally.
+func (c *ClusterArbiter) ReleaseNode(addr string) { c.arb.Release(addr) }
+
+// Nodes returns the admitted node addresses in admission order.
+func (c *ClusterArbiter) Nodes() []string { return c.arb.Members() }
+
+// Grants returns the current per-node LP grant of every admitted node.
+func (c *ClusterArbiter) Grants() map[string]int { return c.arb.Grants() }
+
+// Granted returns the sum of all per-node grants (always <= Budget).
+func (c *ClusterArbiter) Granted() int { return c.arb.Granted() }
+
+// Decisions returns the grant-change log (Job holds the node address).
+func (c *ClusterArbiter) Decisions() []GrantDecision { return c.arb.Decisions() }
+
+// Rebalance re-divides the budget according to the nodes' current demands.
+func (c *ClusterArbiter) Rebalance() { c.arb.Rebalance() }
+
+// StartTicker rebalances every d until the returned stop function is
+// called. Only meaningful on real-time clocks.
+func (c *ClusterArbiter) StartTicker(d time.Duration) (stop func()) {
+	return c.arb.StartTicker(d)
+}
+
+// NodeReport is a worker node's self-reported runtime state, as carried by
+// its health probe response.
+type NodeReport struct {
+	// LP is the node pool's current (capped) level of parallelism.
+	LP int
+	// Active is the number of node workers currently executing a task.
+	Active int
+	// Queued is the number of tasks waiting for a node worker.
+	Queued int
+	// MaxLP is the node's hard thread cap (0 = unbounded).
+	MaxLP int
+}
+
+// NodeDemand converts a node report into the Demand vocabulary the arbiter
+// policy divides by: a node asks for as many workers as it could employ
+// right now (running plus queued tasks, clamped to its thread cap), with a
+// floor of one so an idle node keeps a grant to accept the next task
+// without a round trip through the arbiter. Nodes have no WCT goal of
+// their own (goals belong to jobs), so node demands are never "severe" —
+// under budget pressure the largest grant is halved first, exactly the
+// slack-pays-before-need rule of the single-node arbiter.
+func NodeDemand(r NodeReport) Demand {
+	want := r.Active + r.Queued
+	if r.MaxLP > 0 && want > r.MaxLP {
+		want = r.MaxLP
+	}
+	if want < 1 {
+		want = 1
+	}
+	cur := r.LP
+	if cur < 1 {
+		cur = 1
+	}
+	return Demand{Valid: true, CurrentLP: cur, DesiredLP: want}
+}

@@ -80,15 +80,18 @@ func New(cfg Config) *Cluster {
 }
 
 // dispatch models one remote task execution: ship there, run, ship back.
+// The shipping delay goes through the injected clock (clock.Sleep), so a
+// virtual-clock cluster simulation advances virtual time instead of burning
+// real wall time.
 func (c *Cluster) dispatch(node int, run func()) {
 	if c.ship > 0 {
-		time.Sleep(c.ship)
+		clock.Sleep(c.clk, c.ship)
 	}
 	start := c.clk.Now()
 	run()
 	busy := c.clk.Now().Sub(start)
 	if c.ship > 0 {
-		time.Sleep(c.ship)
+		clock.Sleep(c.clk, c.ship)
 	}
 	c.mu.Lock()
 	st, ok := c.stats[node]

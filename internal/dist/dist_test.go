@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"skandium/internal/clock"
 	"skandium/internal/core"
 	"skandium/internal/estimate"
 	"skandium/internal/event"
@@ -208,5 +209,33 @@ func TestCompiledProgramSeam(t *testing.T) {
 	}
 	if viaProgram != viaStart || viaProgram != 5 {
 		t.Fatalf("StartProgram=%v Start=%v, want both 5", viaProgram, viaStart)
+	}
+}
+
+// TestVirtualClockShipLatency: the shipping delay goes through the injected
+// clock, so a virtual-clock cluster simulation with an hour of one-way
+// latency completes in real milliseconds while the virtual clock pays the
+// full round trips. Regression test for dispatch using time.Sleep.
+func TestVirtualClockShipLatency(t *testing.T) {
+	nd, _, _, _ := wordcountish(0, 4) // instant muscles: only shipping costs
+	vclk := clock.NewVirtual(clock.Epoch)
+	ship := time.Hour
+	c := New(Config{Nodes: 2, ShipLatency: ship, Clock: vclk})
+	defer c.Close()
+
+	start := time.Now()
+	res, err := c.NewExecution(nil).Start(nd, 0).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 4 {
+		t.Fatalf("result %v, want 4", res)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("virtual shipping burned %v of wall time", wall)
+	}
+	// Every dispatched task pays two one-way ships on the virtual clock.
+	if adv := vclk.Now().Sub(clock.Epoch); adv < 2*ship {
+		t.Fatalf("virtual clock advanced only %v, want >= %v", adv, 2*ship)
 	}
 }

@@ -1,0 +1,619 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skandium"
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/plan"
+)
+
+// NodeEvent reports a worker health transition — the coordinator's view of
+// the cluster changing shape. The daemon threads these into the running
+// remote jobs' event logs.
+type NodeEvent struct {
+	Addr string
+	Up   bool
+	Time time.Time
+	Err  string
+}
+
+// Config describes the cluster a coordinator manages.
+type Config struct {
+	// Workers is the static endpoint list ("host:port" or full URLs).
+	Workers []string
+	// Budget is the cluster-wide LP budget the arbiter divides into
+	// per-node grants (default: 4 × workers).
+	Budget int
+	// ProbeInterval paces the health probe loop (default 250ms).
+	ProbeInterval time.Duration
+	// Rebalance paces the arbiter's grant re-division (default 250ms).
+	Rebalance time.Duration
+	// HTTPTimeout bounds every worker round trip (default 10s).
+	HTTPTimeout time.Duration
+	// Clock stamps events and decisions (default system clock).
+	Clock clock.Clock
+	// OnNodeEvent observes health transitions (may be nil). Called from
+	// probe and dispatch goroutines; must not block.
+	OnNodeEvent func(NodeEvent)
+}
+
+// Cluster is the centralised coordinator: it discovers workers from the
+// static endpoint list, health-probes them, shards fan-out tasks across the
+// healthy ones with retry-on-node-loss rebalancing, and runs a cluster-wide
+// core.ClusterArbiter so Σ per-node LP grants never exceeds the global
+// budget. It implements core.LPControl — the lever is the number of enabled
+// nodes, so the unchanged autonomic machinery can scale the cluster like it
+// scales a thread pool (dist.Cluster's contract, now over real processes).
+type Cluster struct {
+	cfg    Config
+	clk    clock.Clock
+	arb    *core.ClusterArbiter
+	client *http.Client
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	stopArb   func()
+
+	evMu    sync.Mutex
+	onEvent func(NodeEvent)
+
+	// jobMu serialises remote jobs: a worker holds one program at a time,
+	// so the coordinator ships one job's tasks at a time. Concurrent
+	// eligible jobs queue here (see DESIGN §11).
+	jobMu sync.Mutex
+
+	mu      sync.Mutex
+	nodes   []*node
+	enabled int
+	closed  bool
+}
+
+// node is the coordinator's proxy for one worker endpoint. It is the
+// core.Member the cluster arbiter divides the budget over: Demand derives
+// from the last probed report, Grant pushes the share to the worker's pool.
+type node struct {
+	addr   string
+	client *http.Client
+
+	mu      sync.Mutex
+	healthy bool
+	report  core.NodeReport
+	lastErr string
+
+	grant atomic.Int64
+	tasks atomic.Int64
+}
+
+func (n *node) Demand() core.Demand {
+	n.mu.Lock()
+	rep := n.report
+	n.mu.Unlock()
+	return core.NodeDemand(rep)
+}
+
+func (n *node) Grant(g int) {
+	if int64(g) == n.grant.Swap(int64(g)) {
+		return
+	}
+	// Push asynchronously: grants are advisory pacing, the next probe
+	// re-reads the truth, and the arbiter must never block on a slow node.
+	go func() {
+		body, _ := json.Marshal(LPRequest{LP: g})
+		resp, err := n.client.Post(n.addr+"/lp", "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+}
+
+// NodeStatus is one worker's coordinator-side accounting, exported to
+// skelrund's /metrics and /healthz.
+type NodeStatus struct {
+	Addr    string
+	Healthy bool
+	Enabled bool
+	Grant   int
+	Tasks   int64
+	Report  core.NodeReport
+	LastErr string
+}
+
+// New builds a coordinator over the configured workers, probes them once
+// synchronously (so callers start with a live view), and starts the probe
+// and rebalance loops.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("remote: no worker endpoints configured")
+	}
+	if cfg.Budget < 1 {
+		cfg.Budget = 4 * len(cfg.Workers)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.Rebalance <= 0 {
+		cfg.Rebalance = 250 * time.Millisecond
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		arb:       core.NewClusterArbiter(cfg.Budget, cfg.Clock),
+		client:    &http.Client{Timeout: cfg.HTTPTimeout},
+		stopProbe: make(chan struct{}),
+		enabled:   len(cfg.Workers),
+		onEvent:   cfg.OnNodeEvent,
+	}
+	for _, addr := range cfg.Workers {
+		if len(addr) < 7 || (addr[:7] != "http://" && (len(addr) < 8 || addr[:8] != "https://")) {
+			addr = "http://" + addr
+		}
+		c.nodes = append(c.nodes, &node{addr: addr, client: c.client})
+	}
+	for _, n := range c.nodes {
+		c.probeOne(n)
+	}
+	c.stopArb = c.arb.StartTicker(cfg.Rebalance)
+	c.probeWG.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the probe and rebalance loops.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stopProbe)
+	c.probeWG.Wait()
+	c.stopArb()
+}
+
+func (c *Cluster) probeLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopProbe:
+			return
+		case <-t.C:
+			for _, n := range c.snapshotNodes() {
+				c.probeOne(n)
+			}
+		}
+	}
+}
+
+func (c *Cluster) snapshotNodes() []*node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// probeOne refreshes one node's report and drives its health transitions:
+// up → admitted to the arbiter (a grant floor of one worker is guaranteed),
+// down → released so its budget share flows to the survivors.
+func (c *Cluster) probeOne(n *node) {
+	resp, err := n.client.Get(n.addr + "/healthz")
+	if err != nil {
+		c.markDown(n, err)
+		return
+	}
+	var h HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil || !h.OK {
+		if err == nil {
+			err = fmt.Errorf("worker reports not-ok")
+		}
+		c.markDown(n, err)
+		return
+	}
+	n.mu.Lock()
+	wasHealthy := n.healthy
+	n.healthy = true
+	n.lastErr = ""
+	n.report = core.NodeReport{LP: h.LP, Active: h.Active, Queued: h.Queued, MaxLP: h.MaxLP}
+	n.mu.Unlock()
+	if !wasHealthy {
+		_ = c.arb.AdmitNode(n.addr, n)
+		c.emit(NodeEvent{Addr: n.addr, Up: true, Time: c.clk.Now()})
+	}
+}
+
+// markDown records a node loss: release its arbiter share immediately so
+// the next rebalance hands it to the survivors.
+func (c *Cluster) markDown(n *node, cause error) {
+	n.mu.Lock()
+	wasHealthy := n.healthy
+	n.healthy = false
+	n.lastErr = cause.Error()
+	n.mu.Unlock()
+	if wasHealthy {
+		// Forget the cached grant: a restarted worker comes back at its own
+		// default LP, so an identical re-grant must not be deduped away.
+		n.grant.Store(0)
+		c.arb.ReleaseNode(n.addr)
+		c.emit(NodeEvent{Addr: n.addr, Up: false, Time: c.clk.Now(), Err: cause.Error()})
+	}
+}
+
+func (c *Cluster) emit(ev NodeEvent) {
+	c.evMu.Lock()
+	fn := c.onEvent
+	c.evMu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// SetOnNodeEvent replaces the health-transition observer. The daemon uses
+// it to thread node-loss events into running jobs' event logs.
+func (c *Cluster) SetOnNodeEvent(fn func(NodeEvent)) {
+	c.evMu.Lock()
+	c.onEvent = fn
+	c.evMu.Unlock()
+}
+
+// The cluster exposes node count as the resource lever, exactly like
+// dist.Cluster and the local pool expose threads.
+var _ core.LPControl = (*Cluster)(nil)
+
+// LP implements core.LPControl: the number of enabled nodes.
+func (c *Cluster) LP() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enabled
+}
+
+// SetLP implements core.LPControl: enable the first n configured nodes.
+// Like decommissioning pool threads, disabled nodes finish the batch they
+// hold; they simply receive no further work.
+func (c *Cluster) SetLP(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.nodes) {
+		n = len(c.nodes)
+	}
+	c.enabled = n
+}
+
+// Budget returns the cluster-wide LP budget.
+func (c *Cluster) Budget() int { return c.arb.Budget() }
+
+// Granted returns the sum of current per-node grants (≤ Budget always).
+func (c *Cluster) Granted() int { return c.arb.Granted() }
+
+// Healthy counts currently healthy nodes.
+func (c *Cluster) Healthy() int {
+	h := 0
+	for _, n := range c.snapshotNodes() {
+		n.mu.Lock()
+		if n.healthy {
+			h++
+		}
+		n.mu.Unlock()
+	}
+	return h
+}
+
+// Nodes exports per-node accounting in endpoint order.
+func (c *Cluster) Nodes() []NodeStatus {
+	c.mu.Lock()
+	nodes := make([]*node, len(c.nodes))
+	copy(nodes, c.nodes)
+	enabled := c.enabled
+	c.mu.Unlock()
+	out := make([]NodeStatus, len(nodes))
+	for i, n := range nodes {
+		n.mu.Lock()
+		out[i] = NodeStatus{
+			Addr:    n.addr,
+			Healthy: n.healthy,
+			Enabled: i < enabled,
+			Grant:   int(n.grant.Load()),
+			Tasks:   n.tasks.Load(),
+			Report:  n.report,
+			LastErr: n.lastErr,
+		}
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// Eligible reports whether a blueprint can run on the cluster: it must
+// declare a remote codec and its program root must be a (possibly
+// farm-wrapped) fan-out.
+func Eligible(bp skandium.Blueprint, params skandium.Params) bool {
+	if bp.Remote == nil {
+		return false
+	}
+	runner, err := bp.Build(params)
+	if err != nil {
+		return false
+	}
+	prog, err := plan.Of(runner.Node())
+	if err != nil {
+		return false
+	}
+	return Shardable(prog) != nil
+}
+
+// Shardable returns the program's top-level fan-out step — the unit the
+// coordinator shards across nodes — or nil when the program has another
+// shape. Farm wraps are transparent (farm(s) ≡ s with replication), so a
+// farm-of-map shards exactly like the map itself.
+func Shardable(p *plan.Program) *plan.Step {
+	st := p.Root()
+	for st.Op() == plan.OpWrap {
+		st = st.Child(0)
+	}
+	if st.Op() == plan.OpFanOut {
+		return st
+	}
+	return nil
+}
+
+// Run executes one eligible blueprint job on the cluster: split locally,
+// ship encoded parts to healthy workers (each resolving the program by
+// registry name), collect per-part results with retry-on-node-loss, merge
+// locally. It blocks until the job resolves.
+func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+
+	bp, ok := skandium.LookupBlueprint(blueprint)
+	if !ok {
+		return nil, fmt.Errorf("remote: unknown blueprint %q", blueprint)
+	}
+	if bp.Remote == nil {
+		return nil, fmt.Errorf("remote: blueprint %q is not cluster-eligible: no remote codec", blueprint)
+	}
+	if params == nil {
+		params = skandium.Params{}
+	}
+	runner, err := bp.Build(params)
+	if err != nil {
+		return nil, fmt.Errorf("remote: build %s: %w", blueprint, err)
+	}
+	prog, err := plan.Of(runner.Node())
+	if err != nil {
+		return nil, fmt.Errorf("remote: compile %s: %w", blueprint, err)
+	}
+	fan := Shardable(prog)
+	if fan == nil {
+		return nil, fmt.Errorf("remote: %s is not shardable: program root is %s, not a fan-out", blueprint, prog.Root().Op())
+	}
+
+	parts, err := fan.Split().CallSplit(runner.Input())
+	if err != nil {
+		return nil, fmt.Errorf("remote: split: %w", err)
+	}
+	raws := make([]json.RawMessage, len(parts))
+	for i, p := range parts {
+		if raws[i], err = bp.Remote.EncodePart(p); err != nil {
+			return nil, fmt.Errorf("remote: encode part %d: %w", i, err)
+		}
+	}
+
+	preq := ProgramRequest{Blueprint: blueprint, Params: params, Step: fan.Index()}
+	results := make([]json.RawMessage, len(parts))
+	if err := c.dispatch(preq, raws, results); err != nil {
+		return nil, err
+	}
+
+	vals := make([]any, len(results))
+	for i, raw := range results {
+		if vals[i], err = bp.Remote.DecodeResult(raw); err != nil {
+			return nil, fmt.Errorf("remote: decode result %d: %w", i, err)
+		}
+	}
+	return fan.Merge().CallMerge(vals)
+}
+
+// taskError is a deterministic per-task failure reported by a worker (the
+// muscle itself errored). It fails the job — requeueing would re-fail
+// forever on another node.
+type taskError struct {
+	seq int
+	msg string
+}
+
+func (e *taskError) Error() string {
+	return fmt.Sprintf("remote: task %d failed on worker: %s", e.seq, e.msg)
+}
+
+// dispatch shards the encoded parts over the enabled healthy nodes: one
+// runner goroutine per node pulls parts from a shared queue in small
+// batches sized by the node's current arbiter grant. A node failure
+// requeues its in-flight batch and retires the runner; surviving nodes
+// drain the queue, which is exactly the SIGKILL-mid-job story the
+// acceptance test exercises.
+func (c *Cluster) dispatch(preq ProgramRequest, parts []json.RawMessage, results []json.RawMessage) error {
+	if len(parts) == 0 {
+		return nil
+	}
+	pending := make(chan int, len(parts))
+	for i := range parts {
+		pending <- i
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(parts)))
+	done := make(chan struct{})
+	var closeDone sync.Once
+	var failure atomic.Pointer[taskError]
+
+	var wg sync.WaitGroup
+	launched := 0
+	c.mu.Lock()
+	enabled := c.nodes[:c.enabled]
+	c.mu.Unlock()
+	for _, n := range enabled {
+		n.mu.Lock()
+		ok := n.healthy
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		launched++
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			c.nodeRunner(n, preq, parts, results, pending, &remaining, done, &closeDone, &failure)
+		}(n)
+	}
+	if launched == 0 {
+		return fmt.Errorf("remote: no healthy workers")
+	}
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		return f
+	}
+	if remaining.Load() > 0 {
+		return fmt.Errorf("remote: all workers lost with %d tasks unfinished", remaining.Load())
+	}
+	return nil
+}
+
+func (c *Cluster) nodeRunner(n *node, preq ProgramRequest,
+	parts, results []json.RawMessage, pending chan int,
+	remaining *atomic.Int64, done chan struct{}, closeDone *sync.Once,
+	failure *atomic.Pointer[taskError]) {
+
+	if err := n.postProgram(preq); err != nil {
+		c.markDown(n, err)
+		return
+	}
+	for {
+		var batch []int
+		select {
+		case <-done:
+			return
+		case i := <-pending:
+			batch = append(batch, i)
+		}
+		// Greedily widen the batch up to the node's grant: the arbiter's
+		// per-node LP is the pacing signal for how much work to ship.
+		limit := int(n.grant.Load())
+		if limit < 1 {
+			limit = 1
+		}
+	fill:
+		for len(batch) < limit {
+			select {
+			case i := <-pending:
+				batch = append(batch, i)
+			default:
+				break fill
+			}
+		}
+
+		resps, err := n.postTasks(batch, parts)
+		if err != nil {
+			for _, i := range batch {
+				pending <- i
+			}
+			c.markDown(n, err)
+			return
+		}
+		for _, i := range batch {
+			resp := resps[i]
+			if resp.Error != "" {
+				failure.CompareAndSwap(nil, &taskError{seq: i, msg: resp.Error})
+				closeDone.Do(func() { close(done) })
+				return
+			}
+			results[i] = resp.Result
+			n.tasks.Add(1)
+			if remaining.Add(-1) == 0 {
+				closeDone.Do(func() { close(done) })
+				return
+			}
+		}
+	}
+}
+
+func (n *node) postProgram(preq ProgramRequest) error {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Post(n.addr+"/program", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var pr ProgramResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return fmt.Errorf("program response: %w", err)
+	}
+	if !pr.OK {
+		return fmt.Errorf("program load refused: %s", pr.Error)
+	}
+	return nil
+}
+
+// postTasks ships one NDJSON batch and returns the responses keyed by
+// sequence number. A short or malformed response fails the whole batch, so
+// the caller requeues it — results are only consumed from complete replies.
+func (n *node) postTasks(batch []int, parts []json.RawMessage) (map[int]TaskResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, i := range batch {
+		if err := enc.Encode(TaskRequest{Seq: i, Part: parts[i]}); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := n.client.Post(n.addr+"/tasks", "application/x-ndjson", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	out := make(map[int]TaskResponse, len(batch))
+	for {
+		var tr TaskResponse
+		if err := dec.Decode(&tr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("task response: %w", err)
+		}
+		if tr.Seq < 0 {
+			return nil, fmt.Errorf("worker rejected batch: %s", tr.Error)
+		}
+		out[tr.Seq] = tr
+	}
+	for _, i := range batch {
+		if _, ok := out[i]; !ok {
+			return nil, fmt.Errorf("worker reply missing task %d", i)
+		}
+	}
+	return out, nil
+}

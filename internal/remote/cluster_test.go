@@ -1,0 +1,313 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skandium"
+)
+
+// newTestCluster builds a coordinator over in-process workers served on
+// real HTTP listeners.
+func newTestCluster(t *testing.T, cfg Config, workers int) (*Cluster, []*Worker) {
+	t.Helper()
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		w := NewWorker(WorkerConfig{LP: 2, MaxLP: 4})
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(func() { srv.Close(); w.Close() })
+		ws[i] = w
+		cfg.Workers = append(cfg.Workers, srv.URL)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, ws
+}
+
+func TestClusterRunFarmJob(t *testing.T) {
+	c, ws := newTestCluster(t, Config{Budget: 6, ProbeInterval: 25 * time.Millisecond}, 2)
+	res, err := c.Run("remotetest-grid", skandium.Params{"n": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != gridSum(16) {
+		t.Fatalf("result %v, want %d", res, gridSum(16))
+	}
+	total := int64(0)
+	for _, w := range ws {
+		total += w.tasks.Load()
+	}
+	if total != 16 {
+		t.Fatalf("workers executed %d tasks, want 16", total)
+	}
+	if c.Granted() > c.Budget() {
+		t.Fatalf("granted %d exceeds budget %d", c.Granted(), c.Budget())
+	}
+}
+
+func TestClusterRejectsIneligible(t *testing.T) {
+	c, _ := newTestCluster(t, Config{}, 1)
+	if _, err := c.Run("remotetest-local", nil); err == nil ||
+		!strings.Contains(err.Error(), "not cluster-eligible") {
+		t.Fatalf("err %v, want cluster-eligibility refusal", err)
+	}
+	if _, err := c.Run("no-such", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown blueprint") {
+		t.Fatalf("err %v, want unknown-blueprint refusal", err)
+	}
+}
+
+func TestClusterTaskErrorFailsJob(t *testing.T) {
+	skandium.RegisterBlueprint(skandium.Blueprint{
+		Name:        "remotetest-failing",
+		Description: "a grid whose cells always fail",
+		Remote:      skandium.JSONCodec[gridCell, int](),
+		Build: func(p skandium.Params) (skandium.Runner, error) {
+			fs := skandium.NewSplit("cells", func(total int) ([]gridCell, error) {
+				return make([]gridCell, total), nil
+			})
+			fe := skandium.NewExec("boom", func(c gridCell) (int, error) {
+				return 0, fmt.Errorf("cell exploded")
+			})
+			fm := skandium.NewMerge("sum", func(parts []int) (int, error) { return 0, nil })
+			return skandium.NewRunner(skandium.Map(fs, skandium.Seq(fe), fm), p.Int("n", 4)), nil
+		},
+	})
+	c, _ := newTestCluster(t, Config{}, 1)
+	if _, err := c.Run("remotetest-failing", nil); err == nil ||
+		!strings.Contains(err.Error(), "cell exploded") {
+		t.Fatalf("err %v, want the muscle error surfaced (not retried forever)", err)
+	}
+}
+
+func TestEligibleAndShardable(t *testing.T) {
+	grid, _ := skandium.LookupBlueprint("remotetest-grid")
+	local, _ := skandium.LookupBlueprint("remotetest-local")
+	if !Eligible(grid, skandium.Params{}) {
+		t.Fatal("farm(map) grid with codec should be eligible")
+	}
+	if Eligible(local, skandium.Params{}) {
+		t.Fatal("codec-less blueprint must not be eligible")
+	}
+}
+
+// TestClusterRepushesGrantAfterRestart: a worker that dies and comes back
+// at its own default LP must receive its grant again, even when the
+// arbiter re-divides to the identical value — the dedup cache must not
+// swallow the re-push.
+func TestClusterRepushesGrantAfterRestart(t *testing.T) {
+	serve := func(w *Worker) (*http.Server, string, func()) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: w.Handler()}
+		go srv.Serve(ln)
+		return srv, ln.Addr().String(), func() { srv.Close(); ln.Close() }
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The worker starts above the idle grant (demand floors at 1), so the
+	// arbiter's push is observable as LP 3 → 1.
+	w1 := NewWorker(WorkerConfig{LP: 3, MaxLP: 8})
+	defer w1.Close()
+	_, addr, stop := serve(w1)
+	c, err := New(Config{
+		Workers:       []string{addr},
+		Budget:        5,
+		ProbeInterval: 20 * time.Millisecond,
+		Rebalance:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor("initial grant on the worker pool", func() bool { return w1.Report().LP == 1 })
+
+	stop()
+	waitFor("node marked down", func() bool { return c.Healthy() == 0 })
+
+	// Same address, fresh process, back at its default LP 3. The arbiter
+	// re-divides to the identical grant of 1 — it must still be pushed.
+	w2 := NewWorker(WorkerConfig{LP: 3, MaxLP: 8})
+	defer w2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			srv := &http.Server{Handler: w2.Handler()}
+			go srv.Serve(ln)
+			defer func() { srv.Close(); ln.Close() }()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitFor("grant re-pushed to the restarted worker", func() bool { return w2.Report().LP == 1 })
+}
+
+// workerProc is one re-exec'd skelworker process (see TestMain).
+type workerProc struct {
+	addr string
+	url  string
+	cmd  *exec.Cmd
+}
+
+func startWorkerProc(t *testing.T) *workerProc {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "SKELWORKER_TEST_ADDR="+addr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workerProc{addr: addr, url: "http://" + addr, cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+			_, _ = p.cmd.Process.Wait()
+		}
+	})
+	// Wait for the worker to serve.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url + "/healthz")
+		if err == nil {
+			var h HealthResponse
+			ok := json.NewDecoder(resp.Body).Decode(&h) == nil && h.OK
+			resp.Body.Close()
+			if ok {
+				return p
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("worker on %s never became healthy", addr)
+	return nil
+}
+
+// TestClusterSurvivesWorkerSIGKILL is the acceptance test: a 2-worker
+// cluster of real processes completes a farm job end-to-end with muscles
+// resolved by registry name, one worker is SIGKILLed mid-job, the
+// coordinator rebalances the lost tasks onto the survivor, and Σ per-node
+// grants never exceeds the cluster budget.
+func TestClusterSurvivesWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process acceptance test")
+	}
+	w1 := startWorkerProc(t)
+	w2 := startWorkerProc(t)
+
+	var evMu sync.Mutex
+	var events []NodeEvent
+	c, err := New(Config{
+		Workers:       []string{w1.addr, w2.addr},
+		Budget:        4,
+		ProbeInterval: 50 * time.Millisecond,
+		Rebalance:     50 * time.Millisecond,
+		OnNodeEvent: func(ev NodeEvent) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Healthy(); got != 2 {
+		t.Fatalf("healthy workers %d, want 2", got)
+	}
+
+	// Budget invariant, sampled concurrently with the run.
+	stopSampling := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	var budgetViolation error
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(20 * time.Millisecond):
+				if g, b := c.Granted(), c.Budget(); g > b {
+					budgetViolation = fmt.Errorf("Σ grants %d exceeds budget %d", g, b)
+					return
+				}
+			}
+		}
+	}()
+
+	// 24 cells × 150ms over 2 workers (2 LP each) keeps the job running
+	// well past the kill below.
+	kill := time.AfterFunc(400*time.Millisecond, func() {
+		_ = w2.cmd.Process.Kill()
+	})
+	defer kill.Stop()
+
+	const n = 24
+	res, err := c.Run("remotetest-grid", skandium.Params{"n": n, "sleep_ms": 150})
+	close(stopSampling)
+	sampleWG.Wait()
+	if err != nil {
+		t.Fatalf("job failed despite a surviving worker: %v", err)
+	}
+	if res != gridSum(n) {
+		t.Fatalf("result %v, want %d — tasks lost in the rebalance", res, gridSum(n))
+	}
+	if budgetViolation != nil {
+		t.Fatal(budgetViolation)
+	}
+
+	// The coordinator noticed the loss and released the node.
+	evMu.Lock()
+	sawDown := false
+	for _, ev := range events {
+		if !ev.Up && strings.Contains(ev.Addr, w2.addr) {
+			sawDown = true
+		}
+	}
+	evMu.Unlock()
+	if !sawDown {
+		t.Fatal("no node-down event for the SIGKILLed worker")
+	}
+	for _, st := range c.Nodes() {
+		if strings.Contains(st.Addr, w2.addr) && st.Healthy {
+			t.Fatal("SIGKILLed worker still marked healthy")
+		}
+	}
+	if c.Granted() > c.Budget() {
+		t.Fatalf("granted %d exceeds budget %d after node loss", c.Granted(), c.Budget())
+	}
+}

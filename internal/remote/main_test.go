@@ -1,0 +1,101 @@
+package remote
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"skandium"
+)
+
+// The test blueprints every process sharing this binary registers: the
+// coordinator side and the re-exec'd worker processes resolve the same
+// names, which is exactly the registry-as-code-distribution contract.
+func init() {
+	skandium.RegisterBlueprint(testGridBlueprint())
+	skandium.RegisterBlueprint(skandium.Blueprint{
+		Name:        "remotetest-local",
+		Description: "a blueprint with no remote codec: never cluster-eligible",
+		Build: func(p skandium.Params) (skandium.Runner, error) {
+			fe := skandium.NewExec("id", func(n int) (int, error) { return n, nil })
+			return skandium.NewRunner(skandium.Seq(fe), 1), nil
+		},
+	})
+}
+
+// gridCell is one shard of the remotetest grid; it crosses the wire as
+// JSON, so the codec restores the concrete type on the worker.
+type gridCell struct {
+	N       int
+	SleepMS int
+}
+
+// testGridBlueprint is a farm of a map: split n cells, each sleeping
+// sleep_ms and returning its index squared, merged by summation. The farm
+// wrap makes it the acceptance criterion's "farm job"; Shardable sees
+// through the wrap to the fan-out.
+func testGridBlueprint() skandium.Blueprint {
+	return skandium.Blueprint{
+		Name:        "remotetest-grid",
+		Description: "farm(map) of sleeping square cells, for cluster tests",
+		Defaults:    skandium.Params{"n": 8, "sleep_ms": 0},
+		Remote:      skandium.JSONCodec[gridCell, int](),
+		Build: func(p skandium.Params) (skandium.Runner, error) {
+			n := p.Int("n", 8)
+			sleep := p.Int("sleep_ms", 0)
+			if n < 1 {
+				return nil, fmt.Errorf("remotetest-grid: n must be >= 1")
+			}
+			fs := skandium.NewSplit("cells", func(total int) ([]gridCell, error) {
+				out := make([]gridCell, total)
+				for i := range out {
+					out[i] = gridCell{N: i, SleepMS: sleep}
+				}
+				return out, nil
+			})
+			fe := skandium.NewExec("square", func(c gridCell) (int, error) {
+				if c.SleepMS > 0 {
+					time.Sleep(time.Duration(c.SleepMS) * time.Millisecond)
+				}
+				return c.N * c.N, nil
+			})
+			fm := skandium.NewMerge("sum", func(parts []int) (int, error) {
+				s := 0
+				for _, v := range parts {
+					s += v
+				}
+				return s, nil
+			})
+			program := skandium.Farm(skandium.Map(fs, skandium.Seq(fe), fm))
+			return skandium.NewRunner(program, n), nil
+		},
+	}
+}
+
+// gridSum is the expected result of an n-cell grid: Σ i² for i in [0,n).
+func gridSum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i
+	}
+	return s
+}
+
+// TestMain doubles as the worker-process entry point: the acceptance test
+// re-execs this binary with SKELWORKER_TEST_ADDR set, turning the child
+// into a skelworker serving the shared registry (the same trick the
+// daemon's crash-recovery tests use for SIGKILL targets).
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("SKELWORKER_TEST_ADDR"); addr != "" {
+		w := NewWorker(WorkerConfig{LP: 2, MaxLP: 4})
+		log.Printf("test worker on %s", addr)
+		if err := http.ListenAndServe(addr, w.Handler()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	os.Exit(m.Run())
+}

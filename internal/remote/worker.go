@@ -1,0 +1,257 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"skandium"
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/exec"
+	"skandium/internal/plan"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// LP is the pool's initial level of parallelism (default 1); the
+	// coordinator's arbiter grants adjust it over /lp.
+	LP int
+	// MaxLP caps the pool (0 = uncapped): the hard thread budget of the
+	// machine the worker runs on, reported to the arbiter as the node cap.
+	MaxLP int
+	// MaxFrame bounds one NDJSON task line (default DefaultMaxFrame).
+	MaxFrame int
+	// Clock substitutes the time source (tests).
+	Clock clock.Clock
+}
+
+// Worker is one remote execution node: it holds a task pool, at most one
+// loaded program, and serves the wire protocol. The interpretation path is
+// the ordinary local one — exec.Root walking the compiled IR — so a worker
+// executes tasks bit-for-bit like a local pool would.
+type Worker struct {
+	clk      clock.Clock
+	pool     *exec.Pool
+	maxFrame int
+	tasks    atomic.Int64
+
+	mu        sync.Mutex
+	blueprint string
+	codec     *skandium.RemoteCodec
+	body      *plan.Program
+}
+
+// NewWorker builds a worker node.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.LP < 1 {
+		cfg.LP = 1
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	return &Worker{
+		clk:      cfg.Clock,
+		pool:     exec.NewPool(cfg.Clock, cfg.LP, cfg.MaxLP),
+		maxFrame: cfg.MaxFrame,
+	}
+}
+
+// Close shuts the worker's pool down.
+func (w *Worker) Close() { w.pool.Close() }
+
+// Report snapshots the node state the health probe exposes.
+func (w *Worker) Report() core.NodeReport {
+	return core.NodeReport{
+		LP:     w.pool.LP(),
+		Active: w.pool.Active(),
+		Queued: w.pool.QueueLen(),
+		MaxLP:  w.pool.MaxLP(),
+	}
+}
+
+// Handler serves the worker wire protocol.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", w.handleHealth)
+	mux.HandleFunc("POST /program", w.handleProgram)
+	mux.HandleFunc("POST /tasks", w.handleTasks)
+	mux.HandleFunc("POST /lp", w.handleLP)
+	return mux
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	bp := w.blueprint
+	w.mu.Unlock()
+	rep := w.Report()
+	writeJSON(rw, http.StatusOK, HealthResponse{
+		OK: true, Blueprint: bp,
+		LP: rep.LP, Active: rep.Active, Queued: rep.Queued, MaxLP: rep.MaxLP,
+		Tasks: w.tasks.Load(),
+	})
+}
+
+func (w *Worker) handleProgram(rw http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, ProgramResponse{Error: "malformed program request: " + err.Error()})
+		return
+	}
+	rendered, err := w.load(req)
+	if err != nil {
+		writeJSON(rw, http.StatusUnprocessableEntity, ProgramResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(rw, http.StatusOK, ProgramResponse{OK: true, Program: rendered})
+}
+
+// load resolves the blueprint by registry name, rebuilds the skeleton,
+// compiles it and pins the fan-out body as the task entry point. Unknown
+// names and ineligible blueprints are clean errors — the coordinator sees
+// them as a refusal, never as a worker crash.
+func (w *Worker) load(req ProgramRequest) (string, error) {
+	bp, ok := skandium.LookupBlueprint(req.Blueprint)
+	if !ok {
+		return "", fmt.Errorf("unknown blueprint %q: not in this worker's registry", req.Blueprint)
+	}
+	if bp.Remote == nil {
+		return "", fmt.Errorf("blueprint %q is not cluster-eligible: no remote codec", req.Blueprint)
+	}
+	runner, err := bp.Build(skandium.Params(req.Params))
+	if err != nil {
+		return "", fmt.Errorf("build %s: %w", req.Blueprint, err)
+	}
+	prog, err := plan.Of(runner.Node())
+	if err != nil {
+		return "", fmt.Errorf("compile %s: %w", req.Blueprint, err)
+	}
+	steps := prog.Steps()
+	if req.Step < 0 || req.Step >= len(steps) {
+		return "", fmt.Errorf("step %d out of range: program has %d steps", req.Step, len(steps))
+	}
+	fan := steps[req.Step]
+	if fan.Op() != plan.OpFanOut {
+		return "", fmt.Errorf("step %d is %s, not a fan-out", req.Step, fan.Op())
+	}
+	body, err := plan.Of(fan.Child(0).Node())
+	if err != nil {
+		return "", fmt.Errorf("compile fan-out body: %w", err)
+	}
+	w.mu.Lock()
+	w.blueprint = req.Blueprint
+	w.codec = bp.Remote
+	w.body = body
+	w.mu.Unlock()
+	return runner.Program(), nil
+}
+
+// handleTasks runs one NDJSON batch. The whole batch is parsed before any
+// task starts, so a torn or oversized frame fails the request atomically
+// (HTTP 400, nothing executed) and the coordinator can requeue the batch on
+// another node without double execution.
+func (w *Worker) handleTasks(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	codec, body := w.codec, w.body
+	w.mu.Unlock()
+	if body == nil {
+		writeJSON(rw, http.StatusConflict, TaskResponse{Seq: -1, Error: "no program loaded"})
+		return
+	}
+
+	var reqs []TaskRequest
+	sc := bufio.NewScanner(r.Body)
+	// The scanner's limit is max(maxFrame, cap(buf)), so the initial buffer
+	// must not exceed the frame bound.
+	initial := 64 << 10
+	if initial > w.maxFrame {
+		initial = w.maxFrame
+	}
+	sc.Buffer(make([]byte, 0, initial), w.maxFrame)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tr TaskRequest
+		if err := json.Unmarshal(line, &tr); err != nil {
+			writeJSON(rw, http.StatusBadRequest, TaskResponse{Seq: -1, Error: "torn task frame: " + err.Error()})
+			return
+		}
+		reqs = append(reqs, tr)
+	}
+	if err := sc.Err(); err != nil {
+		status := http.StatusBadRequest
+		msg := "reading task stream: " + err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("task frame exceeds %d bytes", w.maxFrame)
+		}
+		writeJSON(rw, status, TaskResponse{Seq: -1, Error: msg})
+		return
+	}
+
+	// Start every task on the pool, then stream responses back in request
+	// order: the pool provides the parallelism, the order keeps the wire
+	// protocol trivially matchable. One Root per task — a Root is one
+	// execution (one future), exactly like one stream input locally.
+	futs := make([]*exec.Future, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, tr := range reqs {
+		part, err := codec.DecodePart(tr.Part)
+		if err != nil {
+			errs[i] = fmt.Errorf("decode part: %w", err)
+			continue
+		}
+		futs[i] = exec.NewRoot(w.pool, nil, w.clk).StartProgram(body, part)
+	}
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(rw)
+	for i, tr := range reqs {
+		resp := TaskResponse{Seq: tr.Seq}
+		var res any
+		err := errs[i]
+		if err == nil {
+			res, err = futs[i].Get()
+		}
+		if err == nil {
+			var raw []byte
+			raw, err = codec.EncodeResult(res)
+			resp.Result = raw
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			w.tasks.Add(1)
+		}
+		_ = enc.Encode(resp)
+		if f, ok := rw.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+}
+
+func (w *Worker) handleLP(rw http.ResponseWriter, r *http.Request) {
+	var req LPRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "malformed lp request: " + err.Error()})
+		return
+	}
+	if req.LP < 1 {
+		req.LP = 1
+	}
+	w.pool.SetLP(req.LP)
+	writeJSON(rw, http.StatusOK, map[string]int{"lp": w.pool.LP()})
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}

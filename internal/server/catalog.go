@@ -124,6 +124,9 @@ func montecarloBlueprint() skandium.Blueprint {
 		Name:        "montecarlo",
 		Description: "map-parallel Monte-Carlo π estimation (returns the hit count)",
 		Defaults:    skandium.Params{"samples": 2000000, "batches": 32},
+		// Batches are seeded, so a batch computes the same hit count on any
+		// node — cluster execution stays deterministic.
+		Remote: skandium.JSONCodec[batch, int](),
 		Build: func(p skandium.Params) (skandium.Runner, error) {
 			samples := p.Int("samples", 2000000)
 			batches := p.Int("batches", 32)
@@ -174,6 +177,9 @@ func sleepgridBlueprint() skandium.Blueprint {
 		Name:        "sleepgrid",
 		Description: "two-level map of sleeping muscles (k×m grid, cell_ms each): wall-clock-bound, parallelizes on any box",
 		Defaults:    skandium.Params{"k": 4, "m": 4, "cell_ms": 5},
+		// A chunk ships as its cell count; each remote node re-splits and
+		// sleeps locally, returning the surviving-cell tally.
+		Remote: skandium.JSONCodec[cells, int](),
 		Build: func(p skandium.Params) (skandium.Runner, error) {
 			k := p.Int("k", 4)
 			m := p.Int("m", 4)

@@ -93,6 +93,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"compactions": c.Compactions, "torn": c.Torn, "replayed": c.Replayed,
 		}
 	}
+	if cl := s.cfg.Cluster; cl != nil {
+		nodes := cl.Nodes()
+		views := make([]map[string]any, 0, len(nodes))
+		for _, n := range nodes {
+			v := map[string]any{
+				"addr": n.Addr, "healthy": n.Healthy, "enabled": n.Enabled,
+				"grant": n.Grant, "tasks": n.Tasks,
+				"lp": n.Report.LP, "active": n.Report.Active, "queued": n.Report.Queued,
+			}
+			if n.LastErr != "" {
+				v["last_error"] = n.LastErr
+			}
+			views = append(views, v)
+		}
+		body["cluster"] = map[string]any{
+			"workers": len(nodes),
+			"healthy": cl.Healthy(),
+			"budget":  cl.Budget(),
+			"granted": cl.Granted(),
+			"nodes":   views,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -584,6 +606,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP skelrund_recovered_jobs jobs rehydrated or re-queued from the journal\n")
 	fmt.Fprintf(w, "skelrund_recovered_jobs %d\n", s.RecoveredJobs())
+	if cl := s.cfg.Cluster; cl != nil {
+		fmt.Fprintf(w, "# HELP skelrund_cluster_budget cluster-wide LP budget\n")
+		fmt.Fprintf(w, "skelrund_cluster_budget %d\n", cl.Budget())
+		fmt.Fprintf(w, "# HELP skelrund_cluster_granted sum of per-node LP grants (never exceeds the budget)\n")
+		fmt.Fprintf(w, "skelrund_cluster_granted %d\n", cl.Granted())
+		fmt.Fprintf(w, "# HELP skelrund_cluster_node_up worker health (1 = responding to probes)\n")
+		for _, n := range cl.Nodes() {
+			lbl := fmt.Sprintf("{node=%q}", n.Addr)
+			up := 0
+			if n.Healthy {
+				up = 1
+			}
+			fmt.Fprintf(w, "skelrund_cluster_node_up%s %d\n", lbl, up)
+			fmt.Fprintf(w, "skelrund_cluster_node_grant%s %d\n", lbl, n.Grant)
+			fmt.Fprintf(w, "skelrund_cluster_node_tasks_total%s %d\n", lbl, n.Tasks)
+			fmt.Fprintf(w, "skelrund_cluster_node_lp%s %d\n", lbl, n.Report.LP)
+			fmt.Fprintf(w, "skelrund_cluster_node_active%s %d\n", lbl, n.Report.Active)
+			fmt.Fprintf(w, "skelrund_cluster_node_queued%s %d\n", lbl, n.Report.Queued)
+		}
+	}
 	if jn := s.Journal(); jn != nil {
 		c := jn.Counters()
 		fmt.Fprintf(w, "# HELP skelrund_journal_appends_total journal records written\n")

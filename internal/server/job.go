@@ -46,6 +46,9 @@ type job struct {
 	partial  skandium.PartialPolicy
 	log      *eventLog
 	rec      *metrics.Recorder
+	// remoteOK marks the job routable to the cluster: eligible blueprint,
+	// no local-only QoS/fault knobs (shardability is checked at start).
+	remoteOK bool
 
 	// Crash-recovery state. recovered marks a job re-queued from the
 	// journal (it re-runs; muscles are pure). restored marks a terminal job

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"skandium"
+	"skandium/internal/exec"
+	"skandium/internal/plan"
+	"skandium/internal/remote"
+)
+
+// remoteEligible reports whether a job can route through the cluster: the
+// blueprint declares a remote codec, its program is shardable, and the job
+// uses none of the knobs that only the local stream implements (WCT goal,
+// fault-tolerance envelope) — those jobs keep the local path unchanged.
+func (s *Server) remoteEligible(j *job) bool {
+	if !j.remoteOK {
+		return false
+	}
+	prog, err := plan.Of(j.runner.Node())
+	if err != nil {
+		return false
+	}
+	return remote.Shardable(prog) != nil
+}
+
+// startRemote launches an admitted job on the cluster instead of the local
+// pool. Like start, it is called with s.mu held (from admitLocked).
+func (s *Server) startRemote(j *job) {
+	h := &remoteHandle{cluster: s.cfg.Cluster, done: make(chan struct{})}
+	j.mu.Lock()
+	j.handle = h
+	j.state = stateRunning
+	j.started = s.clk.Now()
+	j.mu.Unlock()
+	if s.jn != nil {
+		_ = s.jn.Start(j.id)
+	}
+	j.log.append(eventRecord{
+		TMS:  float64(s.clk.Now().Sub(j.log.start)) / float64(time.Millisecond),
+		Ev:   fmt.Sprintf("cluster@route(%s)", j.skeleton),
+		Kind: "cluster", When: "route", Where: "cluster",
+	})
+	s.remoteJobs[j.id] = j
+	go func() {
+		res, err := s.cfg.Cluster.Run(j.skeleton, j.params)
+		s.mu.Lock()
+		delete(s.remoteJobs, j.id)
+		s.mu.Unlock()
+		h.finish(res, err)
+	}()
+	go s.watch(j, h)
+}
+
+// onNodeEvent threads a cluster health transition into the event log of
+// every job currently running on the cluster — the job's stream of events
+// shows the node loss (and recovery) that explains its timeline.
+func (s *Server) onNodeEvent(ev remote.NodeEvent) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.remoteJobs))
+	for _, j := range s.remoteJobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	kind := "node-up"
+	if !ev.Up {
+		kind = "node-down"
+	}
+	for _, j := range jobs {
+		j.log.append(eventRecord{
+			TMS:  float64(ev.Time.Sub(j.log.start)) / float64(time.Millisecond),
+			Ev:   fmt.Sprintf("cluster@%s(%s)", kind, ev.Addr),
+			Kind: "cluster", When: kind, Where: ev.Addr, Err: ev.Err,
+		})
+	}
+}
+
+// remoteHandle is the erased face of a cluster-routed job. The cluster owns
+// execution (sharding, retry, per-node LP via the cluster arbiter), so the
+// per-stream levers are inert: there is no local pool to cap and no
+// controller to re-aim. Result/Done/Cancel behave exactly like the local
+// handle, which is all the daemon's watch loop relies on.
+type remoteHandle struct {
+	cluster *remote.Cluster
+	done    chan struct{}
+	once    sync.Once
+	mu      sync.Mutex
+	res     any
+	err     error
+}
+
+func (h *remoteHandle) finish(res any, err error) {
+	h.once.Do(func() {
+		h.mu.Lock()
+		h.res, h.err = res, err
+		h.mu.Unlock()
+		close(h.done)
+	})
+}
+
+func (h *remoteHandle) Done() <-chan struct{} { return h.done }
+
+func (h *remoteHandle) Result() (any, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+func (h *remoteHandle) Decisions() []skandium.Decision { return nil }
+func (h *remoteHandle) Analyses() int                  { return 0 }
+func (h *remoteHandle) Demand() skandium.Demand        { return skandium.Demand{} }
+func (h *remoteHandle) LP() int                        { return h.cluster.LP() }
+func (h *remoteHandle) Active() int                    { return 0 }
+func (h *remoteHandle) SetLP(int)                      {}
+func (h *remoteHandle) SetCap(int)                     {}
+func (h *remoteHandle) Cap() int                       { return 0 }
+func (h *remoteHandle) SetGoal(time.Duration)          {}
+func (h *remoteHandle) SetMaxLP(int)                   {}
+func (h *remoteHandle) Stats() exec.Stats              { return exec.Stats{} }
+func (h *remoteHandle) FaultStats() skandium.FaultStats {
+	return skandium.FaultStats{}
+}
+func (h *remoteHandle) Failures() *skandium.FailureError { return nil }
+
+// Cancel resolves the handle with err; the in-flight cluster tasks finish
+// on their workers but their results are discarded.
+func (h *remoteHandle) Cancel(err error) { h.finish(nil, err) }
+
+func (h *remoteHandle) Close() {}

@@ -21,6 +21,7 @@ import (
 	"skandium/internal/event"
 	"skandium/internal/journal"
 	"skandium/internal/metrics"
+	"skandium/internal/remote"
 )
 
 // Config tunes a Server.
@@ -53,6 +54,11 @@ type Config struct {
 	// beyond it are shed with an OverloadError (HTTP 429 + Retry-After).
 	// 0 keeps the queue unbounded.
 	QueueMax int
+
+	// Cluster, when set, routes eligible jobs (cluster-eligible blueprint,
+	// shardable program, no WCT goal or fault envelope) to remote workers
+	// instead of the local pool. Ineligible jobs run locally, unchanged.
+	Cluster *remote.Cluster
 }
 
 // Server owns the job table, the arbiter and the fleet metrics. Build one
@@ -67,15 +73,16 @@ type Server struct {
 	jn        *journal.Journal   // nil = memory-only
 	profiles  *core.ProfileStore // per-skeleton work/span, feeds admission
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string
-	queue     []*job // accepted, waiting for budget (FIFO)
-	nextID    int
-	draining  bool
-	recovered int           // jobs rehydrated or re-queued from the journal
-	runCount  int           // completed runs (Retry-After estimation)
-	runSum    time.Duration // their summed wall time
+	mu         sync.Mutex
+	jobs       map[string]*job
+	remoteJobs map[string]*job // currently executing on the cluster
+	order      []string
+	queue      []*job // accepted, waiting for budget (FIFO)
+	nextID     int
+	draining   bool
+	recovered  int           // jobs rehydrated or re-queued from the journal
+	runCount   int           // completed runs (Retry-After estimation)
+	runSum     time.Duration // their summed wall time
 }
 
 // New builds a server and starts the arbiter's rebalance ticker.
@@ -99,13 +106,17 @@ func New(cfg Config) *Server {
 		cfg.Clock = clock.System
 	}
 	s := &Server{
-		cfg:      cfg,
-		arb:      core.NewArbiter(cfg.Budget, cfg.Clock),
-		fleet:    metrics.NewFleet(),
-		clk:      cfg.Clock,
-		jn:       cfg.Journal,
-		profiles: core.NewProfileStore(),
-		jobs:     map[string]*job{},
+		cfg:        cfg,
+		arb:        core.NewArbiter(cfg.Budget, cfg.Clock),
+		fleet:      metrics.NewFleet(),
+		clk:        cfg.Clock,
+		jn:         cfg.Journal,
+		profiles:   core.NewProfileStore(),
+		jobs:       map[string]*job{},
+		remoteJobs: map[string]*job{},
+	}
+	if cfg.Cluster != nil {
+		cfg.Cluster.SetOnNodeEvent(s.onNodeEvent)
 	}
 	s.startTime = s.clk.Now()
 	s.fleet.SetStart(s.startTime)
@@ -217,6 +228,9 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 		partial:  partial,
 		created:  s.clk.Now(),
 		state:    stateQueued,
+		remoteOK: s.cfg.Cluster != nil && bp.Remote != nil &&
+			spec.Goal == 0 && spec.MuscleTimeout == 0 &&
+			spec.RetryAttempts <= 1 && spec.Partial == "",
 	}
 	j.log = newEventLog(s.cfg.EventLog, j.created)
 	j.rec = s.fleet.Job(j.id)
@@ -301,6 +315,10 @@ func (s *Server) admitLocked() {
 // job's grant (Admit rebalances), so the stream starts capped: the sum of
 // pool LPs never exceeds the budget, not even transiently.
 func (s *Server) start(j *job) {
+	if s.cfg.Cluster != nil && s.remoteEligible(j) {
+		s.startRemote(j)
+		return
+	}
 	j.mu.Lock()
 	grant := j.grant
 	if grant < 1 {

@@ -46,9 +46,19 @@ type Config struct {
 	Costs CostModel
 	// LP is the initial level of parallelism (default 1). MaxLP caps
 	// SetLP; 0 = uncapped. MaxLP models the hardware thread count of the
-	// simulated machine (24 in the paper).
+	// simulated machine (24 in the paper). In multi-node mode (Nodes set)
+	// both count provisioned nodes instead of threads.
 	LP    int
 	MaxLP int
+	// Nodes switches the engine into multi-node mode: the machine park of
+	// a simulated cluster. Node i contributes Threads virtual workers, and
+	// every muscle scheduled on it pays an extra 2×Link of virtual time
+	// (the parameter shipped there and the result shipped back, matching
+	// the per-task round trip of internal/dist). With Nodes set, the LP
+	// lever provisions nodes: SetLP(n) enables the first n nodes, so the
+	// unchanged WCT controller scales a simulated cluster in virtual time
+	// exactly like it scales a thread pool.
+	Nodes []NodeSpec
 	// Gauge, when set, observes (virtual now, active, lp) on transitions.
 	Gauge func(now time.Time, active, lp int)
 	// Start anchors virtual time (default clock.Epoch).
@@ -65,6 +75,13 @@ type Engine struct {
 
 	lp    int
 	maxLP int
+
+	// Multi-node mode (nil outside it): lp counts provisioned nodes, a
+	// task's slot is pinned to a node for its whole execution slice, and
+	// nodeBusy tracks per-node occupancy for admission.
+	nodes    []NodeSpec
+	nodeBusy []int
+	slotNode []int // slot -> node, valid while the slot is taken
 
 	queue   []*task
 	running runHeap
@@ -87,6 +104,16 @@ type Engine struct {
 	// of the same node can push the same program.
 	rootNode *skel.Node
 	rootProg []sinstr
+}
+
+// NodeSpec describes one node of a simulated cluster: its virtual worker
+// count and its one-way link latency to the coordinator.
+type NodeSpec struct {
+	// Threads is the node's virtual worker count (minimum 1).
+	Threads int
+	// Link is the one-way shipping latency; every muscle run on the node
+	// pays 2×Link of virtual time on top of its declared cost.
+	Link time.Duration
 }
 
 // arrival is a pending stream injection.
@@ -125,7 +152,7 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Start.IsZero() {
 		cfg.Start = clock.Epoch
 	}
-	return &Engine{
+	e := &Engine{
 		clk:    clock.NewVirtual(cfg.Start),
 		events: cfg.Events,
 		costs:  cfg.Costs,
@@ -134,6 +161,23 @@ func NewEngine(cfg Config) *Engine {
 		maxLP:  cfg.MaxLP,
 		start:  cfg.Start,
 	}
+	if len(cfg.Nodes) > 0 {
+		e.nodes = make([]NodeSpec, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			if n.Threads < 1 {
+				n.Threads = 1
+			}
+			if n.Link < 0 {
+				n.Link = 0
+			}
+			e.nodes[i] = n
+		}
+		e.nodeBusy = make([]int, len(e.nodes))
+		if e.lp > len(e.nodes) {
+			e.lp = len(e.nodes)
+		}
+	}
+	return e
 }
 
 // Events returns the engine's registry.
@@ -152,7 +196,10 @@ func (e *Engine) StartTime() time.Time { return e.start }
 func (e *Engine) LP() int { return e.lp }
 
 // SetLP implements core.LPControl; takes effect at the next scheduling
-// point (running muscles are never interrupted, like the real pool).
+// point (running muscles are never interrupted, like the real pool). In
+// multi-node mode it provisions or decommissions nodes: lowering it stops
+// admitting work to the dropped nodes, but muscles already running there
+// finish — the paper's thread semantics applied to machines.
 func (e *Engine) SetLP(n int) {
 	if n < 1 {
 		n = 1
@@ -160,11 +207,36 @@ func (e *Engine) SetLP(n int) {
 	if e.maxLP > 0 && n > e.maxLP {
 		n = e.maxLP
 	}
+	if len(e.nodes) > 0 && n > len(e.nodes) {
+		n = len(e.nodes)
+	}
 	if n == e.lp {
 		return
 	}
 	e.lp = n
 	e.sample()
+}
+
+// NodeOccupancy returns the per-node busy worker counts (multi-node mode;
+// empty otherwise). Useful for building core.NodeReport snapshots when a
+// cluster arbiter is driven from a simulated machine park.
+func (e *Engine) NodeOccupancy() []int {
+	out := make([]int, len(e.nodeBusy))
+	copy(out, e.nodeBusy)
+	return out
+}
+
+// capacity is the admission bound: threads of the provisioned nodes in
+// multi-node mode, the LP target otherwise.
+func (e *Engine) capacity() int {
+	if len(e.nodes) == 0 {
+		return e.lp
+	}
+	c := 0
+	for i := 0; i < e.lp; i++ {
+		c += e.nodes[i].Threads
+	}
+	return c
 }
 
 func (e *Engine) sample() {
@@ -232,7 +304,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 
 	for e.completed < len(e.results) && e.err == nil {
 		// Admit ready tasks while capacity remains.
-		for e.running.len() < e.lp && len(e.queue) > 0 {
+		for e.running.len() < e.capacity() && len(e.queue) > 0 {
 			t := e.queue[len(e.queue)-1]
 			e.queue = e.queue[:len(e.queue)-1]
 			e.step(t, e.takeSlot())
@@ -305,17 +377,39 @@ func sortArrivals(as []arrival) {
 func (e *Engine) submit(t *task) { e.queue = append(e.queue, t) }
 
 func (e *Engine) takeSlot() int {
+	var s int
 	if n := len(e.freeSlots); n > 0 {
-		s := e.freeSlots[n-1]
+		s = e.freeSlots[n-1]
 		e.freeSlots = e.freeSlots[:n-1]
-		return s
+	} else {
+		s = e.nextSlot
+		e.nextSlot++
 	}
-	s := e.nextSlot
-	e.nextSlot++
+	if len(e.nodes) > 0 {
+		// Pin the slot to the first provisioned node with a free thread for
+		// its whole execution slice (capacity() admission guarantees one).
+		nd := 0
+		for i := 0; i < e.lp; i++ {
+			if e.nodeBusy[i] < e.nodes[i].Threads {
+				nd = i
+				break
+			}
+		}
+		for len(e.slotNode) <= s {
+			e.slotNode = append(e.slotNode, 0)
+		}
+		e.slotNode[s] = nd
+		e.nodeBusy[nd]++
+	}
 	return s
 }
 
-func (e *Engine) releaseSlot(s int) { e.freeSlots = append(e.freeSlots, s) }
+func (e *Engine) releaseSlot(s int) {
+	if len(e.nodes) > 0 {
+		e.nodeBusy[e.slotNode[s]]--
+	}
+	e.freeSlots = append(e.freeSlots, s)
+}
 
 // step interprets t until it blocks on a muscle, parks behind children, or
 // completes. slot is the virtual worker identity used in events.
@@ -437,9 +531,14 @@ type finisher interface {
 }
 
 // park schedules t's current busy period of duration d, finishing with fin.
+// In multi-node mode the slot's node adds its round-trip link latency: the
+// muscle's parameter ships to the node and its result ships back.
 func (e *Engine) park(t *task, slot int, d time.Duration, fin finisher) {
 	if d < 0 {
 		d = 0
+	}
+	if len(e.nodes) > 0 {
+		d += 2 * e.nodes[e.slotNode[slot]].Link
 	}
 	e.seq++
 	e.running.push(run{

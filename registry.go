@@ -1,12 +1,14 @@
 package skandium
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"skandium/internal/exec"
+	"skandium/internal/skel"
 )
 
 // Params is the decoded JSON parameter bag of a daemon job submission.
@@ -60,6 +62,46 @@ type Blueprint struct {
 	Defaults Params
 	// Build compiles the program and its input for one job.
 	Build func(p Params) (Runner, error)
+	// Remote, when non-nil, marks the blueprint cluster-eligible: its task
+	// parameters and results survive a trip over the wire. Muscles are Go
+	// functions and never ship — a worker re-Builds the blueprint by name
+	// with the job's params and walks the same compiled program — but the
+	// *values* flowing through the fan-out do ship, and JSON round-trips
+	// erase their Go types. The codec restores them on each side.
+	Remote *RemoteCodec
+}
+
+// RemoteCodec converts the values crossing the coordinator/worker wire: the
+// fan-out parts shipped to workers and the per-part results shipped back.
+type RemoteCodec struct {
+	EncodePart   func(v any) ([]byte, error)
+	DecodePart   func(b []byte) (any, error)
+	EncodeResult func(v any) ([]byte, error)
+	DecodeResult func(b []byte) (any, error)
+}
+
+// JSONCodec builds a RemoteCodec that marshals parts and results as JSON
+// into their concrete types — the easy path for blueprints whose fan-out
+// values are plain JSON-friendly structs.
+func JSONCodec[Part, Res any]() *RemoteCodec {
+	return &RemoteCodec{
+		EncodePart: func(v any) ([]byte, error) { return json.Marshal(v) },
+		DecodePart: func(b []byte) (any, error) {
+			var p Part
+			if err := json.Unmarshal(b, &p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+		EncodeResult: func(v any) ([]byte, error) { return json.Marshal(v) },
+		DecodeResult: func(b []byte) (any, error) {
+			var r Res
+			if err := json.Unmarshal(b, &r); err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
 }
 
 // Runner is one job's erased launcher: a compiled skeleton program plus the
@@ -67,6 +109,11 @@ type Blueprint struct {
 type Runner interface {
 	// Program renders the skeleton in the paper's syntax.
 	Program() string
+	// Node exposes the underlying skeleton tree — the compilation root a
+	// coordinator or worker hands to the plan compiler.
+	Node() *skel.Node
+	// Input returns the erased job input (what Start would inject).
+	Input() any
 	// Start builds a fresh stream with opts, injects the job's input, and
 	// returns the erased execution handle. Call it exactly once.
 	Start(opts ...Option) Handle
@@ -126,6 +173,10 @@ type runner[P, R any] struct {
 }
 
 func (r *runner[P, R]) Program() string { return r.s.String() }
+
+func (r *runner[P, R]) Node() *skel.Node { return r.s.Node() }
+
+func (r *runner[P, R]) Input() any { return r.input }
 
 func (r *runner[P, R]) Start(opts ...Option) Handle {
 	st := NewStream[P, R](r.s, opts...)
