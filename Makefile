@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt lint cover check clean
+.PHONY: all build test race bench figures examples vet fmt lint cover check chaos clean
 
 all: check
 
 # check is the pre-merge gate: compile, full tests, vet/fmt, static
 # analysis, then the race detector over the concurrency-heavy packages
 # (pool, controller+arbiter, daemon), the cross-backend conformance
-# harness, and the stream lifecycle tests of the root package.
-check: build test vet lint race
+# harness, the stream lifecycle tests of the root package, and the
+# cluster chaos suite (network faults, partitions, flaps).
+check: build test vet lint race chaos
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,15 @@ test:
 race:
 	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal ./internal/plan ./internal/conformance ./internal/remote
 	$(GO) test -race -run 'TestClose|TestDrain|TestStream|TestChaos|TestWithRetry|TestWCTGoal' .
+
+# chaos runs the seeded cluster chaos scenarios (RPC drops, one
+# partition/heal cycle, ambiguous replays, probation re-admission,
+# straggler hedging, local degradation) under the race detector. The
+# fault schedule is deterministic per seed; goroutine interleavings are
+# not, so CI repeats it with COUNT=3.
+COUNT ?= 1
+chaos:
+	$(GO) test -race -count=$(COUNT) -run 'TestClusterExactlyOnceUnderChaos|TestClusterDedupAbsorbsAmbiguousReplays|TestClusterProbationReadmission|TestWorkerAdmissionControl|TestWorkerJobFencing|TestClusterHedgesStragglers|TestClusterDegradesToLocalPool' ./internal/remote
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

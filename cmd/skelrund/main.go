@@ -51,6 +51,15 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	workers := flag.String("workers", "", "comma-separated skelworker endpoints; eligible jobs route to the cluster")
 	clusterBudget := flag.Int("cluster-budget", 0, "cluster-wide LP budget divided across workers (0 = 4×workers)")
+	rpcAttempts := flag.Int("rpc-attempts", 0, "worker RPC attempts before the failure counts against the node (0 = default 3)")
+	rpcBase := flag.Duration("rpc-base-delay", 0, "base RPC retry backoff, grown exponentially with jitter (0 = default 25ms)")
+	suspectAfter := flag.Int("suspect-after", 0, "consecutive node failures before suspect (0 = default 1)")
+	downAfter := flag.Int("down-after", 0, "consecutive node failures before the node is retired (0 = default 3)")
+	probationProbes := flag.Int("probation-probes", 0, "consecutive successes a recovering node needs to re-earn full trust (0 = default 2)")
+	probationCap := flag.Int("probation-cap", 0, "LP share cap while a re-admitted node is on probation (0 = default 1)")
+	noDegrade := flag.Bool("no-degrade", false, "fail cluster jobs instead of draining remaining shards to the local pool")
+	localLP := flag.Int("degrade-lp", 0, "parallelism of the local degradation pool (0 = default 4)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "re-enqueue a claimed task stalled this long so a second node races it (0 = off)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -100,7 +109,20 @@ func main() {
 			endpoints[i] = strings.TrimSpace(endpoints[i])
 		}
 		var err error
-		cluster, err = remote.New(remote.Config{Workers: endpoints, Budget: *clusterBudget})
+		cluster, err = remote.New(remote.Config{
+			Workers: endpoints,
+			Budget:  *clusterBudget,
+			RPC:     remote.RPCPolicy{MaxAttempts: *rpcAttempts, BaseDelay: *rpcBase},
+			Health: remote.HealthConfig{
+				SuspectAfter:    *suspectAfter,
+				DownAfter:       *downAfter,
+				ProbationProbes: *probationProbes,
+				ProbationCap:    *probationCap,
+			},
+			NoDegrade:  *noDegrade,
+			LocalLP:    *localLP,
+			HedgeAfter: *hedgeAfter,
+		})
 		if err != nil {
 			log.Fatalf("skelrund: cluster: %v", err)
 		}

@@ -30,9 +30,10 @@ func main() {
 	lp := flag.Int("lp", 1, "initial pool level of parallelism")
 	maxLP := flag.Int("max-lp", 0, "hard thread cap reported to the cluster arbiter (0 = uncapped)")
 	maxFrame := flag.Int("max-frame", remote.DefaultMaxFrame, "max NDJSON task frame in bytes")
+	queueMax := flag.Int("queue-max", 0, "max queued tasks before batches are shed with 429 + Retry-After (0 = unbounded)")
 	flag.Parse()
 
-	w := remote.NewWorker(remote.WorkerConfig{LP: *lp, MaxLP: *maxLP, MaxFrame: *maxFrame})
+	w := remote.NewWorker(remote.WorkerConfig{LP: *lp, MaxLP: *maxLP, MaxFrame: *maxFrame, MaxQueue: *queueMax})
 	httpd := &http.Server{Addr: *addr, Handler: w.Handler()}
 
 	errc := make(chan error, 1)

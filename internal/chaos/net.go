@@ -1,0 +1,291 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// NetConfig tunes a NetInjector, the wire-level sibling of the muscle-level
+// Injector: it sits inside an http.RoundTripper and, driven by a seeded
+// random source, drops requests, drops replies after delivery, tears
+// response bodies, and delays round trips. Rates are probabilities in [0,1]
+// evaluated per request, in order: drop, drop-reply, torn, delay — at most
+// one fault fires per request. Full partitions are imposed explicitly with
+// Partition/Heal and override the probabilistic draws.
+type NetConfig struct {
+	// Seed fixes the fault sequence (0 uses seed 1).
+	Seed int64
+	// DropRate is the probability the request is lost before delivery:
+	// the server never sees it, the client sees a connection refusal. The
+	// unambiguous failure — safe to retry blindly.
+	DropRate float64
+	// DropReplyRate is the probability the request is delivered and
+	// executed but its response is lost: the client sees a timeout. The
+	// ambiguous failure — the retry the receiver-side dedup must absorb.
+	DropReplyRate float64
+	// TornRate is the probability the response body is truncated halfway,
+	// so the client decodes a torn reply.
+	TornRate float64
+	// DelayRate is the probability Delay is added before delivery.
+	DelayRate float64
+	// Delay is the stall added when delay fires, through clock.Sleep — a
+	// virtual clock advances instead of sleeping.
+	Delay time.Duration
+	// Clock is the time source for injected delay (nil = system clock).
+	Clock clock.Clock
+}
+
+// NetStats is a snapshot of the wire faults a NetInjector has dealt.
+type NetStats struct {
+	// Requests counts round trips attempted through the injector.
+	Requests uint64
+	// Drops counts requests lost before delivery.
+	Drops uint64
+	// ReplyDrops counts responses lost after execution.
+	ReplyDrops uint64
+	// Torn counts truncated response bodies.
+	Torn uint64
+	// Delays counts delayed round trips.
+	Delays uint64
+	// PartitionDrops counts requests refused by an imposed partition.
+	PartitionDrops uint64
+}
+
+// NetInjector deals deterministic wire faults to the HTTP round trips of a
+// cluster coordinator. Safe for concurrent use; one injector may front
+// every worker of a cluster, with per-host partitions imposed on top.
+type NetInjector struct {
+	cfg NetConfig
+	clk clock.Clock
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[string]struct{}
+
+	requests   atomic.Uint64
+	drops      atomic.Uint64
+	replyDrops atomic.Uint64
+	torn       atomic.Uint64
+	delays     atomic.Uint64
+	partDrops  atomic.Uint64
+}
+
+// NewNet builds a wire-fault injector from cfg.
+func NewNet(cfg NetConfig) *NetInjector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	return &NetInjector{
+		cfg:         cfg,
+		clk:         clk,
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: map[string]struct{}{},
+	}
+}
+
+// Partition cuts the named hosts ("host:port", matching req.URL.Host) off
+// the network: every round trip to them fails with a refused connection
+// until Heal. Imposing a partition is idempotent.
+func (in *NetInjector) Partition(hosts ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, h := range hosts {
+		in.partitioned[h] = struct{}{}
+	}
+}
+
+// Heal reconnects the named hosts (all partitioned hosts when none given).
+func (in *NetInjector) Heal(hosts ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(hosts) == 0 {
+		in.partitioned = map[string]struct{}{}
+		return
+	}
+	for _, h := range hosts {
+		delete(in.partitioned, h)
+	}
+}
+
+// Partitioned reports whether host is currently cut off.
+func (in *NetInjector) Partitioned(host string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, ok := in.partitioned[host]
+	return ok
+}
+
+// NetStats snapshots the wire-fault counters.
+func (in *NetInjector) NetStats() NetStats {
+	return NetStats{
+		Requests:       in.requests.Load(),
+		Drops:          in.drops.Load(),
+		ReplyDrops:     in.replyDrops.Load(),
+		Torn:           in.torn.Load(),
+		Delays:         in.delays.Load(),
+		PartitionDrops: in.partDrops.Load(),
+	}
+}
+
+// netVerdict is the wire fault decided for one request.
+type netVerdict int
+
+const (
+	netPass netVerdict = iota
+	netDrop
+	netDropReply
+	netTorn
+	netDelay
+)
+
+// draw decides the fault for the next request under one lock, keeping the
+// sequence reproducible up to request order.
+func (in *NetInjector) draw(host string) (netVerdict, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, cut := in.partitioned[host]; cut {
+		return netDrop, true
+	}
+	u := in.rng.Float64()
+	if u < in.cfg.DropRate {
+		return netDrop, false
+	}
+	u -= in.cfg.DropRate
+	if u < in.cfg.DropReplyRate {
+		return netDropReply, false
+	}
+	u -= in.cfg.DropReplyRate
+	if u < in.cfg.TornRate {
+		return netTorn, false
+	}
+	u -= in.cfg.TornRate
+	if u < in.cfg.DelayRate {
+		return netDelay, false
+	}
+	return netPass, false
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the injector.
+// The returned RoundTripper is what a cluster coordinator's http.Client
+// should use to run under wire chaos.
+func (in *NetInjector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &netTransport{in: in, base: base}
+}
+
+type netTransport struct {
+	in   *NetInjector
+	base http.RoundTripper
+}
+
+func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	in.requests.Add(1)
+	v, cut := in.draw(req.URL.Host)
+	if cut {
+		in.partDrops.Add(1)
+		return nil, &InjectedNetError{Op: "dial", Host: req.URL.Host, Refused: true, partition: true}
+	}
+	switch v {
+	case netDrop:
+		// Lost before delivery: consume nothing, refuse the connection.
+		in.drops.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &InjectedNetError{Op: "dial", Host: req.URL.Host, Refused: true}
+	case netDelay:
+		in.delays.Add(1)
+		clock.Sleep(in.clk, in.cfg.Delay)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case netDropReply:
+		// Delivered and executed; the reply evaporates. The client sees a
+		// timeout — the ambiguous failure idempotent dispatch exists for.
+		in.replyDrops.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &InjectedNetError{Op: "read", Host: req.URL.Host, IsTimeout: true}
+	case netTorn:
+		// Deliver only the first half of the body, then clean EOF: the
+		// client sees a short, undecodable reply.
+		in.torn.Add(1)
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cutAt := len(body) / 2
+		resp.Body = io.NopCloser(bytes.NewReader(body[:cutAt]))
+		resp.ContentLength = int64(cutAt)
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// InjectedNetError is the error a chaos-dropped round trip returns. It
+// implements net.Error (so timeout classification sees injected timeouts
+// exactly like real ones) and unwraps to ErrInjected plus, for refused
+// connections, syscall.ECONNREFUSED — callers classify it with the same
+// errors.Is/As they use on real transport failures.
+type InjectedNetError struct {
+	// Op is the failed pseudo-operation ("dial", "read").
+	Op string
+	// Host is the target the fault hit.
+	Host string
+	// Refused marks a connection refusal (request never delivered).
+	Refused bool
+	// IsTimeout marks a deadline-style failure (reply lost after delivery).
+	IsTimeout bool
+
+	partition bool
+}
+
+func (e *InjectedNetError) Error() string {
+	kind := "fault"
+	switch {
+	case e.partition:
+		kind = "partitioned"
+	case e.Refused:
+		kind = "connection refused"
+	case e.IsTimeout:
+		kind = "timeout awaiting reply"
+	}
+	return fmt.Sprintf("chaos: injected net %s: %s %s", kind, e.Op, e.Host)
+}
+
+// Timeout implements net.Error.
+func (e *InjectedNetError) Timeout() bool { return e.IsTimeout }
+
+// Temporary implements net.Error (injected faults are always transient).
+func (e *InjectedNetError) Temporary() bool { return true }
+
+// Unwrap exposes the fault lineage to errors.Is: every injected net error
+// is ErrInjected, and refused ones are also syscall.ECONNREFUSED.
+func (e *InjectedNetError) Unwrap() []error {
+	if e.Refused {
+		return []error{ErrInjected, syscall.ECONNREFUSED}
+	}
+	return []error{ErrInjected}
+}

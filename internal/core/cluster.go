@@ -104,3 +104,22 @@ func NodeDemand(r NodeReport) Demand {
 	}
 	return Demand{Valid: true, CurrentLP: cur, DesiredLP: want}
 }
+
+// CapDemand clamps a node demand to at most cap workers — the probation
+// share: a node re-admitted after a partition asks for no more than cap
+// until it has re-earned trust, so a flapping node can never seize a large
+// budget slice it is about to drop again. The arbiter itself is unchanged:
+// probation is expressed purely through the demand the node proxy reports,
+// which keeps Σ grants ≤ budget a single invariant with a single enforcer.
+func CapDemand(d Demand, cap int) Demand {
+	if cap < 1 {
+		cap = 1
+	}
+	if d.DesiredLP > cap {
+		d.DesiredLP = cap
+	}
+	if d.CurrentLP > cap {
+		d.CurrentLP = cap
+	}
+	return d
+}

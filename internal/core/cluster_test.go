@@ -116,3 +116,29 @@ func TestNodeDemandShape(t *testing.T) {
 		}
 	}
 }
+
+// TestCapDemandClampsProbationShare: the probation clamp bounds both sides
+// of a node demand so a re-admitted node cannot seize budget, with a floor
+// of one worker.
+func TestCapDemandClampsProbationShare(t *testing.T) {
+	d := NodeDemand(NodeReport{LP: 6, Active: 4, Queued: 8, MaxLP: 16})
+	capped := CapDemand(d, 2)
+	if capped.DesiredLP != 2 || capped.CurrentLP != 2 {
+		t.Fatalf("capped demand %+v, want CurrentLP=DesiredLP=2", capped)
+	}
+	if !capped.Valid {
+		t.Fatal("capping must preserve validity")
+	}
+
+	// A demand already under the cap is untouched.
+	small := NodeDemand(NodeReport{LP: 1, Active: 1, Queued: 0, MaxLP: 4})
+	if got := CapDemand(small, 3); got != small {
+		t.Fatalf("under-cap demand changed: %+v vs %+v", got, small)
+	}
+
+	// cap < 1 floors at one: probation never starves a node entirely.
+	floored := CapDemand(d, 0)
+	if floored.DesiredLP != 1 || floored.CurrentLP != 1 {
+		t.Fatalf("floored demand %+v, want 1/1", floored)
+	}
+}

@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,17 +14,26 @@ import (
 	"skandium"
 	"skandium/internal/clock"
 	"skandium/internal/core"
+	"skandium/internal/exec"
 	"skandium/internal/plan"
 )
 
-// NodeEvent reports a worker health transition — the coordinator's view of
-// the cluster changing shape. The daemon threads these into the running
-// remote jobs' event logs.
+// NodeEvent reports a worker health-state transition — the coordinator's
+// view of the cluster changing shape. The daemon threads these into the
+// running remote jobs' event logs. Degradation markers (work drained to the
+// local pool) use Addr "local" with From == To.
 type NodeEvent struct {
 	Addr string
+	// From/To are the health states around the transition.
+	From, To NodeState
+	// Up is kept for the binary view: the node still serves work.
 	Up   bool
 	Time time.Time
-	Err  string
+	// Err is the failure that drove a downward transition.
+	Err string
+	// Cause is the failure category ("refused", "timeout", "http-5xx",
+	// "proto", ...) — the classification the old markDown lost.
+	Cause string
 }
 
 // Config describes the cluster a coordinator manages.
@@ -33,12 +43,39 @@ type Config struct {
 	// Budget is the cluster-wide LP budget the arbiter divides into
 	// per-node grants (default: 4 × workers).
 	Budget int
-	// ProbeInterval paces the health probe loop (default 250ms).
+	// ProbeInterval paces the health probe loop and the dispatch
+	// supervisor (default 250ms).
 	ProbeInterval time.Duration
 	// Rebalance paces the arbiter's grant re-division (default 250ms).
 	Rebalance time.Duration
-	// HTTPTimeout bounds every worker round trip (default 10s).
+	// HTTPTimeout bounds every worker round-trip *attempt* (default 10s);
+	// the RPC policy bounds how many attempts are made.
 	HTTPTimeout time.Duration
+	// RPC tunes the transient-fault retry layer around every dispatch
+	// round trip (zero value = 3 attempts, 25ms base, ×2, ±20% jitter).
+	RPC RPCPolicy
+	// Health tunes the node state machine thresholds (zero value =
+	// suspect after 1 failure, down after 3, 2 probation probes, cap 1).
+	Health HealthConfig
+	// Transport substitutes the HTTP transport of every worker connection
+	// (nil = default). The seam the chaos.NetInjector plugs into.
+	Transport http.RoundTripper
+	// NoDegrade disables the local-pool fallback: when healthy capacity
+	// collapses mid-job the job fails (the pre-partition-tolerance
+	// behaviour) instead of draining the remaining shards locally.
+	NoDegrade bool
+	// LocalLP is the parallelism of the degradation pool (default 4).
+	LocalLP int
+	// MinServing is the serving-node threshold that triggers mid-job local
+	// draining (default 1): when fewer nodes still serve, the local pool
+	// joins the dispatch as one more consumer.
+	MinServing int
+	// HedgeAfter, when positive, re-enqueues a claimed-but-unfinished task
+	// after this stall so a second node can race the straggler — only when
+	// the cluster arbiter has budget slack. Worker-side dedup keeps the
+	// hedge harmless when both attempts land on the same node; result
+	// consumption is exactly-once either way. Zero disables hedging.
+	HedgeAfter time.Duration
 	// Clock stamps events and decisions (default system clock).
 	Clock clock.Clock
 	// OnNodeEvent observes health transitions (may be nil). Called from
@@ -47,17 +84,22 @@ type Config struct {
 }
 
 // Cluster is the centralised coordinator: it discovers workers from the
-// static endpoint list, health-probes them, shards fan-out tasks across the
-// healthy ones with retry-on-node-loss rebalancing, and runs a cluster-wide
-// core.ClusterArbiter so Σ per-node LP grants never exceeds the global
-// budget. It implements core.LPControl — the lever is the number of enabled
-// nodes, so the unchanged autonomic machinery can scale the cluster like it
-// scales a thread pool (dist.Cluster's contract, now over real processes).
+// static endpoint list, health-probes them through a per-node state machine
+// (healthy → suspect → down → probation), shards fan-out tasks across the
+// serving ones with transient-fault RPC retries, idempotent re-dispatch and
+// requeue-on-node-loss, and runs a cluster-wide core.ClusterArbiter so Σ
+// per-node LP grants never exceeds the global budget. When healthy capacity
+// collapses mid-job it degrades gracefully: remaining shards drain to a
+// local pool instead of failing the job. It implements core.LPControl — the
+// lever is the number of enabled nodes, so the unchanged autonomic
+// machinery can scale the cluster like it scales a thread pool.
 type Cluster struct {
 	cfg    Config
 	clk    clock.Clock
 	arb    *core.ClusterArbiter
 	client *http.Client
+	rpc    *rpc
+	id     string
 
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
@@ -69,7 +111,14 @@ type Cluster struct {
 	// jobMu serialises remote jobs: a worker holds one program at a time,
 	// so the coordinator ships one job's tasks at a time. Concurrent
 	// eligible jobs queue here (see DESIGN §11).
-	jobMu sync.Mutex
+	jobMu  sync.Mutex
+	jobSeq atomic.Int64
+
+	poolMu sync.Mutex
+	lpool  *exec.Pool
+
+	degraded atomic.Int64 // tasks drained to the local pool
+	hedged   atomic.Int64 // straggler tasks re-enqueued for hedging
 
 	mu      sync.Mutex
 	nodes   []*node
@@ -79,33 +128,52 @@ type Cluster struct {
 
 // node is the coordinator's proxy for one worker endpoint. It is the
 // core.Member the cluster arbiter divides the budget over: Demand derives
-// from the last probed report, Grant pushes the share to the worker's pool.
+// from the last probed report (clamped to the probation cap while the node
+// re-earns trust), Grant pushes the share to the worker's pool.
 type node struct {
 	addr   string
 	client *http.Client
+	hp     *health
 
-	mu      sync.Mutex
-	healthy bool
-	report  core.NodeReport
-	lastErr string
+	// tmu serialises health-transition side effects (arbiter admission,
+	// release, event emission) so concurrent probe/dispatch outcomes can
+	// never interleave them out of order.
+	tmu      sync.Mutex
+	admitted bool
+
+	mu        sync.Mutex
+	report    core.NodeReport
+	lastErr   string
+	lastCause Cause
 
 	grant atomic.Int64
 	tasks atomic.Int64
 }
 
+func (n *node) state() NodeState { return n.hp.State() }
+
 func (n *node) Demand() core.Demand {
 	n.mu.Lock()
 	rep := n.report
 	n.mu.Unlock()
-	return core.NodeDemand(rep)
+	d := core.NodeDemand(rep)
+	if n.hp.State() == StateProbation {
+		d = core.CapDemand(d, n.hp.cfg.ProbationCap)
+	}
+	return d
 }
 
 func (n *node) Grant(g int) {
 	if int64(g) == n.grant.Swap(int64(g)) {
 		return
 	}
-	// Push asynchronously: grants are advisory pacing, the next probe
-	// re-reads the truth, and the arbiter must never block on a slow node.
+	n.pushLP(g)
+}
+
+// pushLP ships a grant to the worker's pool. Asynchronous: grants are
+// advisory pacing, the next probe re-reads the truth, and the arbiter must
+// never block on a slow node.
+func (n *node) pushLP(g int) {
 	go func() {
 		body, _ := json.Marshal(LPRequest{LP: g})
 		resp, err := n.client.Post(n.addr+"/lp", "application/json", bytes.NewReader(body))
@@ -120,12 +188,17 @@ func (n *node) Grant(g int) {
 // skelrund's /metrics and /healthz.
 type NodeStatus struct {
 	Addr    string
-	Healthy bool
+	Healthy bool // state == healthy
+	State   string
 	Enabled bool
 	Grant   int
 	Tasks   int64
-	Report  core.NodeReport
-	LastErr string
+	// ConsecFails is the current consecutive-failure streak.
+	ConsecFails int
+	Report      core.NodeReport
+	LastErr     string
+	// LastCause is the category of the last failure ("" when none).
+	LastCause string
 }
 
 // New builds a coordinator over the configured workers, probes them once
@@ -147,14 +220,23 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.HTTPTimeout <= 0 {
 		cfg.HTTPTimeout = 10 * time.Second
 	}
+	if cfg.LocalLP < 1 {
+		cfg.LocalLP = 4
+	}
+	if cfg.MinServing < 1 {
+		cfg.MinServing = 1
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System
 	}
+	client := &http.Client{Timeout: cfg.HTTPTimeout, Transport: cfg.Transport}
 	c := &Cluster{
 		cfg:       cfg,
 		clk:       cfg.Clock,
 		arb:       core.NewClusterArbiter(cfg.Budget, cfg.Clock),
-		client:    &http.Client{Timeout: cfg.HTTPTimeout},
+		client:    client,
+		rpc:       newRPC(client, cfg.Clock, cfg.RPC),
+		id:        fmt.Sprintf("%x", time.Now().UnixNano()),
 		stopProbe: make(chan struct{}),
 		enabled:   len(cfg.Workers),
 		onEvent:   cfg.OnNodeEvent,
@@ -163,7 +245,7 @@ func New(cfg Config) (*Cluster, error) {
 		if len(addr) < 7 || (addr[:7] != "http://" && (len(addr) < 8 || addr[:8] != "https://")) {
 			addr = "http://" + addr
 		}
-		c.nodes = append(c.nodes, &node{addr: addr, client: c.client})
+		c.nodes = append(c.nodes, &node{addr: addr, client: c.client, hp: newHealth(cfg.Health)})
 	}
 	for _, n := range c.nodes {
 		c.probeOne(n)
@@ -174,7 +256,7 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Close stops the probe and rebalance loops.
+// Close stops the probe and rebalance loops and the degradation pool.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -186,6 +268,12 @@ func (c *Cluster) Close() {
 	close(c.stopProbe)
 	c.probeWG.Wait()
 	c.stopArb()
+	c.poolMu.Lock()
+	if c.lpool != nil {
+		c.lpool.Close()
+		c.lpool = nil
+	}
+	c.poolMu.Unlock()
 }
 
 func (c *Cluster) probeLoop() {
@@ -212,13 +300,12 @@ func (c *Cluster) snapshotNodes() []*node {
 	return out
 }
 
-// probeOne refreshes one node's report and drives its health transitions:
-// up → admitted to the arbiter (a grant floor of one worker is guaranteed),
-// down → released so its budget share flows to the survivors.
+// probeOne refreshes one node's report and feeds the state machine. Probes
+// are single-attempt on purpose — the probe loop is itself the retry.
 func (c *Cluster) probeOne(n *node) {
 	resp, err := n.client.Get(n.addr + "/healthz")
 	if err != nil {
-		c.markDown(n, err)
+		c.noteFail(n, ClassifyErr(err), err)
 		return
 	}
 	var h HealthResponse
@@ -226,38 +313,72 @@ func (c *Cluster) probeOne(n *node) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if err != nil || !h.OK {
+		cause := CauseProto
 		if err == nil {
 			err = fmt.Errorf("worker reports not-ok")
+			cause = CauseServer
 		}
-		c.markDown(n, err)
+		c.noteFail(n, cause, err)
 		return
 	}
 	n.mu.Lock()
-	wasHealthy := n.healthy
-	n.healthy = true
-	n.lastErr = ""
 	n.report = core.NodeReport{LP: h.LP, Active: h.Active, Queued: h.Queued, MaxLP: h.MaxLP}
 	n.mu.Unlock()
-	if !wasHealthy {
+	if g := int(n.grant.Load()); g > 0 && h.LP > g {
+		// The worker runs above its standing grant — the restart signature:
+		// it came back at its own default LP behind a blip too short to
+		// retire the node, so neither the arbiter (grant unchanged) nor the
+		// node cache would re-push. Reconcile directly from the probe.
+		n.pushLP(g)
+	}
+	c.noteOK(n)
+}
+
+// noteOK records a successful node interaction (probe or dispatch round
+// trip): the state machine may promote the node, and a node returning from
+// down is re-admitted to the arbiter — under its probation-capped demand.
+func (c *Cluster) noteOK(n *node) {
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	from, to := n.hp.ok()
+	n.mu.Lock()
+	n.lastErr, n.lastCause = "", CauseNone
+	n.mu.Unlock()
+	admit := !n.admitted
+	n.admitted = true
+	if admit {
+		// First contact, or return from down: the grant cache is stale (a
+		// restarted worker is back at its own default LP), so forget it —
+		// an identical re-grant must not be deduped away.
+		n.grant.Store(0)
 		_ = c.arb.AdmitNode(n.addr, n)
-		c.emit(NodeEvent{Addr: n.addr, Up: true, Time: c.clk.Now()})
+	}
+	if from != to {
+		c.emit(NodeEvent{Addr: n.addr, From: from, To: to, Up: to.Serving(), Time: c.clk.Now()})
 	}
 }
 
-// markDown records a node loss: release its arbiter share immediately so
-// the next rebalance hands it to the survivors.
-func (c *Cluster) markDown(n *node, cause error) {
+// noteFail records a failed node interaction with its classified cause and
+// drives the state machine: enough consecutive failures retire the node
+// (released from the arbiter so its share flows to the survivors). Busy
+// (429) is flow control, not failure — it never advances the machine.
+func (c *Cluster) noteFail(n *node, cause Cause, err error) {
+	if cause == CauseBusy {
+		return
+	}
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	from, to := n.hp.fail()
 	n.mu.Lock()
-	wasHealthy := n.healthy
-	n.healthy = false
-	n.lastErr = cause.Error()
+	n.lastErr, n.lastCause = err.Error(), cause
 	n.mu.Unlock()
-	if wasHealthy {
-		// Forget the cached grant: a restarted worker comes back at its own
-		// default LP, so an identical re-grant must not be deduped away.
-		n.grant.Store(0)
+	if to == StateDown && n.admitted {
+		n.admitted = false
 		c.arb.ReleaseNode(n.addr)
-		c.emit(NodeEvent{Addr: n.addr, Up: false, Time: c.clk.Now(), Err: cause.Error()})
+	}
+	if from != to {
+		c.emit(NodeEvent{Addr: n.addr, From: from, To: to, Up: to.Serving(),
+			Time: c.clk.Now(), Err: err.Error(), Cause: cause.String()})
 	}
 }
 
@@ -310,17 +431,38 @@ func (c *Cluster) Budget() int { return c.arb.Budget() }
 // Granted returns the sum of current per-node grants (≤ Budget always).
 func (c *Cluster) Granted() int { return c.arb.Granted() }
 
-// Healthy counts currently healthy nodes.
+// Degraded returns the number of tasks drained to the local pool because
+// cluster capacity collapsed mid-job.
+func (c *Cluster) Degraded() int64 { return c.degraded.Load() }
+
+// Hedged returns the number of straggler tasks re-enqueued for hedging.
+func (c *Cluster) Hedged() int64 { return c.hedged.Load() }
+
+// Healthy counts nodes currently in the healthy state (suspect and
+// probation nodes still serve; see Serving).
 func (c *Cluster) Healthy() int {
 	h := 0
 	for _, n := range c.snapshotNodes() {
-		n.mu.Lock()
-		if n.healthy {
+		if n.state() == StateHealthy {
 			h++
 		}
-		n.mu.Unlock()
 	}
 	return h
+}
+
+// Serving counts enabled nodes the coordinator currently ships work to
+// (healthy, suspect or probation).
+func (c *Cluster) Serving() int {
+	c.mu.Lock()
+	enabled := c.nodes[:c.enabled]
+	c.mu.Unlock()
+	s := 0
+	for _, n := range enabled {
+		if n.state().Serving() {
+			s++
+		}
+	}
+	return s
 }
 
 // Nodes exports per-node accounting in endpoint order.
@@ -332,15 +474,21 @@ func (c *Cluster) Nodes() []NodeStatus {
 	c.mu.Unlock()
 	out := make([]NodeStatus, len(nodes))
 	for i, n := range nodes {
+		st := n.state()
 		n.mu.Lock()
 		out[i] = NodeStatus{
-			Addr:    n.addr,
-			Healthy: n.healthy,
-			Enabled: i < enabled,
-			Grant:   int(n.grant.Load()),
-			Tasks:   n.tasks.Load(),
-			Report:  n.report,
-			LastErr: n.lastErr,
+			Addr:        n.addr,
+			Healthy:     st == StateHealthy,
+			State:       st.String(),
+			Enabled:     i < enabled,
+			Grant:       int(n.grant.Load()),
+			Tasks:       n.tasks.Load(),
+			ConsecFails: n.hp.ConsecFails(),
+			Report:      n.report,
+			LastErr:     n.lastErr,
+		}
+		if n.lastCause != CauseNone {
+			out[i].LastCause = n.lastCause.String()
 		}
 		n.mu.Unlock()
 	}
@@ -380,10 +528,110 @@ func Shardable(p *plan.Program) *plan.Step {
 	return nil
 }
 
+// jobRun is the shared state of one dispatched job: the pending-task queue
+// the node runners (and, under degradation, the local runner) pull from,
+// and the exactly-once result slots. completed is the consumption guard —
+// however many times a task is dispatched (RPC replays, hedges, requeues),
+// only the first finisher writes its result and decrements remaining.
+type jobRun struct {
+	job      string
+	preq     ProgramRequest
+	encParts []json.RawMessage // wire-encoded fan-out parts
+	parts    []any             // decoded originals (local fallback path)
+	body     *plan.Program     // fan-out body, for local execution
+
+	pending   chan int
+	remaining atomic.Int64
+	completed []atomic.Bool
+	claimedAt []atomic.Int64 // unix-nano claim stamps, 0 = unclaimed
+	hedgeOnce []atomic.Bool
+
+	results  []json.RawMessage // remote results, wire form
+	localRes []any             // local results, decoded form
+	isLocal  []bool            // guarded by the completed CAS
+
+	done      chan struct{}
+	closeDone sync.Once
+	failure   atomic.Pointer[taskError]
+}
+
+func newJobRun(job string, preq ProgramRequest, encParts []json.RawMessage, parts []any, body *plan.Program) *jobRun {
+	jr := &jobRun{
+		job:      job,
+		preq:     preq,
+		encParts: encParts,
+		parts:    parts,
+		body:     body,
+		// Generous capacity: a seq can transiently have a few copies in
+		// flight (owner requeue + hedge), and sends must never block a
+		// runner into deadlock.
+		pending:   make(chan int, 4*len(encParts)+8),
+		completed: make([]atomic.Bool, len(encParts)),
+		claimedAt: make([]atomic.Int64, len(encParts)),
+		hedgeOnce: make([]atomic.Bool, len(encParts)),
+		results:   make([]json.RawMessage, len(encParts)),
+		localRes:  make([]any, len(encParts)),
+		isLocal:   make([]bool, len(encParts)),
+		done:      make(chan struct{}),
+	}
+	jr.remaining.Store(int64(len(encParts)))
+	for i := range encParts {
+		jr.pending <- i
+	}
+	return jr
+}
+
+func (jr *jobRun) finish() { jr.closeDone.Do(func() { close(jr.done) }) }
+
+// fail records a deterministic task failure and resolves the run.
+func (jr *jobRun) fail(seq int, msg string) {
+	jr.failure.CompareAndSwap(nil, &taskError{seq: seq, msg: msg})
+	jr.finish()
+}
+
+// completeRemote consumes one worker result exactly once; duplicate
+// completions (hedge losers, replays) are dropped.
+func (jr *jobRun) completeRemote(seq int, raw json.RawMessage) bool {
+	if !jr.completed[seq].CompareAndSwap(false, true) {
+		return false
+	}
+	jr.results[seq] = raw
+	jr.claimedAt[seq].Store(0)
+	if jr.remaining.Add(-1) == 0 {
+		jr.finish()
+	}
+	return true
+}
+
+// completeLocal consumes one locally-computed result exactly once.
+func (jr *jobRun) completeLocal(seq int, res any) bool {
+	if !jr.completed[seq].CompareAndSwap(false, true) {
+		return false
+	}
+	jr.localRes[seq] = res
+	jr.isLocal[seq] = true
+	jr.claimedAt[seq].Store(0)
+	if jr.remaining.Add(-1) == 0 {
+		jr.finish()
+	}
+	return true
+}
+
+// requeue puts a claimed-but-unfinished seq back on the queue.
+func (jr *jobRun) requeue(seq int) {
+	jr.claimedAt[seq].Store(0)
+	if jr.completed[seq].Load() {
+		return
+	}
+	jr.pending <- seq
+}
+
 // Run executes one eligible blueprint job on the cluster: split locally,
-// ship encoded parts to healthy workers (each resolving the program by
-// registry name), collect per-part results with retry-on-node-loss, merge
-// locally. It blocks until the job resolves.
+// ship encoded parts to serving workers (each resolving the program by
+// registry name), collect per-part results with transient-fault retries,
+// idempotent re-dispatch and requeue-on-node-loss, merge locally. When the
+// cluster browns out the remaining shards drain to a local pool. It blocks
+// until the job resolves.
 func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
 	c.jobMu.Lock()
 	defer c.jobMu.Unlock()
@@ -410,6 +658,10 @@ func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
 	if fan == nil {
 		return nil, fmt.Errorf("remote: %s is not shardable: program root is %s, not a fan-out", blueprint, prog.Root().Op())
 	}
+	body, err := plan.Of(fan.Child(0).Node())
+	if err != nil {
+		return nil, fmt.Errorf("remote: compile fan-out body: %w", err)
+	}
 
 	parts, err := fan.Split().CallSplit(runner.Input())
 	if err != nil {
@@ -422,24 +674,29 @@ func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
 		}
 	}
 
-	preq := ProgramRequest{Blueprint: blueprint, Params: params, Step: fan.Index()}
-	results := make([]json.RawMessage, len(parts))
-	if err := c.dispatch(preq, raws, results); err != nil {
+	job := fmt.Sprintf("%s-%d", c.id, c.jobSeq.Add(1))
+	preq := ProgramRequest{Blueprint: blueprint, Params: params, Step: fan.Index(), Job: job}
+	jr := newJobRun(job, preq, raws, parts, body)
+	if err := c.dispatch(jr); err != nil {
 		return nil, err
 	}
 
-	vals := make([]any, len(results))
-	for i, raw := range results {
-		if vals[i], err = bp.Remote.DecodeResult(raw); err != nil {
+	vals := make([]any, len(jr.results))
+	for i := range jr.results {
+		if jr.isLocal[i] {
+			vals[i] = jr.localRes[i]
+			continue
+		}
+		if vals[i], err = bp.Remote.DecodeResult(jr.results[i]); err != nil {
 			return nil, fmt.Errorf("remote: decode result %d: %w", i, err)
 		}
 	}
 	return fan.Merge().CallMerge(vals)
 }
 
-// taskError is a deterministic per-task failure reported by a worker (the
-// muscle itself errored). It fails the job — requeueing would re-fail
-// forever on another node.
+// taskError is a deterministic per-task failure (the muscle itself
+// errored). It fails the job — requeueing would re-fail forever on another
+// node.
 type taskError struct {
 	seq int
 	msg string
@@ -449,73 +706,213 @@ func (e *taskError) Error() string {
 	return fmt.Sprintf("remote: task %d failed on worker: %s", e.seq, e.msg)
 }
 
-// dispatch shards the encoded parts over the enabled healthy nodes: one
-// runner goroutine per node pulls parts from a shared queue in small
-// batches sized by the node's current arbiter grant. A node failure
-// requeues its in-flight batch and retires the runner; surviving nodes
-// drain the queue, which is exactly the SIGKILL-mid-job story the
-// acceptance test exercises.
-func (c *Cluster) dispatch(preq ProgramRequest, parts []json.RawMessage, results []json.RawMessage) error {
-	if len(parts) == 0 {
-		return nil
-	}
-	pending := make(chan int, len(parts))
-	for i := range parts {
-		pending <- i
-	}
-	var remaining atomic.Int64
-	remaining.Store(int64(len(parts)))
-	done := make(chan struct{})
-	var closeDone sync.Once
-	var failure atomic.Pointer[taskError]
-
-	var wg sync.WaitGroup
-	launched := 0
-	c.mu.Lock()
-	enabled := c.nodes[:c.enabled]
-	c.mu.Unlock()
-	for _, n := range enabled {
-		n.mu.Lock()
-		ok := n.healthy
-		n.mu.Unlock()
-		if !ok {
-			continue
-		}
-		launched++
-		wg.Add(1)
-		go func(n *node) {
-			defer wg.Done()
-			c.nodeRunner(n, preq, parts, results, pending, &remaining, done, &closeDone, &failure)
-		}(n)
-	}
-	if launched == 0 {
-		return fmt.Errorf("remote: no healthy workers")
-	}
-	wg.Wait()
-	if f := failure.Load(); f != nil {
-		return f
-	}
-	if remaining.Load() > 0 {
-		return fmt.Errorf("remote: all workers lost with %d tasks unfinished", remaining.Load())
-	}
-	return nil
+// runnerExit tells the dispatch supervisor why a node runner retired.
+type runnerExit struct {
+	n *node
+	// refused marks a deterministic program-load refusal (registry drift):
+	// the node is healthy but cannot serve this job.
+	refused bool
+	err     error
 }
 
-func (c *Cluster) nodeRunner(n *node, preq ProgramRequest,
-	parts, results []json.RawMessage, pending chan int,
-	remaining *atomic.Int64, done chan struct{}, closeDone *sync.Once,
-	failure *atomic.Pointer[taskError]) {
+// dispatch shards the job over the serving nodes: one runner goroutine per
+// node pulls tasks from the shared queue in grant-sized batches. A
+// supervisor loop relaunches runners on nodes that recover mid-job
+// (probation re-admission), hedges stragglers when the arbiter has slack,
+// and — when serving capacity drops below the threshold — drains the
+// remaining tasks to the local pool instead of failing the job.
+func (c *Cluster) dispatch(jr *jobRun) error {
+	if len(jr.encParts) == 0 {
+		jr.finish()
+		return nil
+	}
 
-	if err := n.postProgram(preq); err != nil {
-		c.markDown(n, err)
+	exits := make(chan runnerExit, len(c.snapshotNodes())+1)
+	running := map[string]bool{}  // addr → runner active
+	refused := map[string]error{} // addr → deterministic program refusal
+	localStarted := false
+
+	startLocal := func() {
+		if localStarted || c.cfg.NoDegrade {
+			return
+		}
+		localStarted = true
+		c.emit(NodeEvent{Addr: "local", From: StateHealthy, To: StateHealthy,
+			Up: true, Time: c.clk.Now(), Cause: "degrade"})
+		go c.localRunner(jr)
+	}
+	launch := func(n *node) {
+		if running[n.addr] || refused[n.addr] != nil || !n.state().Serving() {
+			return
+		}
+		running[n.addr] = true
+		go func() { exits <- c.nodeRunner(n, jr) }()
+	}
+	enabledNodes := func() []*node {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		out := make([]*node, c.enabled)
+		copy(out, c.nodes[:c.enabled])
+		return out
+	}
+
+	for _, n := range enabledNodes() {
+		launch(n)
+	}
+	if len(running) == 0 {
+		if c.cfg.NoDegrade {
+			return fmt.Errorf("remote: no serving workers")
+		}
+		startLocal()
+	}
+
+	tick := time.NewTicker(c.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-jr.done:
+			if f := jr.failure.Load(); f != nil {
+				return f
+			}
+			return nil
+		case ex := <-exits:
+			delete(running, ex.n.addr)
+			if ex.refused {
+				refused[ex.n.addr] = ex.err
+			}
+		case <-tick.C:
+		}
+
+		// Re-evaluate the fleet: relaunch runners on nodes that recovered
+		// (or were re-enabled), and decide whether to degrade locally.
+		nodes := enabledNodes()
+		serving := 0
+		for _, n := range nodes {
+			if n.state().Serving() && refused[n.addr] == nil {
+				serving++
+			}
+			launch(n)
+		}
+		if len(refused) == len(nodes) && len(running) == 0 && !localStarted {
+			// Every worker deterministically refused the program: the job
+			// cannot run remotely, and locally only if degradation is on.
+			if c.cfg.NoDegrade {
+				for _, err := range refused {
+					return fmt.Errorf("remote: all workers refused the program: %w", err)
+				}
+			}
+			startLocal()
+		}
+		if serving < c.cfg.MinServing {
+			if c.cfg.NoDegrade {
+				if len(running) == 0 && serving == 0 {
+					return fmt.Errorf("remote: all workers lost with %d tasks unfinished", jr.remaining.Load())
+				}
+			} else {
+				startLocal()
+			}
+		}
+		if c.cfg.HedgeAfter > 0 {
+			c.hedgeStragglers(jr)
+		}
+	}
+}
+
+// hedgeStragglers re-enqueues tasks that have been claimed longer than
+// HedgeAfter, once each, when the cluster arbiter has budget slack — a
+// second node races the straggler, and the exactly-once completion guard
+// discards whichever copy loses.
+func (c *Cluster) hedgeStragglers(jr *jobRun) {
+	if c.arb.Granted() >= c.arb.Budget() {
 		return
+	}
+	now := c.clk.Now().UnixNano()
+	horizon := c.cfg.HedgeAfter.Nanoseconds()
+	for i := range jr.claimedAt {
+		ts := jr.claimedAt[i].Load()
+		if ts == 0 || now-ts < horizon || jr.completed[i].Load() {
+			continue
+		}
+		if !jr.hedgeOnce[i].CompareAndSwap(false, true) {
+			continue
+		}
+		select {
+		case jr.pending <- i:
+			c.hedged.Add(1)
+		default:
+			jr.hedgeOnce[i].Store(false)
+		}
+	}
+}
+
+// localPool lazily builds the degradation pool.
+func (c *Cluster) localPool() *exec.Pool {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.lpool == nil {
+		c.lpool = exec.NewPool(c.clk, c.cfg.LocalLP, 0)
+	}
+	return c.lpool
+}
+
+// localRunner drains pending tasks on the local pool: the graceful
+// degradation path when cluster capacity collapses mid-job. It is one more
+// consumer of the shared queue, so surviving nodes and the local pool race
+// for the remainder and the exactly-once guard arbitrates.
+func (c *Cluster) localRunner(jr *jobRun) {
+	pool := c.localPool()
+	sem := make(chan struct{}, c.cfg.LocalLP)
+	for {
+		select {
+		case <-jr.done:
+			return
+		case i := <-jr.pending:
+			if jr.completed[i].Load() {
+				continue
+			}
+			jr.claimedAt[i].Store(c.clk.Now().UnixNano())
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() { <-sem }()
+				res, err := exec.NewRoot(pool, nil, c.clk).StartProgram(jr.body, jr.parts[i]).Get()
+				if err != nil {
+					jr.fail(i, err.Error())
+					return
+				}
+				if jr.completeLocal(i, res) {
+					c.degraded.Add(1)
+				}
+			}(i)
+		}
+	}
+}
+
+// nodeRunner serves one node for one job: program load, then grant-sized
+// batches pulled from the shared queue until the job resolves or the node
+// fails terminally. Transient RPC faults are absorbed by the retry layer;
+// an exhausted retry budget requeues the in-flight batch, advances the
+// node's health state machine, and retires the runner — the supervisor
+// relaunches it if the node recovers.
+func (c *Cluster) nodeRunner(n *node, jr *jobRun) runnerExit {
+	if err := c.postProgram(n, jr.preq); err != nil {
+		cause := CauseOf(err)
+		if cause == CauseClient {
+			return runnerExit{n: n, refused: true, err: err}
+		}
+		if cause != CauseBusy {
+			c.noteFail(n, cause, err)
+		}
+		return runnerExit{n: n, err: err}
 	}
 	for {
 		var batch []int
 		select {
-		case <-done:
-			return
-		case i := <-pending:
+		case <-jr.done:
+			return runnerExit{n: n}
+		case i := <-jr.pending:
+			if jr.completed[i].Load() {
+				continue
+			}
 			batch = append(batch, i)
 		}
 		// Greedily widen the batch up to the node's grant: the arbiter's
@@ -527,93 +924,127 @@ func (c *Cluster) nodeRunner(n *node, preq ProgramRequest,
 	fill:
 		for len(batch) < limit {
 			select {
-			case i := <-pending:
+			case i := <-jr.pending:
+				if jr.completed[i].Load() {
+					continue
+				}
 				batch = append(batch, i)
 			default:
 				break fill
 			}
 		}
+		now := c.clk.Now().UnixNano()
+		for _, i := range batch {
+			jr.claimedAt[i].Store(now)
+		}
 
-		resps, err := n.postTasks(batch, parts)
+		resps, err := c.postTasks(n, jr, batch)
 		if err != nil {
 			for _, i := range batch {
-				pending <- i
+				jr.requeue(i)
 			}
-			c.markDown(n, err)
-			return
+			var re *RPCError
+			if errors.As(err, &re) && re.Status == http.StatusConflict {
+				// The worker restarted (or fenced a stale epoch) and lost
+				// the program: re-load and keep serving.
+				if perr := c.postProgram(n, jr.preq); perr == nil {
+					continue
+				}
+			}
+			cause := CauseOf(err)
+			if cause == CauseBusy {
+				// Admission shed: honor the worker's pacing hint, then keep
+				// serving — saturation is not sickness.
+				clock.Sleep(c.clk, busyHint(err))
+				continue
+			}
+			c.noteFail(n, cause, err)
+			return runnerExit{n: n, err: err}
 		}
+		// A complete reply is health evidence: feed the state machine so a
+		// suspect node that keeps serving climbs back to healthy.
+		c.noteOK(n)
 		for _, i := range batch {
 			resp := resps[i]
 			if resp.Error != "" {
-				failure.CompareAndSwap(nil, &taskError{seq: i, msg: resp.Error})
-				closeDone.Do(func() { close(done) })
-				return
+				jr.fail(i, resp.Error)
+				return runnerExit{n: n}
 			}
-			results[i] = resp.Result
-			n.tasks.Add(1)
-			if remaining.Add(-1) == 0 {
-				closeDone.Do(func() { close(done) })
-				return
+			if jr.completeRemote(i, resp.Result) {
+				n.tasks.Add(1)
 			}
 		}
 	}
 }
 
-func (n *node) postProgram(preq ProgramRequest) error {
+// busyHint extracts the Retry-After pacing from a terminal busy error.
+func busyHint(err error) time.Duration {
+	var be *busyError
+	if errors.As(err, &be) && be.retryAfter > 0 {
+		return be.retryAfter
+	}
+	return 100 * time.Millisecond
+}
+
+// postProgram loads the job's program onto a worker through the
+// transient-fault RPC layer.
+func (c *Cluster) postProgram(n *node, preq ProgramRequest) error {
 	body, err := json.Marshal(preq)
 	if err != nil {
 		return err
 	}
-	resp, err := n.client.Post(n.addr+"/program", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var pr ProgramResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return fmt.Errorf("program response: %w", err)
-	}
-	if !pr.OK {
-		return fmt.Errorf("program load refused: %s", pr.Error)
-	}
-	return nil
+	return c.rpc.post("POST /program", n.addr+"/program", "application/json", body, func(r io.Reader) error {
+		var pr ProgramResponse
+		if err := json.NewDecoder(r).Decode(&pr); err != nil {
+			return fmt.Errorf("program response: %w", err)
+		}
+		if !pr.OK {
+			return fmt.Errorf("program load refused: %s", pr.Error)
+		}
+		return nil
+	})
 }
 
-// postTasks ships one NDJSON batch and returns the responses keyed by
-// sequence number. A short or malformed response fails the whole batch, so
-// the caller requeues it — results are only consumed from complete replies.
-func (n *node) postTasks(batch []int, parts []json.RawMessage) (map[int]TaskResponse, error) {
+// postTasks ships one NDJSON batch through the transient-fault RPC layer
+// and returns the responses keyed by sequence number. A short or malformed
+// reply classifies as a torn (proto) fault and is retried against the same
+// node — the worker's dedup slots make the replay execute nothing twice.
+// Results are only ever consumed from complete replies.
+func (c *Cluster) postTasks(n *node, jr *jobRun, batch []int) (map[int]TaskResponse, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, i := range batch {
-		if err := enc.Encode(TaskRequest{Seq: i, Part: parts[i]}); err != nil {
+		if err := enc.Encode(TaskRequest{Seq: i, Part: jr.encParts[i], Job: jr.job}); err != nil {
 			return nil, err
 		}
 	}
-	resp, err := n.client.Post(n.addr+"/tasks", "application/x-ndjson", &buf)
+	var out map[int]TaskResponse
+	err := c.rpc.post("POST /tasks", n.addr+"/tasks", "application/x-ndjson", buf.Bytes(), func(r io.Reader) error {
+		m := make(map[int]TaskResponse, len(batch))
+		dec := json.NewDecoder(r)
+		for {
+			var tr TaskResponse
+			if err := dec.Decode(&tr); err != nil {
+				if err == io.EOF {
+					break
+				}
+				return fmt.Errorf("task response: %w", err)
+			}
+			if tr.Seq < 0 {
+				return fmt.Errorf("worker rejected batch: %s", tr.Error)
+			}
+			m[tr.Seq] = tr
+		}
+		for _, i := range batch {
+			if _, ok := m[i]; !ok {
+				return fmt.Errorf("worker reply missing task %d", i)
+			}
+		}
+		out = m
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
-	out := make(map[int]TaskResponse, len(batch))
-	for {
-		var tr TaskResponse
-		if err := dec.Decode(&tr); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("task response: %w", err)
-		}
-		if tr.Seq < 0 {
-			return nil, fmt.Errorf("worker rejected batch: %s", tr.Error)
-		}
-		out[tr.Seq] = tr
-	}
-	for _, i := range batch {
-		if _, ok := out[i]; !ok {
-			return nil, fmt.Errorf("worker reply missing task %d", i)
-		}
 	}
 	return out, nil
 }

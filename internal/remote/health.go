@@ -1,0 +1,166 @@
+package remote
+
+import "sync"
+
+// NodeState is one worker's position in the coordinator's health state
+// machine. It replaces the old binary healthy/down flag: transient noise
+// moves a node to Suspect without retiring it, a persistently failing node
+// goes Down (released from the arbiter, no new work), and a recovering node
+// re-earns trust through Probation (admitted again, but with its LP share
+// capped until enough consecutive probes succeed).
+//
+//	Healthy ──fail×SuspectAfter──▶ Suspect ──fail×DownAfter──▶ Down
+//	   ▲                             │ ok                        │ ok
+//	   │                             ▼                           ▼
+//	   ◀──────ok×ProbationProbes── Probation ◀───────────────────┘
+//	                                 │ fail
+//	                                 ▼
+//	                               Down
+type NodeState int32
+
+const (
+	// StateHealthy: probes and dispatch succeed; full arbiter share.
+	StateHealthy NodeState = iota
+	// StateSuspect: some consecutive failures, below the down threshold.
+	// The node keeps its grant and keeps serving — distrust is not
+	// eviction — but the failure streak is visible in /metrics.
+	StateSuspect
+	// StateDown: the failure streak crossed DownAfter. Released from the
+	// arbiter, receives no new work; its in-flight batch was requeued.
+	StateDown
+	// StateProbation: a down node answered a probe. Re-admitted to the
+	// arbiter with a capped LP share until ProbationProbes consecutive
+	// successes promote it back to Healthy; one failure demotes it
+	// straight back to Down.
+	StateProbation
+)
+
+// String names the state for events, metrics and logs.
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateProbation:
+		return "probation"
+	default:
+		return "unknown"
+	}
+}
+
+// Serving reports whether the coordinator ships work to a node in this
+// state. Suspect and probation nodes still serve; only down nodes do not.
+func (s NodeState) Serving() bool { return s != StateDown }
+
+// HealthConfig tunes the per-node state machine thresholds.
+type HealthConfig struct {
+	// SuspectAfter is the consecutive-failure count that moves a healthy
+	// node to suspect (default 1: the first failure is already suspicious).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that retires a node
+	// (default 3). Must be >= SuspectAfter.
+	DownAfter int
+	// ProbationProbes is how many consecutive successes a probation node
+	// needs to be promoted back to healthy (default 2).
+	ProbationProbes int
+	// ProbationCap clamps the node's arbiter LP share while in probation
+	// (default 1): a re-admitted node proves itself on a trickle before
+	// the budget flows back.
+	ProbationCap int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.SuspectAfter < 1 {
+		c.SuspectAfter = 1
+	}
+	if c.DownAfter < c.SuspectAfter {
+		c.DownAfter = c.SuspectAfter + 2
+	}
+	if c.ProbationProbes < 1 {
+		c.ProbationProbes = 2
+	}
+	if c.ProbationCap < 1 {
+		c.ProbationCap = 1
+	}
+	return c
+}
+
+// health is one node's failure-streak tracker and state machine. All
+// transitions flow through fail/ok so the state, the streak and the
+// probation progress can never disagree.
+type health struct {
+	cfg HealthConfig
+
+	mu          sync.Mutex
+	state       NodeState
+	consecFails int
+	okProbes    int // consecutive successes while in probation
+}
+
+func newHealth(cfg HealthConfig) *health {
+	return &health{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state.
+func (h *health) State() NodeState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// ConsecFails returns the current consecutive-failure streak.
+func (h *health) ConsecFails() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consecFails
+}
+
+// fail records one failed interaction (probe or exhausted dispatch RPC) and
+// returns the transition it caused (from == to when nothing changed).
+func (h *health) fail() (from, to NodeState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	from = h.state
+	h.consecFails++
+	h.okProbes = 0
+	switch h.state {
+	case StateHealthy, StateSuspect:
+		if h.consecFails >= h.cfg.DownAfter {
+			h.state = StateDown
+		} else if h.consecFails >= h.cfg.SuspectAfter {
+			h.state = StateSuspect
+		}
+	case StateProbation:
+		// Trust is fragile during re-admission: one failure demotes.
+		h.state = StateDown
+	}
+	return from, h.state
+}
+
+// ok records one successful interaction and returns the transition.
+func (h *health) ok() (from, to NodeState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	from = h.state
+	h.consecFails = 0
+	switch h.state {
+	case StateSuspect:
+		h.state = StateHealthy
+	case StateDown:
+		h.okProbes = 1
+		if h.okProbes >= h.cfg.ProbationProbes {
+			h.state = StateHealthy
+		} else {
+			h.state = StateProbation
+		}
+	case StateProbation:
+		h.okProbes++
+		if h.okProbes >= h.cfg.ProbationProbes {
+			h.state = StateHealthy
+		}
+	}
+	return from, h.state
+}

@@ -1,0 +1,102 @@
+package remote
+
+import "testing"
+
+func step(t *testing.T, h *health, fail bool, wantFrom, wantTo NodeState) {
+	t.Helper()
+	var from, to NodeState
+	if fail {
+		from, to = h.fail()
+	} else {
+		from, to = h.ok()
+	}
+	if from != wantFrom || to != wantTo {
+		t.Fatalf("transition %s→%s, want %s→%s", from, to, wantFrom, wantTo)
+	}
+	if h.State() != wantTo {
+		t.Fatalf("State() = %s after transition to %s", h.State(), wantTo)
+	}
+}
+
+// TestHealthDescentAndRecovery walks the full machine: healthy → suspect →
+// down on consecutive failures, then re-admission through probation back to
+// healthy.
+func TestHealthDescentAndRecovery(t *testing.T) {
+	h := newHealth(HealthConfig{}) // defaults: suspect after 1, down after 3, 2 probes
+	step(t, h, true, StateHealthy, StateSuspect)
+	step(t, h, true, StateSuspect, StateSuspect)
+	step(t, h, true, StateSuspect, StateDown)
+	if h.ConsecFails() != 3 {
+		t.Fatalf("consec fails %d, want 3", h.ConsecFails())
+	}
+	// Recovery: first success re-admits on probation, second promotes.
+	step(t, h, false, StateDown, StateProbation)
+	step(t, h, false, StateProbation, StateHealthy)
+	if h.ConsecFails() != 0 {
+		t.Fatalf("consec fails %d after recovery, want 0", h.ConsecFails())
+	}
+}
+
+// TestHealthSuspectRecoversDirectly: one success clears a suspect streak
+// without passing through probation.
+func TestHealthSuspectRecoversDirectly(t *testing.T) {
+	h := newHealth(HealthConfig{})
+	step(t, h, true, StateHealthy, StateSuspect)
+	step(t, h, false, StateSuspect, StateHealthy)
+}
+
+// TestHealthProbationIsFragile: a single failure during probation demotes
+// straight back to down — trust is re-earned, not granted.
+func TestHealthProbationIsFragile(t *testing.T) {
+	h := newHealth(HealthConfig{})
+	for i := 0; i < 3; i++ {
+		h.fail()
+	}
+	step(t, h, false, StateDown, StateProbation)
+	step(t, h, true, StateProbation, StateDown)
+	// And the probation progress is reset: recovery starts over.
+	step(t, h, false, StateDown, StateProbation)
+	step(t, h, false, StateProbation, StateHealthy)
+}
+
+// TestHealthFlappingNodeNeverPromotes: alternating ok/fail keeps a node
+// cycling probation↔down, never reaching healthy — the flap damping the
+// probation design exists for.
+func TestHealthFlappingNodeNeverPromotes(t *testing.T) {
+	h := newHealth(HealthConfig{})
+	for i := 0; i < 3; i++ {
+		h.fail()
+	}
+	for i := 0; i < 10; i++ {
+		if _, to := h.ok(); to != StateProbation {
+			t.Fatalf("flap round %d: ok moved to %s, want probation", i, to)
+		}
+		if _, to := h.fail(); to != StateDown {
+			t.Fatalf("flap round %d: fail moved to %s, want down", i, to)
+		}
+	}
+}
+
+// TestHealthThresholdsConfigurable: custom thresholds shift the boundaries.
+func TestHealthThresholdsConfigurable(t *testing.T) {
+	h := newHealth(HealthConfig{SuspectAfter: 2, DownAfter: 5, ProbationProbes: 3})
+	step(t, h, true, StateHealthy, StateHealthy) // 1 < SuspectAfter
+	step(t, h, true, StateHealthy, StateSuspect) // 2
+	step(t, h, true, StateSuspect, StateSuspect) // 3
+	step(t, h, true, StateSuspect, StateSuspect) // 4
+	step(t, h, true, StateSuspect, StateDown)    // 5
+	step(t, h, false, StateDown, StateProbation)
+	step(t, h, false, StateProbation, StateProbation)
+	step(t, h, false, StateProbation, StateHealthy)
+}
+
+func TestNodeStateServing(t *testing.T) {
+	for _, s := range []NodeState{StateHealthy, StateSuspect, StateProbation} {
+		if !s.Serving() {
+			t.Errorf("%s must serve", s)
+		}
+	}
+	if StateDown.Serving() {
+		t.Error("down must not serve")
+	}
+}

@@ -28,6 +28,11 @@ type ProgramRequest struct {
 	Blueprint string         `json:"blueprint"`
 	Params    map[string]any `json:"params,omitempty"`
 	Step      int            `json:"step"`
+	// Job is the coordinator's unique epoch for this job run. Loading a
+	// program under a new Job resets the worker's per-task dedup state;
+	// re-loading the same Job (a re-admitted node rejoining mid-job)
+	// preserves it, so replayed batches still hit the cache.
+	Job string `json:"job,omitempty"`
 }
 
 // ProgramResponse acknowledges a program load. Program echoes the worker's
@@ -45,6 +50,11 @@ type ProgramResponse struct {
 type TaskRequest struct {
 	Seq  int             `json:"seq"`
 	Part json.RawMessage `json:"part"`
+	// Job fences the task to its job epoch: a worker rejects batches whose
+	// Job differs from its loaded program's (HTTP 409), so a delayed
+	// retransmission from an earlier job can never execute under a newer
+	// program.
+	Job string `json:"job,omitempty"`
 }
 
 // TaskResponse is the worker's NDJSON reply line for one task.
@@ -65,6 +75,11 @@ type HealthResponse struct {
 	Queued    int    `json:"queued"`
 	MaxLP     int    `json:"max_lp"`
 	Tasks     int64  `json:"tasks"`
+	// Deduped counts task requests served from the idempotency cache
+	// instead of re-executing the muscle (coordinator replays absorbed).
+	Deduped int64 `json:"deduped,omitempty"`
+	// Shed counts task batches refused with 429 under admission control.
+	Shed int64 `json:"shed,omitempty"`
 }
 
 // LPRequest pushes an arbiter grant to the worker's pool (POST /lp).

@@ -26,6 +26,11 @@ type WorkerConfig struct {
 	MaxLP int
 	// MaxFrame bounds one NDJSON task line (default DefaultMaxFrame).
 	MaxFrame int
+	// MaxQueue bounds the task queue (0 = unbounded): a batch that would
+	// push the queued-task count past it is shed with HTTP 429 and a
+	// Retry-After hint instead of buffering without bound — the worker's
+	// mirror of skelrund's -queue-max admission control.
+	MaxQueue int
 	// Clock substitutes the time source (tests).
 	Clock clock.Clock
 }
@@ -34,16 +39,58 @@ type WorkerConfig struct {
 // loaded program, and serves the wire protocol. The interpretation path is
 // the ordinary local one — exec.Root walking the compiled IR — so a worker
 // executes tasks bit-for-bit like a local pool would.
+//
+// Execution is idempotent per job epoch: each (job, seq) runs its muscle at
+// most once, however many times the coordinator retries the batch after an
+// ambiguous failure (lost reply, torn response, timeout). Replays of a
+// completed task are served from the slot cache; replays of an in-flight
+// task wait on the original future.
 type Worker struct {
 	clk      clock.Clock
 	pool     *exec.Pool
 	maxFrame int
+	maxQueue int
 	tasks    atomic.Int64
+	deduped  atomic.Int64
+	shed     atomic.Int64
 
 	mu        sync.Mutex
 	blueprint string
 	codec     *skandium.RemoteCodec
 	body      *plan.Program
+	job       string
+	slots     map[int]*taskSlot
+}
+
+// taskSlot is the idempotency record of one (job, seq): the once gate
+// guarantees the muscle starts at most once, and every request for the seq
+// — original or replay — waits on the same future.
+type taskSlot struct {
+	once    sync.Once
+	fut     *exec.Future
+	err     error // part decode failure (deterministic, cached like a result)
+	counted atomic.Bool
+}
+
+// run starts the slot's execution exactly once. sync.Once publishes fut/err
+// to every concurrent caller.
+func (s *taskSlot) run(w *Worker, codec *skandium.RemoteCodec, body *plan.Program, part json.RawMessage) {
+	s.once.Do(func() {
+		p, err := codec.DecodePart(part)
+		if err != nil {
+			s.err = fmt.Errorf("decode part: %w", err)
+			return
+		}
+		s.fut = exec.NewRoot(w.pool, nil, w.clk).StartProgram(body, p)
+	})
+}
+
+// get waits for the slot's outcome.
+func (s *taskSlot) get() (any, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.fut.Get()
 }
 
 // NewWorker builds a worker node.
@@ -61,6 +108,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		clk:      cfg.Clock,
 		pool:     exec.NewPool(cfg.Clock, cfg.LP, cfg.MaxLP),
 		maxFrame: cfg.MaxFrame,
+		maxQueue: cfg.MaxQueue,
+		slots:    map[int]*taskSlot{},
 	}
 }
 
@@ -76,6 +125,12 @@ func (w *Worker) Report() core.NodeReport {
 		MaxLP:  w.pool.MaxLP(),
 	}
 }
+
+// Deduped counts task requests served from the idempotency cache.
+func (w *Worker) Deduped() int64 { return w.deduped.Load() }
+
+// Shed counts batches refused with 429 under admission control.
+func (w *Worker) Shed() int64 { return w.shed.Load() }
 
 // Handler serves the worker wire protocol.
 func (w *Worker) Handler() http.Handler {
@@ -95,7 +150,7 @@ func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 	writeJSON(rw, http.StatusOK, HealthResponse{
 		OK: true, Blueprint: bp,
 		LP: rep.LP, Active: rep.Active, Queued: rep.Queued, MaxLP: rep.MaxLP,
-		Tasks: w.tasks.Load(),
+		Tasks: w.tasks.Load(), Deduped: w.deduped.Load(), Shed: w.shed.Load(),
 	})
 }
 
@@ -116,7 +171,9 @@ func (w *Worker) handleProgram(rw http.ResponseWriter, r *http.Request) {
 // load resolves the blueprint by registry name, rebuilds the skeleton,
 // compiles it and pins the fan-out body as the task entry point. Unknown
 // names and ineligible blueprints are clean errors — the coordinator sees
-// them as a refusal, never as a worker crash.
+// them as a refusal, never as a worker crash. A new job epoch resets the
+// dedup slots; re-loading the current epoch (a node rejoining mid-job)
+// keeps them, so post-rejoin replays still dedup.
 func (w *Worker) load(req ProgramRequest) (string, error) {
 	bp, ok := skandium.LookupBlueprint(req.Blueprint)
 	if !ok {
@@ -149,17 +206,35 @@ func (w *Worker) load(req ProgramRequest) (string, error) {
 	w.blueprint = req.Blueprint
 	w.codec = bp.Remote
 	w.body = body
+	if w.job != req.Job {
+		w.job = req.Job
+		w.slots = map[int]*taskSlot{}
+	}
 	w.mu.Unlock()
 	return runner.Program(), nil
 }
 
-// handleTasks runs one NDJSON batch. The whole batch is parsed before any
-// task starts, so a torn or oversized frame fails the request atomically
-// (HTTP 400, nothing executed) and the coordinator can requeue the batch on
-// another node without double execution.
+// slotFor returns the dedup slot of seq, creating it on first sight. fresh
+// reports whether the slot is new (its muscle has not been started).
+func (w *Worker) slotFor(seq int) (s *taskSlot, fresh bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.slots[seq]
+	if !ok {
+		s = &taskSlot{}
+		w.slots[seq] = s
+	}
+	return s, !ok
+}
+
+// handleTasks runs one NDJSON batch. The whole batch is parsed and
+// validated before any task starts, so a torn or oversized frame, a job
+// mismatch, or an admission shed fails the request atomically (nothing
+// executed) and the coordinator can retry or requeue the batch without
+// partial execution. Replayed tasks are served from the dedup slots.
 func (w *Worker) handleTasks(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
-	codec, body := w.codec, w.body
+	codec, body, job := w.codec, w.body, w.job
 	w.mu.Unlock()
 	if body == nil {
 		writeJSON(rw, http.StatusConflict, TaskResponse{Seq: -1, Error: "no program loaded"})
@@ -185,41 +260,63 @@ func (w *Worker) handleTasks(rw http.ResponseWriter, r *http.Request) {
 			writeJSON(rw, http.StatusBadRequest, TaskResponse{Seq: -1, Error: "torn task frame: " + err.Error()})
 			return
 		}
+		if tr.Job != "" && tr.Job != job {
+			writeJSON(rw, http.StatusConflict, TaskResponse{Seq: -1,
+				Error: fmt.Sprintf("job mismatch: batch is %q, loaded program is %q", tr.Job, job)})
+			return
+		}
 		reqs = append(reqs, tr)
 	}
 	if err := sc.Err(); err != nil {
-		status := http.StatusBadRequest
 		msg := "reading task stream: " + err.Error()
 		if errors.Is(err, bufio.ErrTooLong) {
 			msg = fmt.Sprintf("task frame exceeds %d bytes", w.maxFrame)
 		}
-		writeJSON(rw, status, TaskResponse{Seq: -1, Error: msg})
+		writeJSON(rw, http.StatusBadRequest, TaskResponse{Seq: -1, Error: msg})
 		return
 	}
 
-	// Start every task on the pool, then stream responses back in request
-	// order: the pool provides the parallelism, the order keeps the wire
-	// protocol trivially matchable. One Root per task — a Root is one
-	// execution (one future), exactly like one stream input locally.
-	futs := make([]*exec.Future, len(reqs))
-	errs := make([]error, len(reqs))
-	for i, tr := range reqs {
-		part, err := codec.DecodePart(tr.Part)
-		if err != nil {
-			errs[i] = fmt.Errorf("decode part: %w", err)
-			continue
+	// Admission control: count only tasks that would actually start —
+	// replays of known seqs add no load and are never shed, so a saturated
+	// worker still answers the retries that drain the coordinator's
+	// ambiguity. The fresh count is conservative (slots are not created
+	// yet), racing batches may both pass, which is the same soft bound the
+	// daemon's queue shed accepts.
+	if w.maxQueue > 0 {
+		fresh := 0
+		w.mu.Lock()
+		for _, tr := range reqs {
+			if _, ok := w.slots[tr.Seq]; !ok {
+				fresh++
+			}
 		}
-		futs[i] = exec.NewRoot(w.pool, nil, w.clk).StartProgram(body, part)
+		w.mu.Unlock()
+		if fresh > 0 && w.pool.QueueLen()+fresh > w.maxQueue {
+			w.shed.Add(1)
+			rw.Header().Set("Retry-After", "1")
+			writeJSON(rw, http.StatusTooManyRequests, TaskResponse{Seq: -1,
+				Error: fmt.Sprintf("task queue saturated (%d queued, max %d)", w.pool.QueueLen(), w.maxQueue)})
+			return
+		}
+	}
+
+	// Start (or attach to) every task's slot, then stream responses back in
+	// request order: the pool provides the parallelism, the order keeps the
+	// wire protocol trivially matchable.
+	slots := make([]*taskSlot, len(reqs))
+	for i, tr := range reqs {
+		slot, freshSlot := w.slotFor(tr.Seq)
+		if !freshSlot {
+			w.deduped.Add(1)
+		}
+		slot.run(w, codec, body, tr.Part)
+		slots[i] = slot
 	}
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(rw)
 	for i, tr := range reqs {
 		resp := TaskResponse{Seq: tr.Seq}
-		var res any
-		err := errs[i]
-		if err == nil {
-			res, err = futs[i].Get()
-		}
+		res, err := slots[i].get()
 		if err == nil {
 			var raw []byte
 			raw, err = codec.EncodeResult(res)
@@ -227,7 +324,7 @@ func (w *Worker) handleTasks(rw http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			resp.Error = err.Error()
-		} else {
+		} else if slots[i].counted.CompareAndSwap(false, true) {
 			w.tasks.Add(1)
 		}
 		_ = enc.Encode(resp)

@@ -98,21 +98,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		views := make([]map[string]any, 0, len(nodes))
 		for _, n := range nodes {
 			v := map[string]any{
-				"addr": n.Addr, "healthy": n.Healthy, "enabled": n.Enabled,
+				"addr": n.Addr, "healthy": n.Healthy, "state": n.State, "enabled": n.Enabled,
 				"grant": n.Grant, "tasks": n.Tasks,
 				"lp": n.Report.LP, "active": n.Report.Active, "queued": n.Report.Queued,
+			}
+			if n.ConsecFails > 0 {
+				v["consec_fails"] = n.ConsecFails
 			}
 			if n.LastErr != "" {
 				v["last_error"] = n.LastErr
 			}
+			if n.LastCause != "" {
+				v["last_cause"] = n.LastCause
+			}
 			views = append(views, v)
 		}
 		body["cluster"] = map[string]any{
-			"workers": len(nodes),
-			"healthy": cl.Healthy(),
-			"budget":  cl.Budget(),
-			"granted": cl.Granted(),
-			"nodes":   views,
+			"workers":  len(nodes),
+			"healthy":  cl.Healthy(),
+			"serving":  cl.Serving(),
+			"budget":   cl.Budget(),
+			"granted":  cl.Granted(),
+			"degraded": cl.Degraded(),
+			"hedged":   cl.Hedged(),
+			"nodes":    views,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -611,7 +620,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "skelrund_cluster_budget %d\n", cl.Budget())
 		fmt.Fprintf(w, "# HELP skelrund_cluster_granted sum of per-node LP grants (never exceeds the budget)\n")
 		fmt.Fprintf(w, "skelrund_cluster_granted %d\n", cl.Granted())
+		fmt.Fprintf(w, "# HELP skelrund_cluster_serving nodes currently shipped work (healthy, suspect or probation)\n")
+		fmt.Fprintf(w, "skelrund_cluster_serving %d\n", cl.Serving())
+		fmt.Fprintf(w, "# HELP skelrund_cluster_degraded_tasks_total tasks drained to the local pool after cluster brown-out\n")
+		fmt.Fprintf(w, "skelrund_cluster_degraded_tasks_total %d\n", cl.Degraded())
+		fmt.Fprintf(w, "# HELP skelrund_cluster_hedged_tasks_total straggler tasks re-enqueued for hedging\n")
+		fmt.Fprintf(w, "skelrund_cluster_hedged_tasks_total %d\n", cl.Hedged())
 		fmt.Fprintf(w, "# HELP skelrund_cluster_node_up worker health (1 = responding to probes)\n")
+		fmt.Fprintf(w, "# HELP skelrund_cluster_node_state worker health state (1 on the current state's series)\n")
+		fmt.Fprintf(w, "# HELP skelrund_cluster_node_consec_fails current consecutive-failure streak\n")
 		for _, n := range cl.Nodes() {
 			lbl := fmt.Sprintf("{node=%q}", n.Addr)
 			up := 0
@@ -619,6 +636,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				up = 1
 			}
 			fmt.Fprintf(w, "skelrund_cluster_node_up%s %d\n", lbl, up)
+			fmt.Fprintf(w, "skelrund_cluster_node_state{node=%q,state=%q} 1\n", n.Addr, n.State)
+			fmt.Fprintf(w, "skelrund_cluster_node_consec_fails%s %d\n", lbl, n.ConsecFails)
 			fmt.Fprintf(w, "skelrund_cluster_node_grant%s %d\n", lbl, n.Grant)
 			fmt.Fprintf(w, "skelrund_cluster_node_tasks_total%s %d\n", lbl, n.Tasks)
 			fmt.Fprintf(w, "skelrund_cluster_node_lp%s %d\n", lbl, n.Report.LP)

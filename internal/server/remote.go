@@ -56,7 +56,9 @@ func (s *Server) startRemote(j *job) {
 
 // onNodeEvent threads a cluster health transition into the event log of
 // every job currently running on the cluster — the job's stream of events
-// shows the node loss (and recovery) that explains its timeline.
+// shows the node loss (and recovery) that explains its timeline. Records
+// carry the full state transition and the classified failure cause
+// ("refused", "timeout", "http-5xx", ...), not just a binary up/down.
 func (s *Server) onNodeEvent(ev remote.NodeEvent) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.remoteJobs))
@@ -64,14 +66,29 @@ func (s *Server) onNodeEvent(ev remote.NodeEvent) {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-	kind := "node-up"
-	if !ev.Up {
+	// node-down / node-up name the serving boundary (the transitions the
+	// dispatcher acts on); everything else is a node-state refinement
+	// (healthy→suspect, down→probation, probation→healthy, ...).
+	var kind string
+	switch {
+	case ev.To == remote.StateDown:
 		kind = "node-down"
+	case ev.From == remote.StateDown:
+		kind = "node-up"
+	default:
+		kind = "node-state"
+	}
+	detail := ev.Addr
+	if ev.From != ev.To {
+		detail = fmt.Sprintf("%s %s→%s", ev.Addr, ev.From, ev.To)
+	}
+	if ev.Cause != "" {
+		detail += " cause=" + ev.Cause
 	}
 	for _, j := range jobs {
 		j.log.append(eventRecord{
 			TMS:  float64(ev.Time.Sub(j.log.start)) / float64(time.Millisecond),
-			Ev:   fmt.Sprintf("cluster@%s(%s)", kind, ev.Addr),
+			Ev:   fmt.Sprintf("cluster@%s(%s)", kind, detail),
 			Kind: "cluster", When: kind, Where: ev.Addr, Err: ev.Err,
 		})
 	}

@@ -59,6 +59,14 @@ type Config struct {
 	// unchanged WCT controller scales a simulated cluster in virtual time
 	// exactly like it scales a thread pool.
 	Nodes []NodeSpec
+	// Partitions imposes network partitions on the simulated cluster
+	// (multi-node mode only): during [From, Until) after the run starts the
+	// named node is unreachable — no new work is pinned to it, its threads
+	// leave the admission capacity, and muscles already running there hold
+	// their results until the window heals (the reply is stranded behind
+	// the partition, then pays one more Link to ship home). Deterministic:
+	// the same windows replay the same virtual timeline.
+	Partitions []Partition
 	// Gauge, when set, observes (virtual now, active, lp) on transitions.
 	Gauge func(now time.Time, active, lp int)
 	// Start anchors virtual time (default clock.Epoch).
@@ -82,6 +90,8 @@ type Engine struct {
 	nodes    []NodeSpec
 	nodeBusy []int
 	slotNode []int // slot -> node, valid while the slot is taken
+	parts    []Partition
+	partBase time.Time // run start the partition windows are relative to
 
 	queue   []*task
 	running runHeap
@@ -114,6 +124,15 @@ type NodeSpec struct {
 	// Link is the one-way shipping latency; every muscle run on the node
 	// pays 2×Link of virtual time on top of its declared cost.
 	Link time.Duration
+}
+
+// Partition is one virtual-time partition window of a simulated node.
+type Partition struct {
+	// Node is the index into Config.Nodes.
+	Node int
+	// From/Until bound the window relative to the run start (half-open:
+	// the node heals at Until exactly).
+	From, Until time.Duration
 }
 
 // arrival is a pending stream injection.
@@ -176,8 +195,55 @@ func NewEngine(cfg Config) *Engine {
 		if e.lp > len(e.nodes) {
 			e.lp = len(e.nodes)
 		}
+		for _, p := range cfg.Partitions {
+			if p.Node < 0 || p.Node >= len(e.nodes) || p.Until <= p.From {
+				continue
+			}
+			e.parts = append(e.parts, p)
+		}
 	}
 	return e
+}
+
+// partitionedAt reports whether node is cut off at instant at, and if so
+// when it heals — chaining overlapping or abutting windows, so a reply
+// stranded behind back-to-back partitions waits them all out.
+func (e *Engine) partitionedAt(node int, at time.Time) (bool, time.Time) {
+	rel := at.Sub(e.partBase)
+	cut := false
+	heal := rel
+	for changed := true; changed; {
+		changed = false
+		for _, p := range e.parts {
+			if p.Node == node && p.From <= heal && heal < p.Until {
+				cut = true
+				heal = p.Until
+				changed = true
+			}
+		}
+	}
+	if !cut {
+		return false, time.Time{}
+	}
+	return true, e.partBase.Add(heal)
+}
+
+// nextHeal returns the earliest future partition end — the instant the
+// admission capacity can grow again.
+func (e *Engine) nextHeal(now time.Time) (time.Time, bool) {
+	rel := now.Sub(e.partBase)
+	var best time.Duration
+	found := false
+	for _, p := range e.parts {
+		if p.Until > rel && (!found || p.Until < best) {
+			best = p.Until
+			found = true
+		}
+	}
+	if !found {
+		return time.Time{}, false
+	}
+	return e.partBase.Add(best), true
 }
 
 // Events returns the engine's registry.
@@ -226,14 +292,18 @@ func (e *Engine) NodeOccupancy() []int {
 	return out
 }
 
-// capacity is the admission bound: threads of the provisioned nodes in
-// multi-node mode, the LP target otherwise.
+// capacity is the admission bound: threads of the provisioned, currently
+// reachable nodes in multi-node mode, the LP target otherwise.
 func (e *Engine) capacity() int {
 	if len(e.nodes) == 0 {
 		return e.lp
 	}
+	now := e.clk.Now()
 	c := 0
 	for i := 0; i < e.lp; i++ {
+		if cut, _ := e.partitionedAt(i, now); cut {
+			continue
+		}
 		c += e.nodes[i].Threads
 	}
 	return c
@@ -290,6 +360,7 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 	e.err = nil
 	e.completed = 0
 	runStart := e.clk.Now()
+	e.partBase = runStart
 
 	e.results = make([]StreamResult, len(injections))
 	e.arrivals = e.arrivals[:0]
@@ -317,6 +388,12 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 		}
 		if e.running.len() == 0 {
 			if len(e.queue) > 0 {
+				// No capacity right now — but a partition heal may restore
+				// some; jump the clock to the earliest one.
+				if heal, ok := e.nextHeal(e.clk.Now()); ok {
+					e.clk.Set(heal)
+					continue
+				}
 				return nil, fmt.Errorf("sim: stalled with %d queued tasks and no capacity", len(e.queue))
 			}
 			// Idle: jump to the next arrival.
@@ -334,6 +411,17 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 			continue
 		}
 		r := e.running.pop()
+		if len(e.parts) > 0 {
+			nd := e.slotNode[r.slot]
+			if cut, heal := e.partitionedAt(nd, r.until); cut {
+				// The muscle finished on a partitioned node: its reply is
+				// stranded until the window heals, then pays one more Link
+				// to ship home. The worker stays pinned the whole time.
+				r.until = heal.Add(e.nodes[nd].Link)
+				e.running.push(r)
+				continue
+			}
+		}
 		e.clk.Set(r.until)
 		e.sample()
 		r.fin.finish(r.task, r.slot)
@@ -386,10 +474,15 @@ func (e *Engine) takeSlot() int {
 		e.nextSlot++
 	}
 	if len(e.nodes) > 0 {
-		// Pin the slot to the first provisioned node with a free thread for
-		// its whole execution slice (capacity() admission guarantees one).
+		// Pin the slot to the first provisioned, reachable node with a free
+		// thread for its whole execution slice (capacity() admission, which
+		// uses the same reachability predicate, guarantees one).
+		now := e.clk.Now()
 		nd := 0
 		for i := 0; i < e.lp; i++ {
+			if cut, _ := e.partitionedAt(i, now); cut {
+				continue
+			}
 			if e.nodeBusy[i] < e.nodes[i].Threads {
 				nd = i
 				break
