@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt lint cover check chaos clean
+.PHONY: all build test race bench figures examples vet fmt lint cover check chaos overload clean
 
 all: check
 
 # check is the pre-merge gate: compile, full tests, vet/fmt, static
 # analysis, then the race detector over the concurrency-heavy packages
 # (pool, controller+arbiter, daemon), the cross-backend conformance
-# harness, the stream lifecycle tests of the root package, and the
-# cluster chaos suite (network faults, partitions, flaps).
-check: build test vet lint race chaos
+# harness, the stream lifecycle tests of the root package, the cluster
+# chaos suite (network faults, partitions, flaps), and the virtual-time
+# overload harness (multi-tenant fairness invariants).
+check: build test vet lint race chaos overload
 
 build:
 	$(GO) build ./...
@@ -31,6 +32,14 @@ race:
 COUNT ?= 1
 chaos:
 	$(GO) test -race -count=$(COUNT) -run 'TestClusterExactlyOnceUnderChaos|TestClusterDedupAbsorbsAmbiguousReplays|TestClusterProbationReadmission|TestWorkerAdmissionControl|TestWorkerJobFencing|TestClusterHedgesStragglers|TestClusterDegradesToLocalPool' ./internal/remote
+
+# overload replays the seeded 2× oversubscription episode (~190k synthetic
+# submissions, virtual time) through the real admission ladder and arbiter
+# under the race detector, asserting the fairness invariants: weighted
+# shares within 10%, guaranteed traffic never shed, ladder walks
+# ok → browned-out → ok. Deterministic per seed; COUNT repeats it.
+overload:
+	$(GO) test -race -count=$(COUNT) -run 'TestOverload|TestAdmission' ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -201,6 +201,29 @@ func runCompare(basePath, candPath string, maxRegress float64, nsAdvisory bool) 
 				failures = append(failures, msg)
 			}
 		}
+		// Custom b.ReportMetric units gate too: same threshold, and units
+		// suffixed _ns follow the ns/op advisory switch (wall-clock noise).
+		units := make([]string, 0, len(b.Extra))
+		for unit := range b.Extra {
+			if _, ok := c.Extra[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			delta := ratio(c.Extra[unit], b.Extra[unit])
+			fmt.Printf("%-60s %s %12.2f -> %12.2f (%+.1f%%)\n",
+				name, unit, b.Extra[unit], c.Extra[unit], 100*delta)
+			if delta <= maxRegress {
+				continue
+			}
+			msg := fmt.Sprintf("%s: %s regressed %.1f%% (> %.0f%%)", name, unit, 100*delta, 100*maxRegress)
+			if nsAdvisory && strings.HasSuffix(unit, "_ns") {
+				fmt.Println("  advisory:", msg)
+			} else {
+				failures = append(failures, msg)
+			}
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

@@ -102,11 +102,14 @@ type decisionView struct {
 	Reason      string  `json:"reason"`
 }
 
-// submitOpts carries the fault-tolerance knobs of one submission.
+// submitOpts carries the fault-tolerance and tenancy knobs of one
+// submission.
 type submitOpts struct {
-	Retries int
-	Timeout time.Duration
-	Partial string
+	Retries  int
+	Timeout  time.Duration
+	Partial  string
+	Tenant   string
+	Priority int
 }
 
 // runDaemonClient submits one job to a running skelrund and follows it to
@@ -140,8 +143,14 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 	if opts.Partial != "" {
 		submit["partial"] = opts.Partial
 	}
+	if opts.Tenant != "" {
+		submit["tenant"] = opts.Tenant
+	}
+	if opts.Priority != 0 {
+		submit["priority"] = opts.Priority
+	}
 	body, _ := json.Marshal(submit)
-	raw, err := submitWithBackoff(base, body)
+	raw, err := submitWithBackoff(base, opts.Tenant, body)
 	if err != nil {
 		return err
 	}
@@ -173,16 +182,34 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 	}
 }
 
+// maxSubmitBackoff caps the TOTAL time submitWithBackoff spends sleeping on
+// Retry-After hints across all attempts. The daemon's hints are drain-rate
+// derived and can reach 60s each; without a cumulative cap a deeply
+// overloaded daemon could pin this client for five minutes.
+const maxSubmitBackoff = 90 * time.Second
+
 // submitWithBackoff POSTs a submission, retrying up to five times when the
-// daemon sheds it with 429 (queue full) or 503 (draining/restarting),
-// waiting out the daemon's Retry-After hint between attempts. Any other
-// rejection — including 422 goal-infeasible, which no amount of waiting
-// will fix — fails immediately.
-func submitWithBackoff(base string, body []byte) ([]byte, error) {
+// daemon sheds it with 429 (overloaded/browned-out) or 503
+// (draining/restarting), waiting out the daemon's Retry-After hint between
+// attempts — but never sleeping more than maxSubmitBackoff in total. Any
+// other rejection — including 422 goal-infeasible, which no amount of
+// waiting will fix — fails immediately.
+func submitWithBackoff(base, tenant string, body []byte) ([]byte, error) {
 	const attempts = 5
-	var lastErr error
+	var (
+		lastErr error
+		slept   time.Duration
+	)
 	for i := 0; i < attempts; i++ {
-		resp, err := daemonClient.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("submit to %s: %w", base, err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Skel-Tenant", tenant)
+		}
+		resp, err := daemonClient.Do(req)
 		if err != nil {
 			return nil, fmt.Errorf("submit to %s: %w", base, err)
 		}
@@ -196,9 +223,13 @@ func submitWithBackoff(base string, body []byte) ([]byte, error) {
 			wait := retryAfter(resp, time.Second)
 			lastErr = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))
 			if i < attempts-1 {
+				if slept+wait > maxSubmitBackoff {
+					return nil, fmt.Errorf("%w (gave up after %v of backoff)", lastErr, slept)
+				}
 				fmt.Printf("daemon shed submission (%s); retrying in %v (%d/%d)\n",
 					resp.Status, wait, i+1, attempts-1)
 				time.Sleep(wait)
+				slept += wait
 			}
 		default:
 			return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(raw.String()))

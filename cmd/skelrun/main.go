@@ -48,10 +48,15 @@ func main() {
 	retries := flag.Int("retries", 0, "total attempts per muscle, <=1 = no retry (daemon mode)")
 	timeout := flag.Duration("timeout", 0, "per-muscle deadline, 0 = none (daemon mode)")
 	partial := flag.String("partial", "", "fan-out failure policy: failfast|skip|substitute (daemon mode)")
+	tenant := flag.String("tenant", "", "tenant identity for admission fairness, sent as X-Skel-Tenant (daemon mode)")
+	priority := flag.Int("priority", 0, "admission priority: <0 sheds first under load, >0 rides to the hard wall (daemon mode)")
 	flag.Parse()
 
 	if *daemon != "" {
-		opts := submitOpts{Retries: *retries, Timeout: *timeout, Partial: *partial}
+		opts := submitOpts{
+			Retries: *retries, Timeout: *timeout, Partial: *partial,
+			Tenant: *tenant, Priority: *priority,
+		}
 		if err := runDaemonClient(*daemon, *skeleton, *params, *goal, *lp, *maxLP, opts); err != nil {
 			log.Fatal(err)
 		}

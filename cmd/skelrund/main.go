@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +47,10 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	journalDir := flag.String("journal-dir", "", "directory for the durable job journal (empty = no persistence)")
 	queueMax := flag.Int("queue-max", 0, "max queued jobs before submissions are shed with 429 (0 = unbounded)")
+	tenants := flag.String("tenants", "", "tenant weights as name:weight,... (e.g. alpha:3,beta:2); unlisted tenants weigh 1")
+	brownoutAfter := flag.Duration("brownout-after", 0, "sustained queue pressure before brownout shedding of optional work (0 = default 1s)")
+	brownoutExit := flag.Duration("brownout-exit", 0, "sustained calm before brownout clears (0 = default 2s)")
+	shedSeed := flag.Int64("shed-seed", 0, "seed for probabilistic shedding and Retry-After jitter (0 = default 1)")
 	fsyncMode := flag.String("fsync", "interval", "journal durability: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period when -fsync=interval")
 	rotateBytes := flag.Int64("journal-rotate", 1<<20, "journal size that triggers compaction into the snapshot")
@@ -102,6 +108,11 @@ func main() {
 		}
 	}
 
+	tenantWeights, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("skelrund: %v", err)
+	}
+
 	var cluster *remote.Cluster
 	if *workers != "" {
 		endpoints := strings.Split(*workers, ",")
@@ -140,6 +151,10 @@ func main() {
 		Journal:          jn,
 		Recover:          recovered,
 		QueueMax:         *queueMax,
+		Tenants:          tenantWeights,
+		BrownoutAfter:    *brownoutAfter,
+		BrownoutExit:     *brownoutExit,
+		ShedSeed:         *shedSeed,
 		Cluster:          cluster,
 	})
 	httpd := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -182,4 +197,34 @@ func main() {
 			log.Printf("skelrund: close journal: %v", err)
 		}
 	}
+}
+
+// parseTenants parses the -tenants flag: "name:weight,name:weight,...".
+// A bare name (no colon) gets weight 1.
+func parseTenants(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasW := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", part)
+		}
+		w := 1
+		if hasW {
+			var err error
+			w, err = strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("-tenants: bad weight %q for %s (want integer ≥ 1)", weightStr, name)
+			}
+		}
+		out[name] = w
+	}
+	return out, nil
 }

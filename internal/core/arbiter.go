@@ -40,6 +40,12 @@ func (d GrantDecision) String() string {
 // committed to a running job (each admitted job needs at least one worker).
 var ErrNoCapacity = fmt.Errorf("core: arbiter at capacity")
 
+// maxDecisionLog bounds the grant-decision log: a long-lived (or
+// harness-driven) arbiter churns through millions of grants, and an
+// unbounded audit trail would be a slow memory leak. The oldest half is
+// dropped when the cap is hit; the API serves the recent window.
+const maxDecisionLog = 4096
+
 // Arbiter owns a machine-wide LP budget and divides it across the per-job
 // autonomic controllers — the fleet-level analogue of the paper's
 // asymmetric policy. On every Rebalance each member starts from the LP its
@@ -56,12 +62,14 @@ type Arbiter struct {
 	mu      sync.Mutex
 	members map[string]*arbEntry
 	order   []string // admission order, for deterministic iteration
+	weights map[string]int
 	log     []GrantDecision
 }
 
 type arbEntry struct {
-	m     Member
-	grant int
+	m      Member
+	tenant string
+	grant  int
 }
 
 // NewArbiter creates an arbiter over a global LP budget (minimum 1). A nil
@@ -73,17 +81,66 @@ func NewArbiter(budget int, clk clock.Clock) *Arbiter {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Arbiter{budget: budget, clk: clk, members: map[string]*arbEntry{}}
+	return &Arbiter{
+		budget:  budget,
+		clk:     clk,
+		members: map[string]*arbEntry{},
+		weights: map[string]int{},
+	}
+}
+
+// SetTenantWeight fixes a tenant's relative weight in the budget division
+// (minimum 1; unconfigured tenants weigh 1) and rebalances so the new
+// proportions take effect immediately.
+func (a *Arbiter) SetTenantWeight(tenant string, w int) {
+	if w < 1 {
+		w = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.weights[CanonTenant(tenant)] = w
+	a.rebalanceLocked("reweighted " + CanonTenant(tenant))
+}
+
+// TenantWeights returns the configured weight table (canonical names).
+func (a *Arbiter) TenantWeights() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.weights))
+	for t, w := range a.weights {
+		out[t] = w
+	}
+	return out
+}
+
+// TenantGrants returns the sum of current grants per tenant — the shares
+// the fairness invariants are asserted against.
+func (a *Arbiter) TenantGrants() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := map[string]int{}
+	for _, e := range a.members {
+		out[e.tenant] += e.grant
+	}
+	return out
 }
 
 // Budget returns the global LP budget.
 func (a *Arbiter) Budget() int { return a.budget }
 
-// Admit adds a member under the given id and rebalances. It fails with
-// ErrNoCapacity when the budget cannot guarantee every admitted job its
-// minimum of one worker, and with an error on duplicate ids. The caller
-// (the daemon) queues submissions that do not fit and retries on Release.
+// Admit adds a member under the given id (default tenant) and rebalances.
+// It fails with ErrNoCapacity when the budget cannot guarantee every
+// admitted job its minimum of one worker, and with an error on duplicate
+// ids. The caller (the daemon) queues submissions that do not fit and
+// retries on Release.
 func (a *Arbiter) Admit(id string, m Member) error {
+	return a.AdmitFor(id, DefaultTenant, m)
+}
+
+// AdmitFor admits a member on behalf of a tenant. The tenant tag decides
+// which weighted share of the budget the member competes inside; everything
+// else matches Admit.
+func (a *Arbiter) AdmitFor(id, tenant string, m Member) error {
 	if m == nil {
 		panic("core: Admit with nil member")
 	}
@@ -95,7 +152,7 @@ func (a *Arbiter) Admit(id string, m Member) error {
 	if len(a.members) >= a.budget {
 		return ErrNoCapacity
 	}
-	a.members[id] = &arbEntry{m: m}
+	a.members[id] = &arbEntry{m: m, tenant: CanonTenant(tenant)}
 	a.order = append(a.order, id)
 	a.rebalanceLocked("admitted " + id)
 	return nil
@@ -118,7 +175,7 @@ func (a *Arbiter) Release(id string) {
 		}
 	}
 	if e.grant != 0 {
-		a.log = append(a.log, GrantDecision{
+		a.logLocked(GrantDecision{
 			Time: a.clk.Now(), Job: id, OldLP: e.grant, NewLP: 0,
 			Reason: "released: budget returned",
 		})
@@ -230,45 +287,41 @@ func (a *Arbiter) rebalanceLocked(why string) {
 		})
 	}
 
-	// Shrink until the wishes fit the budget: halve the slack jobs first
-	// (largest grant first, so comfort pays before need), then — only if
-	// slack alone does not cover it — halve goal-missing jobs, least severe
-	// overshoot first. Each round halves, never zeroes: every admitted job
-	// keeps at least one worker, and admission guarantees that fits.
-	sum := 0
+	// Level 1: partition the budget across tenants by weighted max-min
+	// fairness. Each tenant's floor is one unit per member (the guarantee
+	// Admit enforces) and its demand is the sum of its members' wishes, so a
+	// lightly-loaded tenant's unused share flows to the hungry ones. Because
+	// the shares are computed before severity is even looked at, a tenant
+	// full of goal-missing jobs can raid slack *inside* its own share but
+	// can never push another tenant below its weighted guarantee.
+	groups := make(map[string][]*cand)
+	var tenants []string // first-admission order, for deterministic ties
 	for _, c := range cands {
-		sum += c.grant
+		t := c.e.tenant
+		if _, seen := groups[t]; !seen {
+			tenants = append(tenants, t)
+		}
+		groups[t] = append(groups[t], c)
 	}
-	for sum > a.budget {
-		var victim *cand
-		for _, c := range cands { // pass 1: slack jobs
-			if c.severe || c.grant <= 1 {
-				continue
-			}
-			if victim == nil || c.grant > victim.grant {
-				victim = c
-			}
+	loads := make([]tenantLoad, len(tenants))
+	for i, t := range tenants {
+		ld := tenantLoad{weight: a.weights[t], floor: len(groups[t])}
+		if ld.weight < 1 {
+			ld.weight = 1
 		}
-		if victim == nil {
-			for _, c := range cands { // pass 2: least-severe goal-missers
-				if c.grant <= 1 {
-					continue
-				}
-				if victim == nil || c.overshoot < victim.overshoot ||
-					(c.overshoot == victim.overshoot && c.grant > victim.grant) {
-					victim = c
-				}
-			}
+		for _, c := range groups[t] {
+			ld.demand += c.grant
 		}
-		if victim == nil {
-			break // all at the floor of 1; admission keeps this <= budget
-		}
-		half := victim.grant / 2
-		if half < 1 {
-			half = 1
-		}
-		sum -= victim.grant - half
-		victim.grant = half
+		loads[i] = ld
+	}
+	shares := fairShares(a.budget, loads)
+
+	// Level 2: inside each tenant, shrink until the wishes fit its share
+	// with the original asymmetric policy — halve the slack jobs first
+	// (largest grant first, so comfort pays before need), then goal-missing
+	// jobs, least severe overshoot first.
+	for i, t := range tenants {
+		shrinkToFit(groups[t], shares[i])
 	}
 
 	// Apply and log changes: all cuts before all raises, so the sum of the
@@ -300,8 +353,66 @@ func (a *Arbiter) rebalanceLocked(why string) {
 		} else {
 			reason += ": grant"
 		}
-		a.log = append(a.log, GrantDecision{
+		a.logLocked(GrantDecision{
 			Time: now, Job: c.id, OldLP: old, NewLP: c.grant, Reason: reason,
 		})
+	}
+}
+
+// logLocked appends a decision, dropping the oldest half at the cap.
+// Caller holds a.mu.
+func (a *Arbiter) logLocked(d GrantDecision) {
+	if len(a.log) >= maxDecisionLog {
+		keep := a.log[len(a.log)-maxDecisionLog/2:]
+		a.log = append(a.log[:0], keep...)
+	}
+	a.log = append(a.log, d)
+}
+
+// shrinkToFit halves members' tentative grants until they sum to at most
+// target: slack jobs first (largest grant first), then goal-missing jobs,
+// least severe overshoot first. Each round halves, never zeroes — every
+// member keeps at least one worker. The final cut is clamped to land
+// exactly on the target rather than halving below it, so a tenant's granted
+// total converges to its fair share instead of systematically undershooting
+// it (the proportionality the overload fairness invariants assert).
+func shrinkToFit(cands []*cand, target int) {
+	sum := 0
+	for _, c := range cands {
+		sum += c.grant
+	}
+	for sum > target {
+		var victim *cand
+		for _, c := range cands { // pass 1: slack jobs
+			if c.severe || c.grant <= 1 {
+				continue
+			}
+			if victim == nil || c.grant > victim.grant {
+				victim = c
+			}
+		}
+		if victim == nil {
+			for _, c := range cands { // pass 2: least-severe goal-missers
+				if c.grant <= 1 {
+					continue
+				}
+				if victim == nil || c.overshoot < victim.overshoot ||
+					(c.overshoot == victim.overshoot && c.grant > victim.grant) {
+					victim = c
+				}
+			}
+		}
+		if victim == nil {
+			break // all at the floor of 1; admission keeps this <= budget
+		}
+		half := victim.grant / 2
+		if half < 1 {
+			half = 1
+		}
+		if fit := victim.grant - (sum - target); fit > half {
+			half = fit // exact-fit clamp: stop at the target, not below it
+		}
+		sum -= victim.grant - half
+		victim.grant = half
 	}
 }

@@ -43,6 +43,22 @@ func (c *ClusterArbiter) AdmitNode(addr string, m Member) error {
 	return c.arb.Admit(addr, m)
 }
 
+// AdmitNodeFor admits a worker node dedicated to a tenant pool: its grant
+// competes inside that tenant's weighted share of the cluster budget, so a
+// deployment can pin worker groups to tenants without a second arbiter.
+func (c *ClusterArbiter) AdmitNodeFor(addr, tenant string, m Member) error {
+	return c.arb.AdmitFor(addr, tenant, m)
+}
+
+// SetTenantWeight fixes a tenant pool's relative weight in the cluster
+// budget division (minimum 1; unconfigured pools weigh 1).
+func (c *ClusterArbiter) SetTenantWeight(tenant string, w int) {
+	c.arb.SetTenantWeight(tenant, w)
+}
+
+// TenantGrants returns the summed per-node grants of every tenant pool.
+func (c *ClusterArbiter) TenantGrants() map[string]int { return c.arb.TenantGrants() }
+
 // ReleaseNode removes a node (decommissioned or lost) and immediately
 // redistributes its grant to the surviving nodes. Unknown addresses are a
 // no-op, so probe loops may release unconditionally.

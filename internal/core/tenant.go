@@ -1,0 +1,65 @@
+package core
+
+// DefaultTenant names the tenant that untagged submissions belong to. A
+// daemon that never configures tenants runs every job under it, which makes
+// the weighted-fair machinery collapse to the original single-pool policy.
+const DefaultTenant = "default"
+
+// CanonTenant maps the empty string onto DefaultTenant so that "no tenant
+// header" and "the default tenant" are the same identity everywhere: in the
+// arbiter, the admission ladder, the journal and the metrics labels.
+func CanonTenant(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
+// tenantLoad is one tenant's aggregate standing during a fair division of
+// the budget: its weight, the floor it must receive (one unit per admitted
+// member, the same guarantee Admit enforces globally), and the sum of its
+// members' wishes, which caps how much of the budget it can usefully absorb.
+type tenantLoad struct {
+	weight int
+	floor  int
+	demand int
+}
+
+// fairShares divides budget units across tenants by weighted max-min
+// fairness: every tenant first receives its floor, then units go one at a
+// time to the unsatisfied tenant with the smallest allocation-to-weight
+// ratio (earlier admission breaks ties), until every demand is met or the
+// budget is spent. A tenant demanding less than its weighted share leaves
+// the remainder on the table and the loop hands it to the still-hungry
+// tenants — unused quota redistributes by construction. Conversely a tenant
+// can never be pushed below the share the loop would give it, no matter how
+// severe another tenant's goal overshoot is: severity arbitrates only
+// *inside* a tenant's share, never across tenants.
+//
+// The ratio comparison is done in integers (alloc_i*w_j < alloc_j*w_i) so
+// the division is exact and deterministic for any weights.
+func fairShares(budget int, loads []tenantLoad) []int {
+	alloc := make([]int, len(loads))
+	spent := 0
+	for i, ld := range loads {
+		alloc[i] = ld.floor
+		spent += ld.floor
+	}
+	for spent < budget {
+		best := -1
+		for i, ld := range loads {
+			if alloc[i] >= ld.demand {
+				continue // satisfied: extra units would be wasted
+			}
+			if best == -1 || alloc[i]*loads[best].weight < alloc[best]*ld.weight {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // every tenant satisfied below budget
+		}
+		alloc[best]++
+		spent++
+	}
+	return alloc
+}

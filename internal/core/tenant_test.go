@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"skandium/internal/clock"
+)
+
+// TestFairShares: the weighted max-min division is exact when the budget
+// divides proportionally, honours floors, and leaves satisfied tenants at
+// their demand.
+func TestFairShares(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget int
+		loads  []tenantLoad
+		want   []int
+	}{
+		{
+			name:   "proportional",
+			budget: 12,
+			loads: []tenantLoad{
+				{weight: 3, floor: 1, demand: 100},
+				{weight: 2, floor: 1, demand: 100},
+				{weight: 1, floor: 1, demand: 100},
+			},
+			want: []int{6, 4, 2},
+		},
+		{
+			name:   "unused quota redistributes",
+			budget: 12,
+			loads: []tenantLoad{
+				{weight: 3, floor: 1, demand: 100},
+				{weight: 1, floor: 1, demand: 2}, // asks for almost nothing
+			},
+			want: []int{10, 2},
+		},
+		{
+			name:   "floors always paid",
+			budget: 6,
+			loads: []tenantLoad{
+				{weight: 100, floor: 1, demand: 100},
+				{weight: 1, floor: 4, demand: 4}, // four members, one unit each
+			},
+			want: []int{2, 4},
+		},
+		{
+			name:   "under-demand leaves budget unspent",
+			budget: 20,
+			loads: []tenantLoad{
+				{weight: 1, floor: 1, demand: 3},
+				{weight: 1, floor: 1, demand: 2},
+			},
+			want: []int{3, 2},
+		},
+	}
+	for _, tc := range cases {
+		got := fairShares(tc.budget, tc.loads)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: fairShares returned %v", tc.name, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: share[%d] = %d, want %d (all %v)", tc.name, i, got[i], tc.want[i], got)
+			}
+		}
+	}
+}
+
+// TestArbiterTenantWeightedShares: under full saturation (every member
+// wishes the whole budget) three tenants at weights 3/2/1 receive exactly
+// proportional granted-LP totals.
+func TestArbiterTenantWeightedShares(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	a := NewArbiter(24, clk)
+	a.SetTenantWeight("alpha", 3)
+	a.SetTenantWeight("beta", 2)
+	a.SetTenantWeight("gamma", 1)
+
+	for _, tn := range []string{"alpha", "beta", "gamma"} {
+		for i := 0; i < 2; i++ {
+			m := &fakeMember{}
+			m.set(wish(24, 1, time.Second, -time.Millisecond))
+			if err := a.AdmitFor(tn+string(rune('0'+i)), tn, m); err != nil {
+				t.Fatalf("admit %s/%d: %v", tn, i, err)
+			}
+		}
+	}
+	clk.Advance(time.Millisecond)
+	a.Rebalance()
+
+	got := a.TenantGrants()
+	want := map[string]int{"alpha": 12, "beta": 8, "gamma": 4}
+	for tn, w := range want {
+		if got[tn] != w {
+			t.Errorf("tenant %s granted %d, want %d (all %v)", tn, got[tn], w, got)
+		}
+	}
+	if a.Granted() > 24 {
+		t.Fatalf("granted %d exceeds budget", a.Granted())
+	}
+}
+
+// TestArbiterTenantUnusedQuotaRedistributes: a tenant demanding less than
+// its weighted share keeps only what it asks for; the leftover flows to the
+// hungry tenants instead of idling.
+func TestArbiterTenantUnusedQuotaRedistributes(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	a := NewArbiter(24, clk)
+	a.SetTenantWeight("alpha", 3)
+	a.SetTenantWeight("beta", 2)
+	a.SetTenantWeight("gamma", 1)
+
+	hungry := func(tn string, i int) {
+		m := &fakeMember{}
+		m.set(wish(24, 1, time.Second, -time.Millisecond))
+		if err := a.AdmitFor(tn+string(rune('0'+i)), tn, m); err != nil {
+			t.Fatalf("admit %s/%d: %v", tn, i, err)
+		}
+	}
+	hungry("alpha", 0)
+	hungry("alpha", 1)
+	hungry("beta", 0)
+	hungry("beta", 1)
+	for i := 0; i < 2; i++ { // gamma wants one worker per member only
+		m := &fakeMember{}
+		m.set(wish(1, 1, time.Second, -time.Millisecond))
+		if err := a.AdmitFor("gamma"+string(rune('0'+i)), "gamma", m); err != nil {
+			t.Fatalf("admit gamma/%d: %v", i, err)
+		}
+	}
+	clk.Advance(time.Millisecond)
+	a.Rebalance()
+
+	got := a.TenantGrants()
+	if got["gamma"] != 2 {
+		t.Errorf("gamma granted %d, want its demand 2 (all %v)", got["gamma"], got)
+	}
+	if got["alpha"]+got["beta"] != 22 {
+		t.Errorf("alpha+beta granted %d, want the remaining 22 (all %v)", got["alpha"]+got["beta"], got)
+	}
+	if got["alpha"] <= got["beta"] {
+		t.Errorf("alpha (w3) granted %d <= beta (w2) %d", got["alpha"], got["beta"])
+	}
+}
+
+// TestArbiterTenantNoCrossStarvation: a goal-missing job wishing the whole
+// budget raids slack inside its own tenant but cannot push another tenant
+// below its weighted guarantee.
+func TestArbiterTenantNoCrossStarvation(t *testing.T) {
+	clk := clock.NewVirtual(clock.Epoch)
+	a := NewArbiter(12, clk)
+	a.SetTenantWeight("alpha", 1)
+	a.SetTenantWeight("beta", 1)
+
+	severe := &fakeMember{}
+	severe.set(wish(12, 2, time.Second, 500*time.Millisecond)) // missing its goal badly
+	if err := a.AdmitFor("a-severe", "alpha", severe); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m := &fakeMember{}
+		m.set(wish(6, 6, time.Second, -200*time.Millisecond)) // comfortable
+		if err := a.AdmitFor("b-slack"+string(rune('0'+i)), "beta", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Millisecond)
+	a.Rebalance()
+
+	got := a.TenantGrants()
+	if got["beta"] != 6 {
+		t.Errorf("beta granted %d, want its guaranteed half 6 (all %v)", got["beta"], got)
+	}
+	if got["alpha"] != 6 {
+		t.Errorf("alpha granted %d, want 6 (all %v)", got["alpha"], got)
+	}
+}
+
+// TestArbiterDefaultTenant: Admit (no tenant) lands in DefaultTenant and
+// CanonTenant folds "" onto it, so untagged traffic is one shared pool.
+func TestArbiterDefaultTenant(t *testing.T) {
+	if CanonTenant("") != DefaultTenant {
+		t.Fatalf("CanonTenant(\"\") = %q", CanonTenant(""))
+	}
+	if CanonTenant("acme") != "acme" {
+		t.Fatalf("CanonTenant(acme) = %q", CanonTenant("acme"))
+	}
+	a := NewArbiter(4, clock.NewVirtual(clock.Epoch))
+	m := &fakeMember{}
+	m.set(wish(4, 1, 0, 0))
+	if err := a.Admit("j1", m); err != nil {
+		t.Fatal(err)
+	}
+	got := a.TenantGrants()
+	if got[DefaultTenant] != 4 {
+		t.Fatalf("default tenant granted %d, want 4 (all %v)", got[DefaultTenant], got)
+	}
+}

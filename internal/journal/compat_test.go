@@ -1,0 +1,140 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The tenant and priority fields were added to Spec after journals existed
+// in the wild, so both directions of compatibility matter: a new daemon must
+// replay old journals (fields absent → zero values), and an old daemon must
+// replay new journals (unknown fields ignored by encoding/json). These tests
+// pin both, plus the omitempty contract that keeps tenant-less journals
+// byte-identical to the old format.
+
+// TestTenantBackwardCompat: a journal written before the tenant fields
+// existed replays with zero tenant/priority, and recovery treats that as the
+// default tenant downstream.
+func TestTenantBackwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	old := `{"op":"submit","job":"job-1","seq":1,"spec":{"skeleton":"sleepgrid","goal_ms":100,"initial_lp":1}}` + "\n" +
+		`{"op":"start","job":"job-1","seq":2}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, states := openT(t, dir, Options{})
+	if len(states) != 1 {
+		t.Fatalf("replayed %d states, want 1", len(states))
+	}
+	if s := states[0]; s.Spec.Tenant != "" || s.Spec.Priority != 0 {
+		t.Fatalf("old record replayed tenant=%q priority=%d, want zero values", s.Spec.Tenant, s.Spec.Priority)
+	}
+}
+
+// TestTenantForwardCompat: a journal written by a future daemon — tenant,
+// priority, and fields this version has never heard of — still replays; the
+// known fields land and the unknown ones are ignored.
+func TestTenantForwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	future := `{"op":"submit","job":"job-1","seq":1,"spec":{"skeleton":"sleepgrid","tenant":"alpha","priority":-1,"future_knob":"ignored","initial_lp":1}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, states := openT(t, dir, Options{})
+	if len(states) != 1 {
+		t.Fatalf("replayed %d states, want 1", len(states))
+	}
+	if s := states[0]; s.Spec.Tenant != "alpha" || s.Spec.Priority != -1 {
+		t.Fatalf("future record replayed tenant=%q priority=%d, want alpha/-1", s.Spec.Tenant, s.Spec.Priority)
+	}
+}
+
+// TestTenantRoundTrip: tenant and priority survive journal close + reopen,
+// and a spec without them serializes without the keys at all (omitempty), so
+// journals from tenant-less deployments stay readable by old binaries.
+func TestTenantRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{Fsync: FsyncAlways})
+	tagged := spec("sleepgrid")
+	tagged.Tenant, tagged.Priority = "beta", 2
+	if err := j.Submit("job-1", tagged); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("job-2", spec("wordcount")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d journal lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"tenant":"beta"`) || !strings.Contains(lines[0], `"priority":2`) {
+		t.Fatalf("tagged record missing tenant/priority: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "tenant") || strings.Contains(lines[1], "priority") {
+		t.Fatalf("untagged record leaked tenant keys: %s", lines[1])
+	}
+
+	_, states := openT(t, dir, Options{})
+	byID := map[string]JobState{}
+	for _, s := range states {
+		byID[s.ID] = s
+	}
+	if s := byID["job-1"]; s.Spec.Tenant != "beta" || s.Spec.Priority != 2 {
+		t.Fatalf("job-1 replayed tenant=%q priority=%d, want beta/2", s.Spec.Tenant, s.Spec.Priority)
+	}
+	if s := byID["job-2"]; s.Spec.Tenant != "" || s.Spec.Priority != 0 {
+		t.Fatalf("job-2 replayed tenant=%q priority=%d, want zero values", s.Spec.Tenant, s.Spec.Priority)
+	}
+}
+
+// TestTenantTruncationSweep: every byte-level truncation of a tenant-tagged
+// record is either fully replayed or fully dropped — a torn tenant field can
+// never surface as a half-parsed spec.
+func TestTenantTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{Fsync: FsyncAlways})
+	first := spec("sleepgrid")
+	first.Tenant = "alpha"
+	if err := j.Submit("job-1", first); err != nil {
+		t.Fatal(err)
+	}
+	second := spec("wordcount")
+	second.Tenant, second.Priority = "beta", -1
+	if err := j.Submit("job-2", second); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(data), "\n"), "\n")
+	prefix := strings.Join(lines[:len(lines)-1], "")
+	last := lines[len(lines)-1]
+
+	for cut := 0; cut < len(last); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, journalName), []byte(prefix+last[:cut]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, states, err := Open(sub, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if len(states) != 1 {
+			t.Fatalf("cut %d: %d states, want 1 (torn tail dropped whole)", cut, len(states))
+		}
+		if s := states[0]; s.Spec.Tenant != "alpha" || s.Spec.Priority != 0 {
+			t.Fatalf("cut %d: surviving record corrupted: tenant=%q priority=%d", cut, s.Spec.Tenant, s.Spec.Priority)
+		}
+		j2.Close()
+	}
+}

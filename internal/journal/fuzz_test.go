@@ -23,6 +23,8 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte("{\"op\":\"submit\"\x00\xff garbage\n{\"op\":\"start\",\"job\":\"job-1\",\"seq\":2}\n"))
 	f.Add([]byte(`[1,2,3]` + "\n" + `"just a string"` + "\n" + `{}` + "\n"))
 	f.Add([]byte(`{"op":"cancel","job":"ghost","seq":9}` + "\n")) // op for unknown job
+	f.Add([]byte(`{"op":"submit","job":"job-1","seq":1,"spec":{"skeleton":"s","tenant":"alpha","priority":-1}}` + "\n"))
+	f.Add([]byte(`{"op":"submit","job":"job-1","seq":1,"spec":{"skeleton":"s","tenant":"al`)) // torn inside tenant
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -60,6 +62,7 @@ func FuzzReplay(f *testing.F) {
 // FuzzSnapshot does the same for the compacted snapshot file.
 func FuzzSnapshot(f *testing.F) {
 	f.Add([]byte(`{"seq":3,"jobs":[{"id":"job-1","spec":{"skeleton":"s"},"state":"done","result":"1"}]}`))
+	f.Add([]byte(`{"seq":3,"jobs":[{"id":"job-1","spec":{"skeleton":"s","tenant":"alpha","priority":2},"state":"queued"}]}`))
 	f.Add([]byte(`{"seq":1,"jobs":`)) // torn compaction
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))

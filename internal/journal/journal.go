@@ -62,6 +62,13 @@ type Spec struct {
 	RetryBackoffMS float64        `json:"retry_backoff_ms,omitempty"`
 	Partial        string         `json:"partial,omitempty"`
 	Substitute     any            `json:"substitute,omitempty"`
+	// Tenant and Priority identify whose traffic the job is and how it
+	// ranks on the admission ladder. Both are omitempty, so journals
+	// written before multi-tenancy replay unchanged (empty tenant = the
+	// default tenant, priority 0 = normal) and journals written with them
+	// are ignored gracefully by older readers.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // FaultCounts carries a job's cumulative fault-tolerance counters. Fault

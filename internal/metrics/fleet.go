@@ -12,12 +12,13 @@ import (
 // how a budget arbiter's "sum of grants never exceeds the budget" invariant
 // becomes observable.
 type Fleet struct {
-	mu      sync.Mutex
-	start   time.Time
-	started bool
-	jobs    map[string]*Recorder
-	order   []string
-	sheds   map[string]uint64
+	mu          sync.Mutex
+	start       time.Time
+	started     bool
+	jobs        map[string]*Recorder
+	order       []string
+	sheds       map[string]uint64
+	tenantSheds map[string]map[string]uint64 // tenant → reason → count
 }
 
 // Canonical shed reasons (admission-control rejections) so dashboards can
@@ -26,17 +27,43 @@ const (
 	ShedQueueFull  = "queue-full"
 	ShedInfeasible = "goal-infeasible"
 	ShedDraining   = "draining"
+	// ShedPressure is the weighted probabilistic shed on the admission
+	// ladder's middle rung: the queue is filling and the submission drew an
+	// unlucky (weight-biased) lot before the hard queue-full wall.
+	ShedPressure = "queue-pressure"
+	// ShedBrownout marks optional work refused while the server is browned
+	// out — sustained overload detected, only guaranteed traffic admitted.
+	ShedBrownout = "brownout"
 )
 
 // NewFleet returns an empty fleet recorder.
 func NewFleet() *Fleet {
-	return &Fleet{jobs: map[string]*Recorder{}, sheds: map[string]uint64{}}
+	return &Fleet{
+		jobs:        map[string]*Recorder{},
+		sheds:       map[string]uint64{},
+		tenantSheds: map[string]map[string]uint64{},
+	}
 }
 
 // Shed counts one shed submission under its reason.
 func (f *Fleet) Shed(reason string) {
 	f.mu.Lock()
 	f.sheds[reason]++
+	f.mu.Unlock()
+}
+
+// ShedTenant counts one shed submission under both its reason and the
+// tenant it belonged to, feeding the per-tenant shed counters that make
+// unfair shedding observable.
+func (f *Fleet) ShedTenant(tenant, reason string) {
+	f.mu.Lock()
+	f.sheds[reason]++
+	ts := f.tenantSheds[tenant]
+	if ts == nil {
+		ts = map[string]uint64{}
+		f.tenantSheds[tenant] = ts
+	}
+	ts[reason]++
 	f.mu.Unlock()
 }
 
@@ -47,6 +74,21 @@ func (f *Fleet) Sheds() map[string]uint64 {
 	out := make(map[string]uint64, len(f.sheds))
 	for k, v := range f.sheds {
 		out[k] = v
+	}
+	return out
+}
+
+// TenantSheds returns a copy of the per-tenant shed counters by reason.
+func (f *Fleet) TenantSheds() map[string]map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(f.tenantSheds))
+	for t, ts := range f.tenantSheds {
+		m := make(map[string]uint64, len(ts))
+		for k, v := range ts {
+			m[k] = v
+		}
+		out[t] = m
 	}
 	return out
 }

@@ -119,6 +119,7 @@ type Cluster struct {
 
 	degraded atomic.Int64 // tasks drained to the local pool
 	hedged   atomic.Int64 // straggler tasks re-enqueued for hedging
+	hedgeOff atomic.Bool  // brownout: speculative duplicates suspended
 
 	mu      sync.Mutex
 	nodes   []*node
@@ -633,6 +634,12 @@ func (jr *jobRun) requeue(seq int) {
 // cluster browns out the remaining shards drain to a local pool. It blocks
 // until the job resolves.
 func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
+	return c.RunAs("", blueprint, params)
+}
+
+// RunAs is Run with the submitting tenant threaded into the dispatch, so
+// per-worker logs and metrics can attribute the load.
+func (c *Cluster) RunAs(tenant, blueprint string, params skandium.Params) (any, error) {
 	c.jobMu.Lock()
 	defer c.jobMu.Unlock()
 
@@ -675,7 +682,7 @@ func (c *Cluster) Run(blueprint string, params skandium.Params) (any, error) {
 	}
 
 	job := fmt.Sprintf("%s-%d", c.id, c.jobSeq.Add(1))
-	preq := ProgramRequest{Blueprint: blueprint, Params: params, Step: fan.Index(), Job: job}
+	preq := ProgramRequest{Blueprint: blueprint, Params: params, Step: fan.Index(), Job: job, Tenant: tenant}
 	jr := newJobRun(job, preq, raws, parts, body)
 	if err := c.dispatch(jr); err != nil {
 		return nil, err
@@ -812,11 +819,21 @@ func (c *Cluster) dispatch(jr *jobRun) error {
 				startLocal()
 			}
 		}
-		if c.cfg.HedgeAfter > 0 {
+		if c.cfg.HedgeAfter > 0 && !c.hedgeOff.Load() {
 			c.hedgeStragglers(jr)
 		}
 	}
 }
+
+// SetHedging suspends (false) or resumes (true) straggler hedging at
+// runtime. The daemon turns it off while browned out: a speculative
+// duplicate is optional work, and optional work is the first load shed
+// under sustained overload.
+func (c *Cluster) SetHedging(on bool) { c.hedgeOff.Store(!on) }
+
+// HedgingEnabled reports whether straggler hedging is currently allowed
+// (it still requires HedgeAfter > 0 to do anything).
+func (c *Cluster) HedgingEnabled() bool { return !c.hedgeOff.Load() }
 
 // hedgeStragglers re-enqueues tasks that have been claimed longer than
 // HedgeAfter, once each, when the cluster arbiter has budget slack — a

@@ -33,6 +33,10 @@ type ProgramRequest struct {
 	// re-loading the same Job (a re-admitted node rejoining mid-job)
 	// preserves it, so replayed batches still hit the cache.
 	Job string `json:"job,omitempty"`
+	// Tenant tags the dispatch with the submitting tenant, so worker logs
+	// and metrics can attribute cluster load. Optional and informational:
+	// admission fairness is enforced at the coordinator's front door.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ProgramResponse acknowledges a program load. Program echoes the worker's

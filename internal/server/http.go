@@ -86,6 +86,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if sheds := s.fleet.Sheds(); len(sheds) > 0 {
 		body["shed"] = sheds
 	}
+	ast := s.adm.stats()
+	adm := map[string]any{
+		"browned_out": ast.BrownedOut,
+		"brownouts":   ast.Brownouts,
+	}
+	if len(ast.Queued) > 0 {
+		adm["queued"] = ast.Queued
+	}
+	if len(ast.Quotas) > 0 {
+		adm["quotas"] = ast.Quotas
+	}
+	if len(ast.Weights) > 0 {
+		adm["weights"] = ast.Weights
+	}
+	body["admission"] = adm
 	if jn := s.Journal(); jn != nil {
 		c := jn.Counters()
 		body["journal"] = map[string]uint64{
@@ -147,6 +162,10 @@ type submitRequest struct {
 	GoalMS    float64         `json:"goal_ms"`
 	MaxLP     int             `json:"max_lp"`
 	InitialLP int             `json:"initial_lp"`
+	// Tenant identity and admission priority (both optional; the
+	// X-Skel-Tenant header wins over the body field when both are set).
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
 	// Fault tolerance (all optional).
 	TimeoutMS      float64 `json:"timeout_ms"`
 	Retries        int     `json:"retries"`
@@ -161,12 +180,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad submit body: %w", err))
 		return
 	}
+	tenant := req.Tenant
+	if h := r.Header.Get("X-Skel-Tenant"); h != "" {
+		tenant = h
+	}
 	j, err := s.Submit(SubmitSpec{
 		Skeleton:      req.Skeleton,
 		Params:        req.Params,
 		Goal:          time.Duration(req.GoalMS * float64(time.Millisecond)),
 		MaxLP:         req.MaxLP,
 		InitialLP:     req.InitialLP,
+		Tenant:        tenant,
+		Priority:      req.Priority,
 		MuscleTimeout: time.Duration(req.TimeoutMS * float64(time.Millisecond)),
 		RetryAttempts: req.Retries,
 		RetryBackoff:  time.Duration(req.RetryBackoffMS * float64(time.Millisecond)),
@@ -177,19 +202,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var infeasible *InfeasibleError
 	switch {
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "5")
+		// Even the drain hint is drain-rate-derived: tell the client when
+		// the backlog (which still runs during graceful shutdown) should
+		// have moved, instead of a hardcoded number of seconds.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(s.adm.retryAfter())))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": err.Error(), "rejected": "draining",
 		})
 		return
 	case errors.As(err, &over):
-		secs := int(math.Ceil(over.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
+		reason := over.Reason
+		if reason == "" {
+			reason = "queue-full"
 		}
+		secs := retryAfterSecs(over.RetryAfter)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
-			"error": err.Error(), "rejected": "queue-full", "retry_after_s": secs,
+			"error": err.Error(), "rejected": reason, "retry_after_s": secs,
 		})
 		return
 	case errors.As(err, &infeasible):
@@ -205,6 +234,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.jobView(j))
 }
 
+// retryAfterSecs renders a Retry-After duration as whole seconds, never
+// below 1 (a zero header would invite an immediate retry storm).
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // jobView is the API projection of one job.
 type jobView struct {
 	ID          string          `json:"id"`
@@ -212,6 +251,8 @@ type jobView struct {
 	Program     string          `json:"program"`
 	Params      skandium.Params `json:"params,omitempty"`
 	State       string          `json:"state"`
+	Tenant      string          `json:"tenant,omitempty"`
+	Priority    int             `json:"priority,omitempty"`
 	GoalMS      float64         `json:"goal_ms,omitempty"`
 	MaxLP       int             `json:"max_lp,omitempty"`
 	LP          int             `json:"lp"`
@@ -280,6 +321,8 @@ func (s *Server) jobView(j *job) jobView {
 		Program:    j.program,
 		Params:     j.params,
 		State:      string(state),
+		Tenant:     j.tenant,
+		Priority:   j.priority,
 		GoalMS:     float64(j.goal) / float64(time.Millisecond),
 		MaxLP:      j.maxLP,
 		Grant:      grant,
@@ -612,6 +655,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(reasons)
 	for _, r := range reasons {
 		fmt.Fprintf(w, "skelrund_shed_total{reason=%q} %d\n", r, sheds[r])
+	}
+	ast := s.adm.stats()
+	brown := 0
+	if ast.BrownedOut {
+		brown = 1
+	}
+	fmt.Fprintf(w, "# HELP skelrund_browned_out whether brownout shedding is active (1 = shedding optional work)\n")
+	fmt.Fprintf(w, "skelrund_browned_out %d\n", brown)
+	fmt.Fprintf(w, "# HELP skelrund_brownouts_total brownout episodes entered since start\n")
+	fmt.Fprintf(w, "skelrund_brownouts_total %d\n", ast.Brownouts)
+	grants := s.arb.TenantGrants()
+	if len(grants) > 0 {
+		fmt.Fprintf(w, "# HELP skelrund_tenant_granted_lp current arbiter LP granted per tenant\n")
+		tenants := make([]string, 0, len(grants))
+		for t := range grants {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "skelrund_tenant_granted_lp{tenant=%q} %d\n", t, grants[t])
+		}
+	}
+	if tsheds := s.fleet.TenantSheds(); len(tsheds) > 0 {
+		fmt.Fprintf(w, "# HELP skelrund_tenant_shed_total submissions rejected per tenant and reason\n")
+		tenants := make([]string, 0, len(tsheds))
+		for t := range tsheds {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			rs := make([]string, 0, len(tsheds[t]))
+			for r := range tsheds[t] {
+				rs = append(rs, r)
+			}
+			sort.Strings(rs)
+			for _, r := range rs {
+				fmt.Fprintf(w, "skelrund_tenant_shed_total{tenant=%q,reason=%q} %d\n", t, r, tsheds[t][r])
+			}
+		}
 	}
 	fmt.Fprintf(w, "# HELP skelrund_recovered_jobs jobs rehydrated or re-queued from the journal\n")
 	fmt.Fprintf(w, "skelrund_recovered_jobs %d\n", s.RecoveredJobs())

@@ -41,6 +41,10 @@ type job struct {
 	goal     time.Duration
 	maxLP    int
 	initLP   int
+	// tenant (canonical, never "") and priority place the job on the
+	// admission ladder and in the arbiter's weighted budget division.
+	tenant   string
+	priority int
 	timeout  time.Duration
 	retry    skandium.RetryPolicy
 	partial  skandium.PartialPolicy

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skandium/internal/clock"
+	"skandium/internal/core"
+	"skandium/internal/workload"
+)
+
+// The overload harness replays a seeded multi-tenant arrival pattern
+// against the REAL admission ladder and the REAL weighted-fair arbiter
+// under a virtual clock — hundreds of thousands of submissions on one CPU,
+// in milliseconds of wall time, with bit-identical results on every run.
+// Only the execution layer is simulated: a simJob burns `grant × tick` of
+// virtual work per tick instead of running muscles. Everything the
+// invariants quantify (quotas, shed probabilities, brownout hysteresis,
+// fair-share arbitration) is the production code path.
+
+// OverloadConfig parameterizes one harness run.
+type OverloadConfig struct {
+	// Budget is the arbiter's machine-wide LP budget.
+	Budget int
+	// QueueMax bounds the admission queue (the ladder's hard wall).
+	QueueMax int
+	// Tenants maps tenant names to weights for both the admission quotas
+	// and the arbiter's fair shares.
+	Tenants map[string]int
+	// Pattern is the seeded arrival schedule to replay.
+	Pattern workload.OverloadPattern
+	// Tick is the virtual time step (default 5ms); RebalanceEvery is the
+	// arbiter cadence (default 25ms).
+	Tick           time.Duration
+	RebalanceEvery time.Duration
+	// Brownout hysteresis knobs (defaults as in production: 1s in, 2s out).
+	BrownoutAfter time.Duration
+	BrownoutExit  time.Duration
+	// Seed feeds the admission ladder's RNG (default 1).
+	Seed int64
+	// MeasureLatency samples the real wall-clock latency of each decide()
+	// call for the benchmark percentiles.
+	MeasureLatency bool
+}
+
+// HealthTransition is one observed change of the harness's health ladder,
+// stamped in virtual time from the pattern start.
+type HealthTransition struct {
+	At     time.Duration
+	Status string
+}
+
+// OverloadReport is what a harness run measured.
+type OverloadReport struct {
+	Submitted int
+	Admitted  int
+	Completed int
+	// Shed counts rejections by ladder reason.
+	Shed map[string]int
+	// GuaranteedSheds counts submissions the ladder shed even though the
+	// tenant was entitled to the guaranteed rung at that instant. The
+	// invariant is zero: guaranteed-share traffic is never 429'd.
+	GuaranteedSheds int
+	// TenantShare is each tenant's fraction of granted LP×time accumulated
+	// while the arbiter was saturated (grants == budget) — the window where
+	// fairness is contested. Under sustained all-tenant overload it must
+	// track the configured weights.
+	TenantShare map[string]float64
+	// Transitions is the health ladder's virtual-time trajectory.
+	Transitions []HealthTransition
+	// WaitP50/WaitP99 are virtual queue-wait percentiles (admission →
+	// budget grant) over admitted jobs.
+	WaitP50 time.Duration
+	WaitP99 time.Duration
+	// DecideP50/DecideP99 are real wall-clock percentiles of the admission
+	// decision itself (only when MeasureLatency).
+	DecideP50 time.Duration
+	DecideP99 time.Duration
+	// PeakQueue is the deepest the wait queue got.
+	PeakQueue int
+}
+
+// simJob is a simulated execution: a core.Member whose demand is its
+// remaining work and whose "execution" is the harness decrementing
+// remaining by grant × tick each step.
+type simJob struct {
+	id        string
+	tenant    string
+	remaining time.Duration
+	wantLP    int
+	goal      time.Duration
+	deadline  time.Time
+	grant     int
+}
+
+func (j *simJob) Demand() core.Demand {
+	d := core.Demand{
+		Valid:     true,
+		CurrentLP: j.grant,
+		DesiredLP: j.wantLP,
+		OptimalLP: j.wantLP,
+		Goal:      j.goal,
+	}
+	if j.goal > 0 {
+		// Severity for the intra-tenant shrink order: how late the job will
+		// be at its current grant.
+		lp := j.grant
+		if lp < 1 {
+			lp = 1
+		}
+		d.PredictedWCT = j.remaining / time.Duration(lp)
+		d.Overshoot = d.PredictedWCT - j.goal
+	}
+	return d
+}
+
+func (j *simJob) Grant(n int) { j.grant = n }
+
+// RunOverload replays cfg.Pattern to completion and reports what happened.
+func RunOverload(cfg OverloadConfig) *OverloadReport {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.RebalanceEvery <= 0 {
+		cfg.RebalanceEvery = 25 * time.Millisecond
+	}
+	clk := clock.NewVirtual(clock.Epoch)
+	start := clk.Now()
+	arb := core.NewArbiter(cfg.Budget, clk)
+	for t, w := range cfg.Tenants {
+		arb.SetTenantWeight(t, w)
+	}
+	adm := newAdmission(admissionConfig{
+		QueueMax:      cfg.QueueMax,
+		Tenants:       cfg.Tenants,
+		BrownoutAfter: cfg.BrownoutAfter,
+		BrownoutExit:  cfg.BrownoutExit,
+		Seed:          cfg.Seed,
+		Clock:         clk,
+	})
+
+	arrivals := cfg.Pattern.Arrivals()
+	rep := &OverloadReport{
+		Shed:        map[string]int{},
+		TenantShare: map[string]float64{},
+	}
+	type queued struct {
+		job *simJob
+		at  time.Time
+	}
+	var (
+		queue      []queued
+		running    []*simJob
+		waits      []time.Duration
+		decideNS   []time.Duration
+		grantTicks = map[string]int64{}
+		totalTicks int64
+		next       = 0
+		nextID     = 0
+		lastRebal  = start
+		health     = HealthOK
+	)
+	healthOf := func() string {
+		// The daemon ladder, minus the states a harness cannot enter
+		// (draining, recovering).
+		switch {
+		case adm.isBrownedOut():
+			return HealthBrownedOut
+		case cfg.QueueMax > 0 && len(queue) >= cfg.QueueMax:
+			return HealthOverloaded
+		default:
+			return HealthOK
+		}
+	}
+	for next < len(arrivals) || len(queue) > 0 || len(running) > 0 {
+		now := clk.Now()
+		// 1. Drain every arrival due by now through the admission ladder.
+		for next < len(arrivals) && arrivals[next].At <= now.Sub(start) {
+			a := arrivals[next]
+			next++
+			rep.Submitted++
+			ent := adm.entitled(a.Tenant, a.Priority)
+			var t0 time.Time
+			if cfg.MeasureLatency {
+				t0 = time.Now()
+			}
+			v := adm.decide(a.Tenant, a.Priority)
+			if cfg.MeasureLatency {
+				decideNS = append(decideNS, time.Since(t0))
+			}
+			if !v.admit {
+				rep.Shed[v.reason]++
+				if ent {
+					rep.GuaranteedSheds++
+				}
+				continue
+			}
+			nextID++
+			j := &simJob{
+				id:        fmt.Sprintf("sim-%d", nextID),
+				tenant:    core.CanonTenant(a.Tenant),
+				remaining: a.Work,
+				wantLP:    a.WantLP,
+				goal:      a.Goal,
+			}
+			if a.Goal > 0 {
+				j.deadline = now.Add(a.Goal)
+			}
+			queue = append(queue, queued{job: j, at: now})
+		}
+		if len(queue) > rep.PeakQueue {
+			rep.PeakQueue = len(queue)
+		}
+		// 2. Admit queued jobs while the arbiter has capacity, FIFO like the
+		// daemon's admitLocked.
+		for len(queue) > 0 {
+			q := queue[0]
+			if err := arb.AdmitFor(q.job.id, q.job.tenant, q.job); err != nil {
+				break // at capacity
+			}
+			queue = queue[1:]
+			adm.started(q.job.tenant)
+			waits = append(waits, now.Sub(q.at))
+			running = append(running, q.job)
+			rep.Admitted++
+		}
+		// 3. Rebalance on the daemon's cadence.
+		if now.Sub(lastRebal) >= cfg.RebalanceEvery {
+			arb.Rebalance()
+			lastRebal = now
+		}
+		// 4. Progress running jobs; account fair-share only while the budget
+		// is saturated (fairness is only contested when there is contention).
+		saturated := arb.Granted() >= cfg.Budget
+		for _, j := range running {
+			if j.grant > 0 {
+				j.remaining -= time.Duration(j.grant) * cfg.Tick
+				if saturated {
+					grantTicks[j.tenant] += int64(j.grant)
+				}
+			}
+		}
+		if saturated {
+			totalTicks++
+		}
+		// 5. Retire completed jobs (deterministic slice order).
+		kept := running[:0]
+		for _, j := range running {
+			if j.remaining <= 0 {
+				arb.Release(j.id)
+				adm.finished(now)
+				rep.Completed++
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		running = kept
+		// 6. Observe the health ladder (poll drives brownout exit when the
+		// queue has gone quiet).
+		adm.poll(now)
+		if h := healthOf(); h != health {
+			health = h
+			rep.Transitions = append(rep.Transitions, HealthTransition{At: now.Sub(start), Status: h})
+		}
+		clk.Advance(cfg.Tick)
+	}
+	var total int64
+	for _, g := range grantTicks {
+		total += g
+	}
+	if total > 0 {
+		for t, g := range grantTicks {
+			rep.TenantShare[t] = float64(g) / float64(total)
+		}
+	}
+	rep.WaitP50, rep.WaitP99 = percentiles(waits)
+	if cfg.MeasureLatency {
+		rep.DecideP50, rep.DecideP99 = percentiles(decideNS)
+	}
+	return rep
+}
+
+// percentiles returns the p50 and p99 of a duration sample (zeroes when
+// empty).
+func percentiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return idx(0.50), idx(0.99)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skandium"
+	"skandium/internal/core"
 	"skandium/internal/journal"
 )
 
@@ -57,6 +58,8 @@ func (s *Server) restoreLocked(st journal.JobState) {
 		params:        st.Spec.Params,
 		goal:          msToDur(st.Spec.GoalMS),
 		maxLP:         st.Spec.MaxLP,
+		tenant:        core.CanonTenant(st.Spec.Tenant),
+		priority:      st.Spec.Priority,
 		restored:      true,
 		resultSummary: st.Result,
 		prior:         faultStats(st.Faults),
@@ -115,6 +118,8 @@ func (s *Server) requeueLocked(st journal.JobState) {
 		goal:      spec.Goal,
 		maxLP:     spec.MaxLP,
 		initLP:    spec.InitialLP,
+		tenant:    core.CanonTenant(spec.Tenant),
+		priority:  spec.Priority,
 		timeout:   spec.MuscleTimeout,
 		retry:     skandium.RetryPolicy{MaxAttempts: spec.RetryAttempts, BaseDelay: spec.RetryBackoff},
 		partial:   partial,
@@ -128,6 +133,9 @@ func (s *Server) requeueLocked(st journal.JobState) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j)
+	// The crash already admitted this job once; re-reserve its queue slot
+	// so the ladder's tenant accounting matches the rebuilt queue.
+	s.adm.enqueued(j.tenant)
 }
 
 // restoredState maps a journal terminal state onto the job lifecycle.
@@ -164,6 +172,8 @@ func toJournalSpec(spec SubmitSpec, program string) journal.Spec {
 		RetryBackoffMS: durToMS(spec.RetryBackoff),
 		Partial:        spec.Partial,
 		Substitute:     spec.Substitute,
+		Tenant:         spec.Tenant,
+		Priority:       spec.Priority,
 	}
 }
 
@@ -180,6 +190,8 @@ func fromJournalSpec(js journal.Spec) SubmitSpec {
 		RetryBackoff:  msToDur(js.RetryBackoffMS),
 		Partial:       js.Partial,
 		Substitute:    js.Substitute,
+		Tenant:        js.Tenant,
+		Priority:      js.Priority,
 	}
 }
 

@@ -40,12 +40,12 @@ func (s *Server) startRemote(j *job) {
 	}
 	j.log.append(eventRecord{
 		TMS:  float64(s.clk.Now().Sub(j.log.start)) / float64(time.Millisecond),
-		Ev:   fmt.Sprintf("cluster@route(%s)", j.skeleton),
+		Ev:   fmt.Sprintf("cluster@route(%s tenant=%s)", j.skeleton, j.tenant),
 		Kind: "cluster", When: "route", Where: "cluster",
 	})
 	s.remoteJobs[j.id] = j
 	go func() {
-		res, err := s.cfg.Cluster.Run(j.skeleton, j.params)
+		res, err := s.cfg.Cluster.RunAs(j.tenant, j.skeleton, j.params)
 		s.mu.Lock()
 		delete(s.remoteJobs, j.id)
 		s.mu.Unlock()

@@ -52,8 +52,22 @@ type Config struct {
 	Recover []journal.JobState
 	// QueueMax bounds the number of jobs waiting for budget; submissions
 	// beyond it are shed with an OverloadError (HTTP 429 + Retry-After).
-	// 0 keeps the queue unbounded.
+	// 0 keeps the queue unbounded. With tenants configured the bound is
+	// soft: guaranteed traffic (a tenant below its weighted quota) still
+	// admits, stretching the queue by at most the quota sum.
 	QueueMax int
+	// Tenants maps tenant names to their weights in both the LP budget
+	// division and the queue-quota math (unlisted tenants weigh 1).
+	Tenants map[string]int
+	// BrownoutAfter/BrownoutExit tune the overload hysteresis: how long
+	// queue pressure must persist before the server browns out (sheds all
+	// optional work, disables hedging) and how long calm must persist
+	// before it recovers. Defaults 1s / 2s.
+	BrownoutAfter time.Duration
+	BrownoutExit  time.Duration
+	// ShedSeed seeds the probabilistic shed and Retry-After jitter
+	// (default 1; fix it to make overload behaviour reproducible).
+	ShedSeed int64
 
 	// Cluster, when set, routes eligible jobs (cluster-eligible blueprint,
 	// shardable program, no WCT goal or fault envelope) to remote workers
@@ -72,6 +86,7 @@ type Server struct {
 	startTime time.Time
 	jn        *journal.Journal   // nil = memory-only
 	profiles  *core.ProfileStore // per-skeleton work/span, feeds admission
+	adm       *admission         // tenant-fair front door (ladder + brownout)
 
 	mu         sync.Mutex
 	jobs       map[string]*job
@@ -80,9 +95,7 @@ type Server struct {
 	queue      []*job // accepted, waiting for budget (FIFO)
 	nextID     int
 	draining   bool
-	recovered  int           // jobs rehydrated or re-queued from the journal
-	runCount   int           // completed runs (Retry-After estimation)
-	runSum     time.Duration // their summed wall time
+	recovered  int // jobs rehydrated or re-queued from the journal
 }
 
 // New builds a server and starts the arbiter's rebalance ticker.
@@ -115,6 +128,18 @@ func New(cfg Config) *Server {
 		jobs:       map[string]*job{},
 		remoteJobs: map[string]*job{},
 	}
+	s.adm = newAdmission(admissionConfig{
+		QueueMax:      cfg.QueueMax,
+		Tenants:       cfg.Tenants,
+		BrownoutAfter: cfg.BrownoutAfter,
+		BrownoutExit:  cfg.BrownoutExit,
+		Seed:          cfg.ShedSeed,
+		Clock:         cfg.Clock,
+		OnBrownout:    s.onBrownout,
+	})
+	for t, w := range cfg.Tenants {
+		s.arb.SetTenantWeight(t, w)
+	}
 	if cfg.Cluster != nil {
 		cfg.Cluster.SetOnNodeEvent(s.onNodeEvent)
 	}
@@ -142,6 +167,12 @@ type SubmitSpec struct {
 	MaxLP     int           // per-job LP QoS cap; 0 = uncapped
 	InitialLP int           // starting LP (default 1, the paper's setup)
 
+	// Tenant names whose traffic the job is ("" = the default tenant);
+	// Priority ranks it on the admission ladder: < 0 is batch work shed
+	// first, 0 is normal, > 0 rides until the hard queue-full wall.
+	Tenant   string
+	Priority int
+
 	// Fault tolerance (all optional; zero values reproduce the historical
 	// fail-fast behaviour).
 	MuscleTimeout time.Duration // per-muscle deadline; 0 = none
@@ -168,10 +199,12 @@ func parsePartial(name string, sub any) (skandium.PartialPolicy, error) {
 // Submit accepts a job: the blueprint is compiled immediately (rejecting
 // bad params synchronously), then the job either starts — when the budget
 // has room — or queues. Admission control runs first: during drain all
-// submissions are refused; a full queue sheds with OverloadError; a WCT
-// goal the predictor's profile proves unreachable under the whole budget is
-// rejected with InfeasibleError rather than accepted and missed.
+// submissions are refused; the tenant-fair admission ladder sheds optional
+// work under pressure with OverloadError; a WCT goal the predictor's
+// profile proves unreachable under the whole budget is rejected with
+// InfeasibleError rather than accepted and missed.
 func (s *Server) Submit(spec SubmitSpec) (*job, error) {
+	tenant := core.CanonTenant(spec.Tenant)
 	bp, ok := skandium.LookupBlueprint(spec.Skeleton)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown skeleton %q", spec.Skeleton)
@@ -193,25 +226,35 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	if spec.Goal > 0 {
 		if pr, ok := s.profiles.Lookup(spec.Skeleton); ok &&
 			!core.Feasible(spec.Goal, pr.Work, pr.Span, s.arb.Budget()) {
-			s.fleet.Shed(metrics.ShedInfeasible)
+			s.fleet.ShedTenant(tenant, metrics.ShedInfeasible)
 			return nil, &InfeasibleError{
 				Skeleton: spec.Skeleton, Goal: spec.Goal,
 				Work: pr.Work, Span: pr.Span, Budget: s.arb.Budget(),
 			}
 		}
 	}
+	if s.Draining() {
+		s.fleet.ShedTenant(tenant, metrics.ShedDraining)
+		return nil, ErrDraining
+	}
+
+	// The ladder rules outside s.mu (admission is a leaf component with its
+	// own queue accounting), so a brownout transition it trips can call
+	// straight back into the server.
+	v := s.adm.decide(tenant, spec.Priority)
+	if !v.admit {
+		s.fleet.ShedTenant(tenant, v.reason)
+		return nil, &OverloadError{Reason: v.reason, Queued: v.queued, RetryAfter: v.retryAfter}
+	}
 
 	s.mu.Lock()
 	if s.draining {
+		// Drain began between the ladder ruling and here: give the reserved
+		// queue slot back and refuse.
 		s.mu.Unlock()
-		s.fleet.Shed(metrics.ShedDraining)
+		s.adm.dequeued(tenant)
+		s.fleet.ShedTenant(tenant, metrics.ShedDraining)
 		return nil, ErrDraining
-	}
-	if s.cfg.QueueMax > 0 && len(s.queue) >= s.cfg.QueueMax {
-		ra := s.retryAfterLocked()
-		s.mu.Unlock()
-		s.fleet.Shed(metrics.ShedQueueFull)
-		return nil, &OverloadError{Queued: s.cfg.QueueMax, RetryAfter: ra}
 	}
 	s.nextID++
 	j := &job{
@@ -223,6 +266,8 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 		goal:     spec.Goal,
 		maxLP:    spec.MaxLP,
 		initLP:   spec.InitialLP,
+		tenant:   tenant,
+		priority: spec.Priority,
 		timeout:  spec.MuscleTimeout,
 		retry:    skandium.RetryPolicy{MaxAttempts: spec.RetryAttempts, BaseDelay: spec.RetryBackoff},
 		partial:  partial,
@@ -246,40 +291,54 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	return j, nil
 }
 
-// retryAfterLocked estimates when a shed client should try again: the mean
-// completed-job wall time scaled by how many queue slots stand in front of
-// a budget unit, clamped to [1s, 30s]. Caller holds s.mu.
-func (s *Server) retryAfterLocked() time.Duration {
-	mean := time.Second
-	if s.runCount > 0 {
-		mean = s.runSum / time.Duration(s.runCount)
-	}
-	budget := s.arb.Budget()
-	if budget < 1 {
-		budget = 1
-	}
-	ra := mean * time.Duration(len(s.queue)+1) / time.Duration(budget)
-	if ra < time.Second {
-		ra = time.Second
-	}
-	if ra > 30*time.Second {
-		ra = 30 * time.Second
-	}
-	return ra
-}
-
 // ErrDraining rejects submissions during shutdown.
 var ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
 
-// OverloadError sheds a submission because the wait queue is full. The
-// HTTP layer renders it as 429 with a Retry-After hint.
+// OverloadError sheds a submission on the admission ladder. The HTTP layer
+// renders it as 429 with a Retry-After hint derived from the drain rate.
 type OverloadError struct {
+	Reason     string // metrics.Shed* label naming the rung that refused
 	Queued     int
 	RetryAfter time.Duration
 }
 
 func (e *OverloadError) Error() string {
-	return fmt.Sprintf("server: overloaded, %d jobs already queued (retry in %v)", e.Queued, e.RetryAfter)
+	reason := e.Reason
+	if reason == "" {
+		reason = metrics.ShedQueueFull
+	}
+	return fmt.Sprintf("server: overloaded (%s), %d jobs already queued (retry in %v)", reason, e.Queued, e.RetryAfter)
+}
+
+// onBrownout reacts to a brownout transition: cluster hedging is disabled
+// while browned out (speculative duplicates are the first optional load to
+// shed) and the transition is threaded into the event log of every live
+// job, so a job's timeline shows the overload window that shaped it.
+func (s *Server) onBrownout(on bool, at time.Time) {
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.SetHedging(!on)
+	}
+	kind := "brownout-off"
+	if on {
+		kind = "brownout-on"
+	}
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			live = append(live, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		j.log.append(eventRecord{
+			TMS:  float64(at.Sub(j.log.start)) / float64(time.Millisecond),
+			Ev:   fmt.Sprintf("admission@%s", kind),
+			Kind: "admission", When: kind, Where: "admission",
+		})
+	}
 }
 
 // InfeasibleError rejects a submission whose WCT goal is provably
@@ -303,10 +362,11 @@ func (e *InfeasibleError) Error() string {
 func (s *Server) admitLocked() {
 	for len(s.queue) > 0 {
 		j := s.queue[0]
-		if err := s.arb.Admit(j.id, j); err != nil {
+		if err := s.arb.AdmitFor(j.id, j.tenant, j); err != nil {
 			return // at capacity (or duplicate — impossible by construction)
 		}
 		s.queue = s.queue[1:]
+		s.adm.started(j.tenant)
 		s.start(j)
 	}
 }
@@ -400,7 +460,7 @@ func (s *Server) watch(j *job, h skandium.Handle) {
 	default:
 		j.state = stateFailed
 	}
-	state, started := j.state, j.started
+	state := j.state
 	j.mu.Unlock()
 
 	if s.jn != nil {
@@ -423,11 +483,8 @@ func (s *Server) watch(j *job, h skandium.Handle) {
 			span = d.BestWCT
 		}
 		s.profiles.Observe(j.skeleton, h.Stats().BusyTime, span)
-		s.mu.Lock()
-		s.runCount++
-		s.runSum += now.Sub(started)
-		s.mu.Unlock()
 	}
+	s.adm.finished(now) // feed the drain-rate estimate behind Retry-After
 
 	j.rec.Gauge(now, 0, 0) // the aggregate series drops to reality
 	j.log.close()
@@ -472,13 +529,18 @@ func (s *Server) Cancel(id string) bool {
 		s.mu.Unlock()
 		return false
 	}
+	wasQueued := false
 	for i, q := range s.queue {
 		if q == j {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			wasQueued = true
 			break
 		}
 	}
 	s.mu.Unlock()
+	if wasQueued {
+		s.adm.dequeued(j.tenant)
+	}
 
 	j.mu.Lock()
 	j.canceled = true
@@ -550,14 +612,20 @@ func (s *Server) Draining() bool {
 
 // Health degradation states for /healthz, most severe first.
 const (
-	HealthDraining   = "draining"   // shutting down, refusing submissions
-	HealthRecovering = "recovering" // journal-recovered jobs still queued
-	HealthOverloaded = "overloaded" // wait queue at capacity, shedding
+	HealthDraining   = "draining"    // shutting down, refusing submissions
+	HealthRecovering = "recovering"  // journal-recovered jobs still queued
+	HealthBrownedOut = "browned-out" // sustained overload, optional work shed
+	HealthOverloaded = "overloaded"  // wait queue at capacity, shedding
 	HealthOK         = "ok"
 )
 
-// Health reports the daemon's degradation state.
+// Health reports the daemon's degradation state. Brownout outranks
+// overloaded: a full queue is an instantaneous condition, brownout is the
+// sustained one the hysteresis has confirmed.
 func (s *Server) Health() string {
+	// Polling re-evaluates the brownout hysteresis even when traffic has
+	// gone quiet — the health probe is what observes the recovery.
+	s.adm.poll(s.clk.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -565,6 +633,8 @@ func (s *Server) Health() string {
 		return HealthDraining
 	case s.recoveringLocked():
 		return HealthRecovering
+	case s.adm.isBrownedOut():
+		return HealthBrownedOut
 	case s.cfg.QueueMax > 0 && len(s.queue) >= s.cfg.QueueMax:
 		return HealthOverloaded
 	default:

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Overload traffic generation: a seeded, multi-tenant Poisson arrival
+// pattern for the admission-ladder harness. Everything is derived from the
+// pattern's seed, so the same pattern always produces byte-identical
+// arrival schedules — the overload tests replay hundreds of thousands of
+// submissions deterministically on one CPU under virtual time.
+
+// TenantLoad describes one tenant's traffic in an overload pattern.
+type TenantLoad struct {
+	Name   string
+	Weight int // arbiter/admission weight (informational; the harness configures the server with it)
+	// Rate is the steady-state arrival rate in jobs per second; BurstRate
+	// replaces it inside the pattern's burst window (0 = keep Rate).
+	Rate      float64
+	BurstRate float64
+	// Priority tags every arrival from this tenant (<0 sheds first, >0
+	// rides to the hard wall).
+	Priority int
+	// GoalFrac is the fraction of arrivals carrying a WCT goal, drawn
+	// per-arrival from the tenant's RNG.
+	GoalFrac float64
+}
+
+// Arrival is one synthetic submission, ordered by At (virtual time offset
+// from the pattern start).
+type Arrival struct {
+	At       time.Duration
+	Tenant   string
+	Priority int
+	// Work is the total CPU the job needs (LP×time); WantLP is how many
+	// processors it asks the arbiter for.
+	Work   time.Duration
+	WantLP int
+	// Goal is a WCT goal in virtual time (0 = none).
+	Goal time.Duration
+}
+
+// OverloadPattern is a seeded description of an overload episode: a warm-up
+// at steady rates, a burst window at burst rates, and a cool-down back at
+// steady rates until Duration.
+type OverloadPattern struct {
+	Seed       int64
+	Duration   time.Duration
+	BurstStart time.Duration
+	BurstEnd   time.Duration
+	Tenants    []TenantLoad
+	// MeanWork is the mean of the exponential per-job work distribution
+	// (default 100ms); MaxWantLP bounds the uniform LP ask (default 4).
+	MeanWork  time.Duration
+	MaxWantLP int
+}
+
+// Arrivals expands the pattern into its full, time-sorted arrival schedule.
+// Each tenant draws from its own RNG (derived from Seed and the tenant's
+// position), so adding a tenant never perturbs the others' schedules.
+func (p OverloadPattern) Arrivals() []Arrival {
+	meanWork := p.MeanWork
+	if meanWork <= 0 {
+		meanWork = 100 * time.Millisecond
+	}
+	maxLP := p.MaxWantLP
+	if maxLP < 1 {
+		maxLP = 4
+	}
+	var out []Arrival
+	for i, tl := range p.Tenants {
+		rng := rand.New(rand.NewSource(p.Seed + int64(i)*7919)) // offset by a prime: distinct streams
+		burst := tl.BurstRate
+		if burst <= 0 {
+			burst = tl.Rate
+		}
+		at := time.Duration(0)
+		for {
+			rate := tl.Rate
+			if at >= p.BurstStart && at < p.BurstEnd {
+				rate = burst
+			}
+			if rate <= 0 {
+				// No traffic in this regime: jump to the next regime edge.
+				if at < p.BurstStart && burst > 0 {
+					at = p.BurstStart
+					continue
+				}
+				break
+			}
+			// Exponential inter-arrival for a Poisson process at rate/s.
+			gap := time.Duration(-math.Log(1-rng.Float64()) / rate * float64(time.Second))
+			if gap < time.Microsecond {
+				gap = time.Microsecond
+			}
+			at += gap
+			if at >= p.Duration {
+				break
+			}
+			work := time.Duration(-math.Log(1-rng.Float64()) * float64(meanWork))
+			if work < time.Millisecond {
+				work = time.Millisecond
+			}
+			a := Arrival{
+				At:       at,
+				Tenant:   tl.Name,
+				Priority: tl.Priority,
+				Work:     work,
+				WantLP:   1 + rng.Intn(maxLP),
+			}
+			if tl.GoalFrac > 0 && rng.Float64() < tl.GoalFrac {
+				// A goal around 2× the serial work at the asked LP: tight
+				// enough to drive the controller, loose enough to be metable.
+				a.Goal = 2 * work / time.Duration(a.WantLP)
+			}
+			out = append(out, a)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

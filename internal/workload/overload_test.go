@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func pattern(seed int64) OverloadPattern {
+	return OverloadPattern{
+		Seed:       seed,
+		Duration:   10 * time.Second,
+		BurstStart: 2 * time.Second,
+		BurstEnd:   8 * time.Second,
+		Tenants: []TenantLoad{
+			{Name: "alpha", Weight: 3, Rate: 10, BurstRate: 60, GoalFrac: 0.5},
+			{Name: "beta", Weight: 2, Rate: 10, BurstRate: 40},
+			{Name: "gamma", Weight: 1, Rate: 10, BurstRate: 20, Priority: -1},
+		},
+	}
+}
+
+func TestOverloadArrivalsDeterministic(t *testing.T) {
+	a, b := pattern(42).Arrivals(), pattern(42).Arrivals()
+	if len(a) == 0 {
+		t.Fatalf("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := pattern(43).Arrivals()
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestOverloadArrivalsSortedAndBounded(t *testing.T) {
+	p := pattern(1)
+	as := p.Arrivals()
+	counts := map[string]int{}
+	burstCounts := map[string]int{}
+	for i, a := range as {
+		if i > 0 && a.At < as[i-1].At {
+			t.Fatalf("arrivals unsorted at %d: %v < %v", i, a.At, as[i-1].At)
+		}
+		if a.At < 0 || a.At >= p.Duration {
+			t.Fatalf("arrival %d outside [0, Duration): %v", i, a.At)
+		}
+		if a.Work < time.Millisecond {
+			t.Fatalf("arrival %d work too small: %v", i, a.Work)
+		}
+		if a.WantLP < 1 || a.WantLP > 4 {
+			t.Fatalf("arrival %d WantLP %d outside [1, 4]", i, a.WantLP)
+		}
+		counts[a.Tenant]++
+		if a.At >= p.BurstStart && a.At < p.BurstEnd {
+			burstCounts[a.Tenant]++
+		}
+	}
+	for _, tl := range p.Tenants {
+		if counts[tl.Name] == 0 {
+			t.Fatalf("tenant %s generated no arrivals", tl.Name)
+		}
+	}
+	// The burst window really bursts: alpha's 6s at 60/s dwarfs its 4s at
+	// 10/s; expect the clear majority of its arrivals inside the window.
+	if frac := float64(burstCounts["alpha"]) / float64(counts["alpha"]); frac < 0.7 {
+		t.Fatalf("alpha burst fraction %.2f, want > 0.7", frac)
+	}
+}
+
+func TestOverloadPriorityAndGoalTagging(t *testing.T) {
+	as := pattern(7).Arrivals()
+	goals := 0
+	for _, a := range as {
+		switch a.Tenant {
+		case "gamma":
+			if a.Priority != -1 {
+				t.Fatalf("gamma arrival priority %d, want -1", a.Priority)
+			}
+		default:
+			if a.Priority != 0 {
+				t.Fatalf("%s arrival priority %d, want 0", a.Tenant, a.Priority)
+			}
+		}
+		if a.Tenant == "alpha" && a.Goal > 0 {
+			goals++
+		}
+		if a.Tenant != "alpha" && a.Goal != 0 {
+			t.Fatalf("%s arrival has a goal but GoalFrac is 0", a.Tenant)
+		}
+	}
+	if goals == 0 {
+		t.Fatalf("alpha GoalFrac 0.5 produced no goals")
+	}
+}
+
+func TestOverloadTenantStreamsIndependent(t *testing.T) {
+	// Dropping a tenant must not change the other tenants' schedules:
+	// per-tenant RNG streams are independent.
+	full := pattern(11).Arrivals()
+	p := pattern(11)
+	p.Tenants = p.Tenants[:2] // drop gamma
+	trimmed := p.Arrivals()
+	var fullAB []Arrival
+	for _, a := range full {
+		if a.Tenant != "gamma" {
+			fullAB = append(fullAB, a)
+		}
+	}
+	if len(fullAB) != len(trimmed) {
+		t.Fatalf("alpha+beta schedule changed when gamma was dropped: %d vs %d", len(fullAB), len(trimmed))
+	}
+	for i := range trimmed {
+		if fullAB[i] != trimmed[i] {
+			t.Fatalf("arrival %d changed when gamma was dropped", i)
+		}
+	}
+}

@@ -1,23 +1,26 @@
 #!/usr/bin/env sh
 # Runs the repo's benchmark suite and records the results as benchjson JSON.
 #
-#   scripts/bench.sh                 # full suite -> BENCH_4.json
+#   scripts/bench.sh                 # full suite -> BENCH_7.json
 #   OUT=my.json scripts/bench.sh     # choose the output file
 #   BENCHTIME=200x scripts/bench.sh  # fixed iteration count (comparable runs)
 #   FILTER='FarmThroughput|EventOverhead|EngineFanout' scripts/bench.sh
+#   PKGS='./internal/server' scripts/bench.sh   # restrict the package list
 #
 # Compare two recordings (fails on >20% regressions, timing advisory-only):
 #
-#   go run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_4.json -ns-advisory
+#   go run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_7.json -ns-advisory
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_4.json}"
+OUT="${OUT:-BENCH_7.json}"
 BENCHTIME="${BENCHTIME:-200x}"
 FILTER="${FILTER:-.}"
+PKGS="${PKGS:-. ./internal/server}"
 
-go test -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' . \
+# shellcheck disable=SC2086 # PKGS is a deliberate word list
+go test -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' $PKGS \
 	| tee /dev/stderr \
 	| go run ./cmd/benchjson -out "$OUT"
 
