@@ -9,9 +9,10 @@ all: check
 # check is the pre-merge gate: compile, full tests, vet/fmt, static
 # analysis, then the race detector over the concurrency-heavy packages
 # (pool, controller+arbiter, daemon), the cross-backend conformance
-# harness, the stream lifecycle tests of the root package, the cluster
-# chaos suite (network faults, partitions, flaps), and the virtual-time
-# overload harness (multi-tenant fairness invariants).
+# harness (twice: IR optimizer on, then off via SKANDIUM_OPT=off), the
+# stream lifecycle tests of the root package, the cluster chaos suite
+# (network faults, partitions, flaps), and the virtual-time overload
+# harness (multi-tenant fairness invariants).
 check: build test vet lint race chaos overload
 
 build:
@@ -22,6 +23,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal ./internal/plan ./internal/conformance ./internal/remote
+	SKANDIUM_OPT=off $(GO) test -race -count=1 ./internal/conformance
 	$(GO) test -race -run 'TestClose|TestDrain|TestStream|TestChaos|TestWithRetry|TestWCTGoal' .
 
 # chaos runs the seeded cluster chaos scenarios (RPC drops, one

@@ -8,9 +8,9 @@
 //
 // Compare mode exits non-zero when any benchmark present in both documents
 // regressed by more than -max-regress in ns/op or allocs/op. Single-sample
-// benchmark runs are noisy, so the threshold should stay generous (CI uses
-// 20% on allocs/op, which is deterministic, and a looser advisory print for
-// ns/op).
+// benchmark runs are noisy on timing, so that threshold should stay generous
+// with -ns-advisory for wall-clock units; allocs/op is deterministic and can
+// be gated much tighter via -max-alloc-regress (CI uses 5%).
 package main
 
 import (
@@ -49,6 +49,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON document; enables compare mode")
 	against := flag.String("against", "", "candidate JSON document to compare against the baseline")
 	maxRegress := flag.Float64("max-regress", 0.20, "fail when ns/op or allocs/op regress by more than this fraction")
+	maxAllocRegress := flag.Float64("max-alloc-regress", -1, "tighter threshold for allocs/op, which is deterministic (-1 = use -max-regress)")
 	nsAdvisory := flag.Bool("ns-advisory", false, "report ns/op regressions without failing (timing noise on shared CI)")
 	flag.Parse()
 
@@ -57,7 +58,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare requires -against")
 			os.Exit(2)
 		}
-		if err := runCompare(*compare, *against, *maxRegress, *nsAdvisory); err != nil {
+		if *maxAllocRegress < 0 {
+			*maxAllocRegress = *maxRegress
+		}
+		if err := runCompare(*compare, *against, *maxRegress, *maxAllocRegress, *nsAdvisory); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -163,7 +167,7 @@ func load(path string) (map[string]Result, error) {
 	return m, nil
 }
 
-func runCompare(basePath, candPath string, maxRegress float64, nsAdvisory bool) error {
+func runCompare(basePath, candPath string, maxRegress, maxAllocRegress float64, nsAdvisory bool) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -189,9 +193,9 @@ func runCompare(basePath, candPath string, maxRegress float64, nsAdvisory bool) 
 		allocDelta := ratio(c.AllocsPerOp, b.AllocsPerOp)
 		fmt.Printf("%-60s ns/op %10.0f -> %10.0f (%+.1f%%)  allocs/op %8.0f -> %8.0f (%+.1f%%)\n",
 			name, b.NsPerOp, c.NsPerOp, 100*nsDelta, b.AllocsPerOp, c.AllocsPerOp, 100*allocDelta)
-		if allocDelta > maxRegress {
+		if allocDelta > maxAllocRegress {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %.1f%% (> %.0f%%)",
-				name, 100*allocDelta, 100*maxRegress))
+				name, 100*allocDelta, 100*maxAllocRegress))
 		}
 		if nsDelta > maxRegress {
 			msg := fmt.Sprintf("%s: ns/op regressed %.1f%% (> %.0f%%)", name, 100*nsDelta, 100*maxRegress)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"skandium/internal/journal"
+	"skandium/internal/plan"
 	"skandium/internal/remote"
 	"skandium/internal/server"
 )
@@ -66,7 +67,12 @@ func main() {
 	noDegrade := flag.Bool("no-degrade", false, "fail cluster jobs instead of draining remaining shards to the local pool")
 	localLP := flag.Int("degrade-lp", 0, "parallelism of the local degradation pool (0 = default 4)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "re-enqueue a claimed task stalled this long so a second node races it (0 = off)")
+	opt := flag.Bool("opt", true, "run the IR optimizer on compiled plans (fusion, static specialization, pre-sizing)")
 	flag.Parse()
+
+	if !*opt {
+		plan.SetOptimizeEnabled(false)
+	}
 
 	if *pprofAddr != "" {
 		// The pprof handlers register on http.DefaultServeMux via the blank

@@ -43,8 +43,15 @@ func (ip *instrPool[T]) put(x *T) {
 // instrFor builds the entry instruction for one activation of the program
 // step. parent is the activation index of the enclosing skeleton
 // activation (event.NoParent at the root). The instruction's trace is the
-// step's precompiled static trace.
+// step's precompiled static trace. A step annotated as the root of a fused
+// serial chain is entered through the single fused instruction; only this
+// static-trace entry takes that path — divide&conquer re-entry with a
+// dynamically grown trace goes through instrWithTrace and stays on the
+// per-step instructions.
 func instrFor(step *plan.Step, parent int64) Instr {
+	if fp := step.Fused(); fp != nil {
+		return fusedFor(fp, parent)
+	}
 	return instrWithTrace(step, parent, step.Trace())
 }
 

@@ -33,9 +33,11 @@ func (in *dacInst) interpret(w *worker, t *Task) ([]*Task, error) {
 	if !c {
 		// Leaf: solve with the nested skeleton, then close the activation.
 		leaf := in.step.Child(0)
-		leafInstr := instrFor(leaf, a.idx)
+		var leafInstr Instr
 		if in.depth > 0 {
 			leafInstr = instrWithTrace(leaf, a.idx, plan.ExtendTrace(in.trace, leaf.Node()))
+		} else {
+			leafInstr = instrFor(leaf, a.idx)
 		}
 		t.push(
 			newSkelEnd(a),

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"skandium/internal/event"
+	"skandium/internal/plan"
+)
+
+// fusedInst interprets one fused serial chain (plan.FusedProg) in a single
+// instruction: the whole chain runs back-to-back on one worker, replacing
+// the per-activation push/pop of seq, farm, pipe and for instructions. The
+// micro-op list replays exactly the instruction sequence the unfused
+// interpreter would execute — same event order, same activation-index
+// allocation order, same retry/timeout protocol per execute muscle — so a
+// fused run is observably identical; it just stops paying per-stage Task
+// stack and instruction-pool traffic.
+//
+// Instances are per-activation scratch recycled through the chain's
+// program-owned arena (FusedProg.Scratch), so steady-state execution of a
+// fused chain allocates nothing.
+type fusedInst struct {
+	prog   *plan.FusedProg
+	parent int64
+	frames []actx // open activations, innermost last
+}
+
+// fusedFor builds the entry instruction for one activation of a fused
+// chain, drawing scratch from the chain's arena.
+func fusedFor(fp *plan.FusedProg, parent int64) Instr {
+	in, _ := fp.Scratch().Get().(*fusedInst)
+	if in == nil {
+		in = &fusedInst{frames: make([]actx, 0, fp.MaxFrames())}
+	}
+	in.prog, in.parent = fp, parent
+	return in
+}
+
+func (in *fusedInst) release() {
+	fp := in.prog
+	in.prog, in.parent = nil, 0
+	in.frames = in.frames[:0]
+	fp.Scratch().Put(in)
+}
+
+func (in *fusedInst) interpret(w *worker, t *Task) ([]*Task, error) {
+	r := t.root
+	ops := in.prog.Ops()
+	for i := range ops {
+		// The unfused interpreter checks for cancellation between
+		// instructions; mirror that between micro-ops. The run loop sees
+		// the canceled root and retires the task.
+		if r.Canceled() {
+			return nil, nil
+		}
+		op := &ops[i]
+		switch op.Code {
+		case plan.FBegin:
+			parent := in.parent
+			if n := len(in.frames); n > 0 {
+				parent = in.frames[n-1].idx
+			}
+			in.frames = append(in.frames, begin(op.Step, parent, op.Step.Trace(), w, t))
+		case plan.FBody:
+			a := in.frames[len(in.frames)-1]
+			fe := op.Step.Exec()
+			em := a.em(r, w)
+			// Same protocol as seqInst: each retry re-raises the
+			// Skeleton/Before event so the estimator times only the final
+			// attempt.
+			res, err := runAttempts(em, fe, t.param, func() (any, error) {
+				t.param = em.emit(event.Before, event.Skeleton, t.param, nil)
+				return t.param, nil
+			}, func(p any) (any, error) { return fe.CallExecute(p) })
+			if err != nil {
+				return nil, err
+			}
+			t.param = em.emit(event.After, event.Skeleton, res, nil)
+			in.frames = in.frames[:len(in.frames)-1]
+		case plan.FEnd:
+			a := in.frames[len(in.frames)-1]
+			t.param = a.em(r, w).emit(event.After, event.Skeleton, t.param, nil)
+			in.frames = in.frames[:len(in.frames)-1]
+		case plan.FNestedBegin:
+			a := in.frames[len(in.frames)-1]
+			t.param = a.em(r, w).emit(event.Before, event.NestedSkel, t.param, func(e *event.Event) {
+				e.Branch, e.Iter = op.Branch, op.Iter
+			})
+		case plan.FNestedEnd:
+			a := in.frames[len(in.frames)-1]
+			t.param = a.em(r, w).emit(event.After, event.NestedSkel, t.param, func(e *event.Event) {
+				e.Branch, e.Iter = op.Branch, op.Iter
+			})
+		}
+	}
+	return nil, nil
+}

@@ -54,6 +54,9 @@ func runSplit(a actx, w *worker, t *Task) ([]any, error) {
 	if repl, ok := after.([]any); ok {
 		parts = repl
 	}
+	// Feed the optimizer's pre-sizing hint (nil on unoptimized programs):
+	// later consumers size buffers and shard batches for this fan-out width.
+	a.step.CardHint().Record(len(parts))
 	return parts, nil
 }
 

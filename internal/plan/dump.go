@@ -33,7 +33,21 @@ func (s *Step) dump(b *strings.Builder, depth int) {
 	if s.op == OpRepeat {
 		fmt.Fprintf(b, "  n=%d", s.n)
 	}
-	fmt.Fprintf(b, "  depth=%d\n", len(s.trace))
+	fmt.Fprintf(b, "  depth=%d", len(s.trace))
+	if s.fused != nil {
+		fmt.Fprintf(b, "  [fused: %d µops, %d acts]", len(s.fused.Ops()), s.fused.Activations())
+	}
+	if s.analytic != nil {
+		fmt.Fprintf(b, "  [analytic: work=%d span=%d aops]", len(s.analytic.WorkOps()), len(s.analytic.SpanOps()))
+	}
+	if s.hint != nil {
+		if k, ok := s.hint.Get(); ok {
+			fmt.Fprintf(b, "  [hint: card=%d]", k)
+		} else {
+			fmt.Fprintf(b, "  [hint: card=?]")
+		}
+	}
+	b.WriteByte('\n')
 	for _, c := range s.children {
 		c.dump(b, depth+1)
 	}

@@ -1,0 +1,329 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"skandium/internal/muscle"
+	"skandium/internal/skel"
+)
+
+// fakeEst is a map-backed EstimateSource for analytic-pass tests.
+type fakeEst struct {
+	dur  map[muscle.ID]time.Duration
+	card map[muscle.ID]float64
+}
+
+func (f fakeEst) Duration(id muscle.ID) (time.Duration, bool) { d, ok := f.dur[id]; return d, ok }
+func (f fakeEst) Card(id muscle.ID) (float64, bool)           { c, ok := f.card[id]; return c, ok }
+
+func mustCompile(t *testing.T, nd *skel.Node) *Program {
+	t.Helper()
+	p, err := Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFusePassSerialChain(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewSeq(fe("a")),
+		skel.NewFor(3, skel.NewSeq(fe("b"))),
+		skel.NewFarm(skel.NewSeq(fe("c"))),
+	)
+	raw := mustCompile(t, nd)
+	opt := Optimize(raw)
+
+	fp := opt.Root().Fused()
+	if fp == nil {
+		t.Fatal("fully serial chain not fused at root")
+	}
+	// Activations: pipe + a + for + 3×b + farm + c.
+	if fp.Activations() != 8 {
+		t.Fatalf("activations = %d, want 8", fp.Activations())
+	}
+	begins, bodies, ends := 0, 0, 0
+	for _, op := range fp.Ops() {
+		switch op.Code {
+		case FBegin:
+			begins++
+			if op.Step == nil {
+				t.Fatal("FBegin without step")
+			}
+		case FBody:
+			bodies++
+		case FEnd:
+			ends++
+		}
+	}
+	if begins != 8 || bodies != 5 { // execs: a, b×3 (unrolled), c
+		t.Fatalf("begins=%d bodies=%d, want 8/5", begins, bodies)
+	}
+	// Every non-exec activation closes with FEnd; exec closes via FBody.
+	if begins != bodies+ends {
+		t.Fatalf("begins=%d != bodies+ends=%d", begins, bodies+ends)
+	}
+	// Nested chains are inlined by the root's chain, not annotated again.
+	for _, s := range opt.Steps()[1:] {
+		if s.Fused() != nil {
+			t.Fatalf("inner step #%d carries its own fused chain", s.Index())
+		}
+	}
+	// The input program is never mutated.
+	for _, s := range raw.Steps() {
+		if s.Fused() != nil || s.Analytic() != nil || s.CardHint() != nil {
+			t.Fatalf("Optimize annotated its input at step #%d", s.Index())
+		}
+	}
+}
+
+func TestFuseStopsAtForks(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewFor(2, skel.NewSeq(fe("a"))),
+		skel.NewMap(fs("s"), skel.NewSeq(fe("e")), fm("m")),
+	)
+	opt := Optimize(mustCompile(t, nd))
+	root := opt.Root()
+	if root.Fused() != nil {
+		t.Fatal("chain fused across a fan-out")
+	}
+	if root.Child(0).Fused() == nil {
+		t.Fatal("serial for-chain before the fan-out not fused")
+	}
+	if root.Child(1).Fused() != nil {
+		t.Fatal("fan-out step fused")
+	}
+	// The map body is a lone activation: fusing it would gain nothing.
+	if root.Child(1).Child(0).Fused() != nil {
+		t.Fatal("single-activation body fused")
+	}
+}
+
+func TestFuseRespectsBudget(t *testing.T) {
+	opt := Optimize(mustCompile(t, skel.NewFor(1000, skel.NewSeq(fe("a")))))
+	for _, s := range opt.Steps() {
+		if s.Fused() != nil {
+			t.Fatal("over-budget repeat chain was fused")
+		}
+	}
+}
+
+func TestAnalyticWorkAndSpan(t *testing.T) {
+	split, body1, body2, merge := fs("s"), fe("a"), fe("b"), fm("m")
+	nd := skel.NewMap(split, skel.NewPipe(skel.NewSeq(body1), skel.NewSeq(body2)), merge)
+	opt := Optimize(mustCompile(t, nd))
+	a := opt.Root().Analytic()
+	if a == nil {
+		t.Fatal("static map not specialized")
+	}
+	ms := time.Millisecond
+	est := fakeEst{
+		dur: map[muscle.ID]time.Duration{
+			split.ID(): 10 * ms, body1.ID(): 15 * ms, body2.ID(): 5 * ms, merge.ID(): 5 * ms,
+		},
+		card: map[muscle.ID]float64{split.ID(): 3},
+	}
+	if w, miss := a.Work(est); miss != nil || w != 75*ms { // 10 + 3·(15+5) + 5
+		t.Fatalf("work = %v (miss %v), want 75ms", w, miss)
+	}
+	if s, miss := a.Span(est); miss != nil || s != 35*ms { // 10 + (15+5) + 5
+		t.Fatalf("span = %v (miss %v), want 35ms", s, miss)
+	}
+	// Work needs |s|; span does not.
+	delete(est.card, split.ID())
+	if _, miss := a.Work(est); miss == nil || miss.M != split || !miss.Card {
+		t.Fatalf("missing-card detection: %+v", miss)
+	}
+	if _, miss := a.Span(est); miss != nil {
+		t.Fatalf("span consulted the cardinality: %+v", miss)
+	}
+	// A missing duration fails both.
+	delete(est.dur, body2.ID())
+	if _, miss := a.Span(est); miss == nil || miss.M != body2 || miss.Card {
+		t.Fatalf("missing-duration detection: %+v", miss)
+	}
+}
+
+func TestAnalyticStopsAtDynamicControl(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewWhile(fc("w"), skel.NewSeq(fe("a"))),
+		skel.NewMap(fs("s"), skel.NewSeq(fe("e")), fm("m")),
+	)
+	opt := Optimize(mustCompile(t, nd))
+	root := opt.Root()
+	if root.Analytic() != nil {
+		t.Fatal("subtree with a while-loop specialized")
+	}
+	if root.Child(0).Analytic() != nil {
+		t.Fatal("loop step specialized")
+	}
+	// The loop body and the map are the maximal static subtrees.
+	if root.Child(0).Child(0).Analytic() == nil {
+		t.Fatal("static loop body not specialized")
+	}
+	if root.Child(1).Analytic() == nil {
+		t.Fatal("static map not specialized")
+	}
+	if root.Child(1).Child(0).Analytic() != nil {
+		t.Fatal("nested static step annotated under a specialized parent")
+	}
+}
+
+func TestCardHints(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewMap(fs("s"), skel.NewSeq(fe("e")), fm("m")),
+		skel.NewFork(fs("ks"), []*skel.Node{skel.NewSeq(fe("k0")), skel.NewSeq(fe("k1"))}, fm("km")),
+	)
+	opt := Optimize(mustCompile(t, nd))
+	mapStep, forkStep := opt.Root().Child(0), opt.Root().Child(1)
+
+	h := mapStep.CardHint()
+	if h == nil {
+		t.Fatal("fan-out without a hint slot")
+	}
+	if _, ok := h.Get(); ok {
+		t.Fatal("dynamic fan-out hint set before any split ran")
+	}
+	h.Record(4)
+	if k, ok := h.Get(); !ok || k != 4 {
+		t.Fatalf("hint = %d,%v after Record(4)", k, ok)
+	}
+	h.Record(-3) // ignored
+	if k, _ := h.Get(); k != 4 {
+		t.Fatalf("negative record overwrote hint: %d", k)
+	}
+	if k, ok := forkStep.CardHint().Get(); !ok || k != 2 {
+		t.Fatalf("fan-fixed hint = %d,%v, want statically seeded 2", k, ok)
+	}
+	// Raw programs carry no hint; nil receivers must be safe.
+	raw := mustCompile(t, nd)
+	var nilHint *CardHint = raw.Root().Child(0).CardHint()
+	if nilHint != nil {
+		t.Fatal("raw program has a hint slot")
+	}
+	nilHint.Record(7)
+	if _, ok := nilHint.Get(); ok {
+		t.Fatal("nil hint returned a value")
+	}
+}
+
+func TestOptimizePreservesStructure(t *testing.T) {
+	raw := mustCompile(t, everyKind())
+	opt, reports := OptimizeWithReport(raw)
+	if len(reports) == 0 {
+		t.Fatal("no pass reports")
+	}
+	if opt == raw {
+		t.Fatal("Optimize returned its input")
+	}
+	rs, os := raw.Steps(), opt.Steps()
+	if len(rs) != len(os) {
+		t.Fatalf("step count changed: %d -> %d", len(rs), len(os))
+	}
+	for i := range rs {
+		r, o := rs[i], os[i]
+		if o.Index() != r.Index() || o.Op() != r.Op() || o.Node() != r.Node() || o.Kind() != r.Kind() {
+			t.Fatalf("step %d identity changed", i)
+		}
+		if o.Exec() != r.Exec() || o.Split() != r.Split() || o.Merge() != r.Merge() ||
+			o.Cond() != r.Cond() || o.N() != r.N() {
+			t.Fatalf("step %d slots changed", i)
+		}
+		if len(o.Trace()) != len(r.Trace()) {
+			t.Fatalf("step %d trace depth changed", i)
+		}
+		if len(o.Children()) != len(r.Children()) {
+			t.Fatalf("step %d arity changed", i)
+		}
+		if opt.StepFor(r.Node().ID()) == nil {
+			t.Fatalf("step %d lost its byID entry", i)
+		}
+	}
+}
+
+func TestOfCachesOptimizedProgram(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewSeq(fe("a")),
+		skel.NewSeq(fe("b")),
+		skel.NewMap(fs("s"), skel.NewSeq(fe("e")), fm("m")),
+	)
+	p1, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := false
+	for _, s := range p1.Steps() {
+		if s.Fused() != nil || s.Analytic() != nil || s.CardHint() != nil {
+			annotated = true
+		}
+	}
+	if !annotated {
+		t.Fatal("Of cached an unoptimized program with the optimizer enabled")
+	}
+	if p2, _ := Of(nd); p2 != p1 {
+		t.Fatal("Of re-optimized an already cached node")
+	}
+}
+
+func TestOfRespectsDisable(t *testing.T) {
+	SetOptimizeEnabled(false)
+	defer SetOptimizeEnabled(true)
+	nd := skel.NewPipe(skel.NewSeq(fe("a")), skel.NewSeq(fe("b")))
+	p, err := Of(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Steps() {
+		if s.Fused() != nil || s.Analytic() != nil || s.CardHint() != nil {
+			t.Fatal("optimizer ran while disabled")
+		}
+	}
+}
+
+// TestRewriteOptimizeRace: plan.Of must compose with skel.Optimize rewrites —
+// racing callers on the original and the rewritten tree each observe exactly
+// one cached program per node, and every published program is optimized.
+func TestRewriteOptimizeRace(t *testing.T) {
+	nd := skel.NewPipe(
+		skel.NewSeq(fe("x")),
+		skel.NewSeq(fe("y")),
+		skel.NewFor(2, skel.NewSeq(fe("z"))),
+	)
+	rewritten := skel.Optimize(nd, skel.OptimizeOptions{FuseSeqPipes: true})
+	if rewritten == nd {
+		t.Fatal("rewrite changed nothing; race test needs two distinct roots")
+	}
+	const goroutines = 24
+	orig := make([]*Program, goroutines)
+	rewr := make([]*Program, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				orig[i], _ = Of(nd)
+				rewr[i], _ = Of(rewritten)
+			} else {
+				rewr[i], _ = Of(rewritten)
+				orig[i], _ = Of(nd)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if orig[i] != orig[0] || rewr[i] != rewr[0] {
+			t.Fatal("racing Of calls observed distinct programs for one node")
+		}
+	}
+	if orig[0] == rewr[0] {
+		t.Fatal("distinct roots share a program")
+	}
+	for _, p := range []*Program{orig[0], rewr[0]} {
+		if p.Root().Fused() == nil {
+			t.Fatalf("cached program for %s is not optimized", p.Node())
+		}
+	}
+}

@@ -136,6 +136,15 @@ type Step struct {
 
 	n     int // OpRepeat: iteration count
 	index int // pre-order position within the Program
+
+	// Optimizer annotations, set only by Optimize (always nil on a raw
+	// Compile output). They never change the step's structure — every
+	// structural consumer (sharding, dumping, the ADG builder) works
+	// unchanged on an optimized program; engines that know about an
+	// annotation use it as a faster equivalent path.
+	fused    *FusedProg
+	analytic *Analytic
+	hint     *CardHint
 }
 
 // Op returns the step's operation.
@@ -174,6 +183,20 @@ func (s *Step) N() int { return s.n }
 
 // Index returns the step's pre-order position within its Program.
 func (s *Step) Index() int { return s.index }
+
+// Fused returns the fused micro-op chain rooted at this step, or nil when
+// the step is not the root of a fused serial chain (raw programs, non-serial
+// ops, or steps already inlined into an enclosing chain).
+func (s *Step) Fused() *FusedProg { return s.fused }
+
+// Analytic returns the closed-form work/span programs for the static
+// subtree rooted at this step, or nil when the subtree is not static (or
+// the program is unoptimized).
+func (s *Step) Analytic() *Analytic { return s.analytic }
+
+// CardHint returns the live cardinality hint slot of a fan-out step, or
+// nil for non-fan-out steps and unoptimized programs.
+func (s *Step) CardHint() *CardHint { return s.hint }
 
 // Program is the compiled form of one skeleton tree, rooted at Node. It is
 // immutable and safe for concurrent use.
@@ -237,11 +260,14 @@ func (p *Program) compile(nd *skel.Node, parentTrace []*skel.Node) (*Step, error
 }
 
 // Of returns the compiled program for executions rooted at node, compiling
-// and caching it on the node on first use. The cached Program is shared by
-// all concurrent executions and all consumers of node; it stays alive
-// exactly as long as the node does (it is stored on the node, not in a
-// global table). Rewrites (skel.Optimize) construct fresh nodes and so can
-// never observe a stale cache.
+// (and, unless disabled, optimizing) and caching it on the node on first
+// use. The cached Program is shared by all concurrent executions and all
+// consumers of node; it stays alive exactly as long as the node does (it is
+// stored on the node, not in a global table). Rewrites (skel.Optimize)
+// construct fresh nodes and so can never observe a stale cache; the
+// optimizer runs before the CAS publish, so racing callers always observe
+// either the one cached optimized program or none — never a raw program
+// that later "becomes" optimized.
 func Of(node *skel.Node) (*Program, error) {
 	if c := node.CachedPlan(); c != nil {
 		return c.(*Program), nil
@@ -249,6 +275,9 @@ func Of(node *skel.Node) (*Program, error) {
 	p, err := Compile(node)
 	if err != nil {
 		return nil, err
+	}
+	if OptimizeEnabled() {
+		p = Optimize(p)
 	}
 	return node.CachePlan(p).(*Program), nil
 }

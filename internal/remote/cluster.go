@@ -674,6 +674,10 @@ func (c *Cluster) RunAs(tenant, blueprint string, params skandium.Params) (any, 
 	if err != nil {
 		return nil, fmt.Errorf("remote: split: %w", err)
 	}
+	// The coordinator-side split observes the fan-out width; feed the
+	// optimizer's pre-sizing hint on the cached program (nil when the
+	// optimizer is off).
+	fan.CardHint().Record(len(parts))
 	raws := make([]json.RawMessage, len(parts))
 	for i, p := range parts {
 		if raws[i], err = bp.Remote.EncodePart(p); err != nil {
@@ -922,7 +926,17 @@ func (c *Cluster) nodeRunner(n *node, jr *jobRun) runnerExit {
 		return runnerExit{n: n, err: err}
 	}
 	for {
-		var batch []int
+		// Pre-size the batch to the grant (capped by the job's shard count):
+		// the fan-out cardinality is known up front, so the NDJSON batch
+		// never regrows while it fills.
+		batchCap := int(n.grant.Load())
+		if batchCap < 1 {
+			batchCap = 1
+		}
+		if w := len(jr.encParts); w < batchCap {
+			batchCap = w
+		}
+		batch := make([]int, 0, batchCap)
 		select {
 		case <-jr.done:
 			return runnerExit{n: n}

@@ -14,6 +14,9 @@ import (
 	"time"
 
 	"skandium"
+	"skandium/internal/muscle"
+	"skandium/internal/plan"
+	"skandium/internal/skel"
 )
 
 // newTestCluster builds a coordinator over in-process workers served on
@@ -100,6 +103,37 @@ func TestEligibleAndShardable(t *testing.T) {
 	}
 	if Eligible(local, skandium.Params{}) {
 		t.Fatal("codec-less blueprint must not be eligible")
+	}
+}
+
+// TestShardableOnOptimizedProgram: the optimizer is annotation-only, so the
+// coordinator's shard-shape detection finds the same fan-out step — at the
+// same pre-order index — on a raw and an optimized program of one farm(map)
+// blueprint, and the optimized step carries the pre-sizing hint slot.
+func TestShardableOnOptimizedProgram(t *testing.T) {
+	fs := muscle.NewSplit("cells", func(p any) ([]any, error) { return []any{p}, nil })
+	fe := muscle.NewExecute("cell", func(p any) (any, error) { return p, nil })
+	fm := muscle.NewMerge("sum", func(ps []any) (any, error) { return ps[0], nil })
+	nd := skel.NewFarm(skel.NewMap(fs, skel.NewSeq(fe), fm))
+
+	raw, err := plan.Compile(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := plan.Optimize(raw)
+	rawFan, optFan := Shardable(raw), Shardable(opt)
+	if rawFan == nil || optFan == nil {
+		t.Fatalf("Shardable: raw=%v opt=%v, want fan-out on both", rawFan, optFan)
+	}
+	if rawFan.Index() != optFan.Index() || optFan.Op() != plan.OpFanOut {
+		t.Fatalf("fan-out moved: raw #%d, optimized #%d (%v)",
+			rawFan.Index(), optFan.Index(), optFan.Op())
+	}
+	if optFan.CardHint() == nil {
+		t.Fatal("optimized fan-out lacks the pre-sizing hint slot")
+	}
+	if rawFan.CardHint() != nil {
+		t.Fatal("raw fan-out unexpectedly annotated")
 	}
 }
 

@@ -109,11 +109,23 @@ type Engine struct {
 	results   []StreamResult
 	completed int
 
-	// rootNode/rootProg cache the compiled entry program of the last
-	// streamed node: entry instructions are immutable, so every injection
-	// of the same node can push the same program.
-	rootNode *skel.Node
+	// rootFrom/rootProg cache the entry program of the last streamed
+	// program: entry instructions are immutable, so every injection of the
+	// same program can push the same instructions. Keyed by the Program
+	// (not its node) so optimized and raw programs of one node never share
+	// a cache line.
+	rootFrom *plan.Program
 	rootProg []sinstr
+
+	// Engine-owned freelists (the simulator is single-threaded per engine,
+	// so recycling needs no synchronization): tasks are reused across
+	// activations and injections, fused-chain states across activations.
+	// Both grow in slabs, and fused frame stacks are carved from a shared
+	// arena, so a burst of B concurrent activations costs O(B/slab)
+	// allocations rather than B.
+	taskFree   []*task
+	fusedFree  []*fusedState
+	frameArena []sctx
 }
 
 // NodeSpec describes one node of a simulated cluster: its virtual worker
@@ -339,7 +351,20 @@ type Injection struct {
 // use-case: injections share the engine's capacity, later jobs benefit from
 // whatever LP the controller (or caller) set earlier. Results are returned
 // in injection order with per-job arrival/completion times.
-func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []StreamResult, err error) {
+func (e *Engine) RunStream(node *skel.Node, injections []Injection) ([]StreamResult, error) {
+	prog, err := plan.Of(node)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStreamProgram(prog, injections)
+}
+
+// RunStreamProgram is RunStream over an explicitly compiled program,
+// bypassing the node's plan cache. It is the seam for running a raw
+// (unoptimized) program next to the cached optimized one — the
+// conformance harness uses it to assert the optimizer changes nothing
+// observable.
+func (e *Engine) RunStreamProgram(prog *plan.Program, injections []Injection) (results []StreamResult, err error) {
 	defer func() {
 		// Muscle panics are converted by scall; a panic reaching here comes
 		// from an event listener and aborts the run instead of the process.
@@ -348,10 +373,6 @@ func (e *Engine) RunStream(node *skel.Node, injections []Injection) (results []S
 			err = fmt.Errorf("sim: panic during simulated execution (listener?): %v", rec)
 		}
 	}()
-	prog, err := plan.Of(node)
-	if err != nil {
-		return nil, err
-	}
 	if len(injections) == 0 {
 		return nil, nil
 	}
@@ -443,11 +464,12 @@ func (e *Engine) admitArrivals(prog *plan.Program) {
 	for e.nextArr < len(e.arrivals) && !e.arrivals[e.nextArr].at.After(now) {
 		a := e.arrivals[e.nextArr]
 		e.nextArr++
-		if e.rootNode != prog.Node() {
-			e.rootNode = prog.Node()
+		if e.rootFrom != prog {
+			e.rootFrom = prog
 			e.rootProg = progFor(e, prog.Root(), event.NoParent)
 		}
-		root := &task{param: a.param, rootIdx: a.idx}
+		root := e.newTask()
+		root.param, root.rootIdx = a.param, a.idx
 		root.push(e.rootProg...)
 		e.submit(root)
 	}
@@ -527,9 +549,25 @@ func (e *Engine) step(t *task, slot int) {
 		case *busy:
 			e.park(t, slot, in.dur, in)
 			return
+		case *fusedEntry:
+			if e.acquireFused(in.prog, in.parent).run(t, slot) {
+				return // parked on a busy period mid-chain
+			}
+		case *fusedState:
+			if in.run(t, slot) {
+				return
+			}
 		case *spawn:
 			if len(in.children) == 0 {
 				continue // zero-cardinality split: continuation runs now
+			}
+			// Reserve queue capacity for the whole fan-out at once (the
+			// optimizer's pre-sizing discipline: the cardinality is exact
+			// here).
+			if need := len(e.queue) + len(in.children); cap(e.queue) < need {
+				nq := make([]*task, len(e.queue), need)
+				copy(nq, e.queue)
+				e.queue = nq
 			}
 			for _, c := range in.children {
 				e.submit(c)
@@ -548,6 +586,7 @@ func (e *Engine) completeTask(t *task) {
 		e.results[t.rootIdx].Result = t.param
 		e.results[t.rootIdx].End = e.clk.Now()
 		e.completed++
+		e.recycleTask(t)
 		return
 	}
 	p := t.parent
@@ -556,6 +595,40 @@ func (e *Engine) completeTask(t *task) {
 	if p.pending == 0 {
 		e.submit(p)
 	}
+	e.recycleTask(t)
+}
+
+// taskSlab is the freelist growth quantum: an empty freelist refills from
+// one contiguous allocation of this many tasks.
+const taskSlab = 32
+
+// newTask draws a task from the engine's freelist (per-program arena
+// discipline: the farm hot path reuses a handful of tasks across the whole
+// stream instead of allocating one per activation).
+func (e *Engine) newTask() *task {
+	if n := len(e.taskFree); n > 0 {
+		t := e.taskFree[n-1]
+		e.taskFree = e.taskFree[:n-1]
+		return t
+	}
+	slab := make([]task, taskSlab)
+	for i := taskSlab - 1; i > 0; i-- {
+		e.taskFree = append(e.taskFree, &slab[i])
+	}
+	return &slab[0]
+}
+
+// recycleTask returns a completed task to the freelist. Callers must be
+// done with every field; the stack's backing array is retained.
+func (e *Engine) recycleTask(t *task) {
+	t.param = nil
+	t.parent = nil
+	t.branch = 0
+	t.results = nil
+	t.pending = 0
+	t.rootIdx = 0
+	t.stack = t.stack[:0]
+	e.taskFree = append(e.taskFree, t)
 }
 
 func (e *Engine) fail(err error) {

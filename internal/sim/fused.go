@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"skandium/internal/event"
+	"skandium/internal/plan"
+)
+
+// This file executes fused serial chains (plan.FusedProg) on the simulated
+// substrate. The micro-op list replays exactly the instruction sequence the
+// per-step entries would schedule — same event order, same activation-index
+// allocation order, same busy periods parked from the same slot at the same
+// virtual instants — so a fused run is byte-identical to an unfused one
+// (the conformance harness checks results, activation shapes and makespans
+// across the optimizer switch). What it saves is the per-stage instruction
+// churn: one recycled state object replaces the per-activation
+// seqInstr/seqBusy/emitInstr/instant allocations of the whole chain.
+
+// fusedEntry is the immutable entry instruction of one fused chain. Entry
+// instructions are shared — the cached root program pushes the same value
+// for every injection — so all per-activation state lives in a fusedState
+// acquired from the engine's freelist on first execution.
+type fusedEntry struct {
+	e      *Engine
+	prog   *plan.FusedProg
+	parent int64
+}
+
+func (*fusedEntry) simInstr() {}
+
+// fusedState interprets one activation of a fused chain. It is both the
+// instruction (re-pushed onto the task stack across busy periods) and the
+// finisher of its own busy periods: at an FBody op the state parks itself,
+// its finish runs the muscle and closes the seq activation, and the
+// engine's post-completion step pops the state again to continue at pc+1.
+// States are engine-owned scratch: the simulator is single-threaded per
+// engine, so the freelist needs no synchronization.
+type fusedState struct {
+	e      *Engine
+	prog   *plan.FusedProg
+	parent int64
+	pc     int
+	frames []sctx // open activations, innermost last
+}
+
+func (*fusedState) simInstr() {}
+
+// fusedSlab and frameArenaSize are the growth quanta of the fused-state
+// freelist and the shared frame-stack arena.
+const (
+	fusedSlab      = 16
+	frameArenaSize = 64
+)
+
+func (e *Engine) acquireFused(fp *plan.FusedProg, parent int64) *fusedState {
+	var st *fusedState
+	if n := len(e.fusedFree); n > 0 {
+		st = e.fusedFree[n-1]
+		e.fusedFree = e.fusedFree[:n-1]
+	} else {
+		slab := make([]fusedState, fusedSlab)
+		for i := fusedSlab - 1; i > 0; i-- {
+			e.fusedFree = append(e.fusedFree, &slab[i])
+		}
+		st = &slab[0]
+	}
+	st.e, st.prog, st.parent, st.pc = e, fp, parent, 0
+	if cap(st.frames) < fp.MaxFrames() {
+		st.frames = e.carveFrames(fp.MaxFrames())
+	}
+	return st
+}
+
+// carveFrames hands out a zero-length frame stack of capacity mf from the
+// shared arena. Capacities are exact (chain nesting never exceeds
+// MaxFrames), so a carved region is never appended past its bounds; a
+// recycled state keeps its region for its next chain.
+func (e *Engine) carveFrames(mf int) []sctx {
+	if mf > frameArenaSize/4 {
+		return make([]sctx, 0, mf)
+	}
+	if len(e.frameArena) < mf {
+		e.frameArena = make([]sctx, frameArenaSize)
+	}
+	f := e.frameArena[:0:mf]
+	e.frameArena = e.frameArena[mf:]
+	return f
+}
+
+func (e *Engine) recycleFused(st *fusedState) {
+	st.prog = nil
+	st.frames = st.frames[:0]
+	e.fusedFree = append(e.fusedFree, st)
+}
+
+// run executes micro-ops from pc until the chain parks on a busy period
+// (returns true; the state sits re-pushed on the task stack and registered
+// in the run heap) or completes (returns false; the state is recycled and
+// the task continues with whatever is below on its stack).
+func (st *fusedState) run(t *task, slot int) bool {
+	e := st.e
+	ops := st.prog.Ops()
+	for st.pc < len(ops) {
+		op := &ops[st.pc]
+		switch op.Code {
+		case plan.FBegin:
+			parent := st.parent
+			if n := len(st.frames); n > 0 {
+				parent = st.frames[n-1].idx
+			}
+			st.frames = append(st.frames, begin(e, op.Step, parent, op.Step.Trace(), t, slot))
+		case plan.FBody:
+			// Park exactly like seqInstr+seqBusy: the cost is computed now
+			// (on the possibly listener-replaced param), the muscle call and
+			// the After event happen at finish time. pc stays on this op so
+			// finish knows which seq completed.
+			fe := op.Step.Exec()
+			t.push(st)
+			e.park(t, slot, e.costs.Cost(fe, t.param), st)
+			return true
+		case plan.FEnd:
+			a := st.frames[len(st.frames)-1]
+			t.param = a.emit(slot, event.After, event.Skeleton, t.param, nil)
+			st.frames = st.frames[:len(st.frames)-1]
+		case plan.FNestedBegin:
+			emitBracket(st.frames[len(st.frames)-1], slot, event.Before, t, op.Branch, op.Iter)
+		case plan.FNestedEnd:
+			emitBracket(st.frames[len(st.frames)-1], slot, event.After, t, op.Branch, op.Iter)
+		}
+		st.pc++
+	}
+	e.recycleFused(st)
+	return false
+}
+
+// finish implements finisher: the busy period of the FBody at pc completed.
+// Mirrors seqBusy.finish; the engine's post-completion step pops the
+// re-pushed state and continues the chain.
+func (st *fusedState) finish(t *task, slot int) {
+	op := &st.prog.Ops()[st.pc]
+	a := st.frames[len(st.frames)-1]
+	fe := op.Step.Exec()
+	res, err := scall(fe, a.trace, func() (any, error) { return fe.CallExecute(t.param) })
+	if err != nil {
+		st.e.fail(err)
+		return
+	}
+	t.param = a.emit(slot, event.After, event.Skeleton, res, nil)
+	st.frames = st.frames[:len(st.frames)-1]
+	st.pc++
+}
+
+// emitBracket raises one NestedSkel event with explicit branch/iter —
+// emitInstr.run without the instruction (fields instead of a mod closure,
+// so the no-listener fast path allocates nothing).
+func emitBracket(a sctx, slot int, when event.When, t *task, branch, iter int) {
+	reg := a.e.events
+	nd := a.step.Node()
+	if !reg.Wants(nd.Kind(), when, event.NestedSkel) {
+		return
+	}
+	ev := event.Acquire()
+	ev.Node = nd
+	ev.Trace = a.trace
+	ev.Index = a.idx
+	ev.Parent = a.parent
+	ev.When = when
+	ev.Where = event.NestedSkel
+	ev.Param = t.param
+	ev.Branch = branch
+	ev.Iter = iter
+	ev.Time = a.e.clk.Now()
+	ev.Worker = slot
+	t.param = reg.Emit(ev)
+	event.Release(ev)
+}

@@ -78,6 +78,13 @@ func progFor(e *Engine, step *plan.Step, parent int64) []sinstr {
 }
 
 func entryFor(e *Engine, step *plan.Step, parent int64) sinstr {
+	// A fused serial chain is entered through its single micro-op
+	// instruction; only this static-trace entry takes that path —
+	// divide&conquer re-entry with a dynamically grown trace goes through
+	// entryWithTrace and stays on the per-step instructions.
+	if fp := step.Fused(); fp != nil {
+		return &fusedEntry{e: e, prog: fp, parent: parent}
+	}
 	return entryWithTrace(e, step, parent, step.Trace())
 }
 
@@ -336,6 +343,9 @@ func pushSplit(a sctx, t *task, slot int, andThen func(t *task, slot int, parts 
 		if repl, ok := after.([]any); ok {
 			parts = repl
 		}
+		// Feed the optimizer's pre-sizing hint (nil on unoptimized
+		// programs), mirroring the interpreter.
+		a.step.CardHint().Record(len(parts))
 		andThen(t, slot, parts)
 	}})
 }
@@ -372,16 +382,14 @@ func forkOut(a sctx, t *task, parts []any, prog func(branch int) sinstr) {
 	t.pending = len(parts)
 	children := make([]*task, len(parts))
 	for b, p := range parts {
-		children[b] = &task{
-			param:  p,
-			parent: t,
-			branch: b,
-			stack: []sinstr{
-				nestedEnd(a, b, 0),
-				prog(b),
-				nestedBegin(a, b, 0),
-			},
-		}
+		c := a.e.newTask()
+		c.param, c.parent, c.branch = p, t, b
+		c.push(
+			nestedEnd(a, b, 0),
+			prog(b),
+			nestedBegin(a, b, 0),
+		)
+		children[b] = c
 	}
 	t.push(&spawn{children: children})
 }

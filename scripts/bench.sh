@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Runs the repo's benchmark suite and records the results as benchjson JSON.
 #
-#   scripts/bench.sh                 # full suite -> BENCH_7.json
+#   scripts/bench.sh                 # full suite -> BENCH_8.json
 #   OUT=my.json scripts/bench.sh     # choose the output file
 #   BENCHTIME=200x scripts/bench.sh  # fixed iteration count (comparable runs)
 #   FILTER='FarmThroughput|EventOverhead|EngineFanout' scripts/bench.sh
@@ -9,12 +9,12 @@
 #
 # Compare two recordings (fails on >20% regressions, timing advisory-only):
 #
-#   go run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_7.json -ns-advisory
+#   go run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_8.json -ns-advisory
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_7.json}"
+OUT="${OUT:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-200x}"
 FILTER="${FILTER:-.}"
 PKGS="${PKGS:-. ./internal/server}"
