@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples vet fmt lint cover check chaos overload clean
+.PHONY: all build test race bench figures examples vet fmt lint cover check chaos overload tournament clean
 
 all: check
 
@@ -11,9 +11,10 @@ all: check
 # (pool, controller+arbiter, daemon), the cross-backend conformance
 # harness (twice: IR optimizer on, then off via SKANDIUM_OPT=off), the
 # stream lifecycle tests of the root package, the cluster chaos suite
-# (network faults, partitions, flaps), and the virtual-time overload
-# harness (multi-tenant fairness invariants).
-check: build test vet lint race chaos overload
+# (network faults, partitions, flaps), the virtual-time overload
+# harness (multi-tenant fairness invariants), and the seeded policy
+# tournament (adaptation policies raced across the scenario corpus).
+check: build test vet lint race chaos overload tournament
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal ./internal/plan ./internal/conformance ./internal/remote
+	$(GO) test -race ./internal/exec ./internal/event ./internal/sim ./internal/core ./internal/server ./internal/chaos ./internal/journal ./internal/plan ./internal/conformance ./internal/remote ./internal/tournament
 	SKANDIUM_OPT=off $(GO) test -race -count=1 ./internal/conformance
 	$(GO) test -race -run 'TestClose|TestDrain|TestStream|TestChaos|TestWithRetry|TestWCTGoal' .
 
@@ -45,6 +46,14 @@ overload:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# tournament races every registered adaptation policy across the seeded
+# scenario corpus (virtual time — a couple of seconds of wall clock) and
+# prints the league table. The same SEED always reproduces the same
+# table; EXPERIMENTS.md carries the SEED=1 output verbatim.
+SEED ?= 1
+tournament:
+	$(GO) run ./cmd/tournament -seed $(SEED) -runs 2
 
 # Regenerate every figure of the paper (summaries + the Fig. 1/2 dump).
 figures:

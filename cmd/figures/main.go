@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"skandium/internal/clock"
+	"skandium/internal/core"
 	"skandium/internal/paperexp"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "noise / corpus seed")
 	extra := flag.Bool("extra", false, "also run the extension experiments (d&c mergesort, farm stream sweep)")
 	out := flag.String("out", "", "directory to write figN.csv series files into")
+	policy := flag.String("policy", "", "re-run the figures under an alternative adaptation policy (registry name; empty = paper rule)")
 	flag.Parse()
 
 	if *out != "" {
@@ -68,6 +70,14 @@ func main() {
 		spec := sc.spec
 		spec.Jitter = *jitter
 		spec.Seed = *seed
+		if *policy != "" {
+			p, err := core.NewPolicy(*policy, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Policy = p
+			fmt.Printf("(policy override: %s)\n", *policy)
+		}
 		r, err := paperexp.Run(spec)
 		if err != nil {
 			log.Fatal(err)

@@ -79,6 +79,7 @@ type jobView struct {
 	Program     string  `json:"program"`
 	State       string  `json:"state"`
 	GoalMS      float64 `json:"goal_ms"`
+	Policy      string  `json:"policy"`
 	LP          int     `json:"lp"`
 	Active      int     `json:"active"`
 	Grant       int     `json:"grant"`
@@ -110,6 +111,7 @@ type submitOpts struct {
 	Partial  string
 	Tenant   string
 	Priority int
+	Policy   string
 }
 
 // runDaemonClient submits one job to a running skelrund and follows it to
@@ -149,6 +151,9 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 	if opts.Priority != 0 {
 		submit["priority"] = opts.Priority
 	}
+	if opts.Policy != "" {
+		submit["policy"] = opts.Policy
+	}
 	body, _ := json.Marshal(submit)
 	raw, err := submitWithBackoff(base, opts.Tenant, body)
 	if err != nil {
@@ -160,7 +165,11 @@ func runDaemonClient(addr, skeleton, paramsJSON string, goal time.Duration, lp, 
 	}
 	fmt.Printf("submitted %s: %s  %s\n", j.ID, j.Skeleton, j.Program)
 	if goal > 0 {
-		fmt.Printf("QoS: WCT goal %v, initial LP %d\n", goal, lp)
+		pol := j.Policy
+		if pol == "" {
+			pol = "paper"
+		}
+		fmt.Printf("QoS: WCT goal %v, initial LP %d, policy %s\n", goal, lp, pol)
 	}
 
 	lastLP, lastGrant, lastState := -1, -1, ""

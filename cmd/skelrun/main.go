@@ -41,6 +41,7 @@ func main() {
 	interval := flag.Duration("interval", 100*time.Millisecond, "analysis throttle")
 	increase := flag.String("increase", "minimal", "increase policy: optimal|minimal")
 	decrease := flag.String("decrease", "halve", "decrease policy: halve|none|exact")
+	policy := flag.String("policy", "", "full adaptation policy by registry name (overrides -increase/-decrease; empty = paper rule)")
 	csv := flag.Bool("csv", false, "print the active-threads series as CSV")
 	daemon := flag.String("daemon", "", "submit to a running skelrund at this address instead of simulating")
 	skeleton := flag.String("skeleton", "wordcount", "registered skeleton to run (daemon mode)")
@@ -55,7 +56,7 @@ func main() {
 	if *daemon != "" {
 		opts := submitOpts{
 			Retries: *retries, Timeout: *timeout, Partial: *partial,
-			Tenant: *tenant, Priority: *priority,
+			Tenant: *tenant, Priority: *priority, Policy: *policy,
 		}
 		if err := runDaemonClient(*daemon, *skeleton, *params, *goal, *lp, *maxLP, opts); err != nil {
 			log.Fatal(err)
@@ -94,6 +95,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -decrease %q\n", *decrease)
 		os.Exit(2)
 	}
+	if *policy != "" {
+		p, err := core.NewPolicy(*policy, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec.Policy = p
+	}
 
 	var r *paperexp.Result
 	var err error
@@ -110,8 +119,12 @@ func main() {
 		r.Spec.K, r.Spec.M, r.Spec.Tweets, len(r.Counts))
 	fmt.Printf("machine:  %d simulated hardware threads, initial LP %d\n", r.Spec.MaxLP, *lp)
 	if *goal > 0 {
-		fmt.Printf("QoS:      WCT goal %v, policies increase=%s decrease=%s, ρ=%.2f, init=%v\n",
-			*goal, *increase, *decrease, *rho, *initEst)
+		rule := fmt.Sprintf("increase=%s decrease=%s", *increase, *decrease)
+		if *policy != "" {
+			rule = "policy=" + *policy
+		}
+		fmt.Printf("QoS:      WCT goal %v, %s, ρ=%.2f, init=%v\n",
+			*goal, rule, *rho, *initEst)
 	}
 	fmt.Printf("result:   finished in %v  (peak LP %d, peak active %d, %d analyses)\n",
 		r.Makespan.Round(time.Millisecond), r.PeakLP, r.PeakActive, r.Analyses)

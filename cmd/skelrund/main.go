@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"skandium"
 	"skandium/internal/journal"
 	"skandium/internal/plan"
 	"skandium/internal/remote"
@@ -68,7 +69,14 @@ func main() {
 	localLP := flag.Int("degrade-lp", 0, "parallelism of the local degradation pool (0 = default 4)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "re-enqueue a claimed task stalled this long so a second node races it (0 = off)")
 	opt := flag.Bool("opt", true, "run the IR optimizer on compiled plans (fusion, static specialization, pre-sizing)")
+	policyName := flag.String("policy", "", "default adaptation policy for jobs that do not pick one (see skandium.PolicyNames; empty = paper rule)")
 	flag.Parse()
+
+	if *policyName != "" {
+		if _, err := skandium.NewPolicy(*policyName, 0); err != nil {
+			log.Fatalf("skelrund: %v", err)
+		}
+	}
 
 	if !*opt {
 		plan.SetOptimizeEnabled(false)
@@ -153,6 +161,7 @@ func main() {
 		Rebalance:        *rebalance,
 		AnalysisTick:     *analysisTick,
 		AnalysisInterval: *analysisInterval,
+		DefaultPolicy:    *policyName,
 		EventLog:         *eventLog,
 		Journal:          jn,
 		Recover:          recovered,

@@ -1,0 +1,61 @@
+// Command tournament races every registered adaptation policy across the
+// seeded scenario corpus in simulator virtual time and prints a
+// reproducible league table (or benchjson-compatible bench lines).
+//
+//	go run ./cmd/tournament -seed 1
+//	go run ./cmd/tournament -seed 1 -bench | go run ./cmd/benchjson -out BENCH_9.json
+//	go run ./cmd/tournament -policies paper,costaware -scenarios dacsort -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skandium/internal/core"
+	"skandium/internal/tournament"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "tournament seed (drives workloads, jitter, and policy perturbations)")
+	runs := flag.Int("runs", 3, "runs per (policy, scenario) pair")
+	policies := flag.String("policies", "", "comma-separated policy names (default: all registered)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default: all)")
+	bench := flag.Bool("bench", false, "emit go-bench-style lines for cmd/benchjson instead of the table")
+	list := flag.Bool("list", false, "list registered policies and scenarios, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("policies: ", strings.Join(core.Policies(), ", "))
+		fmt.Println("scenarios:", strings.Join(tournament.Names(), ", "))
+		return
+	}
+
+	cfg := tournament.Config{Seed: *seed, Runs: *runs,
+		Policies: splitCSV(*policies), Scenarios: splitCSV(*scenarios)}
+	rep, err := tournament.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tournament:", err)
+		os.Exit(1)
+	}
+	if *bench {
+		fmt.Print(rep.BenchLines())
+		return
+	}
+	fmt.Print(rep.Table())
+}
+
+func splitCSV(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

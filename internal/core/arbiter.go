@@ -60,6 +60,7 @@ type Arbiter struct {
 	clk    clock.Clock
 
 	mu      sync.Mutex
+	policy  Policy // fleet face driven per rebalance round (nil = paper)
 	members map[string]*arbEntry
 	order   []string // admission order, for deterministic iteration
 	weights map[string]int
@@ -87,6 +88,16 @@ func NewArbiter(budget int, clk clock.Clock) *Arbiter {
 		members: map[string]*arbEntry{},
 		weights: map[string]int{},
 	}
+}
+
+// SetPolicy installs the policy whose Contract face shrinks over-budget
+// tenant groups during rebalances (nil restores the paper default) and
+// rebalances so the new rule takes effect immediately.
+func (a *Arbiter) SetPolicy(p Policy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.policy = p
+	a.rebalanceLocked("policy changed")
 }
 
 // SetTenantWeight fixes a tenant's relative weight in the budget division
@@ -316,12 +327,16 @@ func (a *Arbiter) rebalanceLocked(why string) {
 	}
 	shares := fairShares(a.budget, loads)
 
-	// Level 2: inside each tenant, shrink until the wishes fit its share
-	// with the original asymmetric policy — halve the slack jobs first
-	// (largest grant first, so comfort pays before need), then goal-missing
-	// jobs, least severe overshoot first.
+	// Level 2: inside each tenant, shrink until the wishes fit its share.
+	// The victim choice is the policy's Contract face — the paper default
+	// halves the slack jobs first (largest grant first, so comfort pays
+	// before need), then goal-missing jobs, least severe overshoot first.
+	pol := a.policy
+	if pol == nil {
+		pol = PaperPolicy{}
+	}
 	for i, t := range tenants {
-		shrinkToFit(groups[t], shares[i])
+		shrinkToFit(pol, groups[t], shares[i])
 	}
 
 	// Apply and log changes: all cuts before all raises, so the sum of the
@@ -369,50 +384,36 @@ func (a *Arbiter) logLocked(d GrantDecision) {
 	a.log = append(a.log, d)
 }
 
-// shrinkToFit halves members' tentative grants until they sum to at most
-// target: slack jobs first (largest grant first), then goal-missing jobs,
-// least severe overshoot first. Each round halves, never zeroes — every
-// member keeps at least one worker. The final cut is clamped to land
-// exactly on the target rather than halving below it, so a tenant's granted
-// total converges to its fair share instead of systematically undershooting
-// it (the proportionality the overload fairness invariants assert).
-func shrinkToFit(cands []*cand, target int) {
+// shrinkToFit drives the policy's Contract face until the members' tentative
+// grants sum to at most target. Each round the policy picks one victim and
+// its new (smaller) grant; the paper default halves rather than zeroes, so
+// every member keeps at least one worker, and clamps the final cut to land
+// exactly on the target (the proportionality the overload fairness
+// invariants assert). A policy returning no victim, an out-of-range index
+// or a non-shrinking grant ends the round early — the floor admission
+// guarantees (one worker per member within budget) can never be violated by
+// a buggy policy, only approached.
+func shrinkToFit(pol Policy, cands []*cand, target int) {
 	sum := 0
 	for _, c := range cands {
 		sum += c.grant
 	}
+	views := make([]GrantView, len(cands))
 	for sum > target {
-		var victim *cand
-		for _, c := range cands { // pass 1: slack jobs
-			if c.severe || c.grant <= 1 {
-				continue
-			}
-			if victim == nil || c.grant > victim.grant {
-				victim = c
-			}
+		for i, c := range cands {
+			views[i] = GrantView{ID: c.id, Grant: c.grant, Severe: c.severe, Overshoot: c.overshoot}
 		}
-		if victim == nil {
-			for _, c := range cands { // pass 2: least-severe goal-missers
-				if c.grant <= 1 {
-					continue
-				}
-				if victim == nil || c.overshoot < victim.overshoot ||
-					(c.overshoot == victim.overshoot && c.grant > victim.grant) {
-					victim = c
-				}
-			}
+		v, g, ok := pol.Contract(views, sum-target)
+		if !ok || v < 0 || v >= len(cands) {
+			break // nothing shrinkable (all at the floor of 1), or bad index
 		}
-		if victim == nil {
-			break // all at the floor of 1; admission keeps this <= budget
+		if g < 1 {
+			g = 1
 		}
-		half := victim.grant / 2
-		if half < 1 {
-			half = 1
+		if g >= cands[v].grant {
+			break // no progress; guards against a policy that never shrinks
 		}
-		if fit := victim.grant - (sum - target); fit > half {
-			half = fit // exact-fit clamp: stop at the target, not below it
-		}
-		sum -= victim.grant - half
-		victim.grant = half
+		sum -= cands[v].grant - g
+		cands[v].grant = g
 	}
 }

@@ -72,9 +72,15 @@ type Config struct {
 	// run. Zero analyses on every qualifying event (the paper's "react as
 	// soon as we detect" behaviour; fine for coarse muscles).
 	AnalysisInterval time.Duration
-	// Increase / Decrease select the adaptation policies (paper defaults).
+	// Increase / Decrease select the paper rule's adaptation variants
+	// (paper defaults). Only consulted when Policy is nil.
 	Increase IncreasePolicy
 	Decrease DecreasePolicy
+	// Policy replaces the adaptation rule entirely (see Policy and
+	// NewPolicy). nil means the paper rule configured by Increase/Decrease.
+	// A stateful policy value must not be shared across concurrently
+	// executing controllers.
+	Policy Policy
 	// ADGBudget caps ADG size (0 = adg.DefaultBudget).
 	ADGBudget int
 	// Predictor selects the WCT estimation algorithm (nil = the paper's
@@ -83,7 +89,12 @@ type Config struct {
 	// DecreaseHold suppresses decreases for this long after an increase,
 	// damping the raise/halve oscillation that per-event analyses can
 	// produce when estimates are still settling. Zero keeps the paper's
-	// undamped behaviour.
+	// undamped behaviour. The hold is clamped by decision sequence, not
+	// wall time alone: a decrease additionally needs at least one completed
+	// analysis at an instant strictly after the increase, so a virtual
+	// clock jumping past the window in one event batch (AnalysisInterval
+	// zero, events sharing a timestamp) still gets one damped analysis
+	// instead of none.
 	DecreaseHold time.Duration
 }
 
@@ -174,6 +185,7 @@ type Controller struct {
 	hasLast      bool
 	lastIncrease time.Time
 	hasIncrease  bool
+	postIncAn    int // completed analyses strictly after lastIncrease
 	lastWant     int // last LP target handed to the lever (0 = none yet)
 	demand       Demand
 	decisions    []Decision
@@ -464,13 +476,20 @@ func (c *Controller) Analyze(now time.Time) bool {
 	best := pred.BestEnd.Sub(start)
 	optimal := pred.OptimalLP
 
+	// held is the decrease-damping window: no decreases until the hold has
+	// expired in wall time AND at least one completed analysis ran at an
+	// instant strictly after the increase (the decision-sequence clamp —
+	// a virtual clock jumping past the window in one batch still yields
+	// one damped analysis).
 	c.mu.Lock()
 	c.analyses++
+	held := cfg.DecreaseHold > 0 && c.hasIncrease &&
+		(now.Sub(c.lastIncrease) < cfg.DecreaseHold || c.postIncAn == 0)
 	c.mu.Unlock()
 
 	// desired is what this controller wants ignoring any external cap —
 	// published via Demand for budget arbitration. It defaults to holding
-	// the current level and is overwritten by the branches below.
+	// the current level and is overwritten when a proposal is applied.
 	desired := cur
 	defer func() {
 		c.mu.Lock()
@@ -481,77 +500,46 @@ func (c *Controller) Analyze(now time.Time) bool {
 			Goal:      cfg.WCTGoal,
 			Overshoot: predictedEnd.Sub(deadline),
 		}
+		// This analysis completed: it counts against the decision-sequence
+		// hold clamp unless it shares the increase's own instant (apply may
+		// just have moved lastIncrease to now, which also zeroes the count).
+		if c.hasIncrease && now.After(c.lastIncrease) {
+			c.postIncAn++
+		}
 		c.mu.Unlock()
 	}()
 
-	ceil := cfg.MaxLP
-	if ceil <= 0 {
-		ceil = optimal
+	// One actuation API: the controller computes the prediction and the
+	// envelope; the policy proposes. The paper rule is just the default
+	// implementation of the same contract the competitors use.
+	pol := cfg.Policy
+	if pol == nil {
+		pol = PaperPolicy{Increase: cfg.Increase, Decrease: cfg.Decrease}
 	}
-
-	if predictedEnd.After(deadline) {
-		// The goal will be missed at the current LP: self-optimize up.
-		target := cur
-		reason := ""
-		switch cfg.Increase {
-		case IncreaseOptimal:
-			target = optimal
-			reason = "goal missed: raise to optimal LP"
-		case IncreaseMinimal:
-			if lp, ok := pred.MinLP(deadline, ceil); ok {
-				target = lp
-				reason = "goal missed: raise to minimal sufficient LP"
-			} else {
-				// Even infinite parallelism misses the goal: fall back to
-				// the smallest LP that gets within a few percent of the
-				// best possible end time (frugal version of "raise to
-				// optimal" — hitting the best-effort end exactly would
-				// need peak parallelism for no real gain).
-				slack := time.Duration(float64(pred.BestEnd.Sub(now)) * unreachableSlack)
-				if lp, ok := pred.MinLP(pred.BestEnd.Add(slack), ceil); ok {
-					target = lp
-				} else {
-					target = optimal
-				}
-				reason = "goal unreachable: raise to minimal LP near best effort"
-			}
-		}
-		if cfg.MaxLP > 0 && target > cfg.MaxLP {
-			target = cfg.MaxLP
-		}
-		if target > cur {
-			desired = target
-			c.apply(now, cur, target, predicted, best, optimal, reason)
-		}
-		return true
+	prop := pol.Observe(pred, Actuation{
+		CurLP: cur, MaxLP: cfg.MaxLP,
+		Goal: cfg.WCTGoal, Start: start, Now: now,
+		Held: held,
+	})
+	target := prop.LP
+	if target < 1 {
+		target = cur
 	}
-
-	// On track: consider lowering LP (self-configuration toward economy).
-	if cfg.DecreaseHold > 0 {
-		c.mu.Lock()
-		held := c.hasIncrease && now.Sub(c.lastIncrease) < cfg.DecreaseHold
-		c.mu.Unlock()
-		if held {
-			return true
-		}
+	if cfg.MaxLP > 0 && target > cfg.MaxLP {
+		target = cfg.MaxLP
 	}
-	switch cfg.Decrease {
-	case DecreaseNone:
-		return true
-	case DecreaseHalve:
-		half := cur / 2
-		if half < 1 || half == cur {
-			return true
+	if held && target < cur {
+		target = cur // damping window: decreases are ignored, whoever asks
+	}
+	if target != cur {
+		desired = target
+		c.apply(now, cur, target, predicted, best, optimal, prop.Reason)
+	}
+	if d := prop.Demand; d > 0 {
+		if cfg.MaxLP > 0 && d > cfg.MaxLP {
+			d = cfg.MaxLP
 		}
-		if !pred.LimitedEnd(half).After(deadline) {
-			desired = half
-			c.apply(now, cur, half, predicted, best, optimal, "goal met with half the threads: halve LP")
-		}
-	case DecreaseExact:
-		if lp, ok := pred.MinLP(deadline, cur); ok && lp < cur {
-			desired = lp
-			c.apply(now, cur, lp, predicted, best, optimal, "goal met with fewer threads: drop to minimum")
-		}
+		desired = d
 	}
 	return true
 }
@@ -563,6 +551,7 @@ func (c *Controller) apply(now time.Time, from, to int, predicted, best time.Dur
 	c.mu.Lock()
 	if to > from {
 		c.lastIncrease, c.hasIncrease = now, true
+		c.postIncAn = 0
 	}
 	// Under an external cap the lever may clamp the request: the controller
 	// keeps wishing for the same target analysis after analysis with no

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Policy is the single actuation contract of the adaptation stack. The
+// controller drives Observe once per analysis (the per-job face: given the
+// latest WCT prediction, propose a level of parallelism); the arbiter
+// drives Contract once per rebalance round (the fleet face: given every
+// member's tentative grant, pick the next victim to shrink). The paper's
+// asymmetric rule, its ablation variants and the competitor policies are
+// all implementations of this one interface — neither controller.go nor
+// arbiter.go special-cases any of them.
+//
+// Stateful policies (hill-climber, bandit) are driven by exactly one
+// controller at a time: the controller serializes analyses, but one policy
+// value must not be shared across concurrently executing controllers.
+type Policy interface {
+	// Name returns the registry name the policy answers to.
+	Name() string
+	// Observe proposes an LP for the actuation view act given the current
+	// prediction. Returning Proposal{LP: act.CurLP} (or LP < 1) holds.
+	Observe(pred *Prediction, act Actuation) Proposal
+	// Contract picks which member of an over-budget group to shrink and to
+	// what grant. ok=false stops the round (nothing shrinkable left). It is
+	// called repeatedly until the group's grants fit its share.
+	Contract(members []GrantView, deficit int) (victim, grant int, ok bool)
+}
+
+// Actuation is the controller-side view a policy observes: the current
+// lever position and the QoS envelope the proposal must respect.
+type Actuation struct {
+	// CurLP is the lever's level of parallelism at analysis time.
+	CurLP int
+	// MaxLP is the LP QoS cap (0 = uncapped). The controller clamps
+	// proposals to it regardless; policies may use it to bound search.
+	MaxLP int
+	// Goal is the WCT goal in force, measured from Start.
+	Goal time.Duration
+	// Start is the execution start; Now the analysis instant.
+	Start time.Time
+	Now   time.Time
+	// Held reports that the decrease-damping window after an increase is
+	// still in force: the controller will ignore any proposal below CurLP.
+	Held bool
+}
+
+// Deadline is the instant the WCT goal expires.
+func (a Actuation) Deadline() time.Time { return a.Start.Add(a.Goal) }
+
+// Proposal is a policy's answer to one Observe call.
+type Proposal struct {
+	// LP is the proposed level of parallelism. LP < 1 or LP == CurLP holds
+	// the current level.
+	LP int
+	// Demand optionally overrides the DesiredLP published for budget
+	// arbitration (0 = publish LP). Lets a policy settle for less than it
+	// wants while still signalling the full wish to the arbiter.
+	Demand int
+	// Reason is the decision-log annotation when the proposal is applied.
+	Reason string
+}
+
+// GrantView is one member's state as seen by Contract during a rebalance:
+// its tentative grant and how badly it misses its goal.
+type GrantView struct {
+	// ID is the member's job id (diagnostic; selection is by index).
+	ID string
+	// Grant is the member's tentative budget share this round.
+	Grant int
+	// Severe marks a goal-missing member (Overshoot > 0 under a goal).
+	Severe bool
+	// Overshoot is predicted end minus deadline at the member's current LP.
+	Overshoot time.Duration
+}
+
+// PaperContract is the fleet face of the paper's asymmetric rule, shared by
+// every built-in policy (embed it to satisfy Contract): halve the slack
+// members first (largest grant first, so comfort pays before need), then
+// goal-missing members, least severe overshoot first; the final cut is
+// clamped to land exactly on the target rather than halving below it.
+type PaperContract struct{}
+
+// Contract implements the Policy fleet face.
+func (PaperContract) Contract(members []GrantView, deficit int) (int, int, bool) {
+	victim := -1
+	for i, m := range members { // pass 1: slack members
+		if m.Severe || m.Grant <= 1 {
+			continue
+		}
+		if victim < 0 || m.Grant > members[victim].Grant {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		for i, m := range members { // pass 2: least-severe goal-missers
+			if m.Grant <= 1 {
+				continue
+			}
+			if victim < 0 || m.Overshoot < members[victim].Overshoot ||
+				(m.Overshoot == members[victim].Overshoot && m.Grant > members[victim].Grant) {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		return 0, 0, false // all at the floor of 1
+	}
+	half := members[victim].Grant / 2
+	if half < 1 {
+		half = 1
+	}
+	if fit := members[victim].Grant - deficit; fit > half {
+		half = fit // exact-fit clamp: stop at the target, not below it
+	}
+	return victim, half, true
+}
+
+// PaperPolicy is the paper's §4 autonomic rule as a Policy: raise LP on a
+// predicted goal miss (to the optimal level, or minimally under
+// IncreaseMinimal), lower it conservatively when the goal survives with
+// fewer threads. The zero value is the paper default (raise to optimal,
+// halve on slack).
+type PaperPolicy struct {
+	PaperContract
+	Increase IncreasePolicy
+	Decrease DecreasePolicy
+}
+
+// Name implements Policy.
+func (p PaperPolicy) Name() string {
+	switch {
+	case p.Increase == IncreaseOptimal && p.Decrease == DecreaseHalve:
+		return "paper"
+	case p.Increase == IncreaseMinimal && p.Decrease == DecreaseHalve:
+		return "paper-minimal"
+	case p.Increase == IncreaseOptimal && p.Decrease == DecreaseNone:
+		return "paper-nodecrease"
+	case p.Increase == IncreaseOptimal && p.Decrease == DecreaseExact:
+		return "paper-exact"
+	}
+	return fmt.Sprintf("paper[inc=%d,dec=%d]", p.Increase, p.Decrease)
+}
+
+// Observe implements the per-analysis face of the paper's rule.
+func (p PaperPolicy) Observe(pred *Prediction, act Actuation) Proposal {
+	cur := act.CurLP
+	deadline := act.Deadline()
+	optimal := pred.OptimalLP
+
+	ceil := act.MaxLP
+	if ceil <= 0 {
+		ceil = optimal
+	}
+
+	if pred.LimitedEnd(cur).After(deadline) {
+		// The goal will be missed at the current LP: self-optimize up.
+		target := cur
+		reason := ""
+		switch p.Increase {
+		case IncreaseOptimal:
+			target = optimal
+			reason = "goal missed: raise to optimal LP"
+		case IncreaseMinimal:
+			if lp, ok := pred.MinLP(deadline, ceil); ok {
+				target = lp
+				reason = "goal missed: raise to minimal sufficient LP"
+			} else {
+				// Even infinite parallelism misses the goal: fall back to
+				// the smallest LP that gets within a few percent of the
+				// best possible end time (frugal version of "raise to
+				// optimal" — hitting the best-effort end exactly would
+				// need peak parallelism for no real gain).
+				slack := time.Duration(float64(pred.BestEnd.Sub(act.Now)) * unreachableSlack)
+				if lp, ok := pred.MinLP(pred.BestEnd.Add(slack), ceil); ok {
+					target = lp
+				} else {
+					target = optimal
+				}
+				reason = "goal unreachable: raise to minimal LP near best effort"
+			}
+		}
+		if act.MaxLP > 0 && target > act.MaxLP {
+			target = act.MaxLP
+		}
+		if target > cur {
+			return Proposal{LP: target, Reason: reason}
+		}
+		return Proposal{LP: cur}
+	}
+
+	// On track: consider lowering LP (self-configuration toward economy).
+	if act.Held {
+		return Proposal{LP: cur}
+	}
+	switch p.Decrease {
+	case DecreaseNone:
+		return Proposal{LP: cur}
+	case DecreaseHalve:
+		half := cur / 2
+		if half < 1 || half == cur {
+			return Proposal{LP: cur}
+		}
+		if !pred.LimitedEnd(half).After(deadline) {
+			return Proposal{LP: half, Reason: "goal met with half the threads: halve LP"}
+		}
+	case DecreaseExact:
+		if lp, ok := pred.MinLP(deadline, cur); ok && lp < cur {
+			return Proposal{LP: lp, Reason: "goal met with fewer threads: drop to minimum"}
+		}
+	}
+	return Proposal{LP: cur}
+}
+
+// policyFactory builds a registered policy from a seed.
+type policyFactory func(seed int64) Policy
+
+// policyRegistry maps names to factories. Built-ins only; extend via
+// RegisterPolicy.
+var policyRegistry = map[string]policyFactory{
+	"paper": func(int64) Policy {
+		return PaperPolicy{Increase: IncreaseOptimal, Decrease: DecreaseHalve}
+	},
+	"paper-minimal": func(int64) Policy {
+		return PaperPolicy{Increase: IncreaseMinimal, Decrease: DecreaseHalve}
+	},
+	"paper-nodecrease": func(int64) Policy {
+		return PaperPolicy{Increase: IncreaseOptimal, Decrease: DecreaseNone}
+	},
+	"paper-exact": func(int64) Policy {
+		return PaperPolicy{Increase: IncreaseOptimal, Decrease: DecreaseExact}
+	},
+	"hillclimb": func(seed int64) Policy { return NewHillClimb(seed) },
+	"bandit":    func(seed int64) Policy { return NewBandit(seed) },
+	"costaware": func(int64) Policy { return NewCostAware() },
+}
+
+// RegisterPolicy adds a named policy constructor to the registry (library
+// extensions and tests). Registering an existing name replaces it.
+func RegisterPolicy(name string, f func(seed int64) Policy) {
+	if name == "" || f == nil {
+		panic("core: RegisterPolicy with empty name or nil factory")
+	}
+	policyRegistry[strings.ToLower(name)] = f
+}
+
+// NewPolicy builds a registered policy by name. The empty name means the
+// paper default. The seed drives the stochastic policies' perturbations;
+// deterministic policies ignore it.
+func NewPolicy(name string, seed int64) (Policy, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		key = "paper"
+	}
+	f, ok := policyRegistry[key]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (have %s)",
+			name, strings.Join(Policies(), ", "))
+	}
+	return f(seed), nil
+}
+
+// Policies returns the registered policy names, sorted.
+func Policies() []string {
+	out := make([]string, 0, len(policyRegistry))
+	for name := range policyRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

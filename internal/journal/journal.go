@@ -51,17 +51,21 @@ const (
 // Spec is the durable form of one job submission, in the JSON units of the
 // daemon's API (milliseconds) so journals stay readable with plain tools.
 type Spec struct {
-	Skeleton       string         `json:"skeleton"`
-	Program        string         `json:"program,omitempty"`
-	Params         map[string]any `json:"params,omitempty"`
-	GoalMS         float64        `json:"goal_ms,omitempty"`
-	MaxLP          int            `json:"max_lp,omitempty"`
-	InitialLP      int            `json:"initial_lp,omitempty"`
-	TimeoutMS      float64        `json:"timeout_ms,omitempty"`
-	Retries        int            `json:"retries,omitempty"`
-	RetryBackoffMS float64        `json:"retry_backoff_ms,omitempty"`
-	Partial        string         `json:"partial,omitempty"`
-	Substitute     any            `json:"substitute,omitempty"`
+	Skeleton  string         `json:"skeleton"`
+	Program   string         `json:"program,omitempty"`
+	Params    map[string]any `json:"params,omitempty"`
+	GoalMS    float64        `json:"goal_ms,omitempty"`
+	MaxLP     int            `json:"max_lp,omitempty"`
+	InitialLP int            `json:"initial_lp,omitempty"`
+	// Policy names the job's adaptation rule. omitempty: journals written
+	// before pluggable policies replay as the paper default, and journals
+	// carrying it are ignored gracefully by older readers.
+	Policy         string  `json:"policy,omitempty"`
+	TimeoutMS      float64 `json:"timeout_ms,omitempty"`
+	Retries        int     `json:"retries,omitempty"`
+	RetryBackoffMS float64 `json:"retry_backoff_ms,omitempty"`
+	Partial        string  `json:"partial,omitempty"`
+	Substitute     any     `json:"substitute,omitempty"`
 	// Tenant and Priority identify whose traffic the job is and how it
 	// ranks on the admission ladder. Both are omitempty, so journals
 	// written before multi-tenancy replay unchanged (empty tenant = the

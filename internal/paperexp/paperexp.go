@@ -58,6 +58,9 @@ type Spec struct {
 	// Increase/Decrease select controller policies.
 	Increase core.IncreasePolicy
 	Decrease core.DecreasePolicy
+	// Policy overrides the adaptation rule entirely (nil = the paper rule
+	// built from Increase/Decrease). A stateful policy must be fresh per run.
+	Policy core.Policy
 	// Predictor selects the WCT estimation algorithm (nil = ADG).
 	Predictor core.Predictor
 	// AnalysisInterval throttles analyses (0 = every After event).
@@ -312,6 +315,7 @@ func (w *world) run(spec Spec, profile estimate.Profile) (*Result, error) {
 			AnalysisInterval: spec.AnalysisInterval,
 			Increase:         spec.Increase,
 			Decrease:         spec.Decrease,
+			Policy:           spec.Policy,
 			Predictor:        spec.Predictor,
 		}, program, eng, est, tracker, eng.Clock())
 		ctl.SetStart(eng.Now())

@@ -162,6 +162,7 @@ type submitRequest struct {
 	GoalMS    float64         `json:"goal_ms"`
 	MaxLP     int             `json:"max_lp"`
 	InitialLP int             `json:"initial_lp"`
+	Policy    string          `json:"policy"`
 	// Tenant identity and admission priority (both optional; the
 	// X-Skel-Tenant header wins over the body field when both are set).
 	Tenant   string `json:"tenant"`
@@ -190,6 +191,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Goal:          time.Duration(req.GoalMS * float64(time.Millisecond)),
 		MaxLP:         req.MaxLP,
 		InitialLP:     req.InitialLP,
+		Policy:        req.Policy,
 		Tenant:        tenant,
 		Priority:      req.Priority,
 		MuscleTimeout: time.Duration(req.TimeoutMS * float64(time.Millisecond)),
@@ -255,6 +257,7 @@ type jobView struct {
 	Priority    int             `json:"priority,omitempty"`
 	GoalMS      float64         `json:"goal_ms,omitempty"`
 	MaxLP       int             `json:"max_lp,omitempty"`
+	Policy      string          `json:"policy,omitempty"`
 	LP          int             `json:"lp"`
 	Active      int             `json:"active"`
 	Grant       int             `json:"grant"`
@@ -325,6 +328,7 @@ func (s *Server) jobView(j *job) jobView {
 		Priority:   j.priority,
 		GoalMS:     float64(j.goal) / float64(time.Millisecond),
 		MaxLP:      j.maxLP,
+		Policy:     j.policy,
 		Grant:      grant,
 		Events:     j.log.len(),
 		CreatedMS:  s.sinceStart(j.created),

@@ -41,6 +41,9 @@ type job struct {
 	goal     time.Duration
 	maxLP    int
 	initLP   int
+	// policy names the adaptation rule driving this job's controller
+	// ("" = the paper rule); resolved against the server default at submit.
+	policy string
 	// tenant (canonical, never "") and priority place the job on the
 	// admission ladder and in the arbiter's weighted budget division.
 	tenant   string

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"skandium/internal/journal"
+)
+
+// TestSubmitPolicySelection covers the policy face of the front door: a
+// named policy is validated at submit, echoed in the job view, runs the job
+// to completion, and an unknown name is rejected synchronously with 400.
+func TestSubmitPolicySelection(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{
+		Budget:           4,
+		Rebalance:        5 * time.Millisecond,
+		AnalysisTick:     2 * time.Millisecond,
+		AnalysisInterval: time.Millisecond,
+	})
+	base := ts.URL
+
+	resp, body := postJSON(t, base+"/jobs", map[string]any{
+		"skeleton": "sleepgrid",
+		"params":   map[string]any{"k": 2, "m": 2, "cell_ms": 4.0},
+		"goal_ms":  60.0,
+		"policy":   "hillclimb",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with policy: status %d: %s", resp.StatusCode, body)
+	}
+	v := getJSON[jobView](t, base+"/jobs/"+decodeJobID(t, body))
+	if v.Policy != "hillclimb" {
+		t.Fatalf("job view policy = %q, want hillclimb", v.Policy)
+	}
+	waitDone(t, base, v.ID)
+
+	if resp, body := postJSON(t, base+"/jobs", map[string]any{
+		"skeleton": "sleepgrid", "policy": "no-such-policy",
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown policy: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestDefaultPolicyAppliesToJobs checks Config.DefaultPolicy flows into
+// jobs that do not pick a policy, and that an explicit choice still wins.
+func TestDefaultPolicyAppliesToJobs(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{
+		Budget:        4,
+		DefaultPolicy: "costaware",
+	})
+	base := ts.URL
+
+	v := submitSleepgrid(t, base, 80, 4)
+	if v.Policy != "costaware" {
+		t.Fatalf("defaulted job policy = %q, want costaware", v.Policy)
+	}
+
+	resp, body := postJSON(t, base+"/jobs", map[string]any{
+		"skeleton": "sleepgrid",
+		"params":   map[string]any{"k": 2, "m": 2, "cell_ms": 4.0},
+		"goal_ms":  80.0,
+		"policy":   "paper-minimal",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	if id := decodeJobID(t, body); getJSON[jobView](t, base+"/jobs/"+id).Policy != "paper-minimal" {
+		t.Fatal("explicit policy did not override the server default")
+	}
+}
+
+// TestPolicySurvivesJournalRoundTrip checks the journal spec carries the
+// policy name through toJournalSpec/fromJournalSpec unchanged.
+func TestPolicySurvivesJournalRoundTrip(t *testing.T) {
+	spec := SubmitSpec{Skeleton: "sleepgrid", Goal: 50 * time.Millisecond, Policy: "bandit"}
+	js := toJournalSpec(spec, "prog")
+	if js.Policy != "bandit" {
+		t.Fatalf("journal spec policy = %q", js.Policy)
+	}
+	back := fromJournalSpec(js)
+	if back.Policy != "bandit" {
+		t.Fatalf("round-tripped policy = %q", back.Policy)
+	}
+	// Old journals (no policy field) replay as the paper default.
+	if got := fromJournalSpec(journal.Spec{Skeleton: "sleepgrid"}).Policy; got != "" {
+		t.Fatalf("legacy journal spec policy = %q, want empty", got)
+	}
+}
+
+// TestPolicySurvivesCrashRecovery covers the requeue path: a job the crash
+// interrupted mid-run must come back with its policy, not the default.
+func TestPolicySurvivesCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	jn1, _ := openJournal(t, dir)
+	spec := sleepSpec(4)
+	spec.Policy = "bandit"
+	if err := jn1.Submit("job-1", spec); err != nil {
+		t.Fatalf("journal submit: %v", err)
+	}
+	if err := jn1.Start("job-1"); err != nil {
+		t.Fatalf("journal start: %v", err)
+	}
+	_ = jn1.Close() // crash: no finish record
+
+	jn2, states := openJournal(t, dir)
+	_, ts := newTestDaemon(t, Config{
+		Budget: 2, Rebalance: 5 * time.Millisecond,
+		Journal: jn2, Recover: states,
+	})
+	v := waitState(t, ts.URL, "job-1", "done", 20*time.Second)
+	if v.Policy != "bandit" {
+		t.Fatalf("recovered job policy = %q, want bandit", v.Policy)
+	}
+}
+
+func decodeJobID(t *testing.T, body []byte) string {
+	t.Helper()
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("decode job view %q: %v", body, err)
+	}
+	return v.ID
+}
+
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJSON[jobView](t, base+"/jobs/"+id)
+		switch v.State {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %s ended %s: %s", id, v.State, v.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}

@@ -58,6 +58,7 @@ func (s *Server) restoreLocked(st journal.JobState) {
 		params:        st.Spec.Params,
 		goal:          msToDur(st.Spec.GoalMS),
 		maxLP:         st.Spec.MaxLP,
+		policy:        st.Spec.Policy,
 		tenant:        core.CanonTenant(st.Spec.Tenant),
 		priority:      st.Spec.Priority,
 		restored:      true,
@@ -118,6 +119,7 @@ func (s *Server) requeueLocked(st journal.JobState) {
 		goal:      spec.Goal,
 		maxLP:     spec.MaxLP,
 		initLP:    spec.InitialLP,
+		policy:    spec.Policy,
 		tenant:    core.CanonTenant(spec.Tenant),
 		priority:  spec.Priority,
 		timeout:   spec.MuscleTimeout,
@@ -167,6 +169,7 @@ func toJournalSpec(spec SubmitSpec, program string) journal.Spec {
 		GoalMS:         durToMS(spec.Goal),
 		MaxLP:          spec.MaxLP,
 		InitialLP:      spec.InitialLP,
+		Policy:         spec.Policy,
 		TimeoutMS:      durToMS(spec.MuscleTimeout),
 		Retries:        spec.RetryAttempts,
 		RetryBackoffMS: durToMS(spec.RetryBackoff),
@@ -185,6 +188,7 @@ func fromJournalSpec(js journal.Spec) SubmitSpec {
 		Goal:          msToDur(js.GoalMS),
 		MaxLP:         js.MaxLP,
 		InitialLP:     js.InitialLP,
+		Policy:        js.Policy,
 		MuscleTimeout: msToDur(js.TimeoutMS),
 		RetryAttempts: js.Retries,
 		RetryBackoff:  msToDur(js.RetryBackoffMS),

@@ -9,6 +9,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sort"
 	"time"
@@ -37,6 +38,10 @@ type Config struct {
 	AnalysisTick time.Duration
 	// AnalysisInterval throttles event-driven analyses (default 2ms).
 	AnalysisInterval time.Duration
+	// DefaultPolicy names the adaptation policy for jobs that do not pick
+	// one ("" = the paper rule). It also drives the arbiter's contraction
+	// ordering. Unknown names are rejected by skelrund at startup.
+	DefaultPolicy string
 	// EventLog bounds the per-job event ring (default 8192 records).
 	EventLog int
 	// Clock substitutes the time source (tests).
@@ -140,6 +145,14 @@ func New(cfg Config) *Server {
 	for t, w := range cfg.Tenants {
 		s.arb.SetTenantWeight(t, w)
 	}
+	if cfg.DefaultPolicy != "" {
+		// The arbiter's contraction ordering follows the default policy.
+		// skelrund validates the name at startup; an unknown name here (New
+		// called programmatically) keeps the paper contract.
+		if p, err := core.NewPolicy(cfg.DefaultPolicy, cfg.ShedSeed); err == nil {
+			s.arb.SetPolicy(p)
+		}
+	}
 	if cfg.Cluster != nil {
 		cfg.Cluster.SetOnNodeEvent(s.onNodeEvent)
 	}
@@ -166,6 +179,10 @@ type SubmitSpec struct {
 	Goal      time.Duration // 0 disables autonomic adaptation
 	MaxLP     int           // per-job LP QoS cap; 0 = uncapped
 	InitialLP int           // starting LP (default 1, the paper's setup)
+	// Policy names the adaptation rule driving this job's controller
+	// ("" = the server's DefaultPolicy, then the paper rule). Unknown
+	// names are rejected synchronously at submit.
+	Policy string
 
 	// Tenant names whose traffic the job is ("" = the default tenant);
 	// Priority ranks it on the admission ladder: < 0 is batch work shed
@@ -223,6 +240,15 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy := spec.Policy
+	if policy == "" {
+		policy = s.cfg.DefaultPolicy
+	}
+	if policy != "" {
+		if _, err := core.NewPolicy(policy, 0); err != nil {
+			return nil, err
+		}
+	}
 	if spec.Goal > 0 {
 		if pr, ok := s.profiles.Lookup(spec.Skeleton); ok &&
 			!core.Feasible(spec.Goal, pr.Work, pr.Span, s.arb.Budget()) {
@@ -266,6 +292,7 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 		goal:     spec.Goal,
 		maxLP:    spec.MaxLP,
 		initLP:   spec.InitialLP,
+		policy:   policy,
 		tenant:   tenant,
 		priority: spec.Priority,
 		timeout:  spec.MuscleTimeout,
@@ -289,6 +316,13 @@ func (s *Server) Submit(spec SubmitSpec) (*job, error) {
 	s.admitLocked()
 	s.mu.Unlock()
 	return j, nil
+}
+
+// policySeed derives a stable per-job seed for stochastic policies.
+func policySeed(id string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return int64(h.Sum64())
 }
 
 // ErrDraining rejects submissions during shutdown.
@@ -406,6 +440,14 @@ func (s *Server) start(j *job) {
 			skandium.WithAnalysisInterval(s.cfg.AnalysisInterval),
 			skandium.WithAnalysisTicker(s.cfg.AnalysisTick),
 		)
+		if j.policy != "" {
+			// A fresh instance per start: stateful policies (hillclimb,
+			// bandit) must not be shared across concurrent controllers. The
+			// seed derives from the job id so re-runs reproduce.
+			if p, err := skandium.NewPolicy(j.policy, policySeed(j.id)); err == nil {
+				opts = append(opts, skandium.WithPolicy(p))
+			}
+		}
 	}
 	if s.jn != nil {
 		// Write-ahead: the start is durable before any muscle runs, and

@@ -1,0 +1,233 @@
+// Package tournament races every registered adaptation policy across a
+// seeded scenario corpus in simulator virtual time and scores them into a
+// reproducible league table. One policy instance serves all of a scenario's
+// sequential runs, so stateful policies (hillclimb, bandit) carry what they
+// learn from one job into the next — and the whole table reproduces
+// byte-identically from the same seed.
+package tournament
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skandium/internal/core"
+	"skandium/internal/metrics"
+)
+
+// Config selects what to race.
+type Config struct {
+	// Seed drives every stochastic choice: scenario workloads, jitter, and
+	// the policies' own perturbations.
+	Seed int64
+	// Runs is the number of jobs per (policy, scenario) pair; scenarios that
+	// model job streams (bursty) may produce several outcomes per run.
+	Runs int
+	// Policies filters the registered policy names (empty = all).
+	Policies []string
+	// Scenarios filters the scenario names (empty = all).
+	Scenarios []string
+}
+
+// Outcome is one job's result under one policy.
+type Outcome struct {
+	Goal     time.Duration
+	Makespan time.Duration
+	// LPSeconds integrates the LP lever over the run (worker-seconds of
+	// reserved parallelism, the resource bill).
+	LPSeconds float64
+	// Adaptations counts controller LP decisions (churn).
+	Adaptations int
+}
+
+// Hit reports whether the job met its WCT goal.
+func (o Outcome) Hit() bool { return o.Makespan <= o.Goal }
+
+// Overshoot is how far past the goal the job finished (0 when met).
+func (o Outcome) Overshoot() time.Duration {
+	if o.Makespan <= o.Goal {
+		return 0
+	}
+	return o.Makespan - o.Goal
+}
+
+// Score aggregates one policy's outcomes on one scenario.
+type Score struct {
+	Scenario string
+	Policy   string
+	Jobs     int
+	// HitRate is the fraction of jobs meeting their goal.
+	HitRate float64
+	// MeanOvershoot averages Overshoot over all jobs (virtual time).
+	MeanOvershoot time.Duration
+	// MeanLPSeconds averages the resource bill per job.
+	MeanLPSeconds float64
+	// MeanAdaptations averages LP-change churn per job.
+	MeanAdaptations float64
+	// MeanMakespan averages virtual wall-clock time per job.
+	MeanMakespan time.Duration
+}
+
+// Report is a full tournament result.
+type Report struct {
+	Seed   int64
+	Runs   int
+	Scores []Score // grouped by scenario, ranked best first within each
+}
+
+// Run races the selected policies across the selected scenarios.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	pols := cfg.Policies
+	if len(pols) == 0 {
+		pols = core.Policies()
+	}
+	scens, err := selectScenarios(cfg.Scenarios)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Seed: cfg.Seed, Runs: cfg.Runs}
+	for _, sc := range scens {
+		var scores []Score
+		for _, name := range pols {
+			// One instance per (policy, scenario): stateful policies learn
+			// across the scenario's sequential jobs. The seed folds in the
+			// scenario index so no two scenarios share a perturbation stream.
+			pol, err := core.NewPolicy(name, cfg.Seed*1000003+int64(sc.index))
+			if err != nil {
+				return nil, err
+			}
+			var outs []Outcome
+			for run := 0; run < cfg.Runs; run++ {
+				o, err := sc.run(cfg.Seed, run, pol)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s, policy %s, run %d: %w", sc.name, name, run, err)
+				}
+				outs = append(outs, o...)
+			}
+			scores = append(scores, aggregate(sc.name, name, outs))
+		}
+		rank(scores)
+		rep.Scores = append(rep.Scores, scores...)
+	}
+	return rep, nil
+}
+
+func aggregate(scenario, policy string, outs []Outcome) Score {
+	s := Score{Scenario: scenario, Policy: policy, Jobs: len(outs)}
+	if len(outs) == 0 {
+		return s
+	}
+	var hits int
+	var overshoot time.Duration
+	var lpSec, adapts float64
+	var makespan time.Duration
+	for _, o := range outs {
+		if o.Hit() {
+			hits++
+		}
+		overshoot += o.Overshoot()
+		lpSec += o.LPSeconds
+		adapts += float64(o.Adaptations)
+		makespan += o.Makespan
+	}
+	n := len(outs)
+	s.HitRate = float64(hits) / float64(n)
+	s.MeanOvershoot = overshoot / time.Duration(n)
+	s.MeanLPSeconds = lpSec / float64(n)
+	s.MeanAdaptations = adapts / float64(n)
+	s.MeanMakespan = makespan / time.Duration(n)
+	return s
+}
+
+// rank orders a scenario's scores best first: goal-hit rate, then mean
+// overshoot, then the resource bill, then churn, then name (a total,
+// deterministic order).
+func rank(scores []Score) {
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		if a.HitRate != b.HitRate {
+			return a.HitRate > b.HitRate
+		}
+		if a.MeanOvershoot != b.MeanOvershoot {
+			return a.MeanOvershoot < b.MeanOvershoot
+		}
+		if a.MeanLPSeconds != b.MeanLPSeconds {
+			return a.MeanLPSeconds < b.MeanLPSeconds
+		}
+		if a.MeanAdaptations != b.MeanAdaptations {
+			return a.MeanAdaptations < b.MeanAdaptations
+		}
+		return a.Policy < b.Policy
+	})
+}
+
+// Table renders the league table as GitHub markdown, one section per
+// scenario, ranked best first. The output is byte-stable for a given seed.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Policy tournament (seed %d, %d runs/scenario)\n", r.Seed, r.Runs)
+	last := ""
+	for _, s := range r.Scores {
+		if s.Scenario != last {
+			last = s.Scenario
+			fmt.Fprintf(&b, "\n### %s\n\n", s.Scenario)
+			b.WriteString("| # | policy | goal-hit | mean overshoot | LP·s/job | adapts/job |\n")
+			b.WriteString("|---|--------|----------|----------------|----------|------------|\n")
+		}
+		rankNo := 1
+		for _, t := range r.Scores {
+			if t.Scenario == s.Scenario {
+				if t.Policy == s.Policy {
+					break
+				}
+				rankNo++
+			}
+		}
+		fmt.Fprintf(&b, "| %d | %s | %.0f%% | %s | %.2f | %.1f |\n",
+			rankNo, s.Policy, 100*s.HitRate, fmtMS(s.MeanOvershoot),
+			s.MeanLPSeconds, s.MeanAdaptations)
+	}
+	return b.String()
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+}
+
+// BenchLines renders the report as `go test -bench`-style lines that
+// cmd/benchjson parses, one per (scenario, policy). All custom units are
+// lower-is-better so the benchjson regression gate points the right way:
+// goal_miss_rate (1 − hit rate), overshoot_ms, lp_seconds, lp_changes.
+// ns/op carries the mean virtual makespan.
+func (r *Report) BenchLines() string {
+	var b strings.Builder
+	for _, s := range r.Scores {
+		fmt.Fprintf(&b, "BenchmarkTournament/%s/%s 1 %d ns/op %.4f goal_miss_rate %.2f overshoot_ms %.2f lp_seconds %.2f lp_changes\n",
+			s.Scenario, s.Policy, s.MeanMakespan.Nanoseconds(), 1-s.HitRate,
+			float64(s.MeanOvershoot)/float64(time.Millisecond),
+			s.MeanLPSeconds, s.MeanAdaptations)
+	}
+	return b.String()
+}
+
+// lpSeconds integrates the recorder's LP step series from the run start to
+// its makespan, in worker-seconds. lp0 is the LP before the first sample.
+func lpSeconds(rec *metrics.Recorder, makespan time.Duration, lp0 int) float64 {
+	endMS := float64(makespan) / float64(time.Millisecond)
+	lp, t, total := float64(lp0), 0.0, 0.0
+	for _, p := range rec.LPSeries(time.Millisecond) {
+		if p.T > t {
+			total += lp * (p.T - t)
+			t = p.T
+		}
+		lp = float64(p.V)
+	}
+	if endMS > t {
+		total += lp * (endMS - t)
+	}
+	return total / 1000
+}

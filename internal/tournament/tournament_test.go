@@ -1,0 +1,127 @@
+package tournament
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTournamentReproducible runs the full tournament twice from the same
+// seed and requires byte-identical league tables and bench lines — the
+// reproducibility contract EXPERIMENTS.md and BENCH_9.json rely on. CI runs
+// this under -race, so it also proves the harness shares no policy state
+// across goroutines.
+func TestTournamentReproducible(t *testing.T) {
+	cfg := Config{Seed: 1, Runs: 2}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ between identical runs:\n%v\n%v", a, b)
+	}
+	if a.Table() != b.Table() {
+		t.Fatalf("league tables differ:\n%s\n%s", a.Table(), b.Table())
+	}
+	if a.BenchLines() != b.BenchLines() {
+		t.Fatalf("bench lines differ:\n%s\n%s", a.BenchLines(), b.BenchLines())
+	}
+}
+
+// TestTournamentSeedMatters guards against a harness that ignores its seed
+// (everything would trivially "reproduce").
+func TestTournamentSeedMatters(t *testing.T) {
+	a, err := Run(Config{Seed: 1, Runs: 1, Scenarios: []string{"refine"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 2, Runs: 1, Scenarios: []string{"refine"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Scores, b.Scores) {
+		t.Fatal("different seeds produced identical scores: seed is not wired through")
+	}
+}
+
+// TestTournamentCoversMatrix checks every (scenario, policy) pair scored,
+// every scenario produced adaptation work for at least one policy, and the
+// filters select correctly.
+func TestTournamentCoversMatrix(t *testing.T) {
+	rep, err := Run(Config{Seed: 3, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perScenario := map[string]int{}
+	adapts := map[string]float64{}
+	for _, s := range rep.Scores {
+		perScenario[s.Scenario]++
+		adapts[s.Scenario] += s.MeanAdaptations
+		if s.Jobs == 0 {
+			t.Errorf("%s/%s scored zero jobs", s.Scenario, s.Policy)
+		}
+	}
+	if len(perScenario) != len(Names()) {
+		t.Fatalf("scenarios covered = %v, want %v", perScenario, Names())
+	}
+	for name, n := range perScenario {
+		if n < 2 {
+			t.Errorf("scenario %s raced only %d policies", name, n)
+		}
+		if adapts[name] == 0 {
+			t.Errorf("scenario %s produced no adaptations under any policy: vacuous", name)
+		}
+	}
+
+	sub, err := Run(Config{Seed: 3, Runs: 1,
+		Policies: []string{"paper", "costaware"}, Scenarios: []string{"dacsort"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Scores) != 2 {
+		t.Fatalf("filtered run scored %d rows, want 2", len(sub.Scores))
+	}
+	for _, s := range sub.Scores {
+		if s.Scenario != "dacsort" {
+			t.Errorf("filtered run leaked scenario %s", s.Scenario)
+		}
+	}
+
+	if _, err := Run(Config{Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Run(Config{Policies: []string{"nope"}}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestBenchLinesParseable sanity-checks the bench output shape: one line
+// per score, value/unit pairs, all custom units lower-is-better.
+func TestBenchLinesParseable(t *testing.T) {
+	rep, err := Run(Config{Seed: 1, Runs: 1, Scenarios: []string{"bursty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(rep.BenchLines()), "\n")
+	if len(lines) != len(rep.Scores) {
+		t.Fatalf("%d bench lines for %d scores", len(lines), len(rep.Scores))
+	}
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if !strings.HasPrefix(fields[0], "BenchmarkTournament/") {
+			t.Fatalf("bad bench name in %q", ln)
+		}
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			t.Fatalf("odd field count in %q", ln)
+		}
+		for _, unit := range []string{"ns/op", "goal_miss_rate", "overshoot_ms", "lp_seconds", "lp_changes"} {
+			if !strings.Contains(ln, " "+unit) {
+				t.Fatalf("missing unit %s in %q", unit, ln)
+			}
+		}
+	}
+}

@@ -29,6 +29,18 @@ type Demand = core.Demand
 // Stream.
 var ErrClosed = errors.New("skandium: stream closed")
 
+// Policy is the pluggable adaptation rule driven by the controller per
+// analysis and by the budget arbiter per rebalance (see WithPolicy).
+type Policy = core.Policy
+
+// NewPolicy builds a registered adaptation policy by name ("" or "paper"
+// for the paper rule; see PolicyNames). The seed drives the stochastic
+// policies' perturbations.
+func NewPolicy(name string, seed int64) (Policy, error) { return core.NewPolicy(name, seed) }
+
+// PolicyNames lists the registered adaptation policies.
+func PolicyNames() []string { return core.Policies() }
+
 // Increase/decrease policy re-exports for WithPolicies.
 const (
 	// IncreaseOptimal jumps to the optimal LP (peak of the best-effort
@@ -56,6 +68,7 @@ type config struct {
 	decreaseHold     time.Duration
 	increase         core.IncreasePolicy
 	decrease         core.DecreasePolicy
+	policy           core.Policy
 	predictor        core.Predictor
 	adgBudget        int
 	clk              clock.Clock
@@ -132,6 +145,14 @@ func WithDecreaseHold(d time.Duration) Option {
 // (defaults: IncreaseOptimal, DecreaseHalve — the paper's).
 func WithPolicies(inc core.IncreasePolicy, dec core.DecreasePolicy) Option {
 	return func(c *config) { c.increase = inc; c.decrease = dec }
+}
+
+// WithPolicy installs a full adaptation Policy, overriding the paper rule
+// (and the WithPolicies increase/decrease selectors). Use NewPolicy to
+// build one by registry name. A stateful policy instance (hillclimb,
+// bandit) must not be shared across concurrently running streams.
+func WithPolicy(p core.Policy) Option {
+	return func(c *config) { c.policy = p }
 }
 
 // WithADGBudget caps the size of analysis graphs (0 = default).
@@ -263,6 +284,7 @@ func (st *Stream[P, R]) Input(p P) *Execution[R] {
 			DecreaseHold:     st.cfg.decreaseHold,
 			Increase:         st.cfg.increase,
 			Decrease:         st.cfg.decrease,
+			Policy:           st.cfg.policy,
 			Predictor:        st.cfg.predictor,
 			ADGBudget:        st.cfg.adgBudget,
 		}, st.node, st.pool, st.est, tracker, st.cfg.clk)
