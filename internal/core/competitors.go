@@ -19,6 +19,7 @@ import (
 // seeded occasional two-step perturbation to escape plateaus.
 type HillClimb struct {
 	PaperContract
+	seed    int64
 	rng     *rand.Rand
 	step    int
 	bestLP  int // cheapest LP observed feasible so far
@@ -27,11 +28,16 @@ type HillClimb struct {
 
 // NewHillClimb builds a seeded hill-climbing policy.
 func NewHillClimb(seed int64) *HillClimb {
-	return &HillClimb{rng: rand.New(rand.NewSource(seed)), step: 1}
+	return &HillClimb{seed: seed, rng: rand.New(rand.NewSource(seed)), step: 1}
 }
 
 // Name implements Policy.
 func (h *HillClimb) Name() string { return "hillclimb" }
+
+// ClonePolicy implements Cloner: a fresh instance replaying the original
+// seed, so a fan-out point (multi-input Stream) hands every controller an
+// independent climber.
+func (h *HillClimb) ClonePolicy() Policy { return NewHillClimb(h.seed) }
 
 // Observe implements Policy.
 func (h *HillClimb) Observe(pred *Prediction, act Actuation) Proposal {
@@ -102,6 +108,7 @@ const (
 // the best-valued one, or (with probability epsilon) a seeded random one.
 type Bandit struct {
 	PaperContract
+	seed    int64
 	rng     *rand.Rand
 	q       map[int]float64 // arm (LP) -> decayed value
 	lastArm int             // arm credited on the next Observe (0 = none)
@@ -109,11 +116,15 @@ type Bandit struct {
 
 // NewBandit builds a seeded epsilon-greedy bandit policy.
 func NewBandit(seed int64) *Bandit {
-	return &Bandit{rng: rand.New(rand.NewSource(seed)), q: map[int]float64{}}
+	return &Bandit{seed: seed, rng: rand.New(rand.NewSource(seed)), q: map[int]float64{}}
 }
 
 // Name implements Policy.
 func (b *Bandit) Name() string { return "bandit" }
+
+// ClonePolicy implements Cloner: a fresh instance replaying the original
+// seed, with empty arm values — behaviourally a newly built bandit.
+func (b *Bandit) ClonePolicy() Policy { return NewBandit(b.seed) }
 
 // arms returns the LP ladder up to ceil, ascending.
 func (b *Bandit) arms(ceil int) []int {
@@ -173,7 +184,11 @@ func (b *Bandit) Observe(pred *Prediction, act Actuation) Proposal {
 	}
 	b.lastArm = target
 	if act.Held && target < cur {
-		return Proposal{LP: cur, Demand: target}
+		// Decrease-damping window: hold the lever and defer the lower arm
+		// to the next unheld analysis. Wishing lower through Demand would
+		// let the budget arbiter shrink the grant below the held level,
+		// re-opening the decrease the controller is damping.
+		return Proposal{LP: cur}
 	}
 	if target == cur {
 		return Proposal{LP: cur}
@@ -275,7 +290,10 @@ func (*CostAware) Observe(pred *Prediction, act Actuation) Proposal {
 		}
 	}
 	if act.Held && best < cur {
-		return Proposal{LP: cur, Demand: best}
+		// Decrease-damping window: hold, and defer the cheaper LP to the
+		// next unheld analysis rather than wishing for less via Demand
+		// (which would invite the arbiter to shrink under the hold).
+		return Proposal{LP: cur}
 	}
 	if best == cur {
 		return Proposal{LP: cur}

@@ -79,7 +79,8 @@ type Config struct {
 	// Policy replaces the adaptation rule entirely (see Policy and
 	// NewPolicy). nil means the paper rule configured by Increase/Decrease.
 	// A stateful policy value must not be shared across concurrently
-	// executing controllers.
+	// executing controllers — callers fanning one configured value out to
+	// several controllers replicate it with ClonePolicy first.
 	Policy Policy
 	// ADGBudget caps ADG size (0 = adg.DefaultBudget).
 	ADGBudget int
@@ -538,6 +539,12 @@ func (c *Controller) Analyze(now time.Time) bool {
 	if d := prop.Demand; d > 0 {
 		if cfg.MaxLP > 0 && d > cfg.MaxLP {
 			d = cfg.MaxLP
+		}
+		if held && d < cur {
+			// The damping window holds the lever at cur; publishing a lower
+			// wish would let the budget arbiter shrink the grant below the
+			// held level, re-opening the decrease through arbitration.
+			d = cur
 		}
 		desired = d
 	}

@@ -18,7 +18,9 @@ import (
 //
 // Stateful policies (hill-climber, bandit) are driven by exactly one
 // controller at a time: the controller serializes analyses, but one policy
-// value must not be shared across concurrently executing controllers.
+// value must not be shared across concurrently executing controllers. A
+// fan-out point that hands one configured value to many controllers (a
+// multi-input Stream) must replicate it first — see Cloner and ClonePolicy.
 type Policy interface {
 	// Name returns the registry name the policy answers to.
 	Name() string
@@ -29,6 +31,26 @@ type Policy interface {
 	// what grant. ok=false stops the round (nothing shrinkable left). It is
 	// called repeatedly until the group's grants fit its share.
 	Contract(members []GrantView, deficit int) (victim, grant int, ok bool)
+}
+
+// Cloner is the optional replication face of a stateful Policy. Fan-out
+// points that drive one configured policy value with many concurrent
+// controllers call ClonePolicy before handing the value to each controller;
+// a stateful policy implements Cloner to return a fresh, independent
+// instance. The built-ins replay their original seed, so every clone
+// produces the same proposal stream as a newly built policy.
+type Cloner interface {
+	ClonePolicy() Policy
+}
+
+// ClonePolicy returns an instance of p safe to hand to a new controller:
+// p.ClonePolicy() when p is stateful (implements Cloner), p itself when it
+// is stateless and shareable. A nil p stays nil.
+func ClonePolicy(p Policy) Policy {
+	if c, ok := p.(Cloner); ok {
+		return c.ClonePolicy()
+	}
+	return p
 }
 
 // Actuation is the controller-side view a policy observes: the current
@@ -59,7 +81,10 @@ type Proposal struct {
 	LP int
 	// Demand optionally overrides the DesiredLP published for budget
 	// arbitration (0 = publish LP). Lets a policy settle for less than it
-	// wants while still signalling the full wish to the arbiter.
+	// wants while still signalling the full wish to the arbiter. It must
+	// not signal *less* than the proposed LP: a smaller Demand invites the
+	// arbiter to shrink the grant below the level the policy just chose to
+	// hold (notably during the decrease-damping window).
 	Demand int
 	// Reason is the decision-log annotation when the proposal is applied.
 	Reason string

@@ -172,6 +172,104 @@ func TestPolicyProposalStreamsDeterministic(t *testing.T) {
 	}
 }
 
+// TestClonePolicyIndependence: ClonePolicy hands each new controller an
+// instance safe to drive concurrently — stateful policies (Cloner) become
+// fresh replicas behaving exactly like a newly built policy on the same
+// seed, even after the original has accumulated state; stateless ones pass
+// through unchanged.
+func TestClonePolicyIndependence(t *testing.T) {
+	if ClonePolicy(nil) != nil {
+		t.Fatal("ClonePolicy(nil) is not nil")
+	}
+	for _, name := range Policies() {
+		orig, err := NewPolicy(name, 11)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		_, stateful := orig.(Cloner)
+		if clone := ClonePolicy(orig); stateful {
+			if clone == orig {
+				t.Fatalf("stateful policy %q: clone is the original instance", name)
+			}
+		} else if clone != orig {
+			t.Fatalf("stateless policy %q was replaced by ClonePolicy", name)
+		}
+		// Drift the original's state, then clone: the clone must still
+		// replay the proposal stream of a fresh instance on the same seed.
+		driveProposals(orig, 40)
+		fresh, _ := NewPolicy(name, 11)
+		got := driveProposals(ClonePolicy(orig), 60)
+		want := driveProposals(fresh, 60)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %q: clone after use diverges from a fresh instance", name)
+		}
+	}
+}
+
+// TestHeldProposalsDoNotUndercutDemand: during the decrease-damping window
+// no registered policy may publish a Demand below the held LP — the budget
+// arbiter would shrink the grant under the hold, re-opening the decrease
+// the controller is damping.
+func TestHeldProposalsDoNotUndercutDemand(t *testing.T) {
+	start := clock.Epoch
+	// Generous slack at LP 8: every policy wants to come down.
+	pred := synthPred(160*time.Millisecond, 20*time.Millisecond, start)
+	act := Actuation{CurLP: 8, MaxLP: 16, Goal: time.Second,
+		Start: start, Now: start, Held: true}
+	for _, name := range Policies() {
+		p, err := NewPolicy(name, 5)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		for i := 0; i < 50; i++ { // enough rounds to cover bandit exploration
+			prop := p.Observe(pred, act)
+			if prop.Demand > 0 && prop.Demand < act.CurLP {
+				t.Fatalf("policy %q published Demand %d below the held LP %d",
+					name, prop.Demand, act.CurLP)
+			}
+		}
+	}
+}
+
+// TestControllerClampsHeldDemand: even a policy that violates the Demand
+// contract (publishing a wish below the held level) cannot leak it into the
+// controller's published Demand during the damping window.
+func TestControllerClampsHeldDemand(t *testing.T) {
+	s := newFig1Setup()
+	s.replayUntil70()
+	lever := &fakeLever{lp: 2}
+	ctl := NewController(Config{WCTGoal: u(100), DecreaseHold: u(50),
+		Policy: undercutPolicy{}},
+		s.outer, lever, s.est, s.tr, clock.NewVirtual(clock.Epoch))
+	ctl.SetStart(clock.Epoch)
+	// First analysis: the rogue policy raises 2 -> 3, opening the hold
+	// window. Second analysis, inside the window: the policy holds LP but
+	// wishes for 1 via Demand — the controller must publish the held level,
+	// not the undercut.
+	ctl.Analyze(clock.Epoch.Add(u(70)))
+	if lever.LP() != 3 {
+		t.Fatalf("LP = %d, want 3", lever.LP())
+	}
+	if !ctl.Analyze(clock.Epoch.Add(u(80))) {
+		t.Fatal("held analysis did not run")
+	}
+	if d := ctl.Demand(); d.DesiredLP != 3 {
+		t.Fatalf("held demand = %d, want clamped to the held LP 3", d.DesiredLP)
+	}
+}
+
+// undercutPolicy raises LP once and then keeps wishing for 1 worker via
+// Demand — a contract-violating stateless policy.
+type undercutPolicy struct{ PaperContract }
+
+func (undercutPolicy) Name() string { return "undercut" }
+func (undercutPolicy) Observe(pred *Prediction, act Actuation) Proposal {
+	if act.CurLP < 3 {
+		return Proposal{LP: 3, Demand: 1, Reason: "raise, wish less"}
+	}
+	return Proposal{LP: act.CurLP, Demand: 1}
+}
+
 // TestPolicyRegistry: the empty name is the paper default, names round-trip
 // through Name(), and unknown names fail with the catalogue.
 func TestPolicyRegistry(t *testing.T) {

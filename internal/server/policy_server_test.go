@@ -115,6 +115,35 @@ func TestPolicySurvivesCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestRecoveredUnknownPolicyFallsBackVisibly: a journal written by a binary
+// with a richer policy registry can name a policy this binary does not
+// know. The job must still run (paper rule), and the fallback must be
+// visible: the job view stops reporting the unhonoured policy name.
+func TestRecoveredUnknownPolicyFallsBackVisibly(t *testing.T) {
+	dir := t.TempDir()
+	jn1, _ := openJournal(t, dir)
+	spec := sleepSpec(4)
+	spec.Policy = "from-the-future"
+	spec.GoalMS = 120 // the policy only drives a goal-bound controller
+	if err := jn1.Submit("job-1", spec); err != nil {
+		t.Fatalf("journal submit: %v", err)
+	}
+	if err := jn1.Start("job-1"); err != nil {
+		t.Fatalf("journal start: %v", err)
+	}
+	_ = jn1.Close() // crash: no finish record
+
+	jn2, states := openJournal(t, dir)
+	_, ts := newTestDaemon(t, Config{
+		Budget: 2, Rebalance: 5 * time.Millisecond,
+		Journal: jn2, Recover: states,
+	})
+	v := waitState(t, ts.URL, "job-1", "done", 20*time.Second)
+	if v.Policy != "" {
+		t.Fatalf("recovered job still reports unknown policy %q; want cleared (paper rule)", v.Policy)
+	}
+}
+
 func decodeJobID(t *testing.T, body []byte) string {
 	t.Helper()
 	var v jobView

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"runtime"
 	"sort"
 	"time"
@@ -148,9 +149,13 @@ func New(cfg Config) *Server {
 	if cfg.DefaultPolicy != "" {
 		// The arbiter's contraction ordering follows the default policy.
 		// skelrund validates the name at startup; an unknown name here (New
-		// called programmatically) keeps the paper contract.
+		// called programmatically) keeps the paper contract — loudly, so a
+		// misspelled default is not silently misreported by job views.
 		if p, err := core.NewPolicy(cfg.DefaultPolicy, cfg.ShedSeed); err == nil {
 			s.arb.SetPolicy(p)
+		} else {
+			log.Printf("server: default policy %q unknown, keeping the paper contract: %v",
+				cfg.DefaultPolicy, err)
 		}
 	}
 	if cfg.Cluster != nil {
@@ -446,6 +451,18 @@ func (s *Server) start(j *job) {
 			// seed derives from the job id so re-runs reproduce.
 			if p, err := skandium.NewPolicy(j.policy, policySeed(j.id)); err == nil {
 				opts = append(opts, skandium.WithPolicy(p))
+			} else {
+				// Submit validates policy names, but a journal written by a
+				// binary with a richer registry (newer build, runtime-
+				// registered policy) can recover a name this one does not
+				// know. Fall back to the paper rule visibly: log the
+				// fallback into the job's event stream and stop reporting
+				// the unhonoured name in job views.
+				j.log.append(eventRecord{
+					TMS: float64(s.clk.Now().Sub(j.log.start)) / float64(time.Millisecond),
+					Ev:  fmt.Sprintf("policy %q unknown to this binary: falling back to the paper rule", j.policy),
+				})
+				j.policy = ""
 			}
 		}
 	}

@@ -33,6 +33,11 @@ var ErrClosed = errors.New("skandium: stream closed")
 // analysis and by the budget arbiter per rebalance (see WithPolicy).
 type Policy = core.Policy
 
+// PolicyCloner is the optional replication face of a stateful Policy: each
+// Stream.Input clones the configured policy through it, so concurrent
+// executions never share mutable policy state (see WithPolicy).
+type PolicyCloner = core.Cloner
+
 // NewPolicy builds a registered adaptation policy by name ("" or "paper"
 // for the paper rule; see PolicyNames). The seed drives the stochastic
 // policies' perturbations.
@@ -149,8 +154,16 @@ func WithPolicies(inc core.IncreasePolicy, dec core.DecreasePolicy) Option {
 
 // WithPolicy installs a full adaptation Policy, overriding the paper rule
 // (and the WithPolicies increase/decrease selectors). Use NewPolicy to
-// build one by registry name. A stateful policy instance (hillclimb,
-// bandit) must not be shared across concurrently running streams.
+// build one by registry name.
+//
+// Each Input drives its controller with an independent instance: stateful
+// policies implementing PolicyCloner (the built-ins hillclimb and bandit
+// do) are cloned per execution, so a stream with several in-flight inputs
+// never shares mutable policy state across controllers. A custom stateful
+// policy must implement PolicyCloner too — without it the same value is
+// handed to every controller, which is only safe when the policy is
+// stateless or the stream runs one input at a time. One instance still
+// must not be installed on concurrently running streams.
 func WithPolicy(p core.Policy) Option {
 	return func(c *config) { c.policy = p }
 }
@@ -284,7 +297,7 @@ func (st *Stream[P, R]) Input(p P) *Execution[R] {
 			DecreaseHold:     st.cfg.decreaseHold,
 			Increase:         st.cfg.increase,
 			Decrease:         st.cfg.decrease,
-			Policy:           st.cfg.policy,
+			Policy:           core.ClonePolicy(st.cfg.policy),
 			Predictor:        st.cfg.predictor,
 			ADGBudget:        st.cfg.adgBudget,
 		}, st.node, st.pool, st.est, tracker, st.cfg.clk)

@@ -351,6 +351,40 @@ type realClock struct{}
 
 func (realClock) Now() time.Time { return time.Now() }
 
+// TestConcurrentInputsCloneStatefulPolicy is the race regression for
+// WithPolicy on a multi-input stream: one configured stateful policy value
+// (bandit: unsynchronized PRNG plus an arm-value map) used to be handed
+// verbatim to every input's controller, so concurrent executions raced on
+// it — a concurrent map write is a fatal runtime panic. Input now clones
+// the policy per execution (PolicyCloner); several goal-bound inputs in
+// flight at once let -race flag any state still shared.
+func TestConcurrentInputsCloneStatefulPolicy(t *testing.T) {
+	for _, name := range []string{"bandit", "hillclimb"} {
+		pol, err := NewPolicy(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := Farm(nestedSleepProgram(3, time.Millisecond))
+		st := NewStream[int, int](prog,
+			WithLP(1),
+			WithMaxLP(8),
+			WithWCTGoal(10*time.Millisecond),
+			WithAnalysisTicker(time.Millisecond),
+			WithPolicy(pol),
+		)
+		var exs []*Execution[int]
+		for i := 0; i < 6; i++ {
+			exs = append(exs, st.Input(0))
+		}
+		for _, ex := range exs {
+			if res, err := ex.Get(); err != nil || res != 9 {
+				t.Fatalf("policy %s: result %v, %v", name, res, err)
+			}
+		}
+		st.Close()
+	}
+}
+
 // TestAnalysisTickerCatchesStraggler: a muscle that wildly overruns its
 // estimate emits no events, so an event-driven controller stays blind
 // until it ends. The periodic ticker re-analyzes mid-muscle, notices the
